@@ -1,0 +1,190 @@
+//! IBOAT \[8\]: isolation-based online anomalous trajectory detection.
+//!
+//! The method maintains an *adaptive window* over the latest observed
+//! segments and checks the window's **support**: the fraction of historical
+//! trajectories (same SD pair) containing the window as a contiguous
+//! subsequence. While the support stays above a threshold θ the segments
+//! are deemed normal; when it drops below, the current segment is anomalous
+//! and the window shrinks to just that segment ("isolating" it from the
+//! references). The anomaly score we expose is `1 − support`, so the
+//! dev-set-tuned decision threshold plays the role of `1 − θ`.
+//!
+//! Containment is tracked incrementally: the candidate set holds, for every
+//! historical trajectory still matching the window, the positions where the
+//! match can continue — O(candidates) per observed segment.
+
+use crate::scoring::ScoringDetector;
+use crate::stats::RouteStats;
+use rnet::SegmentId;
+use std::collections::HashMap;
+use std::sync::Arc;
+use traj::SdPair;
+
+/// The IBOAT detector.
+pub struct Iboat {
+    stats: Arc<RouteStats>,
+    /// Support level below which the window is reset (paper's θ).
+    pub theta: f64,
+    // per-trajectory state
+    pair: SdPair,
+    /// (history index -> next expected positions) of window matches.
+    candidates: HashMap<usize, Vec<usize>>,
+    history_len: usize,
+}
+
+impl Iboat {
+    /// Creates an IBOAT detector over historical statistics.
+    pub fn new(stats: Arc<RouteStats>, theta: f64) -> Self {
+        Iboat {
+            stats,
+            theta,
+            pair: SdPair::default(),
+            candidates: HashMap::new(),
+            history_len: 0,
+        }
+    }
+
+    /// Re-seeds the candidate set with all positions of `seg` in every
+    /// historical trajectory (window = `[seg]`).
+    fn reseed(&mut self, seg: SegmentId) {
+        self.candidates.clear();
+        for (hi, hist) in self.stats.history(self.pair).iter().enumerate() {
+            let continuations: Vec<usize> = hist
+                .iter()
+                .enumerate()
+                .filter(|(_, &s)| s == seg)
+                .map(|(p, _)| p + 1)
+                .collect();
+            if !continuations.is_empty() {
+                self.candidates.insert(hi, continuations);
+            }
+        }
+    }
+
+    /// Extends the window with `seg`, keeping only candidates whose match
+    /// continues contiguously.
+    fn extend(&mut self, seg: SegmentId) {
+        let history = self.stats.history(self.pair);
+        self.candidates.retain(|&hi, positions| {
+            let hist = &history[hi];
+            positions.retain_mut(|p| {
+                if *p < hist.len() && hist[*p] == seg {
+                    *p += 1;
+                    true
+                } else {
+                    false
+                }
+            });
+            !positions.is_empty()
+        });
+    }
+
+    fn support(&self) -> f64 {
+        if self.history_len == 0 {
+            return 0.0;
+        }
+        self.candidates.len() as f64 / self.history_len as f64
+    }
+}
+
+impl ScoringDetector for Iboat {
+    fn name(&self) -> &'static str {
+        "IBOAT"
+    }
+
+    fn begin_scoring(&mut self, sd: SdPair, _start_time: f64) {
+        self.pair = sd;
+        self.history_len = self.stats.history(sd).len();
+        self.candidates.clear();
+    }
+
+    fn score_next(&mut self, segment: SegmentId) -> f64 {
+        if self.candidates.is_empty() {
+            self.reseed(segment);
+        } else {
+            self.extend(segment);
+        }
+        let support = self.support();
+        if support < self.theta {
+            // isolate: restart the adaptive window at the latest segment
+            self.reseed(segment);
+        }
+        1.0 - support
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use traj::{Dataset, MappedTrajectory, TrajectoryId};
+
+    /// Builds a corpus where most trajectories follow `0 1 2 3 4` and one
+    /// detours `0 1 9 8 4`.
+    fn toy() -> (Arc<RouteStats>, MappedTrajectory, MappedTrajectory) {
+        let mk = |id: u32, segs: &[u32]| MappedTrajectory {
+            id: TrajectoryId(id),
+            segments: segs.iter().map(|&s| SegmentId(s)).collect(),
+            start_time: 0.0,
+        };
+        let mut ds = Dataset::default();
+        for i in 0..9 {
+            ds.trajectories.push(mk(i, &[0, 1, 2, 3, 4]));
+            ds.ground_truth.push(None);
+        }
+        ds.trajectories.push(mk(9, &[0, 1, 9, 8, 4]));
+        ds.ground_truth.push(None);
+        ds.rebuild_index();
+        let stats = Arc::new(RouteStats::fit(&ds));
+        (stats, mk(100, &[0, 1, 2, 3, 4]), mk(101, &[0, 1, 9, 8, 4]))
+    }
+
+    #[test]
+    fn normal_route_has_high_support() {
+        let (stats, normal, _) = toy();
+        let mut d = Iboat::new(stats, 0.05);
+        let scores = d.score_trajectory(&normal);
+        // every point supported by >= 9/10 of history
+        assert!(scores.iter().all(|&s| s <= 0.11), "{scores:?}");
+    }
+
+    #[test]
+    fn detour_scores_spike_inside_detour() {
+        let (stats, _, detour) = toy();
+        let mut d = Iboat::new(stats, 0.05);
+        let scores = d.score_trajectory(&detour);
+        // positions 2 and 3 (segments 9, 8) supported by only 1/10
+        assert!(scores[2] >= 0.89, "{scores:?}");
+        assert!(scores[3] >= 0.89, "{scores:?}");
+        assert!(scores[0] <= 0.11);
+        assert!(scores[1] <= 0.11);
+    }
+
+    #[test]
+    fn window_resets_after_isolation() {
+        let (stats, _, _) = toy();
+        // totally unseen segment: support 0 -> isolate; then back on the
+        // common path the support recovers (window restarted).
+        let t = MappedTrajectory {
+            id: TrajectoryId(102),
+            segments: [0u32, 77, 2, 3, 4].iter().map(|&s| SegmentId(s)).collect(),
+            start_time: 0.0,
+        };
+        let mut d = Iboat::new(stats, 0.05);
+        let scores = d.score_trajectory(&t);
+        assert!(scores[1] > 0.99, "unseen segment must have ~no support");
+        assert!(scores[2] <= 0.11, "window must recover after isolation: {scores:?}");
+    }
+
+    #[test]
+    fn unknown_pair_scores_max() {
+        let (stats, _, _) = toy();
+        let t = MappedTrajectory {
+            id: TrajectoryId(103),
+            segments: vec![SegmentId(500), SegmentId(501)],
+            start_time: 0.0,
+        };
+        let mut d = Iboat::new(stats, 0.05);
+        let scores = d.score_trajectory(&t);
+        assert!(scores.iter().all(|&s| s == 1.0));
+    }
+}

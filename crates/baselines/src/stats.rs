@@ -1,0 +1,136 @@
+//! Shared historical route statistics for the heuristic baselines.
+//!
+//! IBOAT needs the historical trajectories of an SD pair (for window
+//! support), CTSS needs a reference (most popular) route, and DBTOD needs
+//! global transition counts. This module computes all three once from a
+//! training corpus.
+
+use rnet::SegmentId;
+use std::collections::HashMap;
+use traj::{Dataset, SdPair};
+
+/// Historical statistics per SD pair plus global transition counts.
+#[derive(Debug, Clone, Default)]
+pub struct RouteStats {
+    /// Historical trajectories (segment sequences) per SD pair.
+    pub histories: HashMap<SdPair, Vec<Vec<SegmentId>>>,
+    /// The most frequent route per SD pair (CTSS reference).
+    pub reference: HashMap<SdPair, Vec<SegmentId>>,
+    /// Global transition counts `(from, to) -> count` (DBTOD feature).
+    pub transition_counts: HashMap<(SegmentId, SegmentId), u32>,
+    /// Per-SD-pair transition counts (DBTOD's trip-context feature).
+    pub pair_transition_counts: HashMap<(SdPair, SegmentId, SegmentId), u32>,
+    /// Global per-segment visit counts.
+    pub segment_counts: HashMap<SegmentId, u32>,
+}
+
+impl RouteStats {
+    /// Builds statistics from a training corpus.
+    pub fn fit(data: &Dataset) -> Self {
+        let mut stats = RouteStats::default();
+        for (pair, ids) in &data.by_pair {
+            let mut route_count: HashMap<&[SegmentId], usize> = HashMap::new();
+            let mut hist = Vec::with_capacity(ids.len());
+            for &id in ids {
+                let t = data.get(id);
+                *route_count.entry(t.segments.as_slice()).or_insert(0) += 1;
+                hist.push(t.segments.clone());
+            }
+            if let Some((route, _)) = route_count.into_iter().max_by_key(|&(_, c)| c) {
+                stats.reference.insert(*pair, route.to_vec());
+            }
+            stats.histories.insert(*pair, hist);
+        }
+        for t in &data.trajectories {
+            let pair = t.sd_pair();
+            for w in t.segments.windows(2) {
+                *stats.transition_counts.entry((w[0], w[1])).or_insert(0) += 1;
+                if let Some(pair) = pair {
+                    *stats
+                        .pair_transition_counts
+                        .entry((pair, w[0], w[1]))
+                        .or_insert(0) += 1;
+                }
+            }
+            for &s in &t.segments {
+                *stats.segment_counts.entry(s).or_insert(0) += 1;
+            }
+        }
+        stats
+    }
+
+    /// Historical trajectories of `pair` (empty if unknown).
+    pub fn history(&self, pair: SdPair) -> &[Vec<SegmentId>] {
+        self.histories.get(&pair).map(|v| v.as_slice()).unwrap_or(&[])
+    }
+
+    /// Reference route of `pair`, if known.
+    pub fn reference_route(&self, pair: SdPair) -> Option<&[SegmentId]> {
+        self.reference.get(&pair).map(|v| v.as_slice())
+    }
+
+    /// Global count of a transition.
+    pub fn transition_count(&self, from: SegmentId, to: SegmentId) -> u32 {
+        *self.transition_counts.get(&(from, to)).unwrap_or(&0)
+    }
+
+    /// Count of a transition within one SD pair's historical trips.
+    pub fn pair_transition_count(&self, pair: SdPair, from: SegmentId, to: SegmentId) -> u32 {
+        *self
+            .pair_transition_counts
+            .get(&(pair, from, to))
+            .unwrap_or(&0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rnet::{CityBuilder, CityConfig};
+    use traj::{TrafficConfig, TrafficSimulator};
+
+    fn dataset(seed: u64) -> Dataset {
+        let net = CityBuilder::new(CityConfig::tiny(seed)).build();
+        let data = TrafficSimulator::new(&net, TrafficConfig::tiny(seed)).generate();
+        Dataset::from_generated(&data)
+    }
+
+    #[test]
+    fn reference_is_most_frequent() {
+        let ds = dataset(1);
+        let stats = RouteStats::fit(&ds);
+        for (pair, ids) in &ds.by_pair {
+            let reference = stats.reference_route(*pair).unwrap();
+            // reference count must be >= any other route count
+            let mut counts: HashMap<&[SegmentId], usize> = HashMap::new();
+            for &id in ids {
+                *counts.entry(ds.get(id).segments.as_slice()).or_insert(0) += 1;
+            }
+            let ref_count = counts[reference];
+            assert!(counts.values().all(|&c| c <= ref_count));
+        }
+    }
+
+    #[test]
+    fn histories_complete() {
+        let ds = dataset(2);
+        let stats = RouteStats::fit(&ds);
+        let total: usize = stats.histories.values().map(|h| h.len()).sum();
+        assert_eq!(total, ds.len());
+    }
+
+    #[test]
+    fn transition_counts_match_manual() {
+        let ds = dataset(3);
+        let stats = RouteStats::fit(&ds);
+        let t = &ds.trajectories[0];
+        let (a, b) = (t.segments[0], t.segments[1]);
+        let manual = ds
+            .trajectories
+            .iter()
+            .map(|t| t.segments.windows(2).filter(|w| w[0] == a && w[1] == b).count())
+            .sum::<usize>();
+        assert_eq!(stats.transition_count(a, b) as usize, manual);
+        assert_eq!(stats.transition_count(SegmentId(99_999), b), 0);
+    }
+}

@@ -1,0 +1,627 @@
+//! The deep generative baseline family of GM-VSAE \[11\]: SAE, VSAE,
+//! GM-VSAE and SD-VSAE.
+//!
+//! All four detect anomalies via a *generation scheme*: a sequence decoder
+//! is trained to generate normal routes, and a trajectory's per-point
+//! anomaly score is the negative log-likelihood of each arriving segment
+//! under the decoder. The variants differ in how the latent route
+//! representation is obtained:
+//!
+//! * **SAE** — a plain seq2seq autoencoder: a GRU encoder consumes the
+//!   observed prefix and the decoder re-scores the prefix from the encoding
+//!   (the "scans the trajectory twice" structure the paper's efficiency
+//!   study attributes to SAE — O(prefix) work per point);
+//! * **VSAE** — a variational autoencoder whose posterior is conditioned on
+//!   the trip's SD pair, with a single-Gaussian prior; the latent is
+//!   inferred once per trip, so scoring is O(1) per point;
+//! * **GM-VSAE** — the prior is a mixture of `K` learned Gaussian
+//!   components (kinds of normal routes); at inference a decoder state is
+//!   maintained *per component* and the score is the best (minimum) NLL
+//!   across components — K× the per-point work;
+//! * **SD-VSAE** — the fast variant: only the max-responsibility component
+//!   is decoded (the paper's "SD module" that outputs one normal-route
+//!   representation).
+//!
+//! Simplifications vs \[11\] are documented in DESIGN.md §7: the posterior is
+//! conditioned on the SD-pair embedding rather than a full trajectory
+//! encoder (GM-VSAE's online mode likewise infers the route representation
+//! before scoring), and the mixture KL uses the nearest component.
+
+use crate::scoring::ScoringDetector;
+use nn::ops;
+use nn::{Embedding, GruCell, Linear, Param};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rnet::SegmentId;
+use traj::{Dataset, SdPair};
+
+/// Which member of the family to build.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Seq2SeqKind {
+    /// Plain seq2seq autoencoder.
+    Sae,
+    /// Variational autoencoder with a single Gaussian prior.
+    Vsae,
+    /// Gaussian-mixture prior with this many components; all components
+    /// decoded at inference.
+    GmVsae(usize),
+    /// Gaussian-mixture prior; only the best component decoded.
+    SdVsae(usize),
+}
+
+impl Seq2SeqKind {
+    fn components(self) -> usize {
+        match self {
+            Seq2SeqKind::Sae | Seq2SeqKind::Vsae => 1,
+            Seq2SeqKind::GmVsae(k) | Seq2SeqKind::SdVsae(k) => k.max(1),
+        }
+    }
+
+    fn is_variational(self) -> bool {
+        !matches!(self, Seq2SeqKind::Sae)
+    }
+
+    /// Method name for tables.
+    pub fn name(self) -> &'static str {
+        match self {
+            Seq2SeqKind::Sae => "SAE",
+            Seq2SeqKind::Vsae => "VSAE",
+            Seq2SeqKind::GmVsae(_) => "GM-VSAE",
+            Seq2SeqKind::SdVsae(_) => "SD-VSAE",
+        }
+    }
+}
+
+/// Hyperparameters of the family.
+#[derive(Debug, Clone, PartialEq)]
+pub struct VsaeConfig {
+    /// Segment embedding dimension.
+    pub embed_dim: usize,
+    /// GRU hidden units.
+    pub hidden_dim: usize,
+    /// Latent dimension.
+    pub latent_dim: usize,
+    /// Adam learning rate.
+    pub lr: f32,
+    /// Training epochs over the (sub)sampled corpus.
+    pub epochs: usize,
+    /// Maximum number of training trajectories (subsampled beyond this).
+    pub max_train: usize,
+    /// KL weight β.
+    pub beta: f32,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for VsaeConfig {
+    fn default() -> Self {
+        VsaeConfig {
+            embed_dim: 24,
+            hidden_dim: 32,
+            latent_dim: 16,
+            lr: 0.005,
+            epochs: 2,
+            max_train: 1500,
+            beta: 0.05,
+            seed: 0xAE,
+        }
+    }
+}
+
+/// A trained seq2seq generative detector.
+#[derive(Clone)]
+pub struct Seq2SeqDetector {
+    kind: Seq2SeqKind,
+    config: VsaeConfig,
+    embed: Embedding,
+    /// Posterior head over `[e_src ; e_dst]` → `(mu, logvar)` (variational
+    /// kinds only).
+    sd_head: Linear,
+    /// Mixture component means, `K × latent`.
+    comp_means: Param,
+    /// Encoder (SAE only).
+    encoder: GruCell,
+    /// Latent → initial decoder state.
+    dec_init: Linear,
+    decoder: GruCell,
+    /// Decoder state → vocabulary logits.
+    out: Linear,
+    // ---- per-trajectory scoring state ----
+    dec_states: Vec<Vec<f32>>,
+    enc_state: Vec<f32>,
+    prefix: Vec<SegmentId>,
+    prev_token: Option<SegmentId>,
+}
+
+impl Seq2SeqDetector {
+    /// Builds an untrained model for a vocabulary of `vocab` segments.
+    pub fn new(kind: Seq2SeqKind, vocab: usize, config: VsaeConfig) -> Self {
+        let mut rng = StdRng::seed_from_u64(config.seed);
+        let k = kind.components();
+        Seq2SeqDetector {
+            kind,
+            embed: Embedding::new(vocab, config.embed_dim, &mut rng),
+            sd_head: Linear::new(2 * config.embed_dim, 2 * config.latent_dim, &mut rng),
+            comp_means: nn::init::uniform(k, config.latent_dim, 0.5, &mut rng),
+            encoder: GruCell::new(config.embed_dim, config.hidden_dim, &mut rng),
+            dec_init: Linear::new(config.latent_dim, config.hidden_dim, &mut rng),
+            decoder: GruCell::new(config.embed_dim, config.hidden_dim, &mut rng),
+            out: Linear::new(config.hidden_dim, vocab, &mut rng),
+            dec_states: Vec::new(),
+            enc_state: Vec::new(),
+            prefix: Vec::new(),
+            prev_token: None,
+            config,
+        }
+    }
+
+    /// The model kind.
+    pub fn kind(&self) -> Seq2SeqKind {
+        self.kind
+    }
+
+    /// Copies the trained weights from another detector of compatible
+    /// shape. Used to share one trained GM-VSAE across the GM/SD inference
+    /// variants (SD-VSAE is an inference-time fast version of the same
+    /// model in \[11\]).
+    ///
+    /// # Panics
+    /// Panics on vocabulary or dimension mismatch.
+    pub fn copy_weights_from(&mut self, other: &Seq2SeqDetector) {
+        assert_eq!(self.embed.vocab(), other.embed.vocab(), "vocab mismatch");
+        assert_eq!(self.config.embed_dim, other.config.embed_dim);
+        assert_eq!(self.config.hidden_dim, other.config.hidden_dim);
+        assert_eq!(self.config.latent_dim, other.config.latent_dim);
+        self.embed = other.embed.clone();
+        self.sd_head = other.sd_head.clone();
+        self.encoder = other.encoder.clone();
+        self.dec_init = other.dec_init.clone();
+        self.decoder = other.decoder.clone();
+        self.out = other.out.clone();
+        // Mixture means only when both sides have the same component count;
+        // non-mixture kinds keep their (unused) means.
+        if self.comp_means.rows == other.comp_means.rows {
+            self.comp_means = other.comp_means.clone();
+        }
+    }
+
+    /// Posterior `(mu, logvar)` from the SD-pair embedding.
+    fn posterior(&self, sd: SdPair) -> (Vec<f32>, Vec<f32>) {
+        let e = ops::concat(
+            self.embed.lookup(sd.source.idx()),
+            self.embed.lookup(sd.dest.idx()),
+        );
+        let mut both = vec![0.0; 2 * self.config.latent_dim];
+        self.sd_head.infer(&e, &mut both);
+        let (mu, logvar) = both.split_at(self.config.latent_dim);
+        (mu.to_vec(), logvar.to_vec())
+    }
+
+    /// Index of the component nearest to `mu` (max responsibility under
+    /// equal mixing weights and unit covariances).
+    fn best_component(&self, mu: &[f32]) -> usize {
+        let k = self.comp_means.rows;
+        (0..k)
+            .min_by(|&a, &b| {
+                let da = dist_sq(self.comp_means.row(a), mu);
+                let db = dist_sq(self.comp_means.row(b), mu);
+                da.partial_cmp(&db).unwrap()
+            })
+            .unwrap_or(0)
+    }
+
+    fn dec_state_from_latent(&self, z: &[f32]) -> Vec<f32> {
+        let mut h = vec![0.0; self.config.hidden_dim];
+        self.dec_init.infer(z, &mut h);
+        h.iter_mut().for_each(|v| *v = v.tanh());
+        h
+    }
+
+    /// NLL of `token` under the decoder state, and the advanced state.
+    fn step_nll(&self, state: &[f32], prev: SegmentId, token: SegmentId) -> (f64, Vec<f32>) {
+        let x = self.embed.lookup(prev.idx());
+        let (h, _) = self.decoder.forward(x, state);
+        let mut logits = vec![0.0; self.embed.vocab()];
+        self.out.infer(&h, &mut logits);
+        ops::softmax_inplace(&mut logits);
+        let nll = -(logits[token.idx()].max(1e-12).ln() as f64);
+        (nll, h)
+    }
+
+    // ---- training ------------------------------------------------------
+
+    /// Trains on the corpus (teacher forcing; Adam).
+    pub fn fit(&mut self, data: &Dataset) {
+        let mut rng = StdRng::seed_from_u64(self.config.seed ^ 0xF1);
+        let mut ids: Vec<usize> = (0..data.len()).collect();
+        use rand::seq::SliceRandom;
+        ids.shuffle(&mut rng);
+        ids.truncate(self.config.max_train);
+        for _ in 0..self.config.epochs {
+            for &id in &ids {
+                let t = &data.trajectories[id];
+                if t.len() >= 2 {
+                    self.train_step(&t.segments, t.sd_pair().expect("non-empty"), &mut rng);
+                }
+            }
+        }
+    }
+
+    /// One training step; returns the per-token CE loss.
+    pub fn train_step(&mut self, segs: &[SegmentId], sd: SdPair, rng: &mut StdRng) -> f32 {
+        self.zero_grad();
+        let latent = self.config.latent_dim;
+        let n = segs.len();
+
+        // 1. latent
+        let (z, enc_ctxs, sd_ctx, mu, logvar, eps) = if self.kind.is_variational() {
+            let e = ops::concat(
+                self.embed.lookup(sd.source.idx()),
+                self.embed.lookup(sd.dest.idx()),
+            );
+            let (both, ctx) = self.sd_head.forward(&e);
+            let (mu, logvar) = both.split_at(latent);
+            let eps: Vec<f32> = (0..latent).map(|_| gauss(rng)).collect();
+            let z: Vec<f32> = (0..latent)
+                .map(|i| mu[i] + eps[i] * (0.5 * logvar[i]).exp())
+                .collect();
+            (z, Vec::new(), Some(ctx), mu.to_vec(), logvar.to_vec(), eps)
+        } else {
+            // SAE: encode the full sequence.
+            let mut h = vec![0.0; self.config.hidden_dim];
+            let mut ctxs = Vec::with_capacity(n);
+            for &s in segs {
+                let (hn, ctx) = self.encoder.forward(self.embed.lookup(s.idx()), &h);
+                ctxs.push(ctx);
+                h = hn;
+            }
+            // SAE's "latent" is the encoder state projected to latent size
+            // via dec_init directly; pad/truncate to latent dim.
+            let mut z = h.clone();
+            z.resize(latent, 0.0);
+            (z, ctxs, None, Vec::new(), Vec::new(), Vec::new())
+        };
+
+        // 2. decoder init
+        let (h0_pre, init_ctx) = self.dec_init.forward(&z);
+        let h0: Vec<f32> = h0_pre.iter().map(|v| v.tanh()).collect();
+
+        // 3. teacher-forced decode: predict segs[t+1] from segs[t].
+        let mut state = h0.clone();
+        let mut dec_ctxs = Vec::with_capacity(n - 1);
+        let mut out_ctxs = Vec::with_capacity(n - 1);
+        let mut probs_list = Vec::with_capacity(n - 1);
+        let mut loss = 0.0f32;
+        for t in 0..n - 1 {
+            let x = self.embed.lookup(segs[t].idx());
+            let (h, gctx) = self.decoder.forward(x, &state);
+            let (mut logits, octx) = self.out.forward(&h);
+            ops::softmax_inplace(&mut logits);
+            loss += ops::cross_entropy(&logits, segs[t + 1].idx());
+            probs_list.push(logits);
+            dec_ctxs.push(gctx);
+            out_ctxs.push(octx);
+            state = h;
+        }
+        let steps = (n - 1) as f32;
+        loss /= steps;
+
+        // 4. backward
+        let mut dh_next = vec![0.0f32; self.config.hidden_dim];
+        for t in (0..n - 1).rev() {
+            let mut dlogits = vec![0.0f32; self.embed.vocab()];
+            ops::cross_entropy_softmax_grad(&probs_list[t], segs[t + 1].idx(), &mut dlogits);
+            for g in &mut dlogits {
+                *g /= steps;
+            }
+            let mut dh = self.out.backward(&out_ctxs[t], &dlogits);
+            for (a, b) in dh.iter_mut().zip(&dh_next) {
+                *a += b;
+            }
+            let (dx, dh_prev) = self.decoder.backward(&dec_ctxs[t], &dh);
+            self.embed.backward(segs[t].idx(), &dx);
+            dh_next = dh_prev;
+        }
+        // through tanh into dec_init
+        let dh0_pre: Vec<f32> = dh_next
+            .iter()
+            .zip(&h0)
+            .map(|(d, h)| d * (1.0 - h * h))
+            .collect();
+        let dz = self.dec_init.backward(&init_ctx, &dh0_pre);
+
+        // 5. latent path backward (+ KL for variational kinds)
+        if self.kind.is_variational() {
+            let k_best = self.best_component(&mu);
+            let m = self.comp_means.row(k_best).to_vec();
+            let beta = self.config.beta;
+            let mut dboth = vec![0.0f32; 2 * latent];
+            for i in 0..latent {
+                let sigma = (0.5 * logvar[i]).exp();
+                // reconstruction path: z = mu + eps*sigma
+                dboth[i] += dz[i];
+                dboth[latent + i] += dz[i] * eps[i] * 0.5 * sigma;
+                // KL(N(mu, sigma^2) || N(m, 1)) per-dim:
+                // 0.5 (sigma^2 + (mu-m)^2 - 1 - ln sigma^2)
+                dboth[i] += beta * (mu[i] - m[i]);
+                dboth[latent + i] += beta * 0.5 * (sigma * sigma - 1.0);
+                // component mean gradient
+                self.comp_means.grad_row_mut(k_best)[i] += beta * (m[i] - mu[i]);
+            }
+            let de = self
+                .sd_head
+                .backward(sd_ctx.as_ref().expect("variational ctx"), &dboth);
+            let (de_s, de_d) = de.split_at(self.config.embed_dim);
+            self.embed.backward(sd.source.idx(), de_s);
+            self.embed.backward(sd.dest.idx(), de_d);
+        } else {
+            // SAE: push dz back through the encoder (z was the truncated
+            // encoder state).
+            let mut dh = vec![0.0f32; self.config.hidden_dim];
+            let k = latent.min(self.config.hidden_dim);
+            dh[..k].copy_from_slice(&dz[..k]);
+            for (t, ctx) in enc_ctxs.iter().enumerate().rev() {
+                let (dx, dh_prev) = self.encoder.backward(ctx, &dh);
+                self.embed.backward(segs[t].idx(), &dx);
+                dh = dh_prev;
+            }
+        }
+
+        // 6. step
+        let lr = self.config.lr;
+        let mut params = self.params_mut();
+        nn::param::clip_global_norm(&mut params, 5.0);
+        for p in params {
+            p.adam_step(lr);
+        }
+        loss
+    }
+
+    fn zero_grad(&mut self) {
+        for p in self.params_mut() {
+            p.zero_grad();
+        }
+    }
+
+    fn params_mut(&mut self) -> Vec<&mut Param> {
+        let mut v = Vec::new();
+        v.extend(self.embed.params_mut());
+        v.extend(self.sd_head.params_mut());
+        v.push(&mut self.comp_means);
+        v.extend(self.encoder.params_mut());
+        v.extend(self.dec_init.params_mut());
+        v.extend(self.decoder.params_mut());
+        v.extend(self.out.params_mut());
+        v
+    }
+}
+
+impl ScoringDetector for Seq2SeqDetector {
+    fn name(&self) -> &'static str {
+        self.kind.name()
+    }
+
+    fn begin_scoring(&mut self, sd: SdPair, _start_time: f64) {
+        self.prefix.clear();
+        self.prev_token = None;
+        match self.kind {
+            Seq2SeqKind::Sae => {
+                self.enc_state = vec![0.0; self.config.hidden_dim];
+                self.dec_states.clear();
+            }
+            Seq2SeqKind::Vsae => {
+                let (mu, _) = self.posterior(sd);
+                self.dec_states = vec![self.dec_state_from_latent(&mu)];
+            }
+            Seq2SeqKind::GmVsae(_) => {
+                // one decoder state per mixture component
+                self.dec_states = (0..self.comp_means.rows)
+                    .map(|k| self.dec_state_from_latent(self.comp_means.row(k)))
+                    .collect();
+            }
+            Seq2SeqKind::SdVsae(_) => {
+                let (mu, _) = self.posterior(sd);
+                let k = self.best_component(&mu);
+                self.dec_states = vec![self.dec_state_from_latent(self.comp_means.row(k))];
+            }
+        }
+    }
+
+    fn score_next(&mut self, segment: SegmentId) -> f64 {
+        if segment.idx() >= self.embed.vocab() {
+            return 30.0; // out-of-vocabulary segment
+        }
+        let score = match (self.kind, self.prev_token) {
+            (_, None) => 0.0, // the source segment is given, not generated
+            (Seq2SeqKind::Sae, Some(_)) => {
+                // re-decode the whole prefix from the current encoding
+                let mut z = self.enc_state.clone();
+                z.resize(self.config.latent_dim, 0.0);
+                let mut state = self.dec_state_from_latent(&z);
+                let mut nll = 0.0;
+                for w in self.prefix.windows(2) {
+                    let (_, h) = self.step_nll(&state, w[0], w[1]);
+                    state = h;
+                }
+                let prev = *self.prefix.last().expect("non-empty prefix");
+                let (s, _) = self.step_nll(&state, prev, segment);
+                nll += s;
+                nll
+            }
+            (_, Some(prev)) => {
+                // advance every component state; score = min NLL
+                let mut best = f64::INFINITY;
+                let states = std::mem::take(&mut self.dec_states);
+                let mut next_states = Vec::with_capacity(states.len());
+                for state in &states {
+                    let (nll, h) = self.step_nll(state, prev, segment);
+                    best = best.min(nll);
+                    next_states.push(h);
+                }
+                self.dec_states = next_states;
+                best
+            }
+        };
+        // advance SAE's running encoder
+        if self.kind == Seq2SeqKind::Sae {
+            let (h, _) = self
+                .encoder
+                .forward(self.embed.lookup(segment.idx()), &self.enc_state);
+            self.enc_state = h;
+        }
+        self.prefix.push(segment);
+        self.prev_token = Some(segment);
+        score
+    }
+}
+
+fn dist_sq(a: &[f32], b: &[f32]) -> f32 {
+    a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum()
+}
+
+fn gauss(rng: &mut StdRng) -> f32 {
+    let u1: f32 = rng.gen_range(f32::EPSILON..1.0);
+    let u2: f32 = rng.gen();
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f32::consts::PI * u2).cos()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rnet::{CityBuilder, CityConfig};
+    use traj::{TrafficConfig, TrafficSimulator};
+
+    fn tiny_cfg(seed: u64) -> VsaeConfig {
+        VsaeConfig {
+            embed_dim: 8,
+            hidden_dim: 10,
+            latent_dim: 6,
+            epochs: 2,
+            max_train: 200,
+            seed,
+            ..Default::default()
+        }
+    }
+
+    fn corpus(seed: u64) -> (usize, Dataset) {
+        let net = CityBuilder::new(CityConfig::tiny(seed)).build();
+        let cfg = TrafficConfig {
+            num_sd_pairs: 3,
+            trajs_per_pair: (40, 50),
+            anomaly_ratio: 0.08,
+            ..TrafficConfig::tiny(seed)
+        };
+        let data = TrafficSimulator::new(&net, cfg).generate();
+        (net.num_segments(), Dataset::from_generated(&data))
+    }
+
+    #[test]
+    fn training_reduces_reconstruction_loss() {
+        for kind in [
+            Seq2SeqKind::Sae,
+            Seq2SeqKind::Vsae,
+            Seq2SeqKind::GmVsae(3),
+        ] {
+            let (vocab, ds) = corpus(5);
+            let mut m = Seq2SeqDetector::new(kind, vocab, tiny_cfg(5));
+            let mut rng = StdRng::seed_from_u64(1);
+            let t = &ds.trajectories[0];
+            let sd = t.sd_pair().unwrap();
+            let first = m.train_step(&t.segments, sd, &mut rng);
+            let mut last = first;
+            for _ in 0..40 {
+                last = m.train_step(&t.segments, sd, &mut rng);
+            }
+            assert!(
+                last < first,
+                "{:?}: loss {first} -> {last} did not decrease",
+                kind
+            );
+        }
+    }
+
+    #[test]
+    fn anomalous_segments_score_higher_after_training() {
+        let (vocab, ds) = corpus(7);
+        for kind in [
+            Seq2SeqKind::Vsae,
+            Seq2SeqKind::GmVsae(3),
+            Seq2SeqKind::SdVsae(3),
+            Seq2SeqKind::Sae,
+        ] {
+            let mut m = Seq2SeqDetector::new(kind, vocab, tiny_cfg(7));
+            m.fit(&ds);
+            let mut normal = (0.0, 0usize);
+            let mut anom = (0.0, 0usize);
+            for t in &ds.trajectories {
+                let gt = ds.truth(t.id).unwrap();
+                let scores = m.score_trajectory(t);
+                for (s, &g) in scores.iter().zip(gt) {
+                    if g == 1 {
+                        anom = (anom.0 + s, anom.1 + 1);
+                    } else {
+                        normal = (normal.0 + s, normal.1 + 1);
+                    }
+                }
+            }
+            let mn = normal.0 / normal.1 as f64;
+            let ma = anom.0 / anom.1.max(1) as f64;
+            assert!(
+                ma > mn,
+                "{}: anomalous {ma} <= normal {mn}",
+                kind.name()
+            );
+        }
+    }
+
+    #[test]
+    fn scoring_is_deterministic_and_shaped() {
+        let (vocab, ds) = corpus(9);
+        let mut m = Seq2SeqDetector::new(Seq2SeqKind::Vsae, vocab, tiny_cfg(9));
+        m.fit(&ds);
+        let t = &ds.trajectories[0];
+        let a = m.score_trajectory(t);
+        let b = m.score_trajectory(t);
+        assert_eq!(a.len(), t.len());
+        assert_eq!(a, b);
+        assert_eq!(a[0], 0.0, "source segment carries no generation cost");
+        assert!(a.iter().all(|s| s.is_finite()));
+    }
+
+    #[test]
+    fn out_of_vocab_scores_high() {
+        let (vocab, _) = corpus(11);
+        let mut m = Seq2SeqDetector::new(Seq2SeqKind::Vsae, vocab, tiny_cfg(11));
+        m.begin_scoring(
+            SdPair {
+                source: SegmentId(0),
+                dest: SegmentId(1),
+            },
+            0.0,
+        );
+        assert_eq!(m.score_next(SegmentId(vocab as u32 + 5)), 30.0);
+    }
+
+    #[test]
+    fn gm_uses_multiple_decoder_states() {
+        let (vocab, _) = corpus(13);
+        let mut m = Seq2SeqDetector::new(Seq2SeqKind::GmVsae(4), vocab, tiny_cfg(13));
+        m.begin_scoring(
+            SdPair {
+                source: SegmentId(0),
+                dest: SegmentId(1),
+            },
+            0.0,
+        );
+        assert_eq!(m.dec_states.len(), 4);
+        let mut sd = Seq2SeqDetector::new(Seq2SeqKind::SdVsae(4), vocab, tiny_cfg(13));
+        sd.begin_scoring(
+            SdPair {
+                source: SegmentId(0),
+                dest: SegmentId(1),
+            },
+            0.0,
+        );
+        assert_eq!(sd.dec_states.len(), 1);
+    }
+}

@@ -1,0 +1,38 @@
+//! Criterion bench for paper Fig. 3: per-point online detection latency of
+//! every method.
+//!
+//! The paper's headline efficiency claim is that RL4OASD processes each
+//! newly generated point in well under 0.1 ms; the relative ordering
+//! (DBTOD fastest, CTSS slowest, GM-VSAE/SAE slower than SD-VSAE/VSAE) is
+//! the reproduction target.
+
+use bench_suite::{City, Context, Method};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn per_point(c: &mut Criterion) {
+    let ctx = Context::build_light(City::Chengdu);
+    // A fixed batch of test trajectories, reused for every method.
+    let trajs: Vec<_> = ctx.test.trajectories.iter().take(40).cloned().collect();
+    let points: usize = trajs.iter().map(|t| t.len()).sum();
+
+    let mut group = c.benchmark_group("fig3_per_point");
+    group.sample_size(10);
+    for method in Method::ALL {
+        group.bench_function(method.name(), |b| {
+            b.iter(|| {
+                let mut det = ctx.detector(method);
+                let mut acc = 0usize;
+                for t in &trajs {
+                    acc += det.label_trajectory(black_box(t)).len();
+                }
+                assert_eq!(acc, points);
+                black_box(acc)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, per_point);
+criterion_main!(benches);

@@ -1,0 +1,49 @@
+//! Criterion bench for paper Fig. 4: per-trajectory detection latency by
+//! trajectory-length group (G1 < 15, G2 15-29, G3 30-44, G4 >= 45).
+//!
+//! The reproduction target is the scaling *shape*: CTSS diverges with
+//! trajectory length (its per-point cost is linear in the reference), the
+//! others grow linearly, DBTOD stays cheapest.
+
+use bench_suite::{City, Context, Method};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use eval::{group_of_len, LengthGroup};
+use std::hint::black_box;
+
+fn per_group(c: &mut Criterion) {
+    let ctx = Context::build_light(City::Chengdu);
+    let mut group = c.benchmark_group("fig4_per_trajectory");
+    group.sample_size(10);
+    // Representative fast / learned / similarity / ours.
+    for method in [Method::Dbtod, Method::GmVsae, Method::Ctss, Method::Rl4oasd] {
+        for g in LengthGroup::ALL {
+            let sub: Vec<_> = ctx
+                .test
+                .trajectories
+                .iter()
+                .filter(|t| group_of_len(t.len()) == g)
+                .take(15)
+                .cloned()
+                .collect();
+            if sub.is_empty() {
+                continue;
+            }
+            group.bench_with_input(
+                BenchmarkId::new(method.name(), g.name()),
+                &sub,
+                |b, sub| {
+                    b.iter(|| {
+                        let mut det = ctx.detector(method);
+                        for t in sub {
+                            black_box(det.label_trajectory(black_box(t)));
+                        }
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, per_group);
+criterion_main!(benches);

@@ -1,0 +1,79 @@
+//! Micro-benchmarks of the substrates behind the O(n) complexity analysis
+//! (paper §IV-E): one LSTM streaming step + policy decision dominates the
+//! per-point cost of RL4OASD; Dijkstra and Viterbi dominate preprocessing.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mapmatch::{MapMatcher, MatchConfig};
+use rnet::{CityBuilder, CityConfig, NodeId};
+use std::hint::black_box;
+use traj::{Dataset, TrafficConfig, TrafficSimulator};
+
+fn substrates(c: &mut Criterion) {
+    let net = CityBuilder::new(CityConfig::chengdu_like()).build();
+    let sim_cfg = TrafficConfig {
+        num_sd_pairs: 8,
+        trajs_per_pair: (40, 60),
+        generate_raw: true,
+        ..Default::default()
+    };
+    let sim = TrafficSimulator::new(&net, sim_cfg);
+    let generated = sim.generate();
+    let train = Dataset::from_generated(&generated);
+
+    c.bench_function("dijkstra_full_city", |b| {
+        b.iter(|| {
+            let (dist, _) = rnet::dijkstra(&net, NodeId(0), f64::INFINITY, |s| {
+                net.segment(s).length
+            });
+            black_box(dist)
+        })
+    });
+
+    let matcher = MapMatcher::new(&net, MatchConfig::default());
+    let raw = generated.raw[0].clone();
+    c.bench_function("viterbi_map_match_one_trajectory", |b| {
+        b.iter(|| black_box(matcher.match_trajectory(black_box(&raw))))
+    });
+
+    let cfg = rl4oasd::Rl4oasdConfig {
+        joint_trajs: 100,
+        pretrain_trajs: 100,
+        ..Default::default()
+    };
+    let model = rl4oasd::train(&net, &train, &cfg);
+    let t0 = &train.trajectories[0];
+    c.bench_function("preprocessor_features_one_trajectory", |b| {
+        b.iter(|| black_box(model.preprocessor.features(black_box(t0))))
+    });
+
+    c.bench_function("rsrnet_stream_step", |b| {
+        let mut stream = model.rsrnet.stream();
+        let seg = t0.segments[0];
+        b.iter(|| black_box(model.rsrnet.stream_step(&mut stream, black_box(seg), 0)))
+    });
+
+    c.bench_function("policy_decision", |b| {
+        let mut stream = model.rsrnet.stream();
+        let z = model.rsrnet.stream_step(&mut stream, t0.segments[0], 0);
+        b.iter(|| {
+            let state = model.asdnet.state(black_box(&z), 0);
+            black_box(model.asdnet.greedy(&state))
+        })
+    });
+
+    c.bench_function("rsrnet_train_step_one_trajectory", |b| {
+        let mut m = model.clone();
+        let feats = model.preprocessor.features(t0);
+        b.iter(|| {
+            black_box(m.rsrnet.train_step(
+                &t0.segments,
+                &feats.nrf,
+                &feats.noisy_labels,
+                0.01,
+            ))
+        })
+    });
+}
+
+criterion_group!(benches, substrates);
+criterion_main!(benches);

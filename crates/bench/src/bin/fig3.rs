@@ -1,0 +1,8 @@
+//! Regenerates Figure 3 (overall detection efficiency).
+use bench_suite::{figures, City, Context};
+
+fn main() {
+    let chengdu = Context::build(City::Chengdu);
+    let xian = Context::build(City::Xian);
+    println!("{}", figures::fig3(&[&chengdu, &xian]));
+}

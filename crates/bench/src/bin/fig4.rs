@@ -1,0 +1,9 @@
+//! Regenerates Figure 4 (detection scalability by trajectory length).
+use bench_suite::{figures, City, Context};
+
+fn main() {
+    for city in [City::Chengdu, City::Xian] {
+        let ctx = Context::build(city);
+        println!("{}", figures::fig4(&ctx));
+    }
+}

@@ -1,0 +1,7 @@
+//! Regenerates Figure 5 (detour case study with ASCII map).
+use bench_suite::{figures, City, Context};
+
+fn main() {
+    let ctx = Context::build(City::Chengdu);
+    println!("{}", figures::fig5(&ctx));
+}

@@ -1,0 +1,9 @@
+//! Regenerates Figure 6 (detection in varying traffic conditions).
+use bench_suite::{figures, City};
+use rl4oasd::Rl4oasdConfig;
+
+fn main() {
+    let setup = figures::drift_setup(City::Chengdu);
+    let xis = [1, 2, 3, 4, 6, 8, 12, 24];
+    println!("{}", figures::fig6(&setup, &Rl4oasdConfig::default(), &xis));
+}

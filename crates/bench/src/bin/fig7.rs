@@ -1,0 +1,8 @@
+//! Regenerates Figure 7 (concept-drift case study).
+use bench_suite::{figures, City};
+use rl4oasd::Rl4oasdConfig;
+
+fn main() {
+    let setup = figures::drift_setup(City::Chengdu);
+    println!("{}", figures::fig7(&setup, &Rl4oasdConfig::default()));
+}

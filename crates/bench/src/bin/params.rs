@@ -1,0 +1,8 @@
+//! Regenerates the parameter study (alpha, delta, D sweeps; §V-C).
+use bench_suite::{experiments, City, Context};
+use rl4oasd::Rl4oasdConfig;
+
+fn main() {
+    let ctx = Context::build(City::Chengdu);
+    println!("{}", experiments::params(&ctx, &Rl4oasdConfig::default()));
+}

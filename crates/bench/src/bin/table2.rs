@@ -1,0 +1,8 @@
+//! Regenerates Table II (dataset statistics).
+use bench_suite::{experiments, City, Context};
+
+fn main() {
+    let chengdu = Context::build(City::Chengdu);
+    let xian = Context::build(City::Xian);
+    println!("{}", experiments::table2(&[&chengdu, &xian]));
+}

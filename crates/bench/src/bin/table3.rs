@@ -1,0 +1,10 @@
+//! Regenerates Table III (effectiveness comparison, both cities).
+use bench_suite::{experiments, City, Context};
+
+fn main() {
+    for city in [City::Chengdu, City::Xian] {
+        let ctx = Context::build(city);
+        let (_, report) = experiments::table3(&ctx);
+        println!("{report}");
+    }
+}

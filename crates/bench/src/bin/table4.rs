@@ -1,0 +1,8 @@
+//! Regenerates Table IV (ablation study).
+use bench_suite::{experiments, City, Context};
+use rl4oasd::Rl4oasdConfig;
+
+fn main() {
+    let ctx = Context::build(City::Chengdu);
+    println!("{}", experiments::table4(&ctx, &Rl4oasdConfig::default()));
+}

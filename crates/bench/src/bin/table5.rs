@@ -1,0 +1,11 @@
+//! Regenerates Table V (preprocessing and training time vs data size).
+use bench_suite::{experiments, City};
+use rl4oasd::Rl4oasdConfig;
+
+fn main() {
+    let sizes = [1000, 2000, 3000, 4000, 5000];
+    println!(
+        "{}",
+        experiments::table5(City::Chengdu, &sizes, &Rl4oasdConfig::default())
+    );
+}

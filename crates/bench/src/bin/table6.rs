@@ -1,0 +1,12 @@
+//! Regenerates Table VI (cold-start drop-rate study).
+use bench_suite::{experiments, City, Context};
+use rl4oasd::Rl4oasdConfig;
+
+fn main() {
+    let ctx = Context::build(City::Chengdu);
+    let rates = [0.0, 0.2, 0.4, 0.6, 0.8];
+    println!(
+        "{}",
+        experiments::table6(&ctx, &Rl4oasdConfig::default(), &rates)
+    );
+}

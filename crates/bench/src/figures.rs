@@ -1,0 +1,360 @@
+//! Figure experiments (paper Figs. 3–7).
+
+use crate::{City, Context, Method};
+use eval::report::{f3, ms, Table};
+use eval::evaluate;
+use rl4oasd::{train_with_dev, OnlineLearner, Rl4oasdConfig, Rl4oasdDetector};
+use rnet::{CityBuilder, RoadNetwork};
+use traj::types::part_of_time;
+use traj::{Dataset, DriftConfig, OnlineDetector, TrafficConfig, TrafficSimulator};
+
+/// Fig. 3: overall detection efficiency — average runtime per point.
+pub fn fig3(ctxs: &[&Context]) -> String {
+    let mut t = Table::new(["Method", "Chengdu-sim (ms/point)", "Xian-sim (ms/point)"]);
+    let mut per_city: Vec<Vec<f64>> = vec![Vec::new(); ctxs.len()];
+    for (ci, ctx) in ctxs.iter().enumerate() {
+        for method in Method::ALL {
+            let (_, points, secs) = ctx.run_method(method);
+            per_city[ci].push(secs * 1000.0 / points.max(1) as f64);
+        }
+    }
+    for (mi, method) in Method::ALL.iter().enumerate() {
+        let mut cells = vec![method.name().to_string()];
+        for city_times in &per_city {
+            cells.push(ms(city_times[mi]));
+        }
+        while cells.len() < 3 {
+            cells.push("-".to_string());
+        }
+        t.row(cells);
+    }
+    format!(
+        "## Figure 3 — overall detection efficiency (average runtime per point)\n\n{}",
+        t.render()
+    )
+}
+
+/// Fig. 4: detection scalability — average runtime per trajectory by
+/// length group.
+pub fn fig4(ctx: &Context) -> String {
+    use eval::{group_of_len, LengthGroup};
+    let groups: Vec<LengthGroup> = ctx
+        .test
+        .trajectories
+        .iter()
+        .map(|t| group_of_len(t.len()))
+        .collect();
+    let mut t = Table::new(["Method", "G1", "G2", "G3", "G4"]);
+    for method in Method::ALL {
+        let mut cells = vec![method.name().to_string()];
+        for g in LengthGroup::ALL {
+            let sub = ctx.test.filter(|tr| group_of_len(tr.len()) == g);
+            if sub.is_empty() {
+                cells.push("-".to_string());
+                continue;
+            }
+            let (_, _, secs) = ctx.run_method_on(method, &sub);
+            cells.push(ms(secs * 1000.0 / sub.len() as f64));
+        }
+        t.row(cells);
+    }
+    let counts: Vec<usize> = eval::LengthGroup::ALL
+        .iter()
+        .map(|g| groups.iter().filter(|gg| *gg == g).count())
+        .collect();
+    format!(
+        "## Figure 4 — detection scalability on {} (avg runtime per trajectory; group sizes {:?})\n\n{}",
+        ctx.city.name(),
+        counts,
+        t.render()
+    )
+}
+
+/// Fig. 5: case study — a detoured trajectory rendered with ground truth,
+/// CTSS and RL4OASD detections.
+pub fn fig5(ctx: &Context) -> String {
+    let truths = ctx.test_truths();
+    // Pick the trajectory with the most ground-truth anomalous spans
+    // (the paper's case shows two detours in one route).
+    let (idx, _) = truths
+        .iter()
+        .enumerate()
+        .max_by_key(|(_, g)| {
+            let spans = traj::extract_subtrajectories(g);
+            (spans.len(), g.iter().filter(|&&l| l == 1).count())
+        })
+        .expect("non-empty test set");
+    let traj_ = &ctx.test.trajectories[idx];
+    let truth = &truths[idx];
+    let (ours, _, _) = ctx.run_method_on(Method::Rl4oasd, &single(traj_, truth));
+    let (ctss, _, _) = ctx.run_method_on(Method::Ctss, &single(traj_, truth));
+    let f1_of = |out: &Vec<Vec<u8>>| evaluate(out, std::slice::from_ref(truth)).f1;
+    let pair = traj_.sd_pair().expect("non-empty");
+    let reference = ctx
+        .stats
+        .reference_route(pair)
+        .map(|r| r.to_vec())
+        .unwrap_or_default();
+
+    let mut out = String::new();
+    out.push_str(&format!(
+        "## Figure 5 — case study ({}), SD pair ({} -> {})\n\n",
+        ctx.city.name(),
+        pair.source,
+        pair.dest
+    ));
+    out.push_str(&format!(
+        "ground truth spans: {:?}\n",
+        traj::extract_subtrajectories(truth)
+    ));
+    out.push_str(&format!(
+        "RL4OASD spans:      {:?}  (F1 = {})\n",
+        traj::extract_subtrajectories(&ours[0]),
+        f3(f1_of(&ours))
+    ));
+    out.push_str(&format!(
+        "CTSS spans:         {:?}  (F1 = {})\n\n",
+        traj::extract_subtrajectories(&ctss[0]),
+        f3(f1_of(&ctss))
+    ));
+    out.push_str("legend: '.' normal route, 'x' ground-truth detour, 'O' RL4OASD detection, 'C' CTSS detection\n\n");
+    out.push_str(&render_map(
+        &ctx.net,
+        &reference,
+        traj_,
+        truth,
+        &ours[0],
+        &ctss[0],
+    ));
+    out
+}
+
+fn single(t: &traj::MappedTrajectory, truth: &[u8]) -> Dataset {
+    let mut ds = Dataset {
+        trajectories: vec![traj::MappedTrajectory {
+            id: traj::TrajectoryId(0),
+            ..t.clone()
+        }],
+        ground_truth: vec![Some(truth.to_vec())],
+        ..Default::default()
+    };
+    ds.rebuild_index();
+    ds
+}
+
+/// ASCII map of the case study (the paper's Fig. 5 is a street map; this
+/// renders the same information in text).
+fn render_map(
+    net: &RoadNetwork,
+    reference: &[rnet::SegmentId],
+    t: &traj::MappedTrajectory,
+    truth: &[u8],
+    ours: &[u8],
+    ctss: &[u8],
+) -> String {
+    const W: usize = 72;
+    const H: usize = 26;
+    let mut grid = vec![vec![' '; W]; H];
+    let all: Vec<rnet::Point> = reference
+        .iter()
+        .chain(t.segments.iter())
+        .map(|&s| net.segment(s).midpoint())
+        .collect();
+    let (min_x, max_x) = bounds(all.iter().map(|p| p.x));
+    let (min_y, max_y) = bounds(all.iter().map(|p| p.y));
+    let place = |p: rnet::Point| -> (usize, usize) {
+        let x = ((p.x - min_x) / (max_x - min_x + 1e-9) * (W - 1) as f64) as usize;
+        let y = ((p.y - min_y) / (max_y - min_y + 1e-9) * (H - 1) as f64) as usize;
+        (H - 1 - y, x)
+    };
+    for &s in reference {
+        let (r, c) = place(net.segment(s).midpoint());
+        grid[r][c] = '.';
+    }
+    for (i, &s) in t.segments.iter().enumerate() {
+        let (r, c) = place(net.segment(s).midpoint());
+        if truth[i] == 1 {
+            grid[r][c] = 'x';
+        }
+    }
+    for (i, &s) in t.segments.iter().enumerate() {
+        let (r, c) = place(net.segment(s).midpoint());
+        if ctss[i] == 1 {
+            grid[r][c] = 'C';
+        }
+    }
+    for (i, &s) in t.segments.iter().enumerate() {
+        let (r, c) = place(net.segment(s).midpoint());
+        if ours[i] == 1 {
+            grid[r][c] = 'O';
+        }
+    }
+    let mut out = String::new();
+    for row in grid {
+        out.push_str(&row.into_iter().collect::<String>());
+        out.push('\n');
+    }
+    out
+}
+
+fn bounds<I: Iterator<Item = f64>>(iter: I) -> (f64, f64) {
+    iter.fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), v| {
+        (lo.min(v), hi.max(v))
+    })
+}
+
+/// Drift experiment context: a city whose route popularity swaps at noon.
+pub struct DriftSetup {
+    /// Road network.
+    pub net: RoadNetwork,
+    /// Full (labelled) corpus.
+    pub data: Dataset,
+    /// Anomaly-heavy labelled test corpus.
+    pub test: Dataset,
+}
+
+/// Builds the concept-drift corpus (paper §V-G).
+pub fn drift_setup(city: City) -> DriftSetup {
+    let net = CityBuilder::new(city.net_config()).build();
+    let traffic = TrafficConfig {
+        num_sd_pairs: 25,
+        trajs_per_pair: (160, 240),
+        anomaly_ratio: 0.05,
+        drift: Some(DriftConfig {
+            swap_time: 12.0 * 3600.0,
+        }),
+        uniform_start_times: true,
+        seed: 0xD21F7,
+        ..city.traffic_config()
+    };
+    let sim = TrafficSimulator::new(&net, traffic);
+    let generated = sim.generate();
+    let data = Dataset::from_generated(&generated);
+    let test = Dataset::from_generated(&sim.generate_from_pairs(
+        &generated.pairs,
+        (16, 20),
+        0.35,
+        0xF167,
+    ));
+    DriftSetup { net, data, test }
+}
+
+/// Fig. 6: varying traffic conditions. Returns the report covering
+/// (a) F1 vs ξ, (b) training time vs ξ, (c) per-part F1 for P1 vs FT at
+/// ξ = 8, (d) per-part fine-tuning time at ξ = 8.
+pub fn fig6(setup: &DriftSetup, base: &Rl4oasdConfig, xis: &[usize]) -> String {
+    let mut ab = Table::new(["xi", "avg F1 (FT)", "avg fine-tune time per part (s)"]);
+    let mut detail_c: Option<Table> = None;
+    for &xi in xis {
+        let (f1s_p1, f1s_ft, times) = run_drift(setup, base, xi);
+        let avg_ft = mean(&f1s_ft);
+        let avg_time = mean(&times);
+        ab.row([format!("{xi}"), f3(avg_ft), format!("{avg_time:.2}")]);
+        if xi == 8 {
+            let mut t = Table::new(["Part", "RL4OASD-P1 F1", "RL4OASD-FT F1", "fine-tune (s)"]);
+            for k in 0..xi {
+                t.row([
+                    format!("Part {}", k + 1),
+                    f3(f1s_p1[k]),
+                    f3(f1s_ft[k]),
+                    format!("{:.2}", times[k]),
+                ]);
+            }
+            detail_c = Some(t);
+        }
+    }
+    let mut out = format!(
+        "## Figure 6 — detection in varying traffic conditions\n\n\
+         ### (a)+(b) average F1 and fine-tuning time vs xi\n\n{}",
+        ab.render()
+    );
+    if let Some(t) = detail_c {
+        out.push_str(&format!(
+            "\n### (c)+(d) per-part F1 (P1 vs FT) and fine-tune time at xi = 8\n\n{}",
+            t.render()
+        ));
+    }
+    out
+}
+
+/// Runs the drift protocol for one ξ: returns per-part `(P1 F1, FT F1,
+/// fine-tune seconds)`.
+pub fn run_drift(
+    setup: &DriftSetup,
+    base: &Rl4oasdConfig,
+    xi: usize,
+) -> (Vec<f64>, Vec<f64>, Vec<f64>) {
+    let part_of = |t: &traj::MappedTrajectory| part_of_time(t.start_time, xi);
+    let part_train: Vec<Dataset> = (0..xi)
+        .map(|k| setup.data.filter(|t| part_of(t) == k))
+        .collect();
+    let part_test: Vec<Dataset> = (0..xi)
+        .map(|k| setup.test.filter(|t| part_of(t) == k))
+        .collect();
+    let cfg = Rl4oasdConfig {
+        joint_trajs: base.joint_trajs.min(1000),
+        ..base.clone()
+    };
+    let (p1_model, _) = train_with_dev(&setup.net, &part_train[0], None, &cfg);
+    let mut learner = OnlineLearner::new(p1_model.clone());
+
+    let eval_on = |model: &rl4oasd::TrainedModel, data: &Dataset| -> f64 {
+        if data.is_empty() {
+            return 1.0; // empty part: vacuous
+        }
+        let mut det = Rl4oasdDetector::new(model, &setup.net);
+        let outputs: Vec<Vec<u8>> = data
+            .trajectories
+            .iter()
+            .map(|t| det.label_trajectory(t))
+            .collect();
+        let truths: Vec<Vec<u8>> = data
+            .trajectories
+            .iter()
+            .map(|t| data.truth(t.id).unwrap().to_vec())
+            .collect();
+        evaluate(&outputs, &truths).f1
+    };
+
+    let mut f1_p1 = Vec::with_capacity(xi);
+    let mut f1_ft = Vec::with_capacity(xi);
+    let mut times = Vec::with_capacity(xi);
+    for k in 0..xi {
+        if k > 0 {
+            let secs = learner.fine_tune(&setup.net, &part_train[k]);
+            times.push(secs);
+        } else {
+            times.push(0.0);
+        }
+        f1_p1.push(eval_on(&p1_model, &part_test[k]));
+        f1_ft.push(eval_on(&learner.model, &part_test[k]));
+    }
+    (f1_p1, f1_ft, times)
+}
+
+/// Fig. 7: concept-drift case study — a trajectory on the *old* normal
+/// route after the swap, labelled by P1 and FT.
+pub fn fig7(setup: &DriftSetup, base: &Rl4oasdConfig) -> String {
+    let xi = 2; // part 1 = before noon, part 2 = after
+    let (f1_p1, f1_ft, _) = run_drift(setup, base, xi);
+    format!(
+        "## Figure 7 — concept drift case study (route roles swap at noon)\n\n\
+         | model | Part 1 F1 | Part 2 F1 |\n|---|---|---|\n\
+         | RL4OASD-P1 | {} | {} |\n| RL4OASD-FT | {} | {} |\n\n\
+         P1 (trained before the swap) degrades on Part 2 because the old\n\
+         normal route has become anomalous and vice versa; FT recovers by\n\
+         fine-tuning on newly recorded trajectories.\n",
+        f3(f1_p1[0]),
+        f3(f1_p1[1]),
+        f3(f1_ft[0]),
+        f3(f1_ft[1]),
+    )
+}
+
+fn mean(v: &[f64]) -> f64 {
+    if v.is_empty() {
+        0.0
+    } else {
+        v.iter().sum::<f64>() / v.len() as f64
+    }
+}

@@ -1,0 +1,160 @@
+//! End-to-end pipeline: raw GPS corpus → map matching → training →
+//! detector, plus model persistence.
+//!
+//! The paper's system ingests *raw* GPS trajectories; everything in
+//! [`crate::train()`] operates on map-matched ones. This module packages the
+//! full ingestion path (the left half of the paper's Fig. 2) so a
+//! downstream user can go from a GPS corpus to a working detector in one
+//! call, and persist/restore trained models.
+
+use crate::config::Rl4oasdConfig;
+use crate::train::{train_with_dev, TrainStats, TrainedModel};
+use mapmatch::{MapMatcher, MatchConfig};
+use rnet::RoadNetwork;
+use traj::{Dataset, RawTrajectory};
+
+/// Outcome of a pipeline run.
+pub struct PipelineResult {
+    /// The trained model.
+    pub model: TrainedModel,
+    /// Training diagnostics.
+    pub stats: TrainStats,
+    /// The map-matched training corpus (for inspection / reuse).
+    pub matched: Dataset,
+    /// Raw trajectories that failed map matching (indices into the input).
+    pub unmatched: Vec<usize>,
+}
+
+/// Runs the full pipeline: map-match `raw` onto `net`, assemble a dataset,
+/// and train RL4OASD. Trajectories that fail to match (too short, off-map)
+/// are skipped and reported.
+pub fn train_from_gps(
+    net: &RoadNetwork,
+    raw: &[RawTrajectory],
+    match_config: MatchConfig,
+    config: &Rl4oasdConfig,
+) -> PipelineResult {
+    let matcher = MapMatcher::new(net, match_config);
+    let mut matched = Dataset::default();
+    let mut unmatched = Vec::new();
+    for (i, r) in raw.iter().enumerate() {
+        match matcher.match_trajectory(r) {
+            Some(mut t) if t.len() >= 2 => {
+                t.id = traj::TrajectoryId(matched.trajectories.len() as u32);
+                matched.trajectories.push(t);
+                matched.ground_truth.push(None);
+            }
+            _ => unmatched.push(i),
+        }
+    }
+    matched.rebuild_index();
+    assert!(
+        !matched.is_empty(),
+        "no trajectory could be map-matched; check the network / GPS frames"
+    );
+    let (model, stats) = train_with_dev(net, &matched, None, config);
+    PipelineResult {
+        model,
+        stats,
+        matched,
+        unmatched,
+    }
+}
+
+/// Serialises a trained model to JSON (the only offline-available format;
+/// models are a few MB at default dimensions).
+pub fn save_model(model: &TrainedModel, path: &std::path::Path) -> std::io::Result<()> {
+    let json = serde_json::to_string(model)
+        .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))?;
+    std::fs::write(path, json)
+}
+
+/// Restores a model saved with [`save_model`].
+pub fn load_model(path: &std::path::Path) -> std::io::Result<TrainedModel> {
+    let json = std::fs::read_to_string(path)?;
+    serde_json::from_str(&json)
+        .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rnet::{CityBuilder, CityConfig};
+    use traj::{OnlineDetector, TrafficConfig, TrafficSimulator};
+
+    #[test]
+    fn gps_to_detector_roundtrip() {
+        let net = CityBuilder::new(CityConfig::tiny(21)).build();
+        let sim = TrafficSimulator::new(
+            &net,
+            TrafficConfig {
+                num_sd_pairs: 2,
+                trajs_per_pair: (25, 30),
+                generate_raw: true,
+                gps_noise_std: 4.0,
+                ..TrafficConfig::tiny(21)
+            },
+        );
+        let generated = sim.generate();
+        let result = train_from_gps(
+            &net,
+            &generated.raw,
+            MatchConfig::default(),
+            &Rl4oasdConfig::tiny(21),
+        );
+        assert!(result.matched.len() + result.unmatched.len() == generated.raw.len());
+        assert!(
+            result.matched.len() as f64 / generated.raw.len() as f64 > 0.9,
+            "most GPS trajectories must match"
+        );
+        // the detector built on GPS-derived data must run
+        let mut det = crate::detector::Rl4oasdDetector::new(&result.model, &net);
+        let labels = det.label_trajectory(&result.matched.trajectories[0]);
+        assert_eq!(labels.len(), result.matched.trajectories[0].len());
+    }
+
+    #[test]
+    fn save_load_roundtrip() {
+        let net = CityBuilder::new(CityConfig::tiny(22)).build();
+        let sim = TrafficSimulator::new(
+            &net,
+            TrafficConfig {
+                num_sd_pairs: 2,
+                trajs_per_pair: (20, 25),
+                ..TrafficConfig::tiny(22)
+            },
+        );
+        let ds = Dataset::from_generated(&sim.generate());
+        let model = crate::train::train(&net, &ds, &Rl4oasdConfig::tiny(22));
+        let dir = std::env::temp_dir().join("rl4oasd_test_model.json");
+        save_model(&model, &dir).unwrap();
+        let restored = load_model(&dir).unwrap();
+        let _ = std::fs::remove_file(&dir);
+        let mut d1 = crate::detector::Rl4oasdDetector::new(&model, &net);
+        let mut d2 = crate::detector::Rl4oasdDetector::new(&restored, &net);
+        for t in ds.trajectories.iter().take(5) {
+            assert_eq!(d1.label_trajectory(t), d2.label_trajectory(t));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "no trajectory could be map-matched")]
+    fn empty_or_unmatched_input_panics() {
+        let net = CityBuilder::new(CityConfig::tiny(23)).build();
+        // Points far outside the city: nothing matches.
+        let raw = vec![RawTrajectory {
+            id: traj::TrajectoryId(0),
+            points: vec![
+                traj::GpsPoint {
+                    pos: rnet::Point::new(1e8, 1e8),
+                    t: 0.0,
+                },
+                traj::GpsPoint {
+                    pos: rnet::Point::new(1e8 + 30.0, 1e8),
+                    t: 3.0,
+                },
+            ],
+        }];
+        train_from_gps(&net, &raw, MatchConfig::default(), &Rl4oasdConfig::tiny(23));
+    }
+}

@@ -1,0 +1,346 @@
+//! RSRNet: Road Segment Representation Network (paper §IV-C).
+//!
+//! Architecture (paper Fig. 2): a trainable road-segment embedding layer
+//! (initialised from Toast vectors) feeds an LSTM; the hidden state `h_i`
+//! is concatenated with the embedded normal-route feature `x^n_i` to form
+//! the representation `z_i = [h_i ; x^n_i]`; a softmax head predicts the
+//! segment's label. Training minimises the mean cross-entropy (Eq. 1)
+//! against noisy labels (warm-start) or ASDNet-refined labels (joint
+//! training). The NRF embedding deliberately bypasses the LSTM ("we do not
+//! let x^n go through the LSTM since it preserves the normal route feature
+//! at each road segment").
+
+use crate::config::Rl4oasdConfig;
+use nn::ops;
+use nn::{Embedding, Linear, LstmCell, LstmCtx, LstmState};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use rnet::SegmentId;
+use serde::{Deserialize, Serialize};
+
+/// The representation network.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RsrNet {
+    /// Traffic-context (road segment) embedding, `vocab × embed_dim`.
+    pub embed: Embedding,
+    /// Normal-route-feature embedding, `2 × nrf_dim`.
+    pub nrf_embed: Embedding,
+    /// Sequence encoder.
+    pub lstm: LstmCell,
+    /// Classification head over `z = [h ; nrf]`, output dim 2.
+    pub head: Linear,
+}
+
+/// Cached forward pass of a whole trajectory (training path).
+pub struct RsrForward {
+    /// Representations `z_i = [h_i ; x^n_i]`.
+    pub zs: Vec<Vec<f32>>,
+    /// Softmax label probabilities per position.
+    pub probs: Vec<[f32; 2]>,
+    lstm_ctxs: Vec<LstmCtx>,
+    head_ctxs: Vec<nn::LinearCtx>,
+    segs: Vec<SegmentId>,
+    nrf: Vec<u8>,
+}
+
+/// Streaming state for online inference (one LSTM step per observed
+/// segment; no gradient bookkeeping).
+#[derive(Debug, Clone)]
+pub struct RsrStream {
+    state: LstmState,
+}
+
+impl RsrNet {
+    /// Builds the network. `toast_init` (if given) must be a
+    /// `vocab × embed_dim` matrix.
+    pub fn new(config: &Rl4oasdConfig, vocab: usize, toast_init: Option<Vec<f32>>) -> Self {
+        let mut rng = StdRng::seed_from_u64(config.seed ^ 0x5A5A);
+        let embed = match toast_init {
+            Some(v) => Embedding::from_pretrained(vocab, config.embed_dim, v),
+            None => Embedding::new(vocab, config.embed_dim, &mut rng),
+        };
+        RsrNet {
+            embed,
+            nrf_embed: Embedding::new(2, config.nrf_dim, &mut rng),
+            lstm: LstmCell::new(config.embed_dim, config.hidden_dim, &mut rng),
+            head: Linear::new(config.hidden_dim + config.nrf_dim, 2, &mut rng),
+        }
+    }
+
+    /// Dimension of `z` (LSTM hidden + NRF embedding).
+    pub fn z_dim(&self) -> usize {
+        self.lstm.hidden_dim() + self.nrf_embed.dim()
+    }
+
+    /// Full-sequence forward pass keeping gradient contexts.
+    ///
+    /// # Panics
+    /// Panics if `segs.len() != nrf.len()` or the input is empty.
+    pub fn forward(&self, segs: &[SegmentId], nrf: &[u8]) -> RsrForward {
+        assert_eq!(segs.len(), nrf.len(), "segment/NRF length mismatch");
+        assert!(!segs.is_empty(), "empty trajectory");
+        let n = segs.len();
+        let mut zs = Vec::with_capacity(n);
+        let mut probs = Vec::with_capacity(n);
+        let mut lstm_ctxs = Vec::with_capacity(n);
+        let mut head_ctxs = Vec::with_capacity(n);
+        let mut state = LstmState::zeros(self.lstm.hidden_dim());
+        for i in 0..n {
+            let x = self.embed.lookup(segs[i].idx());
+            let (next, ctx) = self.lstm.forward(x, &state);
+            state = next;
+            let z = ops::concat(&state.h, self.nrf_embed.lookup(nrf[i] as usize));
+            let (logits, hctx) = self.head.forward(&z);
+            let mut p = [logits[0], logits[1]];
+            softmax2(&mut p);
+            zs.push(z);
+            probs.push(p);
+            lstm_ctxs.push(ctx);
+            head_ctxs.push(hctx);
+        }
+        RsrForward {
+            zs,
+            probs,
+            lstm_ctxs,
+            head_ctxs,
+            segs: segs.to_vec(),
+            nrf: nrf.to_vec(),
+        }
+    }
+
+    /// Mean cross-entropy loss (Eq. 1) of a forward pass against labels.
+    pub fn loss_of(&self, fwd: &RsrForward, labels: &[u8]) -> f32 {
+        debug_assert_eq!(fwd.probs.len(), labels.len());
+        let n = labels.len() as f32;
+        fwd.probs
+            .iter()
+            .zip(labels)
+            .map(|(p, &y)| -p[y as usize].max(1e-12).ln())
+            .sum::<f32>()
+            / n
+    }
+
+    /// Convenience: loss without keeping the forward pass.
+    pub fn loss(&self, segs: &[SegmentId], nrf: &[u8], labels: &[u8]) -> f32 {
+        let fwd = self.forward(segs, nrf);
+        self.loss_of(&fwd, labels)
+    }
+
+    /// One supervised training step (forward, BPTT, Adam). Returns the
+    /// pre-step loss.
+    pub fn train_step(&mut self, segs: &[SegmentId], nrf: &[u8], labels: &[u8], lr: f32) -> f32 {
+        let fwd = self.forward(segs, nrf);
+        let loss = self.loss_of(&fwd, labels);
+        self.zero_grad();
+        self.backward(&fwd, labels);
+        self.clip_and_step(lr);
+        loss
+    }
+
+    /// Accumulates gradients of the mean-CE loss for a cached forward pass.
+    pub fn backward(&mut self, fwd: &RsrForward, labels: &[u8]) {
+        let n = fwd.probs.len();
+        let hidden = self.lstm.hidden_dim();
+        let scale = 1.0 / n as f32;
+        // Head + NRF gradients per position; collect dh for BPTT.
+        let mut dh_from_head: Vec<Vec<f32>> = Vec::with_capacity(n);
+        for (i, &label) in labels.iter().enumerate().take(n) {
+            let p = &fwd.probs[i];
+            let y = label as usize;
+            let mut dlogits = [p[0] * scale, p[1] * scale];
+            dlogits[y] -= scale;
+            let dz = self.head.backward(&fwd.head_ctxs[i], &dlogits);
+            self.nrf_embed.backward(fwd.nrf[i] as usize, &dz[hidden..]);
+            dh_from_head.push(dz[..hidden].to_vec());
+        }
+        // BPTT through the LSTM and into the segment embeddings.
+        let mut dh = vec![0.0f32; hidden];
+        let mut dc = vec![0.0f32; hidden];
+        for i in (0..n).rev() {
+            for (a, b) in dh.iter_mut().zip(&dh_from_head[i]) {
+                *a += b;
+            }
+            let (dx, dh_prev, dc_prev) = self.lstm.backward(&fwd.lstm_ctxs[i], &dh, &dc);
+            self.embed.backward(fwd.segs[i].idx(), &dx);
+            dh = dh_prev;
+            dc = dc_prev;
+        }
+    }
+
+    /// Clips the global gradient norm (5.0) and applies one Adam step.
+    pub fn clip_and_step(&mut self, lr: f32) {
+        let mut params = self.params_mut();
+        nn::param::clip_global_norm(&mut params, 5.0);
+        for p in params {
+            p.adam_step(lr);
+        }
+    }
+
+    /// Clears all gradients.
+    pub fn zero_grad(&mut self) {
+        for p in self.params_mut() {
+            p.zero_grad();
+        }
+    }
+
+    /// All learnable parameters.
+    pub fn params_mut(&mut self) -> Vec<&mut nn::Param> {
+        let mut v = Vec::new();
+        v.extend(self.embed.params_mut());
+        v.extend(self.nrf_embed.params_mut());
+        v.extend(self.lstm.params_mut());
+        v.extend(self.head.params_mut());
+        v
+    }
+
+    /// Opens a streaming pass (online detection).
+    pub fn stream(&self) -> RsrStream {
+        RsrStream {
+            state: LstmState::zeros(self.lstm.hidden_dim()),
+        }
+    }
+
+    /// One streaming step: consumes a segment and its NRF, returns `z_i`.
+    pub fn stream_step(&self, stream: &mut RsrStream, seg: SegmentId, nrf: u8) -> Vec<f32> {
+        let x = self.embed.lookup(seg.idx());
+        let (next, _ctx) = self.lstm.forward(x, &stream.state);
+        stream.state = next;
+        ops::concat(&stream.state.h, self.nrf_embed.lookup(nrf as usize))
+    }
+
+    /// Label probabilities for a representation `z` (used by the
+    /// "w/o ASDNet" ablation, which classifies directly from RSRNet).
+    pub fn classify(&self, z: &[f32]) -> [f32; 2] {
+        let mut logits = vec![0.0; 2];
+        self.head.infer(z, &mut logits);
+        let mut p = [logits[0], logits[1]];
+        softmax2(&mut p);
+        p
+    }
+}
+
+#[inline]
+fn softmax2(p: &mut [f32; 2]) {
+    let m = p[0].max(p[1]);
+    let e0 = (p[0] - m).exp();
+    let e1 = (p[1] - m).exp();
+    let s = e0 + e1;
+    p[0] = e0 / s;
+    p[1] = e1 / s;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_net(seed: u64) -> RsrNet {
+        let cfg = Rl4oasdConfig {
+            embed_dim: 10,
+            hidden_dim: 8,
+            nrf_dim: 4,
+            ..Rl4oasdConfig::tiny(seed)
+        };
+        RsrNet::new(&cfg, 20, None)
+    }
+
+    fn toy_batch() -> (Vec<SegmentId>, Vec<u8>, Vec<u8>) {
+        let segs: Vec<SegmentId> = [0u32, 3, 7, 7, 2, 9].iter().map(|&i| SegmentId(i)).collect();
+        let nrf = vec![0, 0, 1, 1, 1, 0];
+        let labels = vec![0, 0, 1, 1, 1, 0];
+        (segs, nrf, labels)
+    }
+
+    #[test]
+    fn forward_shapes() {
+        let net = tiny_net(1);
+        let (segs, nrf, _) = toy_batch();
+        let fwd = net.forward(&segs, &nrf);
+        assert_eq!(fwd.zs.len(), 6);
+        assert_eq!(fwd.zs[0].len(), net.z_dim());
+        for p in &fwd.probs {
+            assert!((p[0] + p[1] - 1.0).abs() < 1e-5);
+            assert!(p[0] > 0.0 && p[1] > 0.0);
+        }
+    }
+
+    #[test]
+    fn training_reduces_loss() {
+        let mut net = tiny_net(2);
+        let (segs, nrf, labels) = toy_batch();
+        let first = net.loss(&segs, &nrf, &labels);
+        let mut last = first;
+        for _ in 0..60 {
+            last = net.train_step(&segs, &nrf, &labels, 0.01);
+        }
+        let final_loss = net.loss(&segs, &nrf, &labels);
+        assert!(
+            final_loss < first * 0.5,
+            "loss did not decrease: {first} -> {final_loss} (last step {last})"
+        );
+    }
+
+    #[test]
+    fn gradcheck_full_model() {
+        // Finite-difference check through embedding, LSTM, NRF and head.
+        let mut net = tiny_net(3);
+        let (segs, nrf, labels) = toy_batch();
+        net.zero_grad();
+        let fwd = net.forward(&segs, &nrf);
+        net.backward(&fwd, &labels);
+        let segs2 = segs.clone();
+        let nrf2 = nrf.clone();
+        let labels2 = labels.clone();
+        nn::gradcheck::check_model_gradients(
+            &mut net,
+            &move |m: &RsrNet| m.loss(&segs2, &nrf2, &labels2),
+            &|m: &mut RsrNet| m.params_mut(),
+            2e-2,
+            5e-2,
+        );
+    }
+
+    #[test]
+    fn stream_matches_batch_forward() {
+        let net = tiny_net(4);
+        let (segs, nrf, _) = toy_batch();
+        let fwd = net.forward(&segs, &nrf);
+        let mut stream = net.stream();
+        for i in 0..segs.len() {
+            let z = net.stream_step(&mut stream, segs[i], nrf[i]);
+            for (a, b) in z.iter().zip(&fwd.zs[i]) {
+                assert!((a - b).abs() < 1e-6);
+            }
+        }
+    }
+
+    #[test]
+    fn classify_matches_forward_probs() {
+        let net = tiny_net(5);
+        let (segs, nrf, _) = toy_batch();
+        let fwd = net.forward(&segs, &nrf);
+        for i in 0..segs.len() {
+            let p = net.classify(&fwd.zs[i]);
+            assert!((p[0] - fwd.probs[i][0]).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn mismatched_inputs_panic() {
+        let net = tiny_net(6);
+        net.forward(&[SegmentId(0)], &[0, 1]);
+    }
+
+    #[test]
+    fn toast_init_is_used() {
+        let cfg = Rl4oasdConfig {
+            embed_dim: 10,
+            hidden_dim: 8,
+            nrf_dim: 4,
+            ..Rl4oasdConfig::tiny(7)
+        };
+        let init: Vec<f32> = (0..20 * 10).map(|i| i as f32 / 100.0).collect();
+        let net = RsrNet::new(&cfg, 20, Some(init.clone()));
+        assert_eq!(net.embed.lookup(3), &init[30..40]);
+    }
+}

@@ -1,0 +1,518 @@
+//! Joint training of RSRNet and ASDNet (paper §IV-D) and online learning
+//! for concept drift (§IV-E, §V-G).
+//!
+//! Protocol (paper "Joint Training of RSRNet and ASDNet"):
+//!
+//! 1. map-match + noisy labels (done upstream / [`Preprocessor`]);
+//! 2. **warm start**: 200 random trajectories pre-train RSRNet supervised
+//!    on the noisy labels, and pre-train ASDNet with its actions *forced to*
+//!    the noisy labels (a REINFORCE step towards the heuristic behaviour);
+//! 3. **joint loop**: sample 10,000 trajectories × 5 epochs; per
+//!    trajectory, the policy refines labels (sampled actions), the episode
+//!    reward `R_n = mean(local) + global` (Eq. 5) updates the policy
+//!    (Eq. 4), and RSRNet trains on the refined labels, improving the
+//!    representations the policy sees next.
+
+use crate::asdnet::{AsdNet, Step};
+use crate::config::Rl4oasdConfig;
+use crate::preprocess::Preprocessor;
+use crate::rsrnet::RsrNet;
+use crate::toast::{self, ToastConfig};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+use rnet::RoadNetwork;
+use serde::{Deserialize, Serialize};
+use traj::{Dataset, MappedTrajectory};
+
+/// A trained RL4OASD model: preprocessor statistics plus the two networks.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TrainedModel {
+    /// The configuration the model was trained with.
+    pub config: Rl4oasdConfig,
+    /// Fitted group statistics (α-labels, δ-routes).
+    pub preprocessor: Preprocessor,
+    /// Representation network.
+    pub rsrnet: RsrNet,
+    /// Policy network.
+    pub asdnet: AsdNet,
+}
+
+/// Diagnostics of a training run.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct TrainStats {
+    /// Mean RSRNet loss per joint epoch.
+    pub epoch_losses: Vec<f32>,
+    /// Mean episode reward per joint epoch.
+    pub epoch_rewards: Vec<f32>,
+    /// Wall-clock seconds spent in training (excl. preprocessing).
+    pub train_seconds: f64,
+}
+
+/// Trains RL4OASD on a road network and an (unlabelled) trajectory corpus.
+pub fn train(net: &RoadNetwork, data: &Dataset, config: &Rl4oasdConfig) -> TrainedModel {
+    train_with_dev(net, data, None, config).0
+}
+
+/// [`train`] returning per-epoch diagnostics (used by Table V / Fig. 6).
+pub fn train_with_stats(
+    net: &RoadNetwork,
+    data: &Dataset,
+    config: &Rl4oasdConfig,
+) -> (TrainedModel, TrainStats) {
+    train_with_dev(net, data, None, config)
+}
+
+/// Full training entry point with an optional labelled dev set.
+///
+/// The paper keeps a small manually labelled development set (100
+/// trajectories, §V-A) and "the best model is chosen during the process";
+/// when `dev` is provided, the model is evaluated every
+/// `config.dev_eval_every` joint episodes and the best-F1 snapshot is
+/// returned.
+pub fn train_with_dev(
+    net: &RoadNetwork,
+    data: &Dataset,
+    dev: Option<&Dataset>,
+    config: &Rl4oasdConfig,
+) -> (TrainedModel, TrainStats) {
+    config.validate();
+    assert!(!data.is_empty(), "cannot train on an empty dataset");
+    let started = std::time::Instant::now();
+    let mut rng = StdRng::seed_from_u64(config.seed);
+
+    // Preprocessing statistics (noisy labels + NRF).
+    let preprocessor = Preprocessor::fit(config, data);
+
+    // Toast-style embedding pre-training.
+    let toast_init = if config.use_toast_init {
+        Some(toast::train_embeddings(
+            net,
+            data,
+            &ToastConfig {
+                embed_dim: config.embed_dim,
+                epochs: config.toast_epochs,
+                seed: config.seed ^ 0x70,
+                ..Default::default()
+            },
+        ))
+    } else {
+        None
+    };
+
+    let mut rsrnet = RsrNet::new(config, net.num_segments(), toast_init);
+    let mut asdnet = AsdNet::new(config, rsrnet.z_dim());
+    let mut model_ctx = ModelCtx {
+        config,
+        preprocessor: &preprocessor,
+        rng: &mut rng,
+    };
+
+    // ---- warm start -----------------------------------------------------
+    // Phase 1: RSRNet supervised on the noisy labels (several passes so the
+    // representations actually encode the heuristic before the policy sees
+    // them).
+    let pretrain_ids = model_ctx.sample_ids(data, config.pretrain_trajs);
+    let warm_labels: Vec<(usize, Vec<u8>)> = pretrain_ids
+        .iter()
+        .filter(|&&id| data.trajectories[id].len() >= 2)
+        .map(|&id| (id, model_ctx.warmstart_labels(&data.trajectories[id])))
+        .collect();
+    for _ in 0..config.pretrain_epochs {
+        for (id, labels) in &warm_labels {
+            let traj = &data.trajectories[*id];
+            let feats = preprocessor.features(traj);
+            rsrnet.train_step(&traj.segments, &feats.nrf, labels, config.lr_rsrnet);
+        }
+    }
+    // Phase 2: ASDNet warm start with actions forced to the noisy labels
+    // (behaviour cloning; see AsdNet::clone_step). A higher warm-start rate
+    // is used — the joint loop then continues at the paper's lr. Skipped
+    // entirely for the "w/o ASDNet" ablation, which replaces the policy
+    // with an ordinary classifier trained on the noisy labels.
+    for _ in 0..if config.use_asdnet { config.pretrain_epochs } else { 0 } {
+        for (id, labels) in &warm_labels {
+            let traj = &data.trajectories[*id];
+            let feats = preprocessor.features(traj);
+            let fwd = rsrnet.forward(&traj.segments, &feats.nrf);
+            let steps = forced_steps(&asdnet, &fwd.zs, labels);
+            asdnet.clone_step(&steps, config.lr_rsrnet);
+        }
+    }
+
+    // ---- joint training --------------------------------------------------
+    let mut stats = TrainStats::default();
+    let joint_ids = model_ctx.sample_ids(data, config.joint_trajs);
+    let joint_lr = config.lr_rsrnet * config.joint_lr_scale;
+    let mut best: Option<(f64, RsrNet, AsdNet)> = None;
+    let mut episode = 0usize;
+    for _epoch in 0..config.joint_epochs {
+        let mut loss_sum = 0.0f32;
+        let mut reward_sum = 0.0f32;
+        let mut count = 0usize;
+        for &id in &joint_ids {
+            let traj = &data.trajectories[id];
+            if traj.len() < 2 {
+                continue;
+            }
+            let feats = preprocessor.features(traj);
+            if !config.use_asdnet {
+                // "w/o ASDNet": keep training the classifier on the noisy
+                // labels; no refinement loop exists without the policy.
+                let loss = rsrnet.train_step(
+                    &traj.segments,
+                    &feats.nrf,
+                    &feats.noisy_labels,
+                    joint_lr,
+                );
+                loss_sum += loss;
+                count += 1;
+                continue;
+            }
+            let fwd = rsrnet.forward(&traj.segments, &feats.nrf);
+            // Policy rollout: sample refined labels (endpoints pinned 0 per
+            // Algorithm 1 lines 2–3).
+            let n = traj.len();
+            let mut refined = vec![0u8; n];
+            let mut steps = Vec::with_capacity(n.saturating_sub(2));
+            let mut prev = 0u8;
+            #[allow(clippy::needless_range_loop)]
+            for i in 1..n - 1 {
+                let state = asdnet.state(&fwd.zs[i], prev);
+                let action = asdnet.sample(&state, model_ctx.rng);
+                steps.push(Step {
+                    state,
+                    prev_label: prev,
+                    action,
+                });
+                refined[i] = action;
+                prev = action;
+            }
+            let reward =
+                episode_reward(config, &rsrnet, &fwd.zs, &traj.segments, &feats.nrf, &refined);
+            asdnet.reinforce(&steps, reward, config.lr_asdnet);
+            // Continued policy anchor (behaviour cloning towards the noisy
+            // labels) — keeps the policy from random-walking under
+            // REINFORCE variance.
+            if config.use_noisy_labels && config.policy_anchor_weight > 0.0 {
+                let anchor_steps = forced_steps(&asdnet, &fwd.zs, &feats.noisy_labels);
+                asdnet.clone_step(
+                    &anchor_steps,
+                    config.lr_asdnet * config.policy_anchor_weight,
+                );
+            }
+            // RSRNet trains on the refined labels at a reduced joint-phase
+            // rate, with a small noisy-label anchor, so the representation
+            // geometry the policy depends on moves slowly (see
+            // Rl4oasdConfig::{joint_lr_scale, noisy_anchor_weight}).
+            let loss = rsrnet.train_step(&traj.segments, &feats.nrf, &refined, joint_lr);
+            if config.use_noisy_labels && config.noisy_anchor_weight > 0.0 {
+                rsrnet.train_step(
+                    &traj.segments,
+                    &feats.nrf,
+                    &feats.noisy_labels,
+                    joint_lr * config.noisy_anchor_weight,
+                );
+            }
+            loss_sum += loss;
+            reward_sum += reward;
+            count += 1;
+            episode += 1;
+            if let Some(dev) = dev {
+                if episode.is_multiple_of(config.dev_eval_every.max(1)) {
+                    let f1 = dev_f1(config, &preprocessor, &rsrnet, &asdnet, net, dev);
+                    if best.as_ref().map(|(b, _, _)| f1 > *b).unwrap_or(true) {
+                        best = Some((f1, rsrnet.clone(), asdnet.clone()));
+                    }
+                }
+            }
+        }
+        stats
+            .epoch_losses
+            .push(loss_sum / count.max(1) as f32);
+        stats
+            .epoch_rewards
+            .push(reward_sum / count.max(1) as f32);
+    }
+    // Final candidate also competes for best.
+    if let Some(dev) = dev {
+        let f1 = dev_f1(config, &preprocessor, &rsrnet, &asdnet, net, dev);
+        if best.as_ref().map(|(b, _, _)| f1 > *b).unwrap_or(true) {
+            best = Some((f1, rsrnet.clone(), asdnet.clone()));
+        }
+    }
+    if let Some((_, r, a)) = best {
+        rsrnet = r;
+        asdnet = a;
+    }
+    stats.train_seconds = started.elapsed().as_secs_f64();
+
+    (
+        TrainedModel {
+            config: config.clone(),
+            preprocessor,
+            rsrnet,
+            asdnet,
+        },
+        stats,
+    )
+}
+
+/// Dev-set F1 of the current model parts (paper's model-selection metric).
+fn dev_f1(
+    config: &Rl4oasdConfig,
+    preprocessor: &Preprocessor,
+    rsrnet: &RsrNet,
+    asdnet: &AsdNet,
+    net: &RoadNetwork,
+    dev: &Dataset,
+) -> f64 {
+    let mut detector =
+        crate::detector::Rl4oasdDetector::from_parts(config, preprocessor, rsrnet, asdnet, net);
+    let mut outputs = Vec::with_capacity(dev.len());
+    let mut truths = Vec::with_capacity(dev.len());
+    for t in &dev.trajectories {
+        if let Some(gt) = dev.truth(t.id) {
+            outputs.push(traj::OnlineDetector::label_trajectory(&mut detector, t));
+            truths.push(gt.to_vec());
+        }
+    }
+    eval::evaluate(&outputs, &truths).f1
+}
+
+/// The episode reward `R_n` (Eq. 5): mean local continuity reward over
+/// positions 2..n plus the global reward from RSRNet's loss on the refined
+/// labels. Ablations can disable either part.
+fn episode_reward(
+    config: &Rl4oasdConfig,
+    rsrnet: &RsrNet,
+    zs: &[Vec<f32>],
+    segs: &[rnet::SegmentId],
+    nrf: &[u8],
+    labels: &[u8],
+) -> f32 {
+    let n = labels.len();
+    let mut reward = 0.0f32;
+    if config.use_local_reward && n >= 2 {
+        let mut local = 0.0f32;
+        for i in 1..n {
+            local += AsdNet::local_reward(labels[i - 1], labels[i], &zs[i - 1], &zs[i]);
+        }
+        reward += local / (n - 1) as f32;
+    }
+    if config.use_global_reward {
+        let loss = rsrnet.loss(segs, nrf, labels);
+        reward += AsdNet::global_reward(loss);
+    }
+    reward
+}
+
+/// Builds forced-action steps for the ASDNet warm start.
+fn forced_steps(asdnet: &AsdNet, zs: &[Vec<f32>], labels: &[u8]) -> Vec<Step> {
+    let n = labels.len();
+    let mut steps = Vec::with_capacity(n.saturating_sub(2));
+    let mut prev = 0u8;
+    for i in 1..n.saturating_sub(1) {
+        steps.push(Step {
+            state: asdnet.state(&zs[i], prev),
+            prev_label: prev,
+            action: labels[i],
+        });
+        prev = labels[i];
+    }
+    steps
+}
+
+struct ModelCtx<'a> {
+    config: &'a Rl4oasdConfig,
+    preprocessor: &'a Preprocessor,
+    rng: &'a mut StdRng,
+}
+
+impl ModelCtx<'_> {
+    /// Samples `n` trajectory indices (with replacement once exhausted).
+    fn sample_ids(&mut self, data: &Dataset, n: usize) -> Vec<usize> {
+        let total = data.len();
+        if n >= total {
+            let mut ids: Vec<usize> = (0..total).collect();
+            ids.shuffle(self.rng);
+            ids
+        } else {
+            let mut ids: Vec<usize> = (0..total).collect();
+            ids.shuffle(self.rng);
+            ids.truncate(n);
+            ids
+        }
+    }
+
+    /// Warm-start labels: the preprocessor's noisy labels, or uniform
+    /// random labels for the "w/o noisy labels" ablation.
+    fn warmstart_labels(&mut self, traj: &MappedTrajectory) -> Vec<u8> {
+        if self.config.use_noisy_labels {
+            self.preprocessor.features(traj).noisy_labels
+        } else {
+            let n = traj.len();
+            (0..n)
+                .map(|i| {
+                    if i == 0 || i == n - 1 {
+                        0
+                    } else {
+                        self.rng.gen_range(0..2) as u8
+                    }
+                })
+                .collect()
+        }
+    }
+}
+
+/// Online learning for concept drift (paper §V-G): refreshes the
+/// preprocessor's fraction statistics with newly recorded trajectories and
+/// fine-tunes both networks on them.
+pub struct OnlineLearner {
+    /// The model being kept up to date.
+    pub model: TrainedModel,
+}
+
+impl OnlineLearner {
+    /// Wraps a trained model for continued learning.
+    pub fn new(model: TrainedModel) -> Self {
+        OnlineLearner { model }
+    }
+
+    /// Fine-tunes on newly recorded data, refreshing the preprocessing
+    /// statistics first. Returns the wall-clock seconds spent.
+    ///
+    /// Concept drift changes which routes are *normal*, so the refreshed
+    /// noisy labels and normal-route features may contradict what the
+    /// networks learned. Fine-tuning therefore repeats the training recipe
+    /// in miniature on the new data: supervised adaptation of RSRNet and
+    /// the policy towards the new noisy labels, followed by the joint
+    /// refinement pass.
+    pub fn fine_tune(&mut self, net: &RoadNetwork, new_data: &Dataset) -> f64 {
+        let _ = net;
+        let started = std::time::Instant::now();
+        let config = self.model.config.clone();
+        self.model.preprocessor.refresh(&config, new_data);
+        let mut rng = StdRng::seed_from_u64(config.seed ^ 0xF17E);
+        // Phase 1: adapt to the new regime's noisy labels.
+        for _ in 0..config.pretrain_epochs.min(2) {
+            for traj in &new_data.trajectories {
+                if traj.len() < 2 {
+                    continue;
+                }
+                let feats = self.model.preprocessor.features(traj);
+                self.model.rsrnet.train_step(
+                    &traj.segments,
+                    &feats.nrf,
+                    &feats.noisy_labels,
+                    config.lr_rsrnet,
+                );
+                let fwd = self.model.rsrnet.forward(&traj.segments, &feats.nrf);
+                let steps = forced_steps(&self.model.asdnet, &fwd.zs, &feats.noisy_labels);
+                self.model.asdnet.clone_step(&steps, config.lr_rsrnet);
+            }
+        }
+        // Phase 2: one joint refinement pass (as in training).
+        let joint_lr = config.lr_rsrnet * config.joint_lr_scale;
+        for traj in &new_data.trajectories {
+            if traj.len() < 2 {
+                continue;
+            }
+            let feats = self.model.preprocessor.features(traj);
+            let fwd = self.model.rsrnet.forward(&traj.segments, &feats.nrf);
+            let n = traj.len();
+            let mut refined = vec![0u8; n];
+            let mut steps = Vec::with_capacity(n.saturating_sub(2));
+            let mut prev = 0u8;
+            #[allow(clippy::needless_range_loop)]
+            for i in 1..n - 1 {
+                let state = self.model.asdnet.state(&fwd.zs[i], prev);
+                let action = self.model.asdnet.sample(&state, &mut rng);
+                steps.push(Step {
+                    state,
+                    prev_label: prev,
+                    action,
+                });
+                refined[i] = action;
+                prev = action;
+            }
+            let reward = episode_reward(
+                &config,
+                &self.model.rsrnet,
+                &fwd.zs,
+                &traj.segments,
+                &feats.nrf,
+                &refined,
+            );
+            self.model.asdnet.reinforce(&steps, reward, config.lr_asdnet);
+            if config.use_noisy_labels && config.policy_anchor_weight > 0.0 {
+                let anchor = forced_steps(&self.model.asdnet, &fwd.zs, &feats.noisy_labels);
+                self.model
+                    .asdnet
+                    .clone_step(&anchor, config.lr_asdnet * config.policy_anchor_weight);
+            }
+            self.model
+                .rsrnet
+                .train_step(&traj.segments, &feats.nrf, &refined, joint_lr);
+        }
+        started.elapsed().as_secs_f64()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rnet::{CityBuilder, CityConfig};
+    use traj::{TrafficConfig, TrafficSimulator};
+
+    fn setup(seed: u64) -> (RoadNetwork, Dataset) {
+        let net = CityBuilder::new(CityConfig::tiny(seed)).build();
+        let cfg = TrafficConfig {
+            num_sd_pairs: 3,
+            trajs_per_pair: (40, 60),
+            anomaly_ratio: 0.12,
+            ..TrafficConfig::tiny(seed)
+        };
+        let data = TrafficSimulator::new(&net, cfg).generate();
+        (net, Dataset::from_generated(&data))
+    }
+
+    #[test]
+    fn training_completes_and_is_finite() {
+        let (net, ds) = setup(1);
+        let cfg = Rl4oasdConfig::tiny(1);
+        let (model, stats) = train_with_stats(&net, &ds, &cfg);
+        assert_eq!(stats.epoch_losses.len(), cfg.joint_epochs);
+        assert!(stats.epoch_losses.iter().all(|l| l.is_finite()));
+        assert!(stats.epoch_rewards.iter().all(|r| r.is_finite()));
+        assert!(model.preprocessor.num_pairs() > 0);
+        assert!(stats.train_seconds > 0.0);
+    }
+
+    #[test]
+    fn rewards_do_not_collapse() {
+        // Episode rewards should stay in a sane range (local ∈ [-1, 1],
+        // global ∈ (0, 1]) — a sign bug would push them outside.
+        let (net, ds) = setup(2);
+        let (_, stats) = train_with_stats(&net, &ds, &Rl4oasdConfig::tiny(2));
+        for &r in &stats.epoch_rewards {
+            assert!((-2.0..=2.0).contains(&r), "reward {r} out of range");
+        }
+    }
+
+    #[test]
+    fn fine_tune_runs() {
+        let (net, ds) = setup(3);
+        let model = train(&net, &ds, &Rl4oasdConfig::tiny(3));
+        let mut learner = OnlineLearner::new(model);
+        let secs = learner.fine_tune(&net, &ds);
+        assert!(secs >= 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty dataset")]
+    fn empty_dataset_rejected() {
+        let (net, _) = setup(4);
+        train(&net, &Dataset::default(), &Rl4oasdConfig::tiny(4));
+    }
+}

@@ -1,0 +1,85 @@
+//! Trajectory-length groups (paper §V-B / Table III).
+//!
+//! The paper partitions test trajectories into four groups by length:
+//! `G1 < 15`, `15 ≤ G2 < 30`, `30 ≤ G3 < 45`, `G4 ≥ 45` road segments.
+
+use serde::{Deserialize, Serialize};
+
+/// Group boundaries `[15, 30, 45]` in road segments.
+pub const GROUP_BOUNDS: [usize; 3] = [15, 30, 45];
+
+/// A trajectory-length group.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum LengthGroup {
+    /// Fewer than 15 segments.
+    G1,
+    /// 15–29 segments.
+    G2,
+    /// 30–44 segments.
+    G3,
+    /// 45 or more segments.
+    G4,
+}
+
+impl LengthGroup {
+    /// All groups in order.
+    pub const ALL: [LengthGroup; 4] = [
+        LengthGroup::G1,
+        LengthGroup::G2,
+        LengthGroup::G3,
+        LengthGroup::G4,
+    ];
+
+    /// Display name as used in the paper's tables.
+    pub fn name(self) -> &'static str {
+        match self {
+            LengthGroup::G1 => "G1",
+            LengthGroup::G2 => "G2",
+            LengthGroup::G3 => "G3",
+            LengthGroup::G4 => "G4",
+        }
+    }
+}
+
+impl std::fmt::Display for LengthGroup {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Group of a trajectory with `len` segments.
+pub fn group_of_len(len: usize) -> LengthGroup {
+    if len < GROUP_BOUNDS[0] {
+        LengthGroup::G1
+    } else if len < GROUP_BOUNDS[1] {
+        LengthGroup::G2
+    } else if len < GROUP_BOUNDS[2] {
+        LengthGroup::G3
+    } else {
+        LengthGroup::G4
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn boundaries() {
+        assert_eq!(group_of_len(0), LengthGroup::G1);
+        assert_eq!(group_of_len(14), LengthGroup::G1);
+        assert_eq!(group_of_len(15), LengthGroup::G2);
+        assert_eq!(group_of_len(29), LengthGroup::G2);
+        assert_eq!(group_of_len(30), LengthGroup::G3);
+        assert_eq!(group_of_len(44), LengthGroup::G3);
+        assert_eq!(group_of_len(45), LengthGroup::G4);
+        assert_eq!(group_of_len(1000), LengthGroup::G4);
+    }
+
+    #[test]
+    fn names() {
+        assert_eq!(LengthGroup::G1.name(), "G1");
+        assert_eq!(format!("{}", LengthGroup::G4), "G4");
+        assert_eq!(LengthGroup::ALL.len(), 4);
+    }
+}

@@ -1,0 +1,35 @@
+//! Evaluation harness for anomalous-subtrajectory detection.
+//!
+//! Implements the paper's metrics (§V-A, Eq. 6–7): detection output and
+//! ground truth are per-segment 0/1 label sequences; *anomalous
+//! subtrajectories* are maximal runs of 1s, treated like entities in NER
+//! evaluation. Each ground-truth subtrajectory is matched (1:1, greedily by
+//! overlap) to an output subtrajectory; the Jaccard similarity of the
+//! matched pair contributes to an aggregate score `J`, from which
+//!
+//! ```text
+//! P = J / |C_o|,   R = J / |C_g|,   F1 = 2PR / (P + R)
+//! ```
+//!
+//! with `|C_o|` / `|C_g|` the total numbers of output / ground-truth
+//! subtrajectories over the corpus. `TF1` re-defines the per-pair Jaccard
+//! as 1 if it exceeds a threshold `φ` (paper: 0.5) and 0 otherwise.
+//!
+//! Also provides the paper's trajectory-length groups (G1–G4), the
+//! dev-set threshold tuner used to adapt score-based baselines to the
+//! subtrajectory task, and plain-text table rendering for the benchmark
+//! binaries.
+
+#![deny(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod groups;
+pub mod metrics;
+pub mod report;
+pub mod segment_metrics;
+pub mod tuning;
+
+pub use groups::{group_of_len, LengthGroup, GROUP_BOUNDS};
+pub use metrics::{evaluate, evaluate_pairs, DetectionMetrics, JACCARD_TF1_THRESHOLD};
+pub use segment_metrics::Confusion;
+pub use tuning::tune_threshold;

@@ -1,0 +1,236 @@
+//! NER-style F1 / TF1 metrics over anomalous subtrajectories (Eq. 6–7).
+
+use serde::{Deserialize, Serialize};
+use traj::labels::{extract_subtrajectories, LabelSpan};
+
+/// The paper's TF1 Jaccard threshold φ.
+pub const JACCARD_TF1_THRESHOLD: f64 = 0.5;
+
+/// Aggregate detection quality over a corpus.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize, Default)]
+pub struct DetectionMetrics {
+    /// Precision `J / |C_o|`.
+    pub precision: f64,
+    /// Recall `J / |C_g|`.
+    pub recall: f64,
+    /// `2PR / (P + R)`.
+    pub f1: f64,
+    /// Thresholded variant (per-pair Jaccard binarised at φ = 0.5).
+    pub tf1: f64,
+    /// Total ground-truth subtrajectories `|C_g|`.
+    pub num_truth_spans: usize,
+    /// Total output subtrajectories `|C_o|`.
+    pub num_output_spans: usize,
+}
+
+/// Jaccard similarity of two spans interpreted as position sets.
+fn span_jaccard(a: &LabelSpan, b: &LabelSpan) -> f64 {
+    let inter_start = a.start.max(b.start);
+    let inter_end = a.end.min(b.end);
+    if inter_start > inter_end {
+        return 0.0;
+    }
+    let inter = (inter_end - inter_start + 1) as f64;
+    let union = (a.len() + b.len()) as f64 - inter;
+    inter / union
+}
+
+/// Evaluates one trajectory: returns `(sum_jaccard, sum_tjaccard,
+/// matched_truth_count)` contributions under greedy 1:1 matching.
+fn match_trajectory(truth: &[LabelSpan], output: &[LabelSpan], phi: f64) -> (f64, f64) {
+    let mut used = vec![false; output.len()];
+    let mut j_sum = 0.0;
+    let mut tj_sum = 0.0;
+    for g in truth {
+        let mut best = 0.0;
+        let mut best_k = None;
+        for (k, o) in output.iter().enumerate() {
+            if used[k] {
+                continue;
+            }
+            let j = span_jaccard(g, o);
+            if j > best {
+                best = j;
+                best_k = Some(k);
+            }
+        }
+        if let Some(k) = best_k {
+            used[k] = true;
+            j_sum += best;
+            tj_sum += f64::from(best >= phi);
+        }
+    }
+    (j_sum, tj_sum)
+}
+
+/// Evaluates aligned corpora of output and ground-truth label sequences.
+///
+/// # Panics
+/// Panics if the corpora have different lengths or any aligned pair has
+/// mismatched sequence lengths.
+pub fn evaluate(outputs: &[Vec<u8>], truths: &[Vec<u8>]) -> DetectionMetrics {
+    assert_eq!(outputs.len(), truths.len(), "corpus size mismatch");
+    evaluate_pairs(
+        outputs
+            .iter()
+            .zip(truths.iter())
+            .map(|(o, t)| (o.as_slice(), t.as_slice())),
+    )
+}
+
+/// Iterator-based variant of [`evaluate`].
+pub fn evaluate_pairs<'a, I>(pairs: I) -> DetectionMetrics
+where
+    I: IntoIterator<Item = (&'a [u8], &'a [u8])>,
+{
+    let mut j_total = 0.0;
+    let mut tj_total = 0.0;
+    let mut n_truth = 0usize;
+    let mut n_output = 0usize;
+    for (out, truth) in pairs {
+        assert_eq!(out.len(), truth.len(), "label length mismatch");
+        let t_spans = extract_subtrajectories(truth);
+        let o_spans = extract_subtrajectories(out);
+        n_truth += t_spans.len();
+        n_output += o_spans.len();
+        let (j, tj) = match_trajectory(&t_spans, &o_spans, JACCARD_TF1_THRESHOLD);
+        j_total += j;
+        tj_total += tj;
+    }
+    let metrics = |j: f64| -> (f64, f64, f64) {
+        let p = if n_output > 0 { j / n_output as f64 } else { 0.0 };
+        let r = if n_truth > 0 { j / n_truth as f64 } else { 0.0 };
+        let f1 = if p + r > 0.0 { 2.0 * p * r / (p + r) } else { 0.0 };
+        (p, r, f1)
+    };
+    let (precision, recall, f1) = metrics(j_total);
+    let (_, _, tf1) = metrics(tj_total);
+    // Degenerate corpus (no anomalies anywhere, nothing predicted): define
+    // perfect agreement rather than 0/0.
+    let (f1, tf1, precision, recall) = if n_truth == 0 && n_output == 0 {
+        (1.0, 1.0, 1.0, 1.0)
+    } else {
+        (f1, tf1, precision, recall)
+    };
+    DetectionMetrics {
+        precision,
+        recall,
+        f1,
+        tf1,
+        num_truth_spans: n_truth,
+        num_output_spans: n_output,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_prediction_scores_one() {
+        let truth = vec![vec![0, 1, 1, 0, 0, 1, 0]];
+        let m = evaluate(&truth, &truth);
+        assert!((m.f1 - 1.0).abs() < 1e-12);
+        assert!((m.tf1 - 1.0).abs() < 1e-12);
+        assert_eq!(m.num_truth_spans, 2);
+        assert_eq!(m.num_output_spans, 2);
+    }
+
+    #[test]
+    fn all_normal_everywhere_is_perfect() {
+        let truth = vec![vec![0, 0, 0]];
+        let out = vec![vec![0, 0, 0]];
+        let m = evaluate(&out, &truth);
+        assert_eq!(m.f1, 1.0);
+        assert_eq!(m.tf1, 1.0);
+    }
+
+    #[test]
+    fn false_positive_on_normal_trajectory_hurts_precision() {
+        let truth = vec![vec![0, 1, 1, 0], vec![0, 0, 0, 0]];
+        let out = vec![vec![0, 1, 1, 0], vec![0, 1, 0, 0]];
+        let m = evaluate(&out, &truth);
+        // J = 1 (first matches exactly), |C_o| = 2, |C_g| = 1
+        assert!((m.precision - 0.5).abs() < 1e-12);
+        assert!((m.recall - 1.0).abs() < 1e-12);
+        assert!((m.f1 - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn missed_anomaly_hurts_recall() {
+        let truth = vec![vec![0, 1, 1, 0], vec![0, 1, 1, 0]];
+        let out = vec![vec![0, 1, 1, 0], vec![0, 0, 0, 0]];
+        let m = evaluate(&out, &truth);
+        assert!((m.precision - 1.0).abs() < 1e-12);
+        assert!((m.recall - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn partial_overlap_scores_jaccard() {
+        // truth span 1..=4 (len 4), output span 3..=6 (len 4),
+        // intersection {3,4} = 2, union = 6 -> J = 1/3
+        let truth = vec![vec![0, 1, 1, 1, 1, 0, 0, 0]];
+        let out = vec![vec![0, 0, 0, 1, 1, 1, 1, 0]];
+        let m = evaluate(&out, &truth);
+        assert!((m.precision - 1.0 / 3.0).abs() < 1e-12);
+        assert!((m.recall - 1.0 / 3.0).abs() < 1e-12);
+        // J = 1/3 < 0.5, so TF1 counts it as a miss
+        assert_eq!(m.tf1, 0.0);
+    }
+
+    #[test]
+    fn tf1_counts_sufficient_overlaps() {
+        // J = 3/4 >= 0.5
+        let truth = vec![vec![1, 1, 1, 1, 0]];
+        let out = vec![vec![1, 1, 1, 0, 0]];
+        let m = evaluate(&out, &truth);
+        assert!((m.tf1 - 1.0).abs() < 1e-12);
+        assert!(m.f1 < 1.0);
+    }
+
+    #[test]
+    fn greedy_matching_is_one_to_one() {
+        // one output span cannot satisfy two truth spans
+        let truth = vec![vec![1, 1, 0, 1, 1]];
+        let out = vec![vec![1, 1, 1, 1, 1]];
+        let m = evaluate(&out, &truth);
+        assert_eq!(m.num_truth_spans, 2);
+        assert_eq!(m.num_output_spans, 1);
+        // only one truth span gets matched (J = 2/5), the other scores 0
+        assert!((m.recall - (2.0 / 5.0) / 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fragmented_output_is_penalised() {
+        // paper's Delayed Labeling motivation: fragments inflate |C_o|
+        let truth = vec![vec![0, 1, 1, 1, 1, 1, 0]];
+        let exact = vec![vec![0, 1, 1, 1, 1, 1, 0]];
+        let fragmented = vec![vec![0, 1, 0, 1, 0, 1, 0]];
+        let m_exact = evaluate(&exact, &truth);
+        let m_frag = evaluate(&fragmented, &truth);
+        assert!(m_exact.f1 > m_frag.f1);
+    }
+
+    #[test]
+    #[should_panic(expected = "label length mismatch")]
+    fn mismatched_lengths_panic() {
+        evaluate(&[vec![0, 1]], &[vec![0, 1, 0]]);
+    }
+
+    #[test]
+    fn metrics_bounded() {
+        // randomised boundedness check
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+        for _ in 0..50 {
+            let n = rng.gen_range(1..30);
+            let truth: Vec<u8> = (0..n).map(|_| rng.gen_range(0..2) as u8).collect();
+            let out: Vec<u8> = (0..n).map(|_| rng.gen_range(0..2) as u8).collect();
+            let m = evaluate(&[out], &[truth]);
+            for v in [m.precision, m.recall, m.f1, m.tf1] {
+                assert!((0.0..=1.0 + 1e-12).contains(&v), "metric {v} out of range");
+            }
+            assert!(m.tf1 <= m.f1 + 1.0); // trivially bounded relation
+        }
+    }
+}

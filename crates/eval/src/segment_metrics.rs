@@ -1,0 +1,156 @@
+//! Segment-level (pointwise) metrics complementing the span-level F1/TF1.
+//!
+//! The paper evaluates at span level (Eq. 6–7); segment-level
+//! precision/recall/accuracy are the standard complementary view used by
+//! the related detection literature and are useful for debugging detectors
+//! (a span-level miss can be a 1-segment boundary error or a full miss —
+//! pointwise counts distinguish them).
+
+use serde::{Deserialize, Serialize};
+
+/// Pointwise confusion counts and derived rates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct Confusion {
+    /// Anomalous predicted anomalous.
+    pub tp: usize,
+    /// Normal predicted anomalous.
+    pub fp: usize,
+    /// Anomalous predicted normal.
+    pub fn_: usize,
+    /// Normal predicted normal.
+    pub tn: usize,
+}
+
+impl Confusion {
+    /// Accumulates one aligned (output, truth) pair.
+    pub fn update(&mut self, output: &[u8], truth: &[u8]) {
+        assert_eq!(output.len(), truth.len(), "label length mismatch");
+        for (&o, &t) in output.iter().zip(truth) {
+            match (o, t) {
+                (1, 1) => self.tp += 1,
+                (1, 0) => self.fp += 1,
+                (0, 1) => self.fn_ += 1,
+                _ => self.tn += 1,
+            }
+        }
+    }
+
+    /// Builds confusion counts over a corpus.
+    pub fn of_corpus(outputs: &[Vec<u8>], truths: &[Vec<u8>]) -> Self {
+        assert_eq!(outputs.len(), truths.len(), "corpus size mismatch");
+        let mut c = Confusion::default();
+        for (o, t) in outputs.iter().zip(truths) {
+            c.update(o, t);
+        }
+        c
+    }
+
+    /// Total labelled points.
+    pub fn total(&self) -> usize {
+        self.tp + self.fp + self.fn_ + self.tn
+    }
+
+    /// Pointwise precision (0 when nothing was predicted anomalous).
+    pub fn precision(&self) -> f64 {
+        ratio(self.tp, self.tp + self.fp)
+    }
+
+    /// Pointwise recall (0 when nothing is anomalous).
+    pub fn recall(&self) -> f64 {
+        ratio(self.tp, self.tp + self.fn_)
+    }
+
+    /// Pointwise F1.
+    pub fn f1(&self) -> f64 {
+        let p = self.precision();
+        let r = self.recall();
+        if p + r == 0.0 {
+            0.0
+        } else {
+            2.0 * p * r / (p + r)
+        }
+    }
+
+    /// Pointwise accuracy (1.0 for an empty corpus).
+    pub fn accuracy(&self) -> f64 {
+        if self.total() == 0 {
+            1.0
+        } else {
+            (self.tp + self.tn) as f64 / self.total() as f64
+        }
+    }
+
+    /// False-positive rate (fraction of normal points flagged).
+    pub fn false_positive_rate(&self) -> f64 {
+        ratio(self.fp, self.fp + self.tn)
+    }
+}
+
+fn ratio(num: usize, den: usize) -> f64 {
+    if den == 0 {
+        0.0
+    } else {
+        num as f64 / den as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_prediction() {
+        let t = vec![vec![0, 1, 1, 0]];
+        let c = Confusion::of_corpus(&t, &t);
+        assert_eq!(c, Confusion { tp: 2, fp: 0, fn_: 0, tn: 2 });
+        assert_eq!(c.precision(), 1.0);
+        assert_eq!(c.recall(), 1.0);
+        assert_eq!(c.f1(), 1.0);
+        assert_eq!(c.accuracy(), 1.0);
+        assert_eq!(c.false_positive_rate(), 0.0);
+    }
+
+    #[test]
+    fn counts_each_cell() {
+        let out = vec![vec![1, 1, 0, 0]];
+        let truth = vec![vec![1, 0, 1, 0]];
+        let c = Confusion::of_corpus(&out, &truth);
+        assert_eq!(c.tp, 1);
+        assert_eq!(c.fp, 1);
+        assert_eq!(c.fn_, 1);
+        assert_eq!(c.tn, 1);
+        assert!((c.precision() - 0.5).abs() < 1e-12);
+        assert!((c.recall() - 0.5).abs() < 1e-12);
+        assert!((c.accuracy() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn degenerate_cases() {
+        // all-normal truth and output: no anomaly arithmetic blows up
+        let t = vec![vec![0, 0]];
+        let c = Confusion::of_corpus(&t, &t);
+        assert_eq!(c.precision(), 0.0);
+        assert_eq!(c.recall(), 0.0);
+        assert_eq!(c.f1(), 0.0);
+        assert_eq!(c.accuracy(), 1.0);
+        let empty = Confusion::default();
+        assert_eq!(empty.accuracy(), 1.0);
+    }
+
+    #[test]
+    fn accumulates_across_trajectories() {
+        let mut c = Confusion::default();
+        c.update(&[1, 0], &[1, 0]);
+        c.update(&[0, 1], &[1, 1]);
+        assert_eq!(c.tp, 2);
+        assert_eq!(c.fn_, 1);
+        assert_eq!(c.tn, 1);
+        assert_eq!(c.total(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn mismatched_lengths_panic() {
+        Confusion::default().update(&[0], &[0, 1]);
+    }
+}

@@ -1,0 +1,409 @@
+//! HMM map matching (the paper's preprocessing step \[34\]).
+//!
+//! Raw GPS trajectories are noisy point sequences; every algorithm in the
+//! paper operates on *map-matched* trajectories (road-segment sequences).
+//! This crate implements the standard hidden-Markov-model formulation made
+//! fast by FMM \[34\]:
+//!
+//! * **candidates**: for each GPS point, the road segments within an error
+//!   radius (via [`rnet::SegmentIndex`]);
+//! * **emission**: Gaussian in the point-to-segment distance;
+//! * **transition**: exponential in the disagreement between the network
+//!   ("driving") distance between consecutive candidates and the
+//!   great-circle distance between the points — the driving distance uses a
+//!   radius-bounded Dijkstra per candidate, the precomputation-friendly
+//!   structure FMM exploits;
+//! * **decoding**: Viterbi over the candidate lattice, then path stitching
+//!   with shortest paths between consecutive matched segments.
+
+#![deny(missing_docs)]
+#![warn(clippy::all)]
+
+use rnet::index::Candidate;
+use rnet::path::{dijkstra, reconstruct};
+use rnet::{RoadNetwork, SegmentId, SegmentIndex};
+use traj::{MappedTrajectory, RawTrajectory};
+
+/// Map-matching configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MatchConfig {
+    /// Candidate search radius around each GPS point, metres.
+    pub candidate_radius: f64,
+    /// GPS error standard deviation, metres (emission model).
+    pub gps_sigma: f64,
+    /// Keep at most this many candidates per point.
+    pub max_candidates: usize,
+    /// Transition scale `beta`, metres (Newson–Krumm style exponential).
+    pub beta: f64,
+    /// Bound on the per-hop network-distance search, metres.
+    pub max_hop_distance: f64,
+    /// Weight of the heading-agreement emission term. Disambiguates the two
+    /// directions of a two-way street (whose geometries coincide).
+    pub heading_weight: f64,
+    /// Minimum GPS displacement (metres) for a usable heading estimate.
+    pub min_heading_displacement: f64,
+}
+
+impl Default for MatchConfig {
+    fn default() -> Self {
+        MatchConfig {
+            candidate_radius: 60.0,
+            gps_sigma: 10.0,
+            max_candidates: 8,
+            beta: 30.0,
+            max_hop_distance: 800.0,
+            heading_weight: 3.0,
+            min_heading_displacement: 5.0,
+        }
+    }
+}
+
+/// A map matcher bound to a road network.
+pub struct MapMatcher<'a> {
+    net: &'a RoadNetwork,
+    index: SegmentIndex,
+    config: MatchConfig,
+}
+
+impl<'a> MapMatcher<'a> {
+    /// Builds a matcher (constructs the spatial index once).
+    pub fn new(net: &'a RoadNetwork, config: MatchConfig) -> Self {
+        let index = SegmentIndex::build(net, 100.0);
+        MapMatcher { net, index, config }
+    }
+
+    /// The effective configuration.
+    pub fn config(&self) -> &MatchConfig {
+        &self.config
+    }
+
+    /// Matches a raw trajectory onto the network.
+    ///
+    /// Points with no candidate within the radius are skipped. Returns
+    /// `None` when fewer than two points could be matched or the lattice
+    /// has no feasible path.
+    pub fn match_trajectory(&self, raw: &RawTrajectory) -> Option<MappedTrajectory> {
+        // 1. Candidate lattice.
+        let mut lattice: Vec<(usize, Vec<Candidate>)> = Vec::with_capacity(raw.len());
+        for (i, p) in raw.points.iter().enumerate() {
+            let mut cands = self
+                .index
+                .candidates(self.net, &p.pos, self.config.candidate_radius);
+            cands.truncate(self.config.max_candidates);
+            if !cands.is_empty() {
+                lattice.push((i, cands));
+            }
+        }
+        if lattice.len() < 2 {
+            return None;
+        }
+
+        // 2. Viterbi.
+        let sigma2 = 2.0 * self.config.gps_sigma * self.config.gps_sigma;
+        // Per-point travel heading from the surrounding GPS displacement
+        // (unreliable when nearly stationary → None).
+        let gps_heading = |pi: usize| -> Option<f64> {
+            let next = raw.points.get(pi + 1).map(|p| p.pos);
+            let prev = if pi > 0 {
+                Some(raw.points[pi - 1].pos)
+            } else {
+                None
+            };
+            let (a, b) = match (prev, next) {
+                (_, Some(n)) if raw.points[pi].pos.dist(&n) >= self.config.min_heading_displacement => {
+                    (raw.points[pi].pos, n)
+                }
+                (Some(p), _) if p.dist(&raw.points[pi].pos) >= self.config.min_heading_displacement => {
+                    (p, raw.points[pi].pos)
+                }
+                _ => return None,
+            };
+            Some(rnet::geo::heading(&a, &b))
+        };
+        let emission = |pi: usize, c: &Candidate| -> f64 {
+            let mut e = -(c.distance * c.distance) / sigma2;
+            if let Some(hg) = gps_heading(pi) {
+                let geom = &self.net.segment(c.segment).geometry;
+                if let Some(hs) = rnet::geo::heading_at_offset(geom, c.offset) {
+                    // (cos Δ − 1) ∈ [−2, 0]: free when aligned, −2w opposed.
+                    e += self.config.heading_weight * ((hg - hs).cos() - 1.0);
+                }
+            }
+            e
+        };
+
+        let mut score: Vec<f64> = lattice[0]
+            .1
+            .iter()
+            .map(|c| emission(lattice[0].0, c))
+            .collect();
+        // back[t][j] = index of best predecessor candidate at t-1
+        let mut back: Vec<Vec<usize>> = Vec::with_capacity(lattice.len());
+        back.push(vec![0; lattice[0].1.len()]);
+
+        for t in 1..lattice.len() {
+            let (pi_prev, prev_cands) = &lattice[t - 1];
+            let (pi_cur, cur_cands) = &lattice[t];
+            let gc = raw.points[*pi_prev].pos.dist(&raw.points[*pi_cur].pos);
+
+            // Bounded Dijkstra from each previous candidate's head node.
+            let hop_costs: Vec<Vec<f64>> = prev_cands
+                .iter()
+                .map(|a| {
+                    let seg_a = self.net.segment(a.segment);
+                    let rem_a = (seg_a.length - a.offset).max(0.0);
+                    let (dist, _) = dijkstra(
+                        self.net,
+                        seg_a.to,
+                        self.config.max_hop_distance,
+                        |s| self.net.segment(s).length,
+                    );
+                    cur_cands
+                        .iter()
+                        .map(|b| {
+                            if a.segment == b.segment {
+                                let fwd = b.offset - a.offset;
+                                if fwd >= -1.0 {
+                                    fwd.max(0.0)
+                                } else {
+                                    // slight backtracking on the same
+                                    // segment: tolerated with a penalty
+                                    fwd.abs() * 2.0
+                                }
+                            } else {
+                                let seg_b = self.net.segment(b.segment);
+                                let via = dist[seg_b.from.idx()];
+                                if via.is_finite() {
+                                    rem_a + via + b.offset
+                                } else {
+                                    f64::INFINITY
+                                }
+                            }
+                        })
+                        .collect()
+                })
+                .collect();
+
+            let mut new_score = vec![f64::NEG_INFINITY; cur_cands.len()];
+            let mut new_back = vec![0usize; cur_cands.len()];
+            for (j, b) in cur_cands.iter().enumerate() {
+                let em = emission(*pi_cur, b);
+                for (i, _a) in prev_cands.iter().enumerate() {
+                    let hop = hop_costs[i][j];
+                    if !hop.is_finite() {
+                        continue;
+                    }
+                    let trans = -(hop - gc).abs() / self.config.beta;
+                    let s = score[i] + trans + em;
+                    if s > new_score[j] {
+                        new_score[j] = s;
+                        new_back[j] = i;
+                    }
+                }
+            }
+            if new_score.iter().all(|s| s.is_infinite()) {
+                return None; // broken lattice
+            }
+            score = new_score;
+            back.push(new_back);
+        }
+
+        // 3. Backtrack the best candidate chain.
+        let mut j = score
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .map(|(j, _)| j)?;
+        let mut chain = vec![j; lattice.len()];
+        for t in (1..lattice.len()).rev() {
+            j = back[t][j];
+            chain[t - 1] = j;
+        }
+
+        // 4. Stitch segments with shortest paths between matched segments.
+        let mut segments: Vec<SegmentId> = Vec::new();
+        let first = &lattice[0].1[chain[0]];
+        segments.push(first.segment);
+        for t in 1..lattice.len() {
+            let a = &lattice[t - 1].1[chain[t - 1]];
+            let b = &lattice[t].1[chain[t]];
+            if a.segment == b.segment {
+                continue;
+            }
+            let seg_a = self.net.segment(a.segment);
+            let seg_b = self.net.segment(b.segment);
+            if seg_a.to == seg_b.from {
+                push_dedup(&mut segments, b.segment);
+                continue;
+            }
+            let (dist, parent) = dijkstra(
+                self.net,
+                seg_a.to,
+                self.config.max_hop_distance,
+                |s| self.net.segment(s).length,
+            );
+            if dist[seg_b.from.idx()].is_finite() {
+                if let Some(path) = reconstruct(self.net, &parent, seg_a.to, seg_b.from) {
+                    for s in path {
+                        push_dedup(&mut segments, s);
+                    }
+                }
+            }
+            push_dedup(&mut segments, b.segment);
+        }
+
+        // 5. Trim boundary artifacts: when the first GPS point sits at the
+        //    very end of its matched segment (i.e. the vehicle covered only
+        //    the last few metres of it), that segment is an artefact of
+        //    noise at the start intersection — symmetric for the last point.
+        let trim = 2.0 * self.config.gps_sigma;
+        let first_c = &lattice[0].1[chain[0]];
+        if segments.len() >= 2 && segments[0] == first_c.segment {
+            let seg = self.net.segment(first_c.segment);
+            if seg.length - first_c.offset < trim {
+                segments.remove(0);
+            }
+        }
+        let (last_t, last_cands) = lattice.last().expect("nonempty lattice");
+        let _ = last_t;
+        let last_c = &last_cands[*chain.last().expect("nonempty chain")];
+        if segments.len() >= 2 && *segments.last().unwrap() == last_c.segment && last_c.offset < trim
+        {
+            segments.pop();
+        }
+
+        debug_assert!(
+            self.net.is_connected_path(&segments),
+            "stitched path must be connected"
+        );
+        Some(MappedTrajectory {
+            id: raw.id,
+            segments,
+            start_time: raw.points.first().map(|p| p.t).unwrap_or(0.0),
+        })
+    }
+}
+
+fn push_dedup(segments: &mut Vec<SegmentId>, s: SegmentId) {
+    if segments.last() != Some(&s) {
+        segments.push(s);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rnet::{CityBuilder, CityConfig};
+    use traj::{TrafficConfig, TrafficSimulator};
+
+    fn setup(seed: u64, noise: f64) -> (rnet::RoadNetwork, traj::generator::GeneratedTraffic) {
+        let net = CityBuilder::new(CityConfig::tiny(seed)).build();
+        let cfg = TrafficConfig {
+            num_sd_pairs: 3,
+            trajs_per_pair: (4, 6),
+            generate_raw: true,
+            gps_noise_std: noise,
+            ..TrafficConfig::tiny(seed)
+        };
+        let data = TrafficSimulator::new(&net, cfg).generate();
+        (net, data)
+    }
+
+    /// Fraction of positions where two segment sequences agree, after
+    /// aligning by longest-common-subsequence length.
+    fn lcs_ratio(a: &[SegmentId], b: &[SegmentId]) -> f64 {
+        let (n, m) = (a.len(), b.len());
+        let mut dp = vec![vec![0usize; m + 1]; n + 1];
+        for i in 1..=n {
+            for j in 1..=m {
+                dp[i][j] = if a[i - 1] == b[j - 1] {
+                    dp[i - 1][j - 1] + 1
+                } else {
+                    dp[i - 1][j].max(dp[i][j - 1])
+                };
+            }
+        }
+        dp[n][m] as f64 / n.max(m) as f64
+    }
+
+    #[test]
+    fn low_noise_recovers_routes() {
+        let (net, data) = setup(3, 3.0);
+        let matcher = MapMatcher::new(&net, MatchConfig::default());
+        let mut total = 0.0;
+        let mut count = 0;
+        for (raw, mapped) in data.raw.iter().zip(&data.trajectories) {
+            let got = matcher.match_trajectory(raw).expect("match must succeed");
+            assert!(net.is_connected_path(&got.segments));
+            total += lcs_ratio(&got.segments, &mapped.segments);
+            count += 1;
+        }
+        let mean = total / count as f64;
+        assert!(mean > 0.9, "mean LCS ratio {mean} too low");
+    }
+
+    #[test]
+    fn moderate_noise_still_close() {
+        let (net, data) = setup(5, 12.0);
+        let matcher = MapMatcher::new(&net, MatchConfig::default());
+        let mut total = 0.0;
+        let mut count = 0;
+        for (raw, mapped) in data.raw.iter().zip(&data.trajectories) {
+            if let Some(got) = matcher.match_trajectory(raw) {
+                total += lcs_ratio(&got.segments, &mapped.segments);
+                count += 1;
+            }
+        }
+        assert!(count > 0);
+        let mean = total / count as f64;
+        assert!(mean > 0.75, "mean LCS ratio {mean} too low");
+    }
+
+    #[test]
+    fn preserves_id_and_start_time() {
+        let (net, data) = setup(7, 3.0);
+        let matcher = MapMatcher::new(&net, MatchConfig::default());
+        let raw = &data.raw[0];
+        let got = matcher.match_trajectory(raw).unwrap();
+        assert_eq!(got.id, raw.id);
+        assert!((got.start_time - raw.points[0].t).abs() < 1e-9);
+    }
+
+    #[test]
+    fn too_few_points_returns_none() {
+        let (net, data) = setup(9, 3.0);
+        let matcher = MapMatcher::new(&net, MatchConfig::default());
+        let mut raw = data.raw[0].clone();
+        raw.points.truncate(1);
+        assert!(matcher.match_trajectory(&raw).is_none());
+        raw.points.clear();
+        assert!(matcher.match_trajectory(&raw).is_none());
+    }
+
+    #[test]
+    fn far_off_network_points_are_skipped() {
+        let (net, data) = setup(11, 3.0);
+        let matcher = MapMatcher::new(&net, MatchConfig::default());
+        let mut raw = data.raw[0].clone();
+        // Teleport one mid point far away; matching must still succeed.
+        let mid = raw.points.len() / 2;
+        raw.points[mid].pos = rnet::Point::new(1e7, 1e7);
+        let got = matcher.match_trajectory(&raw);
+        assert!(got.is_some());
+        assert!(net.is_connected_path(&got.unwrap().segments));
+    }
+
+    #[test]
+    fn output_has_no_consecutive_duplicates() {
+        let (net, data) = setup(13, 8.0);
+        let matcher = MapMatcher::new(&net, MatchConfig::default());
+        for raw in &data.raw {
+            if let Some(got) = matcher.match_trajectory(raw) {
+                for w in got.segments.windows(2) {
+                    assert_ne!(w[0], w[1]);
+                }
+                assert!(net.is_connected_path(&got.segments));
+            }
+        }
+    }
+}

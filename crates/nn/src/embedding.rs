@@ -1,0 +1,117 @@
+//! Token embedding layer (lookup table) with sparse gradients.
+
+use crate::param::Param;
+use rand::rngs::StdRng;
+use serde::{Deserialize, Serialize};
+
+/// A `vocab × dim` lookup table. Used for road-segment embeddings (the
+/// Toast-initialised traffic-context features), normal-route-feature
+/// embeddings and previous-label embeddings in the paper's networks.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Embedding {
+    /// The table; row `i` is the vector of token `i`.
+    pub table: Param,
+}
+
+impl Embedding {
+    /// Creates a uniformly initialised table (`bound = 0.5 / dim`).
+    pub fn new(vocab: usize, dim: usize, rng: &mut StdRng) -> Self {
+        Embedding {
+            table: crate::init::uniform(vocab, dim, 0.5 / dim as f32, rng),
+        }
+    }
+
+    /// Creates a table from pre-trained vectors (e.g. Toast output).
+    ///
+    /// # Panics
+    /// Panics if `vectors.len() != vocab * dim`.
+    pub fn from_pretrained(vocab: usize, dim: usize, vectors: Vec<f32>) -> Self {
+        Embedding {
+            table: Param::from_values(vocab, dim, vectors),
+        }
+    }
+
+    /// Vocabulary size.
+    pub fn vocab(&self) -> usize {
+        self.table.rows
+    }
+
+    /// Embedding dimension.
+    pub fn dim(&self) -> usize {
+        self.table.cols
+    }
+
+    /// The vector of `token`.
+    ///
+    /// # Panics
+    /// Panics if `token >= vocab`.
+    #[inline]
+    pub fn lookup(&self, token: usize) -> &[f32] {
+        self.table.row(token)
+    }
+
+    /// Accumulates gradient `dy` into the row of `token`.
+    pub fn backward(&mut self, token: usize, dy: &[f32]) {
+        debug_assert_eq!(dy.len(), self.dim());
+        let row = self.table.grad_row_mut(token);
+        for (g, d) in row.iter_mut().zip(dy) {
+            *g += d;
+        }
+    }
+
+    /// Parameters for optimiser iteration.
+    pub fn params_mut(&mut self) -> Vec<&mut Param> {
+        vec![&mut self.table]
+    }
+
+    /// Clears gradients.
+    pub fn zero_grad(&mut self) {
+        self.table.zero_grad();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::init::seeded_rng;
+
+    #[test]
+    fn lookup_returns_rows() {
+        let e = Embedding::from_pretrained(2, 3, vec![1., 2., 3., 4., 5., 6.]);
+        assert_eq!(e.lookup(0), &[1., 2., 3.]);
+        assert_eq!(e.lookup(1), &[4., 5., 6.]);
+        assert_eq!(e.vocab(), 2);
+        assert_eq!(e.dim(), 3);
+    }
+
+    #[test]
+    fn backward_is_sparse() {
+        let mut e = Embedding::new(4, 2, &mut seeded_rng(1));
+        e.backward(2, &[1.0, -1.0]);
+        e.backward(2, &[0.5, 0.5]);
+        assert_eq!(&e.table.grad[4..6], &[1.5, -0.5]);
+        // untouched rows stay zero
+        assert!(e.table.grad[..4].iter().all(|&g| g == 0.0));
+        assert!(e.table.grad[6..].iter().all(|&g| g == 0.0));
+    }
+
+    #[test]
+    fn adam_moves_only_touched_rows_meaningfully() {
+        let mut e = Embedding::new(3, 2, &mut seeded_rng(2));
+        let before = e.table.value.clone();
+        e.backward(1, &[1.0, 1.0]);
+        e.table.adam_step(0.1);
+        // row 1 moved
+        assert!((e.table.value[2] - before[2]).abs() > 1e-4);
+        // rows 0 and 2 unchanged (zero grad => zero Adam update)
+        assert_eq!(e.table.value[0], before[0]);
+        assert_eq!(e.table.value[5], before[5]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn out_of_vocab_panics() {
+        let e = Embedding::new(2, 2, &mut seeded_rng(3));
+        e.lookup(2);
+    }
+}

@@ -1,0 +1,50 @@
+//! Deterministic parameter initialisation.
+
+use crate::param::Param;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Xavier/Glorot-uniform initialised matrix: entries uniform in
+/// `[-b, b]` with `b = sqrt(6 / (fan_in + fan_out))`.
+pub fn xavier(rows: usize, cols: usize, rng: &mut StdRng) -> Param {
+    let bound = (6.0 / (rows + cols) as f64).sqrt() as f32;
+    uniform(rows, cols, bound, rng)
+}
+
+/// Uniformly initialised matrix with entries in `[-bound, bound]`.
+pub fn uniform(rows: usize, cols: usize, bound: f32, rng: &mut StdRng) -> Param {
+    let value = (0..rows * cols)
+        .map(|_| rng.gen_range(-bound..=bound))
+        .collect();
+    Param::from_values(rows, cols, value)
+}
+
+/// Convenience: a seeded RNG for model construction.
+pub fn seeded_rng(seed: u64) -> StdRng {
+    StdRng::seed_from_u64(seed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn xavier_within_bound_and_nonzero() {
+        let mut rng = seeded_rng(1);
+        let p = xavier(16, 8, &mut rng);
+        let bound = (6.0f64 / 24.0).sqrt() as f32 + 1e-6;
+        assert!(p.value.iter().all(|&v| v.abs() <= bound));
+        assert!(p.value.iter().any(|&v| v != 0.0));
+        assert_eq!(p.rows, 16);
+        assert_eq!(p.cols, 8);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a = xavier(4, 4, &mut seeded_rng(7));
+        let b = xavier(4, 4, &mut seeded_rng(7));
+        assert_eq!(a.value, b.value);
+        let c = xavier(4, 4, &mut seeded_rng(8));
+        assert_ne!(a.value, c.value);
+    }
+}

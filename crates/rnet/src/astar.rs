@@ -1,0 +1,210 @@
+//! A* shortest paths and alternative-route enumeration.
+//!
+//! Dijkstra ([`crate::path`]) is the workhorse for one-to-many queries (map
+//! matching, simulator route families). For one-to-one queries — the CTSS
+//! reference-route computation and interactive routing in the examples — A*
+//! with the straight-line-distance heuristic expands a fraction of the
+//! nodes. [`alternative_routes`] produces a small set of dissimilar routes
+//! via the standard penalty method, which downstream users (and the
+//! simulator's route families) can use to model route choice.
+
+use crate::geo::Point;
+use crate::graph::{NodeId, RoadNetwork, SegmentId};
+use crate::path::PathResult;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+use std::collections::HashMap;
+
+#[derive(PartialEq)]
+struct Entry {
+    f: f64,
+    g: f64,
+    node: NodeId,
+}
+
+impl Eq for Entry {}
+
+impl Ord for Entry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        other
+            .f
+            .partial_cmp(&self.f)
+            .unwrap_or(Ordering::Equal)
+            .then_with(|| other.node.0.cmp(&self.node.0))
+    }
+}
+
+impl PartialOrd for Entry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// A* shortest path by length with the Euclidean heuristic (admissible:
+/// road lengths are at least the straight-line distance).
+///
+/// Returns `None` if `target` is unreachable; `source == target` yields an
+/// empty path.
+pub fn astar(net: &RoadNetwork, source: NodeId, target: NodeId) -> Option<PathResult> {
+    astar_weighted(net, source, target, |s| net.segment(s).length)
+}
+
+/// A* under a custom weight function. The Euclidean heuristic remains
+/// admissible as long as `weight(s) >= straight-line length of s`, which
+/// holds for any non-negative per-metre penalty ≥ 1; for arbitrary weights
+/// the result is still a path but may be suboptimal — callers needing exact
+/// optima under discounted weights should use Dijkstra.
+pub fn astar_weighted<W>(
+    net: &RoadNetwork,
+    source: NodeId,
+    target: NodeId,
+    mut weight: W,
+) -> Option<PathResult>
+where
+    W: FnMut(SegmentId) -> f64,
+{
+    let goal: Point = net.node(target);
+    let h = |n: NodeId| net.node(n).dist(&goal);
+    let mut g_score: HashMap<NodeId, f64> = HashMap::new();
+    let mut parent: HashMap<NodeId, SegmentId> = HashMap::new();
+    let mut heap = BinaryHeap::new();
+    g_score.insert(source, 0.0);
+    heap.push(Entry {
+        f: h(source),
+        g: 0.0,
+        node: source,
+    });
+    while let Some(Entry { g, node, .. }) = heap.pop() {
+        if node == target {
+            // reconstruct
+            let mut segments = Vec::new();
+            let mut cur = target;
+            while cur != source {
+                let sid = *parent.get(&cur)?;
+                segments.push(sid);
+                cur = net.segment(sid).from;
+            }
+            segments.reverse();
+            return Some(PathResult { segments, cost: g });
+        }
+        if g > *g_score.get(&node).unwrap_or(&f64::INFINITY) {
+            continue;
+        }
+        for &sid in net.out_segments(node) {
+            let w = weight(sid);
+            if !w.is_finite() {
+                continue;
+            }
+            let next = net.segment(sid).to;
+            let ng = g + w;
+            if ng < *g_score.get(&next).unwrap_or(&f64::INFINITY) {
+                g_score.insert(next, ng);
+                parent.insert(next, sid);
+                heap.push(Entry {
+                    f: ng + h(next),
+                    g: ng,
+                    node: next,
+                });
+            }
+        }
+    }
+    None
+}
+
+/// Up to `k` dissimilar routes from `source` to `target` via the penalty
+/// method: each found route's segments are penalised by `penalty_factor`
+/// before the next search, pushing subsequent searches onto alternatives.
+/// The first route is the true shortest path. Duplicate routes are dropped.
+pub fn alternative_routes(
+    net: &RoadNetwork,
+    source: NodeId,
+    target: NodeId,
+    k: usize,
+    penalty_factor: f64,
+) -> Vec<PathResult> {
+    assert!(penalty_factor >= 1.0, "penalty must not shorten edges");
+    let mut penalties: HashMap<SegmentId, f64> = HashMap::new();
+    let mut routes: Vec<PathResult> = Vec::new();
+    for _ in 0..k {
+        let found = astar_weighted(net, source, target, |s| {
+            net.segment(s).length * penalties.get(&s).copied().unwrap_or(1.0)
+        });
+        let Some(route) = found else { break };
+        for &s in &route.segments {
+            *penalties.entry(s).or_insert(1.0) *= penalty_factor;
+        }
+        if routes.iter().all(|r| r.segments != route.segments) {
+            // report the route's true length, not the penalised cost
+            let cost = net.path_length(&route.segments);
+            routes.push(PathResult {
+                segments: route.segments,
+                cost,
+            });
+        }
+    }
+    routes
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generator::{CityBuilder, CityConfig};
+    use crate::path::shortest_path;
+
+    fn city(seed: u64) -> RoadNetwork {
+        CityBuilder::new(CityConfig::tiny(seed)).build()
+    }
+
+    #[test]
+    fn astar_matches_dijkstra_costs() {
+        let net = city(1);
+        let n = net.num_nodes() as u32;
+        for (s, t) in [(0u32, n - 1), (3, n / 2), (n / 3, 1)] {
+            let a = astar(&net, NodeId(s), NodeId(t)).unwrap();
+            let d = shortest_path(&net, NodeId(s), NodeId(t)).unwrap();
+            assert!(
+                (a.cost - d.cost).abs() < 1e-6,
+                "A* {} vs Dijkstra {}",
+                a.cost,
+                d.cost
+            );
+            assert!(net.is_connected_path(&a.segments));
+        }
+    }
+
+    #[test]
+    fn astar_trivial_and_unreachable() {
+        let net = city(2);
+        let same = astar(&net, NodeId(5), NodeId(5)).unwrap();
+        assert!(same.segments.is_empty());
+        assert_eq!(same.cost, 0.0);
+    }
+
+    #[test]
+    fn alternatives_are_distinct_and_sorted_by_generation() {
+        let net = city(3);
+        let n = net.num_nodes() as u32;
+        let routes = alternative_routes(&net, NodeId(0), NodeId(n - 1), 3, 1.6);
+        assert!(!routes.is_empty());
+        // first route is the true shortest path
+        let sp = shortest_path(&net, NodeId(0), NodeId(n - 1)).unwrap();
+        assert!((routes[0].cost - sp.cost).abs() < 1e-6);
+        // all distinct and connected, with true (unpenalised) costs
+        for (i, r) in routes.iter().enumerate() {
+            assert!(net.is_connected_path(&r.segments));
+            assert!((r.cost - net.path_length(&r.segments)).abs() < 1e-9);
+            for other in &routes[i + 1..] {
+                assert_ne!(r.segments, other.segments);
+            }
+            // alternatives can't beat the shortest path
+            assert!(r.cost >= routes[0].cost - 1e-9);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "penalty")]
+    fn penalty_below_one_rejected() {
+        let net = city(4);
+        alternative_routes(&net, NodeId(0), NodeId(1), 2, 0.5);
+    }
+}

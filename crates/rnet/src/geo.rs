@@ -1,0 +1,330 @@
+//! Planar geometry primitives used across the workspace.
+//!
+//! All coordinates are metres in a city-local frame (x grows east, y grows
+//! north). The paper's figures use raw lon/lat; [`Point::to_lonlat`] provides
+//! an equivalent display projection anchored at a Chengdu-like origin so the
+//! case-study output is visually comparable.
+
+use serde::{Deserialize, Serialize};
+
+/// Metres per degree of latitude (WGS-84 mean).
+const METRES_PER_DEG_LAT: f64 = 111_320.0;
+/// Display anchor longitude (Chengdu-like), used by [`Point::to_lonlat`].
+pub const ANCHOR_LON: f64 = 104.05;
+/// Display anchor latitude (Chengdu-like), used by [`Point::to_lonlat`].
+pub const ANCHOR_LAT: f64 = 30.65;
+
+/// A point in the city-local planar frame, in metres.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct Point {
+    /// Easting in metres.
+    pub x: f64,
+    /// Northing in metres.
+    pub y: f64,
+}
+
+impl Point {
+    /// Creates a point from planar metre coordinates.
+    #[inline]
+    pub const fn new(x: f64, y: f64) -> Self {
+        Point { x, y }
+    }
+
+    /// Euclidean distance to `other`, in metres.
+    #[inline]
+    pub fn dist(&self, other: &Point) -> f64 {
+        let dx = self.x - other.x;
+        let dy = self.y - other.y;
+        (dx * dx + dy * dy).sqrt()
+    }
+
+    /// Squared Euclidean distance (avoids the `sqrt` when only comparing).
+    #[inline]
+    pub fn dist_sq(&self, other: &Point) -> f64 {
+        let dx = self.x - other.x;
+        let dy = self.y - other.y;
+        dx * dx + dy * dy
+    }
+
+    /// Linear interpolation: the point `t` of the way from `self` to `other`
+    /// (`t` in `[0, 1]`).
+    #[inline]
+    pub fn lerp(&self, other: &Point, t: f64) -> Point {
+        Point::new(
+            self.x + (other.x - self.x) * t,
+            self.y + (other.y - self.y) * t,
+        )
+    }
+
+    /// Converts to a pseudo (longitude, latitude) pair for display,
+    /// anchored at a Chengdu-like origin.
+    pub fn to_lonlat(&self) -> (f64, f64) {
+        let lat = ANCHOR_LAT + self.y / METRES_PER_DEG_LAT;
+        let lon = ANCHOR_LON + self.x / (METRES_PER_DEG_LAT * ANCHOR_LAT.to_radians().cos());
+        (lon, lat)
+    }
+}
+
+/// Result of projecting a point onto a segment.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Projection {
+    /// Closest point on the segment.
+    pub point: Point,
+    /// Distance from the query point to [`Projection::point`], in metres.
+    pub distance: f64,
+    /// Position along the segment in `[0, 1]` (0 = start, 1 = end).
+    pub t: f64,
+}
+
+/// Projects `p` onto the line segment `a`–`b`.
+///
+/// Returns the closest point, the perpendicular (or endpoint) distance and
+/// the normalised offset along the segment. Degenerate segments (`a == b`)
+/// project onto `a`.
+pub fn project_onto_segment(p: &Point, a: &Point, b: &Point) -> Projection {
+    let abx = b.x - a.x;
+    let aby = b.y - a.y;
+    let len_sq = abx * abx + aby * aby;
+    if len_sq <= f64::EPSILON {
+        return Projection {
+            point: *a,
+            distance: p.dist(a),
+            t: 0.0,
+        };
+    }
+    let t = (((p.x - a.x) * abx + (p.y - a.y) * aby) / len_sq).clamp(0.0, 1.0);
+    let point = a.lerp(b, t);
+    Projection {
+        point,
+        distance: p.dist(&point),
+        t,
+    }
+}
+
+/// Projects `p` onto a polyline, returning the best [`Projection`] together
+/// with the arc-length offset (metres from the polyline start to the
+/// projected point).
+///
+/// Returns `None` for polylines with fewer than two points.
+pub fn project_onto_polyline(p: &Point, line: &[Point]) -> Option<(Projection, f64)> {
+    if line.len() < 2 {
+        return None;
+    }
+    let mut best: Option<(Projection, f64)> = None;
+    let mut walked = 0.0;
+    for w in line.windows(2) {
+        let proj = project_onto_segment(p, &w[0], &w[1]);
+        let seg_len = w[0].dist(&w[1]);
+        let offset = walked + proj.t * seg_len;
+        match &best {
+            Some((b, _)) if b.distance <= proj.distance => {}
+            _ => best = Some((proj, offset)),
+        }
+        walked += seg_len;
+    }
+    best
+}
+
+/// Total arc length of a polyline in metres.
+pub fn polyline_length(line: &[Point]) -> f64 {
+    line.windows(2).map(|w| w[0].dist(&w[1])).sum()
+}
+
+/// The point at arc-length `offset` along a polyline, clamped to its ends.
+///
+/// Returns `None` for polylines with fewer than two points.
+pub fn point_at_offset(line: &[Point], offset: f64) -> Option<Point> {
+    if line.len() < 2 {
+        return line.first().copied();
+    }
+    if offset <= 0.0 {
+        return line.first().copied();
+    }
+    let mut remaining = offset;
+    for w in line.windows(2) {
+        let seg_len = w[0].dist(&w[1]);
+        if remaining <= seg_len {
+            let t = if seg_len > 0.0 { remaining / seg_len } else { 0.0 };
+            return Some(w[0].lerp(&w[1], t));
+        }
+        remaining -= seg_len;
+    }
+    line.last().copied()
+}
+
+/// Heading of the vector `a -> b` in radians, in `(-pi, pi]` measured from
+/// the +x axis.
+#[inline]
+pub fn heading(a: &Point, b: &Point) -> f64 {
+    (b.y - a.y).atan2(b.x - a.x)
+}
+
+/// Heading (radians) of the polyline leg containing arc-length `offset`.
+///
+/// Offsets beyond the ends clamp to the first/last leg. Returns `None` for
+/// polylines with fewer than two points.
+pub fn heading_at_offset(line: &[Point], offset: f64) -> Option<f64> {
+    if line.len() < 2 {
+        return None;
+    }
+    let mut remaining = offset.max(0.0);
+    for w in line.windows(2) {
+        let seg_len = w[0].dist(&w[1]);
+        if remaining <= seg_len || seg_len == 0.0 {
+            if seg_len > 0.0 {
+                return Some(heading(&w[0], &w[1]));
+            }
+            remaining -= seg_len;
+            continue;
+        }
+        remaining -= seg_len;
+    }
+    let n = line.len();
+    Some(heading(&line[n - 2], &line[n - 1]))
+}
+
+/// Absolute turning angle (radians, in `[0, pi]`) between headings `h1` and
+/// `h2`. Used by the DBTOD baseline's turning-angle feature.
+pub fn turn_angle(h1: f64, h2: f64) -> f64 {
+    let mut d = (h2 - h1).abs() % (2.0 * std::f64::consts::PI);
+    if d > std::f64::consts::PI {
+        d = 2.0 * std::f64::consts::PI - d;
+    }
+    d
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dist_basics() {
+        let a = Point::new(0.0, 0.0);
+        let b = Point::new(3.0, 4.0);
+        assert!((a.dist(&b) - 5.0).abs() < 1e-12);
+        assert!((a.dist_sq(&b) - 25.0).abs() < 1e-12);
+        assert_eq!(a.dist(&a), 0.0);
+    }
+
+    #[test]
+    fn lerp_endpoints_and_midpoint() {
+        let a = Point::new(0.0, 0.0);
+        let b = Point::new(10.0, 20.0);
+        assert_eq!(a.lerp(&b, 0.0), a);
+        assert_eq!(a.lerp(&b, 1.0), b);
+        let m = a.lerp(&b, 0.5);
+        assert!((m.x - 5.0).abs() < 1e-12 && (m.y - 10.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn projection_interior() {
+        let a = Point::new(0.0, 0.0);
+        let b = Point::new(10.0, 0.0);
+        let p = Point::new(4.0, 3.0);
+        let proj = project_onto_segment(&p, &a, &b);
+        assert!((proj.distance - 3.0).abs() < 1e-12);
+        assert!((proj.t - 0.4).abs() < 1e-12);
+        assert!((proj.point.x - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn projection_clamps_to_endpoints() {
+        let a = Point::new(0.0, 0.0);
+        let b = Point::new(10.0, 0.0);
+        let before = Point::new(-5.0, 1.0);
+        let after = Point::new(15.0, 1.0);
+        assert_eq!(project_onto_segment(&before, &a, &b).t, 0.0);
+        assert_eq!(project_onto_segment(&after, &a, &b).t, 1.0);
+    }
+
+    #[test]
+    fn projection_degenerate_segment() {
+        let a = Point::new(1.0, 1.0);
+        let p = Point::new(4.0, 5.0);
+        let proj = project_onto_segment(&p, &a, &a);
+        assert_eq!(proj.point, a);
+        assert!((proj.distance - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn polyline_projection_picks_best_leg_and_offset() {
+        let line = [
+            Point::new(0.0, 0.0),
+            Point::new(10.0, 0.0),
+            Point::new(10.0, 10.0),
+        ];
+        let p = Point::new(11.0, 5.0);
+        let (proj, offset) = project_onto_polyline(&p, &line).unwrap();
+        assert!((proj.distance - 1.0).abs() < 1e-12);
+        assert!((offset - 15.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn polyline_projection_requires_two_points() {
+        assert!(project_onto_polyline(&Point::new(0.0, 0.0), &[Point::new(1.0, 1.0)]).is_none());
+        assert!(project_onto_polyline(&Point::new(0.0, 0.0), &[]).is_none());
+    }
+
+    #[test]
+    fn polyline_length_sums_legs() {
+        let line = [
+            Point::new(0.0, 0.0),
+            Point::new(3.0, 4.0),
+            Point::new(3.0, 10.0),
+        ];
+        assert!((polyline_length(&line) - 11.0).abs() < 1e-12);
+        assert_eq!(polyline_length(&line[..1]), 0.0);
+    }
+
+    #[test]
+    fn point_at_offset_walks_polyline() {
+        let line = [
+            Point::new(0.0, 0.0),
+            Point::new(10.0, 0.0),
+            Point::new(10.0, 10.0),
+        ];
+        let p = point_at_offset(&line, 15.0).unwrap();
+        assert!((p.x - 10.0).abs() < 1e-12 && (p.y - 5.0).abs() < 1e-12);
+        // clamped at both ends
+        assert_eq!(point_at_offset(&line, -3.0).unwrap(), line[0]);
+        assert_eq!(point_at_offset(&line, 1e9).unwrap(), line[2]);
+    }
+
+    #[test]
+    fn heading_at_offset_picks_leg() {
+        let line = [
+            Point::new(0.0, 0.0),
+            Point::new(10.0, 0.0),
+            Point::new(10.0, 10.0),
+        ];
+        // first leg points east (0 rad), second leg north (pi/2)
+        assert!((heading_at_offset(&line, 5.0).unwrap() - 0.0).abs() < 1e-12);
+        assert!(
+            (heading_at_offset(&line, 15.0).unwrap() - std::f64::consts::FRAC_PI_2).abs() < 1e-12
+        );
+        // clamped beyond the end
+        assert!(
+            (heading_at_offset(&line, 100.0).unwrap() - std::f64::consts::FRAC_PI_2).abs() < 1e-12
+        );
+        assert!(heading_at_offset(&line[..1], 0.0).is_none());
+    }
+
+    #[test]
+    fn turn_angle_wraps() {
+        use std::f64::consts::PI;
+        assert!((turn_angle(0.0, PI / 2.0) - PI / 2.0).abs() < 1e-12);
+        // wrap-around: -170deg vs +170deg is a 20deg turn
+        let a = -170.0f64.to_radians();
+        let b = 170.0f64.to_radians();
+        assert!((turn_angle(a, b) - 20.0f64.to_radians()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn lonlat_projection_is_monotone() {
+        let a = Point::new(0.0, 0.0).to_lonlat();
+        let b = Point::new(1000.0, 1000.0).to_lonlat();
+        assert!(b.0 > a.0 && b.1 > a.1);
+        // 1 km north is roughly 0.009 degrees of latitude
+        assert!((b.1 - a.1 - 0.009).abs() < 1e-3);
+    }
+}

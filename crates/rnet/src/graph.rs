@@ -1,0 +1,507 @@
+//! Directed road-network graph.
+//!
+//! Matches the paper's preliminaries (§III-A): a road network is a directed
+//! graph `G(V, E)` where vertices are intersections and edges are road
+//! segments. Map-matched trajectories are sequences of [`SegmentId`]s.
+//!
+//! The graph exposes exactly the topology the algorithms need:
+//! * `out_degree` / `in_degree` of a *segment* (the number of possible next /
+//!   previous segments), which drive the paper's Road Network Enhanced
+//!   Labeling rules (§IV-E);
+//! * per-segment geometry and length for map matching and Fréchet distance;
+//! * per-segment traffic context (road class, speed limit) for the
+//!   Toast-style embeddings.
+
+use crate::geo::{self, Point};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::fmt;
+
+/// Identifier of an intersection (graph vertex).
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize, Default,
+)]
+pub struct NodeId(pub u32);
+
+/// Identifier of a road segment (directed graph edge).
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize, Default,
+)]
+pub struct SegmentId(pub u32);
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+impl fmt::Display for SegmentId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "e{}", self.0)
+    }
+}
+
+impl SegmentId {
+    /// The id as a `usize` index.
+    #[inline]
+    pub fn idx(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl NodeId {
+    /// The id as a `usize` index.
+    #[inline]
+    pub fn idx(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// Functional class of a road, used as a traffic-context feature.
+///
+/// Mirrors the coarse OSM highway classes relevant to urban taxi data.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum RoadClass {
+    /// High-capacity urban artery.
+    Arterial,
+    /// Connector between arterials and local streets.
+    Collector,
+    /// Local/residential street.
+    Local,
+}
+
+impl RoadClass {
+    /// Default free-flow speed for the class, metres per second.
+    pub fn default_speed(self) -> f64 {
+        match self {
+            RoadClass::Arterial => 16.7, // ~60 km/h
+            RoadClass::Collector => 11.1, // ~40 km/h
+            RoadClass::Local => 8.3,     // ~30 km/h
+        }
+    }
+
+    /// Small integer code (used as an embedding feature).
+    pub fn code(self) -> usize {
+        match self {
+            RoadClass::Arterial => 0,
+            RoadClass::Collector => 1,
+            RoadClass::Local => 2,
+        }
+    }
+}
+
+/// A directed road segment (edge `e = (u, v)` of the paper).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Segment {
+    /// This segment's id.
+    pub id: SegmentId,
+    /// Tail intersection.
+    pub from: NodeId,
+    /// Head intersection.
+    pub to: NodeId,
+    /// Geometry polyline from `from` to `to` (at least two points).
+    pub geometry: Vec<Point>,
+    /// Arc length of [`Segment::geometry`] in metres.
+    pub length: f64,
+    /// Functional class.
+    pub class: RoadClass,
+    /// Free-flow speed in metres per second.
+    pub speed_limit: f64,
+}
+
+impl Segment {
+    /// Heading (radians) of the segment's first geometry leg.
+    pub fn entry_heading(&self) -> f64 {
+        geo::heading(&self.geometry[0], &self.geometry[1])
+    }
+
+    /// Heading (radians) of the segment's last geometry leg.
+    pub fn exit_heading(&self) -> f64 {
+        let n = self.geometry.len();
+        geo::heading(&self.geometry[n - 2], &self.geometry[n - 1])
+    }
+
+    /// Mid point of the segment's geometry (by arc length).
+    pub fn midpoint(&self) -> Point {
+        geo::point_at_offset(&self.geometry, self.length * 0.5).unwrap_or(self.geometry[0])
+    }
+}
+
+/// An immutable directed road network.
+///
+/// Build with [`RoadNetworkBuilder`] or [`crate::generator::CityBuilder`].
+/// Serialization stores only nodes and segments; adjacency is rebuilt on
+/// deserialization.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+#[serde(from = "NetworkData", into = "NetworkData")]
+pub struct RoadNetwork {
+    nodes: Vec<Point>,
+    segments: Vec<Segment>,
+    /// Outgoing segment ids per node.
+    out_adj: Vec<Vec<SegmentId>>,
+    /// Incoming segment ids per node.
+    in_adj: Vec<Vec<SegmentId>>,
+    /// `segment_between[(u, v)]` — the segment from node `u` to node `v`.
+    segment_between: HashMap<(NodeId, NodeId), SegmentId>,
+}
+
+/// Serialized form of [`RoadNetwork`] (nodes + segments only).
+#[derive(Serialize, Deserialize)]
+struct NetworkData {
+    nodes: Vec<Point>,
+    segments: Vec<Segment>,
+}
+
+impl From<NetworkData> for RoadNetwork {
+    fn from(d: NetworkData) -> Self {
+        let mut b = RoadNetworkBuilder {
+            nodes: d.nodes,
+            segments: d.segments,
+        };
+        // Preserve ids as stored; builder.build() recomputes adjacency.
+        let nodes = std::mem::take(&mut b.nodes);
+        let segments = std::mem::take(&mut b.segments);
+        RoadNetworkBuilder { nodes, segments }.build()
+    }
+}
+
+impl From<RoadNetwork> for NetworkData {
+    fn from(n: RoadNetwork) -> Self {
+        NetworkData {
+            nodes: n.nodes,
+            segments: n.segments,
+        }
+    }
+}
+
+impl RoadNetwork {
+    /// Number of intersections.
+    #[inline]
+    pub fn num_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Number of road segments.
+    #[inline]
+    pub fn num_segments(&self) -> usize {
+        self.segments.len()
+    }
+
+    /// Position of intersection `n`.
+    #[inline]
+    pub fn node(&self, n: NodeId) -> Point {
+        self.nodes[n.idx()]
+    }
+
+    /// The segment with id `s`.
+    #[inline]
+    pub fn segment(&self, s: SegmentId) -> &Segment {
+        &self.segments[s.idx()]
+    }
+
+    /// All segments, ordered by id.
+    #[inline]
+    pub fn segments(&self) -> &[Segment] {
+        &self.segments
+    }
+
+    /// Iterator over all node ids.
+    pub fn node_ids(&self) -> impl Iterator<Item = NodeId> + '_ {
+        (0..self.nodes.len() as u32).map(NodeId)
+    }
+
+    /// Iterator over all segment ids.
+    pub fn segment_ids(&self) -> impl Iterator<Item = SegmentId> + '_ {
+        (0..self.segments.len() as u32).map(SegmentId)
+    }
+
+    /// Outgoing segments of node `n`.
+    #[inline]
+    pub fn out_segments(&self, n: NodeId) -> &[SegmentId] {
+        &self.out_adj[n.idx()]
+    }
+
+    /// Incoming segments of node `n`.
+    #[inline]
+    pub fn in_segments(&self, n: NodeId) -> &[SegmentId] {
+        &self.in_adj[n.idx()]
+    }
+
+    /// Segments that can follow `s` (those leaving `s.to`).
+    #[inline]
+    pub fn successors(&self, s: SegmentId) -> &[SegmentId] {
+        self.out_segments(self.segment(s).to)
+    }
+
+    /// Segments that can precede `s` (those entering `s.from`).
+    #[inline]
+    pub fn predecessors(&self, s: SegmentId) -> &[SegmentId] {
+        self.in_segments(self.segment(s).from)
+    }
+
+    /// The paper's `e.out`: number of alternative transitions *out of* the
+    /// segment — the out-degree of its head intersection.
+    #[inline]
+    pub fn out_degree(&self, s: SegmentId) -> usize {
+        self.successors(s).len()
+    }
+
+    /// The paper's `e.in`: number of alternative transitions *into* the
+    /// segment — the in-degree of its tail intersection.
+    #[inline]
+    pub fn in_degree(&self, s: SegmentId) -> usize {
+        self.predecessors(s).len()
+    }
+
+    /// The segment connecting node `u` to node `v`, if one exists.
+    #[inline]
+    pub fn segment_between(&self, u: NodeId, v: NodeId) -> Option<SegmentId> {
+        self.segment_between.get(&(u, v)).copied()
+    }
+
+    /// Whether `b` can directly follow `a` on the network (i.e. the
+    /// transition `<a, b>` is feasible).
+    #[inline]
+    pub fn is_transition(&self, a: SegmentId, b: SegmentId) -> bool {
+        self.segment(a).to == self.segment(b).from
+    }
+
+    /// Checks that a segment sequence is a connected path on the network.
+    pub fn is_connected_path(&self, path: &[SegmentId]) -> bool {
+        path.windows(2).all(|w| self.is_transition(w[0], w[1]))
+    }
+
+    /// Total length (metres) of a segment sequence.
+    pub fn path_length(&self, path: &[SegmentId]) -> f64 {
+        path.iter().map(|&s| self.segment(s).length).sum()
+    }
+
+    /// Bounding box of all node positions, `(min, max)`.
+    pub fn bounds(&self) -> (Point, Point) {
+        let mut min = Point::new(f64::INFINITY, f64::INFINITY);
+        let mut max = Point::new(f64::NEG_INFINITY, f64::NEG_INFINITY);
+        for p in &self.nodes {
+            min.x = min.x.min(p.x);
+            min.y = min.y.min(p.y);
+            max.x = max.x.max(p.x);
+            max.y = max.y.max(p.y);
+        }
+        (min, max)
+    }
+}
+
+/// Incremental builder for [`RoadNetwork`].
+#[derive(Debug, Default)]
+pub struct RoadNetworkBuilder {
+    nodes: Vec<Point>,
+    segments: Vec<Segment>,
+}
+
+impl RoadNetworkBuilder {
+    /// Creates an empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds an intersection at `p`, returning its id.
+    pub fn add_node(&mut self, p: Point) -> NodeId {
+        let id = NodeId(self.nodes.len() as u32);
+        self.nodes.push(p);
+        id
+    }
+
+    /// Adds a directed segment from `u` to `v` with straight-line geometry.
+    ///
+    /// # Panics
+    /// Panics if `u` or `v` is out of range.
+    pub fn add_segment(&mut self, u: NodeId, v: NodeId, class: RoadClass) -> SegmentId {
+        let geometry = vec![self.nodes[u.idx()], self.nodes[v.idx()]];
+        self.add_segment_with_geometry(u, v, class, geometry)
+    }
+
+    /// Adds a directed segment with explicit polyline geometry.
+    ///
+    /// # Panics
+    /// Panics if the geometry has fewer than two points, or `u`/`v` are out
+    /// of range.
+    pub fn add_segment_with_geometry(
+        &mut self,
+        u: NodeId,
+        v: NodeId,
+        class: RoadClass,
+        geometry: Vec<Point>,
+    ) -> SegmentId {
+        assert!(geometry.len() >= 2, "segment geometry needs >= 2 points");
+        assert!(u.idx() < self.nodes.len() && v.idx() < self.nodes.len());
+        let id = SegmentId(self.segments.len() as u32);
+        let length = geo::polyline_length(&geometry);
+        self.segments.push(Segment {
+            id,
+            from: u,
+            to: v,
+            geometry,
+            length,
+            class,
+            speed_limit: class.default_speed(),
+        });
+        id
+    }
+
+    /// Adds a two-way street: two directed segments `u->v` and `v->u`.
+    pub fn add_two_way(&mut self, u: NodeId, v: NodeId, class: RoadClass) -> (SegmentId, SegmentId)
+    {
+        (self.add_segment(u, v, class), self.add_segment(v, u, class))
+    }
+
+    /// Number of nodes added so far.
+    pub fn num_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Position of an already-added node.
+    ///
+    /// # Panics
+    /// Panics if `n` has not been added to this builder.
+    pub fn node_position(&self, n: NodeId) -> Point {
+        self.nodes[n.idx()]
+    }
+
+    /// Finalises the network, computing adjacency.
+    pub fn build(self) -> RoadNetwork {
+        let mut out_adj = vec![Vec::new(); self.nodes.len()];
+        let mut in_adj = vec![Vec::new(); self.nodes.len()];
+        let mut segment_between = HashMap::with_capacity(self.segments.len());
+        for seg in &self.segments {
+            out_adj[seg.from.idx()].push(seg.id);
+            in_adj[seg.to.idx()].push(seg.id);
+            segment_between.insert((seg.from, seg.to), seg.id);
+        }
+        RoadNetwork {
+            nodes: self.nodes,
+            segments: self.segments,
+            out_adj,
+            in_adj,
+            segment_between,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Small diamond: 0 -> 1 -> 3 and 0 -> 2 -> 3.
+    fn diamond() -> RoadNetwork {
+        let mut b = RoadNetworkBuilder::new();
+        let n0 = b.add_node(Point::new(0.0, 0.0));
+        let n1 = b.add_node(Point::new(100.0, 100.0));
+        let n2 = b.add_node(Point::new(100.0, -100.0));
+        let n3 = b.add_node(Point::new(200.0, 0.0));
+        b.add_segment(n0, n1, RoadClass::Arterial); // e0
+        b.add_segment(n1, n3, RoadClass::Arterial); // e1
+        b.add_segment(n0, n2, RoadClass::Local); // e2
+        b.add_segment(n2, n3, RoadClass::Local); // e3
+        b.build()
+    }
+
+    #[test]
+    fn adjacency_and_degrees() {
+        let g = diamond();
+        assert_eq!(g.num_nodes(), 4);
+        assert_eq!(g.num_segments(), 4);
+        // node 0 has two outgoing segments
+        assert_eq!(g.out_segments(NodeId(0)).len(), 2);
+        // e0 = (0 -> 1): successors are segments leaving node 1 => [e1]
+        assert_eq!(g.successors(SegmentId(0)), &[SegmentId(1)]);
+        assert_eq!(g.out_degree(SegmentId(0)), 1);
+        // e1 = (1 -> 3): in-degree of node 1 is 1 (only e0 enters)
+        assert_eq!(g.in_degree(SegmentId(1)), 1);
+        // e1 and e3 both enter node 3, so in-degree of any segment leaving
+        // node 3 would be 2 (none here); instead check predecessors of e1:
+        assert_eq!(g.predecessors(SegmentId(1)), &[SegmentId(0)]);
+    }
+
+    #[test]
+    fn transitions_and_paths() {
+        let g = diamond();
+        assert!(g.is_transition(SegmentId(0), SegmentId(1)));
+        assert!(!g.is_transition(SegmentId(0), SegmentId(3)));
+        assert!(g.is_connected_path(&[SegmentId(0), SegmentId(1)]));
+        assert!(!g.is_connected_path(&[SegmentId(0), SegmentId(3)]));
+        assert!(g.is_connected_path(&[SegmentId(2)]));
+        assert!(g.is_connected_path(&[]));
+    }
+
+    #[test]
+    fn segment_between_lookup() {
+        let g = diamond();
+        assert_eq!(g.segment_between(NodeId(0), NodeId(1)), Some(SegmentId(0)));
+        assert_eq!(g.segment_between(NodeId(1), NodeId(0)), None);
+    }
+
+    #[test]
+    fn lengths_and_geometry() {
+        let g = diamond();
+        let e0 = g.segment(SegmentId(0));
+        let expect = (100.0f64 * 100.0 + 100.0 * 100.0).sqrt();
+        assert!((e0.length - expect).abs() < 1e-9);
+        assert!(
+            (g.path_length(&[SegmentId(0), SegmentId(1)]) - 2.0 * expect).abs() < 1e-9
+        );
+        // midpoint of a straight segment is the centre
+        let mid = e0.midpoint();
+        assert!((mid.x - 50.0).abs() < 1e-9 && (mid.y - 50.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn two_way_streets() {
+        let mut b = RoadNetworkBuilder::new();
+        let u = b.add_node(Point::new(0.0, 0.0));
+        let v = b.add_node(Point::new(50.0, 0.0));
+        let (fwd, back) = b.add_two_way(u, v, RoadClass::Collector);
+        let g = b.build();
+        assert_eq!(g.segment(fwd).from, u);
+        assert_eq!(g.segment(back).from, v);
+        // going fwd then back is a connected (if silly) path
+        assert!(g.is_connected_path(&[fwd, back]));
+    }
+
+    #[test]
+    fn bounds_cover_all_nodes() {
+        let g = diamond();
+        let (min, max) = g.bounds();
+        assert_eq!((min.x, min.y), (0.0, -100.0));
+        assert_eq!((max.x, max.y), (200.0, 100.0));
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let g = diamond();
+        let json = serde_json::to_string(&g).unwrap();
+        let g2: RoadNetwork = serde_json::from_str(&json).unwrap();
+        assert_eq!(g2.num_segments(), g.num_segments());
+        assert_eq!(g2.segment(SegmentId(2)).from, g.segment(SegmentId(2)).from);
+        assert_eq!(
+            g2.segment_between(NodeId(0), NodeId(1)),
+            Some(SegmentId(0))
+        );
+    }
+
+    #[test]
+    fn headings() {
+        let g = diamond();
+        let e0 = g.segment(SegmentId(0));
+        // 0 -> 1 is north-east: 45 degrees
+        assert!((e0.entry_heading() - std::f64::consts::FRAC_PI_4).abs() < 1e-9);
+        assert!((e0.exit_heading() - std::f64::consts::FRAC_PI_4).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic]
+    fn geometry_must_have_two_points() {
+        let mut b = RoadNetworkBuilder::new();
+        let u = b.add_node(Point::new(0.0, 0.0));
+        let v = b.add_node(Point::new(1.0, 0.0));
+        b.add_segment_with_geometry(u, v, RoadClass::Local, vec![Point::new(0.0, 0.0)]);
+    }
+}

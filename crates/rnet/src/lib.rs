@@ -1,0 +1,38 @@
+//! Road-network substrate for the RL4OASD reproduction.
+//!
+//! The paper evaluates on road networks of Chengdu and Xi'an obtained from
+//! OpenStreetMap. Those extracts (and the DiDi trajectories that traverse
+//! them) are not redistributable, so this crate provides:
+//!
+//! * a directed road-network graph ([`RoadNetwork`]) with the exact
+//!   properties the algorithms consume — per-segment geometry and length,
+//!   intersection in/out degrees (used by the paper's Road Network Enhanced
+//!   Labeling rules), road classes and speed limits (traffic-context
+//!   features);
+//! * a synthetic **city generator** ([`generator::CityBuilder`]) that builds
+//!   degree-heterogeneous, imperfect grid cities sized like the paper's
+//!   datasets (Table II: 4,885 / 5,052 segments);
+//! * **shortest-path** machinery ([`path`]) used by the map matcher and by
+//!   the traffic simulator's route-family construction;
+//! * a **spatial index** ([`index::SegmentIndex`]) for GPS-point candidate
+//!   lookup during map matching.
+//!
+//! Coordinates are planar metres in a city-local frame. Helpers convert to
+//! pseudo lon/lat for display parity with the paper's case-study figures.
+
+#![deny(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod astar;
+pub mod generator;
+pub mod geo;
+pub mod graph;
+pub mod index;
+pub mod path;
+
+pub use astar::{alternative_routes, astar};
+pub use generator::{CityBuilder, CityConfig};
+pub use geo::Point;
+pub use graph::{NodeId, RoadClass, RoadNetwork, RoadNetworkBuilder, Segment, SegmentId};
+pub use index::SegmentIndex;
+pub use path::{dijkstra, shortest_path, PathResult};

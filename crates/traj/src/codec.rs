@@ -1,0 +1,220 @@
+//! Compact binary encoding for map-matched trajectories.
+//!
+//! Large simulations produce hundreds of thousands of trajectories; JSON is
+//! wasteful for checkpointing them between experiment stages. This codec
+//! stores each trajectory as a varint-encoded, delta-compressed segment
+//! sequence (consecutive segment ids on real road networks are strongly
+//! locally correlated, so zig-zag deltas are small).
+//!
+//! Format (little-endian):
+//! ```text
+//! u32  magic "TRJ1"
+//! u32  trajectory count
+//! per trajectory:
+//!   u32     id
+//!   f64     start_time
+//!   varint  segment count n
+//!   varint  first segment id
+//!   n-1 ×   zig-zag varint delta to previous id
+//! ```
+
+use crate::types::{MappedTrajectory, TrajectoryId};
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use rnet::SegmentId;
+
+const MAGIC: u32 = 0x3154_524A; // "JRT1" little-endian spells TRJ1 in memory
+
+/// Errors produced by [`decode_trajectories`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CodecError {
+    /// The buffer does not start with the expected magic number.
+    BadMagic,
+    /// The buffer ended before the declared contents.
+    Truncated,
+    /// A varint ran past 10 bytes (corrupt input).
+    VarintOverflow,
+}
+
+impl std::fmt::Display for CodecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CodecError::BadMagic => write!(f, "bad magic number"),
+            CodecError::Truncated => write!(f, "truncated buffer"),
+            CodecError::VarintOverflow => write!(f, "varint overflow"),
+        }
+    }
+}
+
+impl std::error::Error for CodecError {}
+
+/// Encodes trajectories into the compact binary format.
+pub fn encode_trajectories(trajs: &[MappedTrajectory]) -> Bytes {
+    let mut buf = BytesMut::with_capacity(16 + trajs.len() * 32);
+    buf.put_u32_le(MAGIC);
+    buf.put_u32_le(trajs.len() as u32);
+    for t in trajs {
+        buf.put_u32_le(t.id.0);
+        buf.put_f64_le(t.start_time);
+        put_varint(&mut buf, t.segments.len() as u64);
+        if let Some((first, rest)) = t.segments.split_first() {
+            put_varint(&mut buf, first.0 as u64);
+            let mut prev = first.0 as i64;
+            for s in rest {
+                let delta = s.0 as i64 - prev;
+                put_varint(&mut buf, zigzag(delta));
+                prev = s.0 as i64;
+            }
+        }
+    }
+    buf.freeze()
+}
+
+/// Decodes trajectories produced by [`encode_trajectories`].
+pub fn decode_trajectories(mut buf: &[u8]) -> Result<Vec<MappedTrajectory>, CodecError> {
+    if buf.remaining() < 8 {
+        return Err(CodecError::Truncated);
+    }
+    if buf.get_u32_le() != MAGIC {
+        return Err(CodecError::BadMagic);
+    }
+    let count = buf.get_u32_le() as usize;
+    let mut out = Vec::with_capacity(count);
+    for _ in 0..count {
+        if buf.remaining() < 12 {
+            return Err(CodecError::Truncated);
+        }
+        let id = TrajectoryId(buf.get_u32_le());
+        let start_time = buf.get_f64_le();
+        let n = get_varint(&mut buf)? as usize;
+        let mut segments = Vec::with_capacity(n);
+        if n > 0 {
+            let first = get_varint(&mut buf)?;
+            segments.push(SegmentId(first as u32));
+            let mut prev = first as i64;
+            for _ in 1..n {
+                let delta = unzigzag(get_varint(&mut buf)?);
+                prev += delta;
+                segments.push(SegmentId(prev as u32));
+            }
+        }
+        out.push(MappedTrajectory {
+            id,
+            segments,
+            start_time,
+        });
+    }
+    Ok(out)
+}
+
+fn put_varint(buf: &mut BytesMut, mut v: u64) {
+    loop {
+        let byte = (v & 0x7F) as u8;
+        v >>= 7;
+        if v == 0 {
+            buf.put_u8(byte);
+            return;
+        }
+        buf.put_u8(byte | 0x80);
+    }
+}
+
+fn get_varint(buf: &mut &[u8]) -> Result<u64, CodecError> {
+    let mut v = 0u64;
+    for shift in (0..70).step_by(7) {
+        if !buf.has_remaining() {
+            return Err(CodecError::Truncated);
+        }
+        let byte = buf.get_u8();
+        if shift >= 63 && byte > 1 {
+            return Err(CodecError::VarintOverflow);
+        }
+        v |= ((byte & 0x7F) as u64) << shift;
+        if byte & 0x80 == 0 {
+            return Ok(v);
+        }
+    }
+    Err(CodecError::VarintOverflow)
+}
+
+#[inline]
+fn zigzag(v: i64) -> u64 {
+    ((v << 1) ^ (v >> 63)) as u64
+}
+
+#[inline]
+fn unzigzag(v: u64) -> i64 {
+    ((v >> 1) as i64) ^ -((v & 1) as i64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn traj(id: u32, segs: &[u32], t: f64) -> MappedTrajectory {
+        MappedTrajectory {
+            id: TrajectoryId(id),
+            segments: segs.iter().map(|&s| SegmentId(s)).collect(),
+            start_time: t,
+        }
+    }
+
+    #[test]
+    fn roundtrip_basic() {
+        let trajs = vec![
+            traj(0, &[5, 6, 7, 100, 3], 3600.5),
+            traj(1, &[], 0.0),
+            traj(2, &[u32::MAX - 1, 0, u32::MAX], 86_399.0),
+        ];
+        let encoded = encode_trajectories(&trajs);
+        let decoded = decode_trajectories(&encoded).unwrap();
+        assert_eq!(decoded, trajs);
+    }
+
+    #[test]
+    fn roundtrip_empty_list() {
+        let encoded = encode_trajectories(&[]);
+        assert_eq!(decode_trajectories(&encoded).unwrap(), vec![]);
+    }
+
+    #[test]
+    fn detects_bad_magic() {
+        let mut bytes = encode_trajectories(&[traj(0, &[1], 0.0)]).to_vec();
+        bytes[0] ^= 0xFF;
+        assert_eq!(decode_trajectories(&bytes), Err(CodecError::BadMagic));
+    }
+
+    #[test]
+    fn detects_truncation() {
+        let bytes = encode_trajectories(&[traj(0, &[1, 2, 3], 0.0)]);
+        for cut in 1..bytes.len() {
+            let res = decode_trajectories(&bytes[..cut]);
+            assert!(res.is_err(), "cut at {cut} must fail");
+        }
+    }
+
+    #[test]
+    fn zigzag_roundtrip() {
+        for v in [-5i64, -1, 0, 1, 5, i64::MAX / 2, i64::MIN / 2] {
+            assert_eq!(unzigzag(zigzag(v)), v);
+        }
+    }
+
+    #[test]
+    fn compression_beats_raw_u32() {
+        // Locally correlated ids should compress well below 4 bytes/segment.
+        let segs: Vec<u32> = (0..1000u32).map(|i| 5000 + i * 2).collect();
+        let trajs = vec![traj(0, &segs, 0.0)];
+        let encoded = encode_trajectories(&trajs);
+        assert!(encoded.len() < 1000 * 4 / 2, "len = {}", encoded.len());
+    }
+
+    proptest::proptest! {
+        #[test]
+        fn roundtrip_random(segs in proptest::collection::vec(0u32..10_000, 0..200),
+                            t in 0.0f64..86_400.0) {
+            let trajs = vec![traj(7, &segs, t)];
+            let decoded = decode_trajectories(&encode_trajectories(&trajs)).unwrap();
+            proptest::prop_assert_eq!(decoded, trajs);
+        }
+    }
+}

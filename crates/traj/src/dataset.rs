@@ -1,0 +1,370 @@
+//! Dataset container: trajectories, ground truth, SD-pair grouping and
+//! Table II-style statistics.
+
+use crate::generator::GeneratedTraffic;
+use crate::types::{MappedTrajectory, SdPair, TrajectoryId, HOURS_PER_DAY};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// A trajectory corpus with optional ground-truth labels.
+///
+/// Mirrors the paper's experimental setup: all trajectories are grouped by
+/// SD pair (and, during preprocessing, by time slot); a labelled subset
+/// serves as the test set. Built from a [`GeneratedTraffic`] run or
+/// assembled manually. Serialization stores trajectories and ground truth
+/// only; the SD-pair index is rebuilt on deserialization.
+#[derive(Debug, Clone, Serialize, Deserialize, Default)]
+#[serde(from = "DatasetData", into = "DatasetData")]
+pub struct Dataset {
+    /// All map-matched trajectories, indexed by [`TrajectoryId`].
+    pub trajectories: Vec<MappedTrajectory>,
+    /// Ground-truth labels; `None` for unlabelled trajectories.
+    pub ground_truth: Vec<Option<Vec<u8>>>,
+    /// Trajectory ids per SD pair.
+    pub by_pair: HashMap<SdPair, Vec<TrajectoryId>>,
+}
+
+impl Dataset {
+    /// Builds a dataset from simulator output, keeping all ground truth.
+    pub fn from_generated(data: &GeneratedTraffic) -> Self {
+        let mut ds = Dataset {
+            trajectories: data.trajectories.clone(),
+            ground_truth: data.ground_truth.iter().cloned().map(Some).collect(),
+            by_pair: HashMap::new(),
+        };
+        ds.rebuild_index();
+        ds
+    }
+
+    /// Rebuilds [`Dataset::by_pair`] from the trajectory list.
+    pub fn rebuild_index(&mut self) {
+        self.by_pair.clear();
+        for t in &self.trajectories {
+            if let Some(sd) = t.sd_pair() {
+                self.by_pair.entry(sd).or_default().push(t.id);
+            }
+        }
+    }
+
+    /// Number of trajectories.
+    pub fn len(&self) -> usize {
+        self.trajectories.len()
+    }
+
+    /// Whether the dataset is empty.
+    pub fn is_empty(&self) -> bool {
+        self.trajectories.is_empty()
+    }
+
+    /// The trajectory with the given id.
+    pub fn get(&self, id: TrajectoryId) -> &MappedTrajectory {
+        &self.trajectories[id.idx()]
+    }
+
+    /// Ground truth of the given trajectory, if labelled.
+    pub fn truth(&self, id: TrajectoryId) -> Option<&[u8]> {
+        self.ground_truth[id.idx()].as_deref()
+    }
+
+    /// Ids of all labelled trajectories.
+    pub fn labelled_ids(&self) -> Vec<TrajectoryId> {
+        self.ground_truth
+            .iter()
+            .enumerate()
+            .filter_map(|(i, g)| g.as_ref().map(|_| TrajectoryId(i as u32)))
+            .collect()
+    }
+
+    /// Trajectories of an SD pair (empty slice semantics via `Vec`).
+    pub fn pair_trajectories(&self, pair: SdPair) -> &[TrajectoryId] {
+        self.by_pair.get(&pair).map(|v| v.as_slice()).unwrap_or(&[])
+    }
+
+    /// Groups the trajectories of `pair` by one-hour time slot. Slot groups
+    /// are the unit of the paper's preprocessing (§IV-B Step 1).
+    pub fn pair_slot_groups(&self, pair: SdPair) -> Vec<Vec<TrajectoryId>> {
+        let mut groups = vec![Vec::new(); HOURS_PER_DAY];
+        for &id in self.pair_trajectories(pair) {
+            groups[self.get(id).time_slot()].push(id);
+        }
+        groups
+    }
+
+    /// Drops SD pairs with fewer than `min` trajectories (paper §V-A:
+    /// "filter those SD-pairs that contain less than 25 trajectories").
+    /// Returns the number of trajectories removed. Ids are re-assigned.
+    pub fn filter_sparse_pairs(&mut self, min: usize) -> usize {
+        let keep_pairs: std::collections::HashSet<SdPair> = self
+            .by_pair
+            .iter()
+            .filter(|(_, v)| v.len() >= min)
+            .map(|(k, _)| *k)
+            .collect();
+        let before = self.trajectories.len();
+        let mut new_trajs = Vec::new();
+        let mut new_truth = Vec::new();
+        for (t, g) in self.trajectories.iter().zip(&self.ground_truth) {
+            if t.sd_pair().map(|sd| keep_pairs.contains(&sd)) == Some(true) {
+                let mut t = t.clone();
+                t.id = TrajectoryId(new_trajs.len() as u32);
+                new_trajs.push(t);
+                new_truth.push(g.clone());
+            }
+        }
+        self.trajectories = new_trajs;
+        self.ground_truth = new_truth;
+        self.rebuild_index();
+        before - self.trajectories.len()
+    }
+
+    /// Splits into (train, test): `test_per_pair` labelled trajectories per
+    /// SD pair go to the test set (ground truth retained), the rest to the
+    /// train set (ground truth stripped — training is label-free, §IV).
+    pub fn split(&self, test_per_pair: usize) -> (Dataset, Dataset) {
+        let mut train = Dataset::default();
+        let mut test = Dataset::default();
+        for ids in self.by_pair.values() {
+            for (k, &id) in ids.iter().enumerate() {
+                let t = self.get(id).clone();
+                if k < test_per_pair {
+                    let mut t = t;
+                    t.id = TrajectoryId(test.trajectories.len() as u32);
+                    test.ground_truth.push(self.ground_truth[id.idx()].clone());
+                    test.trajectories.push(t);
+                } else {
+                    let mut t = t;
+                    t.id = TrajectoryId(train.trajectories.len() as u32);
+                    train.ground_truth.push(None);
+                    train.trajectories.push(t);
+                }
+            }
+        }
+        train.rebuild_index();
+        test.rebuild_index();
+        (train, test)
+    }
+
+    /// Returns a copy keeping only trajectories satisfying `keep`.
+    /// Ids are re-assigned densely; ground truth follows its trajectory.
+    pub fn filter<F: Fn(&MappedTrajectory) -> bool>(&self, keep: F) -> Dataset {
+        let mut out = Dataset::default();
+        for (t, g) in self.trajectories.iter().zip(&self.ground_truth) {
+            if keep(t) {
+                let mut t = t.clone();
+                t.id = TrajectoryId(out.trajectories.len() as u32);
+                out.trajectories.push(t);
+                out.ground_truth.push(g.clone());
+            }
+        }
+        out.rebuild_index();
+        out
+    }
+
+    /// Randomly drops `rate` of each SD pair's trajectories (the paper's
+    /// cold-start experiment, Table VI). At least one trajectory per pair
+    /// survives. Deterministic in `seed`.
+    pub fn drop_per_pair(&self, rate: f64, seed: u64) -> Dataset {
+        use rand::seq::SliceRandom;
+        use rand::SeedableRng;
+        assert!((0.0..1.0).contains(&rate) || rate == 0.0);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let mut keep: std::collections::HashSet<TrajectoryId> = std::collections::HashSet::new();
+        for ids in self.by_pair.values() {
+            let mut ids = ids.clone();
+            ids.shuffle(&mut rng);
+            let n = (((ids.len() as f64) * (1.0 - rate)).ceil() as usize).max(1);
+            keep.extend(ids.into_iter().take(n));
+        }
+        self.filter(|t| keep.contains(&t.id))
+    }
+
+    /// Table II-style statistics.
+    pub fn stats(&self) -> DatasetStats {
+        let mut routes: HashMap<&[rnet::SegmentId], bool> = HashMap::new();
+        let mut anomalous_trajs = 0usize;
+        for (t, g) in self.trajectories.iter().zip(&self.ground_truth) {
+            let anom = g
+                .as_ref()
+                .map(|g| g.contains(&1))
+                .unwrap_or(false);
+            anomalous_trajs += usize::from(anom);
+            let e = routes.entry(t.segments.as_slice()).or_insert(false);
+            *e = *e || anom;
+        }
+        let anomalous_routes = routes.values().filter(|&&a| a).count();
+        DatasetStats {
+            num_trajectories: self.trajectories.len(),
+            num_routes: routes.len(),
+            num_anomalous_routes: anomalous_routes,
+            num_anomalous_trajectories: anomalous_trajs,
+            anomaly_ratio: if self.trajectories.is_empty() {
+                0.0
+            } else {
+                anomalous_trajs as f64 / self.trajectories.len() as f64
+            },
+            num_sd_pairs: self.by_pair.len(),
+        }
+    }
+}
+
+/// Serialized form of [`Dataset`] (index omitted).
+#[derive(Serialize, Deserialize)]
+struct DatasetData {
+    trajectories: Vec<MappedTrajectory>,
+    ground_truth: Vec<Option<Vec<u8>>>,
+}
+
+impl From<DatasetData> for Dataset {
+    fn from(d: DatasetData) -> Self {
+        let mut ds = Dataset {
+            trajectories: d.trajectories,
+            ground_truth: d.ground_truth,
+            by_pair: HashMap::new(),
+        };
+        ds.rebuild_index();
+        ds
+    }
+}
+
+impl From<Dataset> for DatasetData {
+    fn from(ds: Dataset) -> Self {
+        DatasetData {
+            trajectories: ds.trajectories,
+            ground_truth: ds.ground_truth,
+        }
+    }
+}
+
+/// Summary statistics in the shape of the paper's Table II.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DatasetStats {
+    /// Total trajectories.
+    pub num_trajectories: usize,
+    /// Distinct routes (unique segment sequences).
+    pub num_routes: usize,
+    /// Distinct routes containing an anomaly.
+    pub num_anomalous_routes: usize,
+    /// Trajectories containing an anomaly.
+    pub num_anomalous_trajectories: usize,
+    /// Fraction of anomalous trajectories.
+    pub anomaly_ratio: f64,
+    /// Number of SD pairs.
+    pub num_sd_pairs: usize,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generator::{TrafficConfig, TrafficSimulator};
+    use rnet::{CityBuilder, CityConfig};
+
+    fn dataset(seed: u64) -> Dataset {
+        let net = CityBuilder::new(CityConfig::tiny(seed)).build();
+        let data = TrafficSimulator::new(&net, TrafficConfig::tiny(seed)).generate();
+        Dataset::from_generated(&data)
+    }
+
+    #[test]
+    fn index_covers_all_trajectories() {
+        let ds = dataset(1);
+        let total: usize = ds.by_pair.values().map(|v| v.len()).sum();
+        assert_eq!(total, ds.len());
+        for (pair, ids) in &ds.by_pair {
+            for &id in ids {
+                assert_eq!(ds.get(id).sd_pair().unwrap(), *pair);
+            }
+        }
+    }
+
+    #[test]
+    fn stats_consistent() {
+        let ds = dataset(2);
+        let st = ds.stats();
+        assert_eq!(st.num_trajectories, ds.len());
+        assert!(st.num_routes <= st.num_trajectories);
+        assert!(st.num_anomalous_routes <= st.num_routes);
+        assert!(st.anomaly_ratio > 0.0 && st.anomaly_ratio < 1.0);
+        assert_eq!(st.num_sd_pairs, 4);
+    }
+
+    #[test]
+    fn split_keeps_truth_only_in_test() {
+        let ds = dataset(3);
+        let (train, test) = ds.split(5);
+        assert_eq!(train.len() + test.len(), ds.len());
+        assert!(train.ground_truth.iter().all(|g| g.is_none()));
+        assert!(test.ground_truth.iter().all(|g| g.is_some()));
+        assert_eq!(test.len(), 5 * ds.by_pair.len());
+        // ids are re-assigned densely
+        for (i, t) in train.trajectories.iter().enumerate() {
+            assert_eq!(t.id.idx(), i);
+        }
+    }
+
+    #[test]
+    fn filter_sparse_pairs_removes_small_groups() {
+        let mut ds = dataset(4);
+        // every pair has >= 20 trajectories, so min=10 removes nothing
+        assert_eq!(ds.filter_sparse_pairs(10), 0);
+        let n = ds.len();
+        // absurd min removes everything
+        let removed = ds.filter_sparse_pairs(100_000);
+        assert_eq!(removed, n);
+        assert!(ds.is_empty());
+    }
+
+    #[test]
+    fn slot_groups_partition_pair() {
+        let ds = dataset(5);
+        let (&pair, ids) = ds.by_pair.iter().next().unwrap();
+        let groups = ds.pair_slot_groups(pair);
+        let total: usize = groups.iter().map(|g| g.len()).sum();
+        assert_eq!(total, ids.len());
+        for (slot, group) in groups.iter().enumerate() {
+            for &id in group {
+                assert_eq!(ds.get(id).time_slot(), slot);
+            }
+        }
+    }
+
+    #[test]
+    fn filter_reindexes_densely() {
+        let ds = dataset(7);
+        let kept = ds.filter(|t| t.len() >= 8);
+        assert!(kept.len() <= ds.len());
+        for (i, t) in kept.trajectories.iter().enumerate() {
+            assert_eq!(t.id.idx(), i);
+            assert!(t.len() >= 8);
+        }
+        // truth stays aligned
+        for t in &kept.trajectories {
+            assert_eq!(kept.truth(t.id).map(|g| g.len()), Some(t.len()));
+        }
+    }
+
+    #[test]
+    fn drop_per_pair_respects_rate() {
+        let ds = dataset(8);
+        let dropped = ds.drop_per_pair(0.5, 1);
+        for (pair, ids) in &ds.by_pair {
+            let kept = dropped.by_pair.get(pair).map(|v| v.len()).unwrap_or(0);
+            let expect = ((ids.len() as f64) * 0.5).ceil() as usize;
+            assert_eq!(kept, expect.max(1));
+        }
+        // rate 0 is identity in size
+        assert_eq!(ds.drop_per_pair(0.0, 1).len(), ds.len());
+        // deterministic
+        let a = ds.drop_per_pair(0.3, 9);
+        let b = ds.drop_per_pair(0.3, 9);
+        assert_eq!(a.trajectories, b.trajectories);
+    }
+
+    #[test]
+    fn labelled_ids_match_truth() {
+        let mut ds = dataset(6);
+        ds.ground_truth[0] = None;
+        let ids = ds.labelled_ids();
+        assert_eq!(ids.len(), ds.len() - 1);
+        assert!(!ids.contains(&TrajectoryId(0)));
+    }
+}

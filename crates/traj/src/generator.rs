@@ -1,0 +1,833 @@
+//! Traffic simulator: the reproduction's substitute for the DiDi
+//! Chengdu/Xi'an trajectory corpora.
+//!
+//! The paper's detection signal is *relative route popularity within an SD
+//! pair and time slot*: a trajectory is anomalous where it deviates from the
+//! routes the majority takes. The simulator reproduces that structure
+//! directly:
+//!
+//! 1. For every SD pair it builds a **route family**: one or two popular
+//!    *normal routes* (shortest path plus a weight-perturbed alternative)
+//!    and a few *detour routes*, each produced by splicing an alternative
+//!    sub-path — disjoint from every normal route's segments — into a normal
+//!    route.
+//! 2. Trajectories are sampled from the family: with probability
+//!    `anomaly_ratio` a detour, otherwise a normal route by popularity.
+//!    Start times follow a peaked time-of-day distribution (so one-hour time
+//!    slots have realistic occupancy, matching the paper's grouping step).
+//! 3. Because the detour segments are disjoint from the normal segments by
+//!    construction, exact **ground-truth labels** fall out: a segment is
+//!    anomalous iff it is not on any normal route of the trajectory's
+//!    regime. This replaces the paper's manual labelling with a noiseless
+//!    oracle.
+//! 4. **Concept drift** (paper §V-G, Fig. 6–7): with [`DriftConfig`], each
+//!    pair has exactly one normal and one detour route, and after
+//!    `swap_time` their roles exchange — what was anomalous becomes the
+//!    popular route and vice versa. Ground truth follows the regime.
+//!
+//! Raw GPS emission (2–4 s sampling, Gaussian noise) is optional and feeds
+//! the map-matching experiments (paper Table V).
+
+use crate::types::{GpsPoint, MappedTrajectory, RawTrajectory, SdPair, TrajectoryId};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rnet::path::shortest_path_weighted;
+use rnet::{geo, Point, RoadNetwork, SegmentId};
+use serde::{Deserialize, Serialize};
+use std::collections::HashSet;
+
+/// Kind of a route within an SD pair's route family.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum RouteKind {
+    /// A popular route followed by the majority of trajectories.
+    Normal,
+    /// A rare detour deviating from the normal routes.
+    Detour,
+}
+
+/// One route of an SD pair's family.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Route {
+    /// Segment sequence from the SD source segment to the destination
+    /// segment.
+    pub segments: Vec<SegmentId>,
+    /// Whether the route is normal or a detour *in regime 0*. Under drift
+    /// the roles swap in regime 1.
+    pub kind: RouteKind,
+    /// Index range (positions in `segments`) of the spliced detour span;
+    /// `None` for normal routes.
+    pub detour_span: Option<(usize, usize)>,
+}
+
+/// The route family and bookkeeping for one SD pair.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SdPairData {
+    /// The pair (source segment, destination segment).
+    pub pair: SdPair,
+    /// Route family; normal routes first, then detours.
+    pub routes: Vec<Route>,
+    /// Popularity of each *normal* route (sums to 1 over normal routes).
+    pub normal_popularity: Vec<f64>,
+}
+
+impl SdPairData {
+    /// Indices of routes that are normal in the given regime (0 before the
+    /// drift swap, 1 after). Without drift, regime is always 0.
+    pub fn normal_route_indices(&self, regime: usize) -> Vec<usize> {
+        let normals: Vec<usize> = self
+            .routes
+            .iter()
+            .enumerate()
+            .filter(|(_, r)| r.kind == RouteKind::Normal)
+            .map(|(i, _)| i)
+            .collect();
+        if regime == 0 {
+            normals
+        } else {
+            // Drift regime: the first detour is promoted, the most popular
+            // normal route is demoted.
+            let detours: Vec<usize> = self
+                .routes
+                .iter()
+                .enumerate()
+                .filter(|(_, r)| r.kind == RouteKind::Detour)
+                .map(|(i, _)| i)
+                .collect();
+            match (normals.split_first(), detours.first()) {
+                (Some((_, rest)), Some(&d)) => {
+                    let mut v = vec![d];
+                    v.extend_from_slice(rest);
+                    v
+                }
+                _ => normals,
+            }
+        }
+    }
+
+    /// The set of segments on normal routes of the given regime.
+    pub fn normal_segment_set(&self, regime: usize) -> HashSet<SegmentId> {
+        let mut set = HashSet::new();
+        for i in self.normal_route_indices(regime) {
+            set.extend(self.routes[i].segments.iter().copied());
+        }
+        set
+    }
+}
+
+/// Concept-drift configuration (paper §V-G).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DriftConfig {
+    /// Seconds since midnight after which route roles swap (regime 1).
+    pub swap_time: f64,
+}
+
+/// Simulator configuration.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TrafficConfig {
+    /// Number of SD pairs to generate.
+    pub num_sd_pairs: usize,
+    /// Inclusive range of trajectories per SD pair (paper filters pairs
+    /// with < 25 trajectories; labelled pairs have ≥ 30).
+    pub trajs_per_pair: (usize, usize),
+    /// Probability that a trajectory follows a detour route.
+    pub anomaly_ratio: f64,
+    /// Normal routes per pair (clamped to 1–3; forced to 1 under drift).
+    pub num_normal_routes: usize,
+    /// Detour routes per pair (clamped to 1–4; forced to 1 under drift).
+    pub num_detour_routes: usize,
+    /// Minimum route length in segments.
+    pub min_route_len: usize,
+    /// Maximum route length in segments.
+    pub max_route_len: usize,
+    /// Standard deviation of GPS noise, metres.
+    pub gps_noise_std: f64,
+    /// GPS sampling interval range, seconds (paper Table II: 2–4 s).
+    pub gps_interval: (f64, f64),
+    /// Whether to emit raw GPS trajectories (needed for map-matching
+    /// experiments; costly for large datasets).
+    pub generate_raw: bool,
+    /// Optional concept drift.
+    pub drift: Option<DriftConfig>,
+    /// Draw start times uniformly over the day instead of the peaked
+    /// commute distribution. The drift experiments (paper §V-G) partition
+    /// the day into ξ parts and need every part populated.
+    pub uniform_start_times: bool,
+    /// RNG seed; equal configs generate identical data on the same network.
+    pub seed: u64,
+}
+
+impl Default for TrafficConfig {
+    fn default() -> Self {
+        TrafficConfig {
+            num_sd_pairs: 50,
+            trajs_per_pair: (60, 160),
+            anomaly_ratio: 0.05,
+            num_normal_routes: 2,
+            num_detour_routes: 2,
+            min_route_len: 8,
+            max_route_len: 60,
+            gps_noise_std: 8.0,
+            gps_interval: (2.0, 4.0),
+            generate_raw: false,
+            drift: None,
+            uniform_start_times: false,
+            seed: 0x0A5D,
+        }
+    }
+}
+
+impl TrafficConfig {
+    /// Small config for unit tests.
+    pub fn tiny(seed: u64) -> Self {
+        TrafficConfig {
+            num_sd_pairs: 4,
+            trajs_per_pair: (20, 30),
+            anomaly_ratio: 0.15,
+            min_route_len: 5,
+            max_route_len: 25,
+            seed,
+            ..Default::default()
+        }
+    }
+}
+
+/// Output of a simulation run: trajectories aligned with ground truth.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct GeneratedTraffic {
+    /// Per-pair route families.
+    pub pairs: Vec<SdPairData>,
+    /// Map-matched trajectories (the simulator's native output).
+    pub trajectories: Vec<MappedTrajectory>,
+    /// Ground-truth labels aligned with `trajectories`.
+    pub ground_truth: Vec<Vec<u8>>,
+    /// Pair index of each trajectory.
+    pub pair_of: Vec<usize>,
+    /// Route index (within the pair's family) of each trajectory.
+    pub route_of: Vec<usize>,
+    /// Raw GPS trajectories aligned with `trajectories` (empty when
+    /// `generate_raw` is off).
+    pub raw: Vec<RawTrajectory>,
+}
+
+/// Builds route families and samples trajectories on a road network.
+pub struct TrafficSimulator<'a> {
+    net: &'a RoadNetwork,
+    config: TrafficConfig,
+}
+
+impl<'a> TrafficSimulator<'a> {
+    /// Creates a simulator over `net` with the given config.
+    ///
+    /// # Panics
+    /// Panics on nonsensical configs (empty ranges, ratios outside [0, 1]).
+    pub fn new(net: &'a RoadNetwork, mut config: TrafficConfig) -> Self {
+        assert!(config.num_sd_pairs > 0);
+        assert!(config.trajs_per_pair.0 >= 1 && config.trajs_per_pair.0 <= config.trajs_per_pair.1);
+        assert!((0.0..=1.0).contains(&config.anomaly_ratio));
+        assert!(config.min_route_len >= 3 && config.min_route_len <= config.max_route_len);
+        config.num_normal_routes = config.num_normal_routes.clamp(1, 3);
+        config.num_detour_routes = config.num_detour_routes.clamp(1, 4);
+        if config.drift.is_some() {
+            // Drift experiments use a clean 1 normal + 1 detour family so
+            // that the regime swap is exact (see module docs).
+            config.num_normal_routes = 1;
+            config.num_detour_routes = 1;
+        }
+        TrafficSimulator { net, config }
+    }
+
+    /// The effective configuration (after clamping).
+    pub fn config(&self) -> &TrafficConfig {
+        &self.config
+    }
+
+    /// Runs the simulation.
+    pub fn generate(&self) -> GeneratedTraffic {
+        let mut rng = StdRng::seed_from_u64(self.config.seed);
+        let mut pairs = Vec::with_capacity(self.config.num_sd_pairs);
+        let mut attempts = 0usize;
+        while pairs.len() < self.config.num_sd_pairs {
+            attempts += 1;
+            assert!(
+                attempts < self.config.num_sd_pairs * 200,
+                "could not build enough SD pairs; network too small for the requested route lengths"
+            );
+            if let Some(p) = self.build_pair(&mut rng) {
+                pairs.push(p);
+            }
+        }
+
+        let mut trajectories = Vec::new();
+        let mut ground_truth = Vec::new();
+        let mut pair_of = Vec::new();
+        let mut route_of = Vec::new();
+        let mut raw = Vec::new();
+        for (pi, pair) in pairs.iter().enumerate() {
+            let n = rng.gen_range(self.config.trajs_per_pair.0..=self.config.trajs_per_pair.1);
+            for _ in 0..n {
+                let start_time = self.sample_start_time(&mut rng);
+                let regime = self.regime_of(start_time);
+                let ri = self.sample_route(pair, regime, &mut rng);
+                let route = &pair.routes[ri];
+                let id = TrajectoryId(trajectories.len() as u32);
+                let traj = MappedTrajectory {
+                    id,
+                    segments: route.segments.clone(),
+                    start_time,
+                };
+                let gt = self.ground_truth_for(pair, ri, regime);
+                if self.config.generate_raw {
+                    raw.push(self.emit_gps(&traj, &mut rng));
+                }
+                trajectories.push(traj);
+                ground_truth.push(gt);
+                pair_of.push(pi);
+                route_of.push(ri);
+            }
+        }
+        GeneratedTraffic {
+            pairs,
+            trajectories,
+            ground_truth,
+            pair_of,
+            route_of,
+            raw,
+        }
+    }
+
+    /// Generates additional trajectories from *existing* route families —
+    /// used to build labelled test sets that share SD pairs with the
+    /// training corpus but have a different anomaly mix, mirroring the
+    /// paper's labelled evaluation sets (where most labelled *routes* are
+    /// anomalous while the raw corpus is ~99% normal).
+    pub fn generate_from_pairs(
+        &self,
+        pairs: &[SdPairData],
+        trajs_per_pair: (usize, usize),
+        anomaly_ratio: f64,
+        seed: u64,
+    ) -> GeneratedTraffic {
+        assert!((0.0..=1.0).contains(&anomaly_ratio));
+        assert!(trajs_per_pair.0 >= 1 && trajs_per_pair.0 <= trajs_per_pair.1);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let override_cfg = TrafficConfig {
+            anomaly_ratio,
+            trajs_per_pair,
+            ..self.config.clone()
+        };
+        let sim = TrafficSimulator {
+            net: self.net,
+            config: override_cfg,
+        };
+        let mut out = GeneratedTraffic {
+            pairs: pairs.to_vec(),
+            trajectories: Vec::new(),
+            ground_truth: Vec::new(),
+            pair_of: Vec::new(),
+            route_of: Vec::new(),
+            raw: Vec::new(),
+        };
+        for (pi, pair) in pairs.iter().enumerate() {
+            let n = rng.gen_range(trajs_per_pair.0..=trajs_per_pair.1);
+            for _ in 0..n {
+                let start_time = sim.sample_start_time(&mut rng);
+                let regime = sim.regime_of(start_time);
+                let ri = sim.sample_route(pair, regime, &mut rng);
+                let id = TrajectoryId(out.trajectories.len() as u32);
+                let traj = MappedTrajectory {
+                    id,
+                    segments: pair.routes[ri].segments.clone(),
+                    start_time,
+                };
+                if sim.config.generate_raw {
+                    out.raw.push(sim.emit_gps(&traj, &mut rng));
+                }
+                out.ground_truth.push(sim.ground_truth_for(pair, ri, regime));
+                out.trajectories.push(traj);
+                out.pair_of.push(pi);
+                out.route_of.push(ri);
+            }
+        }
+        out
+    }
+
+    /// Regime of a start time: 0 before the drift swap (or always without
+    /// drift), 1 after.
+    pub fn regime_of(&self, start_time: f64) -> usize {
+        match self.config.drift {
+            Some(d) if start_time >= d.swap_time => 1,
+            _ => 0,
+        }
+    }
+
+    fn sample_start_time(&self, rng: &mut StdRng) -> f64 {
+        if self.config.uniform_start_times {
+            return rng.gen_range(0.0..crate::types::SECONDS_PER_DAY);
+        }
+        // Mixture: 45% morning peak, 35% evening peak, 20% uniform day.
+        let u: f64 = rng.gen();
+        let t: f64 = if u < 0.45 {
+            rng.gen_range(7.0..10.0) * 3600.0 + rng.gen_range(0.0..3600.0) - 1800.0
+        } else if u < 0.80 {
+            rng.gen_range(17.0..20.0) * 3600.0 + rng.gen_range(0.0..3600.0) - 1800.0
+        } else {
+            rng.gen_range(0.0..24.0) * 3600.0
+        };
+        t.rem_euclid(crate::types::SECONDS_PER_DAY)
+    }
+
+    fn sample_route(&self, pair: &SdPairData, regime: usize, rng: &mut StdRng) -> usize {
+        let normals = pair.normal_route_indices(regime);
+        let all: Vec<usize> = (0..pair.routes.len()).collect();
+        let anomalous: Vec<usize> = all.iter().copied().filter(|i| !normals.contains(i)).collect();
+        if !anomalous.is_empty() && rng.gen::<f64>() < self.config.anomaly_ratio {
+            anomalous[rng.gen_range(0..anomalous.len())]
+        } else {
+            // Popularity-weighted choice among regime-normal routes. The
+            // stored popularity vector indexes regime-0 normals; reuse its
+            // weights positionally for whichever routes are normal now.
+            let w = &pair.normal_popularity;
+            let total: f64 = w.iter().take(normals.len()).sum();
+            let mut x = rng.gen::<f64>() * total;
+            for (k, &ri) in normals.iter().enumerate() {
+                let wk = w.get(k).copied().unwrap_or(1e-9);
+                if x < wk {
+                    return ri;
+                }
+                x -= wk;
+            }
+            *normals.last().expect("at least one normal route")
+        }
+    }
+
+    /// Ground-truth labels for route `ri` of `pair` in `regime`: a segment
+    /// is anomalous iff it is not on any regime-normal route. Endpoints are
+    /// always normal by definition (they belong to every route).
+    fn ground_truth_for(&self, pair: &SdPairData, ri: usize, regime: usize) -> Vec<u8> {
+        let normal_set = pair.normal_segment_set(regime);
+        let route = &pair.routes[ri];
+        route
+            .segments
+            .iter()
+            .map(|s| u8::from(!normal_set.contains(s)))
+            .collect()
+    }
+
+    // ---- route family construction ------------------------------------
+
+    fn build_pair(&self, rng: &mut StdRng) -> Option<SdPairData> {
+        let net = self.net;
+        let n = net.num_nodes() as u32;
+        let s = rnet::NodeId(rng.gen_range(0..n));
+        let d = rnet::NodeId(rng.gen_range(0..n));
+        if s == d {
+            return None;
+        }
+        let base = rnet::shortest_path(net, s, d)?;
+        if base.segments.len() < self.config.min_route_len
+            || base.segments.len() > self.config.max_route_len
+        {
+            return None;
+        }
+
+        // Normal routes: the shortest path plus weight-perturbed variants
+        // that share the first and last segment.
+        let first = base.segments[0];
+        let last = *base.segments.last().unwrap();
+        let mut normals: Vec<Vec<SegmentId>> = vec![base.segments.clone()];
+        let mut tries = 0;
+        while normals.len() < self.config.num_normal_routes && tries < 12 {
+            tries += 1;
+            if let Some(alt) = self.perturbed_route(first, last, rng) {
+                if alt.len() <= self.config.max_route_len
+                    && !normals.contains(&alt)
+                    && has_unique_elements(&alt)
+                {
+                    normals.push(alt);
+                }
+            }
+        }
+
+        // Detours: splice an alternative sub-path (disjoint from every
+        // normal segment) into the most popular normal route.
+        let normal_set: HashSet<SegmentId> =
+            normals.iter().flatten().copied().collect();
+        let mut detours: Vec<Route> = Vec::new();
+        let mut tries = 0;
+        while detours.len() < self.config.num_detour_routes && tries < 24 {
+            tries += 1;
+            let base_route = &normals[rng.gen_range(0..normals.len())];
+            if let Some(r) = self.splice_detour(base_route, &normal_set, rng) {
+                if detours.iter().all(|d| d.segments != r.segments) {
+                    detours.push(r);
+                }
+            }
+        }
+        if detours.is_empty() {
+            return None; // pair unusable for anomaly experiments
+        }
+
+        // Popularity: a clearly dominant first route and a substantial
+        // second route. The split mirrors the paper's Fig. 1 example
+        // (0.5 / 0.4 / 0.1): the dominant route's transition fractions
+        // stay above the noisy-label threshold α while alternatives sit
+        // between δ and α — the regime the preprocessing heuristics are
+        // designed around.
+        let normal_popularity: Vec<f64> = match normals.len() {
+            1 => vec![1.0],
+            2 => {
+                let p0 = rng.gen_range(0.60..0.68);
+                vec![p0, 1.0 - p0]
+            }
+            _ => {
+                let p0 = rng.gen_range(0.47..0.53);
+                let p1 = rng.gen_range(0.28..0.32);
+                vec![p0, p1, 1.0 - p0 - p1]
+            }
+        };
+
+        let mut routes: Vec<Route> = normals
+            .into_iter()
+            .map(|segments| Route {
+                segments,
+                kind: RouteKind::Normal,
+                detour_span: None,
+            })
+            .collect();
+        routes.extend(detours);
+
+        Some(SdPairData {
+            pair: SdPair {
+                source: first,
+                dest: last,
+            },
+            routes,
+            normal_popularity,
+        })
+    }
+
+    /// A route from `first` to `last` under exponentially perturbed weights.
+    fn perturbed_route(
+        &self,
+        first: SegmentId,
+        last: SegmentId,
+        rng: &mut StdRng,
+    ) -> Option<Vec<SegmentId>> {
+        let net = self.net;
+        // Per-call jitter factors, hashed from segment id for O(1) memory.
+        let salt: u64 = rng.gen();
+        let weight = move |s: SegmentId| {
+            let h = splitmix64(salt ^ (s.0 as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+            let u = (h >> 11) as f64 / (1u64 << 53) as f64; // [0, 1)
+            net.segment(s).length * (0.6 + 1.2 * u)
+        };
+        let mid = shortest_path_weighted(
+            net,
+            net.segment(first).to,
+            net.segment(last).from,
+            weight,
+        )?;
+        let mut segs = Vec::with_capacity(mid.segments.len() + 2);
+        segs.push(first);
+        segs.extend(mid.segments);
+        segs.push(last);
+        Some(segs)
+    }
+
+    /// Splices a detour into `base`, avoiding every segment in `normal_set`.
+    fn splice_detour(
+        &self,
+        base: &[SegmentId],
+        normal_set: &HashSet<SegmentId>,
+        rng: &mut StdRng,
+    ) -> Option<Route> {
+        let net = self.net;
+        let m = base.len();
+        if m < 5 {
+            return None;
+        }
+        // Detour span over interior positions [i, j].
+        let span_max = ((m - 2) / 2).max(1);
+        let i = rng.gen_range(1..m - 2);
+        let j = (i + rng.gen_range(1..=span_max)).min(m - 2);
+        let u = net.segment(base[i]).from;
+        let v = net.segment(base[j]).to;
+        let alt = shortest_path_weighted(net, u, v, |s| {
+            if normal_set.contains(&s) {
+                f64::INFINITY
+            } else {
+                net.segment(s).length
+            }
+        })?;
+        if alt.segments.is_empty() {
+            return None;
+        }
+        let mut segments = Vec::with_capacity(m + alt.segments.len());
+        segments.extend_from_slice(&base[..i]);
+        let span_start = segments.len();
+        segments.extend_from_slice(&alt.segments);
+        let span_end = segments.len() - 1;
+        segments.extend_from_slice(&base[j + 1..]);
+        if !has_unique_elements(&segments) {
+            return None; // reject loops
+        }
+        debug_assert!(net.is_connected_path(&segments));
+        Some(Route {
+            segments,
+            kind: RouteKind::Detour,
+            detour_span: Some((span_start, span_end)),
+        })
+    }
+
+    // ---- GPS emission ---------------------------------------------------
+
+    /// Emits raw GPS points for a mapped trajectory: walk the concatenated
+    /// geometry at per-segment speeds, sample every 2–4 s, add noise.
+    fn emit_gps(&self, traj: &MappedTrajectory, rng: &mut StdRng) -> RawTrajectory {
+        let net = self.net;
+        // Concatenated polyline and cumulative speeds.
+        let mut polyline: Vec<Point> = Vec::new();
+        let mut speeds: Vec<(f64, f64)> = Vec::new(); // (cum length at seg start, speed)
+        let mut cum = 0.0;
+        for &sid in &traj.segments {
+            let seg = net.segment(sid);
+            let speed = seg.speed_limit * rng.gen_range(0.7..1.1);
+            speeds.push((cum, speed));
+            let skip = usize::from(!polyline.is_empty());
+            polyline.extend(seg.geometry.iter().skip(skip));
+            cum += seg.length;
+        }
+        let total_len = cum;
+        let speed_at = |offset: f64| -> f64 {
+            match speeds.binary_search_by(|(c, _)| c.partial_cmp(&offset).unwrap()) {
+                Ok(k) => speeds[k].1,
+                Err(0) => speeds[0].1,
+                Err(k) => speeds[k - 1].1,
+            }
+        };
+        let mut points = Vec::new();
+        let mut t = traj.start_time;
+        let mut offset = 0.0;
+        loop {
+            let pos = geo::point_at_offset(&polyline, offset).unwrap_or(polyline[0]);
+            let noisy = Point::new(
+                pos.x + gauss(rng) * self.config.gps_noise_std,
+                pos.y + gauss(rng) * self.config.gps_noise_std,
+            );
+            points.push(GpsPoint { pos: noisy, t });
+            if offset >= total_len {
+                break;
+            }
+            let dt = rng.gen_range(self.config.gps_interval.0..=self.config.gps_interval.1);
+            offset = (offset + speed_at(offset) * dt).min(total_len);
+            t += dt;
+        }
+        RawTrajectory {
+            id: traj.id,
+            points,
+        }
+    }
+}
+
+fn has_unique_elements(segs: &[SegmentId]) -> bool {
+    let mut seen = HashSet::with_capacity(segs.len());
+    segs.iter().all(|s| seen.insert(*s))
+}
+
+/// Standard normal sample via Box–Muller.
+fn gauss(rng: &mut StdRng) -> f64 {
+    let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+    let u2: f64 = rng.gen();
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+/// SplitMix64 hash for deterministic per-segment weight jitter.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = x;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rnet::{CityBuilder, CityConfig};
+
+    fn sim_data(seed: u64) -> (RoadNetwork, GeneratedTraffic) {
+        let net = CityBuilder::new(CityConfig::tiny(seed)).build();
+        let sim = TrafficSimulator::new(&net, TrafficConfig::tiny(seed));
+        let data = sim.generate();
+        (net, data)
+    }
+
+    #[test]
+    fn generates_requested_pairs_and_trajectories() {
+        let (_, data) = sim_data(1);
+        assert_eq!(data.pairs.len(), 4);
+        assert!(data.trajectories.len() >= 4 * 20);
+        assert_eq!(data.trajectories.len(), data.ground_truth.len());
+        assert_eq!(data.trajectories.len(), data.pair_of.len());
+        assert_eq!(data.trajectories.len(), data.route_of.len());
+    }
+
+    #[test]
+    fn trajectories_are_connected_paths() {
+        let (net, data) = sim_data(2);
+        for t in &data.trajectories {
+            assert!(net.is_connected_path(&t.segments), "disconnected trajectory");
+            assert!(t.len() >= 5);
+        }
+    }
+
+    #[test]
+    fn all_routes_share_sd_pair() {
+        let (_, data) = sim_data(3);
+        for p in &data.pairs {
+            for r in &p.routes {
+                assert_eq!(*r.segments.first().unwrap(), p.pair.source);
+                assert_eq!(*r.segments.last().unwrap(), p.pair.dest);
+            }
+        }
+    }
+
+    #[test]
+    fn detour_segments_disjoint_from_normals() {
+        let (_, data) = sim_data(4);
+        for p in &data.pairs {
+            let normal_set = p.normal_segment_set(0);
+            for r in &p.routes {
+                if let Some((a, b)) = r.detour_span {
+                    assert!(a <= b && b < r.segments.len());
+                    for k in a..=b {
+                        assert!(
+                            !normal_set.contains(&r.segments[k]),
+                            "detour span must avoid normal segments"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn ground_truth_normal_routes_all_zero() {
+        let (_, data) = sim_data(5);
+        for (k, t) in data.trajectories.iter().enumerate() {
+            let pair = &data.pairs[data.pair_of[k]];
+            let route = &pair.routes[data.route_of[k]];
+            if route.kind == RouteKind::Normal {
+                assert!(
+                    data.ground_truth[k].iter().all(|&l| l == 0),
+                    "normal route must have all-zero ground truth"
+                );
+            } else {
+                assert!(
+                    data.ground_truth[k].contains(&1),
+                    "detour must have anomalous segments"
+                );
+                // endpoints are always normal
+                assert_eq!(data.ground_truth[k][0], 0);
+                assert_eq!(*data.ground_truth[k].last().unwrap(), 0);
+            }
+            assert_eq!(data.ground_truth[k].len(), t.len());
+        }
+    }
+
+    #[test]
+    fn anomaly_ratio_approximately_respected() {
+        let net = CityBuilder::new(CityConfig::tiny(7)).build();
+        let cfg = TrafficConfig {
+            num_sd_pairs: 6,
+            trajs_per_pair: (200, 200),
+            anomaly_ratio: 0.10,
+            ..TrafficConfig::tiny(7)
+        };
+        let data = TrafficSimulator::new(&net, cfg).generate();
+        let anomalous = data
+            .ground_truth
+            .iter()
+            .filter(|g| g.contains(&1))
+            .count() as f64;
+        let ratio = anomalous / data.trajectories.len() as f64;
+        assert!((0.05..0.18).contains(&ratio), "ratio {ratio} out of range");
+    }
+
+    #[test]
+    fn determinism() {
+        let (_, a) = sim_data(11);
+        let (_, b) = sim_data(11);
+        assert_eq!(a.trajectories, b.trajectories);
+        assert_eq!(a.ground_truth, b.ground_truth);
+    }
+
+    #[test]
+    fn drift_swaps_roles() {
+        let net = CityBuilder::new(CityConfig::tiny(13)).build();
+        let cfg = TrafficConfig {
+            drift: Some(DriftConfig {
+                swap_time: 12.0 * 3600.0,
+            }),
+            anomaly_ratio: 0.1,
+            ..TrafficConfig::tiny(13)
+        };
+        let sim = TrafficSimulator::new(&net, cfg);
+        // Drift forces 1 normal + 1 detour.
+        assert_eq!(sim.config().num_normal_routes, 1);
+        let data = sim.generate();
+        assert_eq!(sim.regime_of(0.0), 0);
+        assert_eq!(sim.regime_of(13.0 * 3600.0), 1);
+        for p in &data.pairs {
+            let n0 = p.normal_route_indices(0);
+            let n1 = p.normal_route_indices(1);
+            assert_ne!(n0, n1, "regimes must use different normal routes");
+        }
+        // A regime-1 trajectory on the old normal route must be anomalous.
+        let mut checked = false;
+        for (k, t) in data.trajectories.iter().enumerate() {
+            let pair = &data.pairs[data.pair_of[k]];
+            let regime = sim.regime_of(t.start_time);
+            let route = &pair.routes[data.route_of[k]];
+            if regime == 1 && route.kind == RouteKind::Normal {
+                assert!(data.ground_truth[k].contains(&1));
+                checked = true;
+            }
+            if regime == 1 && route.kind == RouteKind::Detour {
+                assert!(data.ground_truth[k].iter().all(|&l| l == 0));
+            }
+        }
+        assert!(checked, "expected at least one regime-1 old-normal trajectory");
+    }
+
+    #[test]
+    fn gps_emission_is_plausible() {
+        let net = CityBuilder::new(CityConfig::tiny(17)).build();
+        let cfg = TrafficConfig {
+            num_sd_pairs: 2,
+            trajs_per_pair: (3, 5),
+            generate_raw: true,
+            ..TrafficConfig::tiny(17)
+        };
+        let data = TrafficSimulator::new(&net, cfg).generate();
+        assert_eq!(data.raw.len(), data.trajectories.len());
+        for (raw, mapped) in data.raw.iter().zip(&data.trajectories) {
+            assert!(raw.len() >= 2, "at least start and end points");
+            // timestamps strictly increasing with 2-4 s gaps
+            for w in raw.points.windows(2) {
+                let dt = w[1].t - w[0].t;
+                assert!((2.0..=4.0 + 1e-9).contains(&dt), "dt={dt}");
+            }
+            assert_eq!(raw.id, mapped.id);
+            assert!((raw.points[0].t - mapped.start_time).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn start_times_within_day() {
+        let (_, data) = sim_data(19);
+        for t in &data.trajectories {
+            assert!((0.0..crate::types::SECONDS_PER_DAY).contains(&t.start_time));
+        }
+    }
+}

@@ -1,0 +1,148 @@
+//! Per-segment binary labels and subtrajectory extraction.
+//!
+//! Detectors output one label per road segment (0 = normal, 1 = anomalous).
+//! An *anomalous subtrajectory* is a maximal run of 1-labels (paper §IV-D:
+//! "an anomalous subtrajectory boundary can be identified when the labels of
+//! two adjacent road segments are different").
+
+use serde::{Deserialize, Serialize};
+
+/// A maximal run of anomalous labels: positions `start..=end` (inclusive)
+/// within a trajectory.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct LabelSpan {
+    /// First anomalous position.
+    pub start: usize,
+    /// Last anomalous position (inclusive).
+    pub end: usize,
+}
+
+impl LabelSpan {
+    /// Number of segments covered.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.end - self.start + 1
+    }
+
+    /// Spans are never empty; provided for API symmetry.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Whether `i` lies within the span.
+    #[inline]
+    pub fn contains(&self, i: usize) -> bool {
+        (self.start..=self.end).contains(&i)
+    }
+}
+
+/// Extracts the maximal runs of 1-labels from a label sequence.
+///
+/// ```
+/// use traj::extract_subtrajectories;
+/// let spans = extract_subtrajectories(&[0, 1, 1, 0, 1]);
+/// assert_eq!(spans.len(), 2);
+/// assert_eq!((spans[0].start, spans[0].end), (1, 2));
+/// assert_eq!((spans[1].start, spans[1].end), (4, 4));
+/// ```
+pub fn extract_subtrajectories(labels: &[u8]) -> Vec<LabelSpan> {
+    let mut spans = Vec::new();
+    let mut start = None;
+    for (i, &l) in labels.iter().enumerate() {
+        match (l, start) {
+            (1, None) => start = Some(i),
+            (0, Some(s)) => {
+                spans.push(LabelSpan { start: s, end: i - 1 });
+                start = None;
+            }
+            _ => {}
+        }
+    }
+    if let Some(s) = start {
+        spans.push(LabelSpan {
+            start: s,
+            end: labels.len() - 1,
+        });
+    }
+    spans
+}
+
+/// Rebuilds a label sequence of length `n` from spans (inverse of
+/// [`extract_subtrajectories`] for non-overlapping sorted spans).
+pub fn spans_to_labels(spans: &[LabelSpan], n: usize) -> Vec<u8> {
+    let mut labels = vec![0u8; n];
+    for s in spans {
+        for l in labels.iter_mut().take(s.end.min(n - 1) + 1).skip(s.start) {
+            *l = 1;
+        }
+    }
+    labels
+}
+
+/// Fraction of 1-labels in a sequence (0.0 for empty input).
+pub fn anomaly_fraction(labels: &[u8]) -> f64 {
+    if labels.is_empty() {
+        return 0.0;
+    }
+    labels.iter().filter(|&&l| l == 1).count() as f64 / labels.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_and_all_zero() {
+        assert!(extract_subtrajectories(&[]).is_empty());
+        assert!(extract_subtrajectories(&[0, 0, 0]).is_empty());
+    }
+
+    #[test]
+    fn all_ones_is_single_span() {
+        let spans = extract_subtrajectories(&[1, 1, 1]);
+        assert_eq!(spans, vec![LabelSpan { start: 0, end: 2 }]);
+        assert_eq!(spans[0].len(), 3);
+    }
+
+    #[test]
+    fn trailing_run_closed() {
+        let spans = extract_subtrajectories(&[0, 1, 1]);
+        assert_eq!(spans, vec![LabelSpan { start: 1, end: 2 }]);
+    }
+
+    #[test]
+    fn leading_run() {
+        let spans = extract_subtrajectories(&[1, 0, 0, 1]);
+        assert_eq!(
+            spans,
+            vec![
+                LabelSpan { start: 0, end: 0 },
+                LabelSpan { start: 3, end: 3 }
+            ]
+        );
+    }
+
+    #[test]
+    fn spans_roundtrip() {
+        let labels = vec![0, 1, 1, 0, 0, 1, 0, 1, 1, 1];
+        let spans = extract_subtrajectories(&labels);
+        assert_eq!(spans_to_labels(&spans, labels.len()), labels);
+    }
+
+    #[test]
+    fn anomaly_fraction_basics() {
+        assert_eq!(anomaly_fraction(&[]), 0.0);
+        assert_eq!(anomaly_fraction(&[0, 0]), 0.0);
+        assert!((anomaly_fraction(&[0, 1, 1, 0]) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn contains_checks_bounds() {
+        let s = LabelSpan { start: 2, end: 4 };
+        assert!(!s.contains(1));
+        assert!(s.contains(2));
+        assert!(s.contains(4));
+        assert!(!s.contains(5));
+    }
+}

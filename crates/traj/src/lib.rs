@@ -1,0 +1,38 @@
+//! Trajectory substrate for the RL4OASD reproduction.
+//!
+//! Provides the data model of the paper's preliminaries (§III-A) — raw GPS
+//! trajectories, map-matched trajectories (segment sequences), SD pairs,
+//! time slots, transitions and subtrajectories — plus the two pieces the
+//! reproduction must synthesise because the DiDi Chengdu/Xi'an data is
+//! proprietary:
+//!
+//! * [`generator::TrafficSimulator`]: builds per-SD-pair *route families*
+//!   (a few popular "normal" routes and rare detours), samples trajectories
+//!   from them with realistic start times, speeds and 2–4 s GPS sampling,
+//!   and emits ground-truth anomalous-subtrajectory labels for the injected
+//!   detours (replacing the paper's manual labelling);
+//! * [`dataset::Dataset`]: the container used by preprocessing, training
+//!   and evaluation, with SD-pair/time-slot grouping and Table II-style
+//!   statistics.
+//!
+//! The [`OnlineDetector`] trait (shared by RL4OASD and all baselines) lives
+//! here so that the evaluation and benchmark harnesses are detector-agnostic.
+
+#![deny(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod codec;
+pub mod dataset;
+pub mod detector;
+pub mod generator;
+pub mod labels;
+pub mod types;
+
+pub use dataset::{Dataset, DatasetStats};
+pub use detector::OnlineDetector;
+pub use generator::{DriftConfig, RouteKind, SdPairData, TrafficConfig, TrafficSimulator};
+pub use labels::{extract_subtrajectories, LabelSpan};
+pub use types::{
+    slot_of_time, GpsPoint, MappedTrajectory, RawTrajectory, SdPair, Transition, TrajectoryId,
+    HOURS_PER_DAY, SECONDS_PER_DAY,
+};

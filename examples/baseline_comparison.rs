@@ -1,0 +1,91 @@
+//! Compares RL4OASD against the strongest similarity baseline (CTSS) and
+//! the isolation heuristic (IBOAT) on one corpus, with dev-set threshold
+//! tuning exactly as in the paper's evaluation protocol.
+//!
+//! Run with: `cargo run --release --example baseline_comparison`
+
+use rl4oasd_repro::prelude::*;
+use rnet::{CityBuilder, CityConfig};
+use std::sync::Arc;
+
+fn main() {
+    let net = CityBuilder::new(CityConfig::chengdu_like()).build();
+    let sim = TrafficSimulator::new(
+        &net,
+        TrafficConfig {
+            num_sd_pairs: 20,
+            trajs_per_pair: (80, 140),
+            ..Default::default()
+        },
+    );
+    let generated = sim.generate();
+    let train = Dataset::from_generated(&generated);
+    let dev = Dataset::from_generated(&sim.generate_from_pairs(&generated.pairs, (3, 3), 0.35, 1));
+    let test = Dataset::from_generated(&sim.generate_from_pairs(&generated.pairs, (6, 8), 0.4, 2));
+
+    println!("training RL4OASD...");
+    let model = rl4oasd::train(
+        &net,
+        &train,
+        &Rl4oasdConfig {
+            joint_trajs: 1000,
+            ..Default::default()
+        },
+    );
+    let stats = Arc::new(RouteStats::fit(&train));
+
+    let truths = |data: &Dataset| -> Vec<Vec<u8>> {
+        data.trajectories
+            .iter()
+            .map(|t| data.truth(t.id).unwrap().to_vec())
+            .collect()
+    };
+    let dev_truths = truths(&dev);
+    let test_truths = truths(&test);
+
+    // Tune CTSS / IBOAT thresholds on the dev set (paper protocol).
+    let report = |name: &str, outputs: Vec<Vec<u8>>| {
+        let m = evaluate(&outputs, &test_truths);
+        println!("{name:>8}: F1 = {:.3}  TF1 = {:.3}", m.f1, m.tf1);
+    };
+
+    for (name, mut scorer) in [
+        (
+            "CTSS",
+            Box::new(Ctss::new(&net, Arc::clone(&stats))) as Box<dyn ScoringDetector>,
+        ),
+        (
+            "IBOAT",
+            Box::new(Iboat::new(Arc::clone(&stats), 0.05)) as Box<dyn ScoringDetector>,
+        ),
+    ] {
+        let dev_scores: Vec<Vec<f64>> = dev
+            .trajectories
+            .iter()
+            .map(|t| {
+                scorer
+                    .score_trajectory(t)
+                    .into_iter()
+                    .map(|s| s.min(1e6))
+                    .collect()
+            })
+            .collect();
+        let (thr, dev_f1) = eval::tune_threshold(&dev_scores, &dev_truths, 50);
+        println!("{name}: tuned threshold {thr:.3} (dev F1 {dev_f1:.3})");
+        let mut det = Thresholded::new(scorer, thr);
+        let outputs: Vec<Vec<u8>> = test
+            .trajectories
+            .iter()
+            .map(|t| det.label_trajectory(t))
+            .collect();
+        report(name, outputs);
+    }
+
+    let mut det = Rl4oasdDetector::new(&model, &net);
+    let outputs: Vec<Vec<u8>> = test
+        .trajectories
+        .iter()
+        .map(|t| det.label_trajectory(t))
+        .collect();
+    report("RL4OASD", outputs);
+}

@@ -1,0 +1,73 @@
+//! Concept drift: what is "normal" changes over the day (paper §V-G).
+//!
+//! Route popularity swaps at noon (e.g. roadworks make the usual route
+//! slow). A model trained on the morning (P1) starts to false-positive in
+//! the afternoon; fine-tuning on newly recorded trips (FT) recovers.
+//!
+//! Run with: `cargo run --release --example concept_drift`
+
+use rl4oasd_repro::prelude::*;
+use rnet::{CityBuilder, CityConfig};
+
+fn main() {
+    let net = CityBuilder::new(CityConfig::chengdu_like()).build();
+    let sim = TrafficSimulator::new(
+        &net,
+        TrafficConfig {
+            num_sd_pairs: 12,
+            trajs_per_pair: (160, 220),
+            drift: Some(DriftConfig {
+                swap_time: 12.0 * 3600.0,
+            }),
+            ..Default::default()
+        },
+    );
+    let generated = sim.generate();
+    let all = Dataset::from_generated(&generated);
+    let morning = all.filter(|t| t.start_time < 12.0 * 3600.0);
+    let afternoon = all.filter(|t| t.start_time >= 12.0 * 3600.0);
+    println!(
+        "{} morning trips, {} afternoon trips (routes swap at noon)",
+        morning.len(),
+        afternoon.len()
+    );
+
+    let cfg = Rl4oasdConfig {
+        joint_trajs: 800,
+        ..Default::default()
+    };
+    println!("training P1 on the morning only...");
+    let p1 = rl4oasd::train(&net, &morning, &cfg);
+
+    let eval_on = |model: &TrainedModel, data: &Dataset, name: &str| {
+        let mut det = Rl4oasdDetector::new(model, &net);
+        let outputs: Vec<Vec<u8>> = data
+            .trajectories
+            .iter()
+            .map(|t| det.label_trajectory(t))
+            .collect();
+        let truths: Vec<Vec<u8>> = data
+            .trajectories
+            .iter()
+            .map(|t| data.truth(t.id).unwrap().to_vec())
+            .collect();
+        let m = evaluate(&outputs, &truths);
+        println!("  {name}: F1 = {:.3}", m.f1);
+        m.f1
+    };
+
+    println!("P1 performance:");
+    eval_on(&p1, &morning, "morning (in-distribution)  ");
+    let p1_pm = eval_on(&p1, &afternoon, "afternoon (concept drifted) ");
+
+    println!("fine-tuning on afternoon trips (online learning)...");
+    let mut learner = rl4oasd::OnlineLearner::new(p1);
+    let secs = learner.fine_tune(&net, &afternoon);
+    println!("  fine-tuned in {secs:.1} s");
+    let ft_pm = eval_on(&learner.model, &afternoon, "afternoon after fine-tuning ");
+    println!(
+        "\ndrift cost {:.3} F1; online learning recovered {:+.3}",
+        1.0 - p1_pm,
+        ft_pm - p1_pm
+    );
+}

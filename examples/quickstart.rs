@@ -1,0 +1,81 @@
+//! Quickstart: build a synthetic city, train RL4OASD without labels, and
+//! detect anomalous subtrajectories online.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use rl4oasd_repro::prelude::*;
+use rnet::{CityBuilder, CityConfig};
+
+fn main() {
+    // 1. A synthetic city (~4.3k road segments) and a day of taxi traffic.
+    println!("building city and simulating traffic...");
+    let net = CityBuilder::new(CityConfig::chengdu_like()).build();
+    let sim = TrafficSimulator::new(
+        &net,
+        TrafficConfig {
+            num_sd_pairs: 20,
+            trajs_per_pair: (80, 140),
+            anomaly_ratio: 0.05,
+            ..Default::default()
+        },
+    );
+    let generated = sim.generate();
+    let train = Dataset::from_generated(&generated);
+    println!(
+        "  {} trajectories over {} SD pairs",
+        train.len(),
+        train.by_pair.len()
+    );
+
+    // 2. Train RL4OASD — no labels needed (noisy labels are derived from
+    //    transition fractions, then refined by the RL loop).
+    println!("training RL4OASD...");
+    let config = Rl4oasdConfig {
+        joint_trajs: 1000,
+        ..Default::default()
+    };
+    let model = rl4oasd::train(&net, &train, &config);
+
+    // 3. Detect. A detector is cheap to construct and reusable.
+    let mut detector = Rl4oasdDetector::new(&model, &net);
+    let test = Dataset::from_generated(&sim.generate_from_pairs(
+        &generated.pairs,
+        (3, 4),
+        0.5,
+        42,
+    ));
+    let mut shown = 0;
+    for t in &test.trajectories {
+        let labels = detector.label_trajectory(t);
+        let spans = traj::extract_subtrajectories(&labels);
+        if !spans.is_empty() && shown < 5 {
+            println!(
+                "trajectory {:?} ({} segments): anomalous subtrajectories {:?}",
+                t.id,
+                t.len(),
+                spans
+                    .iter()
+                    .map(|s| (s.start, s.end))
+                    .collect::<Vec<_>>()
+            );
+            shown += 1;
+        }
+    }
+
+    // 4. How good is it? The simulator knows the ground truth.
+    let outputs: Vec<Vec<u8>> = test
+        .trajectories
+        .iter()
+        .map(|t| detector.label_trajectory(t))
+        .collect();
+    let truths: Vec<Vec<u8>> = test
+        .trajectories
+        .iter()
+        .map(|t| test.truth(t.id).unwrap().to_vec())
+        .collect();
+    let m = evaluate(&outputs, &truths);
+    println!(
+        "test F1 = {:.3}, TF1 = {:.3} (precision {:.3}, recall {:.3})",
+        m.f1, m.tf1, m.precision, m.recall
+    );
+}

@@ -1,0 +1,207 @@
+//! `oasd` — command-line front end for the RL4OASD reproduction.
+//!
+//! ```text
+//! oasd simulate --seed 7 --pairs 20 --out corpus.json     generate a city + traffic corpus
+//! oasd train    --corpus corpus.json --model model.json   label-free training
+//! oasd detect   --corpus corpus.json --model model.json   label a corpus, print spans
+//! oasd eval     --corpus corpus.json --model model.json   score against ground truth
+//! ```
+//!
+//! Artifacts are JSON (the only serialisation format available offline);
+//! corpora bundle the road network with the trajectories so every command
+//! is self-contained.
+
+use rl4oasd::{load_model, save_model, Rl4oasdConfig, Rl4oasdDetector};
+use rnet::{CityBuilder, CityConfig, RoadNetwork};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::process::ExitCode;
+use traj::{Dataset, OnlineDetector, TrafficConfig, TrafficSimulator};
+
+#[derive(Serialize, Deserialize)]
+struct Corpus {
+    network: RoadNetwork,
+    train: Dataset,
+    test: Dataset,
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some((cmd, rest)) = args.split_first() else {
+        eprintln!("{USAGE}");
+        return ExitCode::FAILURE;
+    };
+    let opts = parse_flags(rest);
+    let result = match cmd.as_str() {
+        "simulate" => simulate(&opts),
+        "train" => train(&opts),
+        "detect" => detect(&opts),
+        "eval" => eval_cmd(&opts),
+        "--help" | "-h" | "help" => {
+            println!("{USAGE}");
+            Ok(())
+        }
+        other => Err(format!("unknown command `{other}`\n{USAGE}")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "usage:
+  oasd simulate [--seed N] [--pairs N] [--trajs N] [--anomaly-ratio F] [--out corpus.json]
+  oasd train    --corpus corpus.json [--model model.json] [--joint-trajs N]
+  oasd detect   --corpus corpus.json --model model.json [--limit N]
+  oasd eval     --corpus corpus.json --model model.json";
+
+fn parse_flags(args: &[String]) -> HashMap<String, String> {
+    let mut map = HashMap::new();
+    let mut i = 0;
+    while i < args.len() {
+        if let Some(key) = args[i].strip_prefix("--") {
+            let value = args.get(i + 1).cloned().unwrap_or_default();
+            map.insert(key.to_string(), value);
+            i += 2;
+        } else {
+            i += 1;
+        }
+    }
+    map
+}
+
+fn flag<T: std::str::FromStr>(opts: &HashMap<String, String>, key: &str, default: T) -> T {
+    opts.get(key)
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+fn simulate(opts: &HashMap<String, String>) -> Result<(), String> {
+    let seed: u64 = flag(opts, "seed", 7);
+    let pairs: usize = flag(opts, "pairs", 20);
+    let trajs: usize = flag(opts, "trajs", 120);
+    let ratio: f64 = flag(opts, "anomaly-ratio", 0.05);
+    let out = opts
+        .get("out")
+        .cloned()
+        .unwrap_or_else(|| "corpus.json".to_string());
+
+    eprintln!("building city (seed {seed})...");
+    let mut city = CityConfig::chengdu_like();
+    city.seed = seed;
+    let network = CityBuilder::new(city).build();
+    let sim = TrafficSimulator::new(
+        &network,
+        TrafficConfig {
+            num_sd_pairs: pairs,
+            trajs_per_pair: (trajs.saturating_sub(20).max(10), trajs + 20),
+            anomaly_ratio: ratio,
+            seed,
+            ..Default::default()
+        },
+    );
+    let generated = sim.generate();
+    let train = Dataset::from_generated(&generated);
+    let test =
+        Dataset::from_generated(&sim.generate_from_pairs(&generated.pairs, (5, 8), 0.4, seed ^ 1));
+    eprintln!(
+        "simulated {} training and {} labelled test trajectories over {} pairs",
+        train.len(),
+        test.len(),
+        pairs
+    );
+    let corpus = Corpus {
+        network,
+        train,
+        test,
+    };
+    std::fs::write(
+        &out,
+        serde_json::to_string(&corpus).map_err(|e| e.to_string())?,
+    )
+    .map_err(|e| e.to_string())?;
+    eprintln!("wrote {out}");
+    Ok(())
+}
+
+fn load_corpus(opts: &HashMap<String, String>) -> Result<Corpus, String> {
+    let path = opts
+        .get("corpus")
+        .ok_or("missing --corpus <file>".to_string())?;
+    let json = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    serde_json::from_str(&json).map_err(|e| format!("{path}: {e}"))
+}
+
+fn train(opts: &HashMap<String, String>) -> Result<(), String> {
+    let corpus = load_corpus(opts)?;
+    let model_path = opts
+        .get("model")
+        .cloned()
+        .unwrap_or_else(|| "model.json".to_string());
+    let config = Rl4oasdConfig {
+        joint_trajs: flag(opts, "joint-trajs", 2000),
+        ..Default::default()
+    };
+    eprintln!("training on {} trajectories...", corpus.train.len());
+    let started = std::time::Instant::now();
+    let model = rl4oasd::train(&corpus.network, &corpus.train, &config);
+    eprintln!("trained in {:.1} s", started.elapsed().as_secs_f64());
+    save_model(&model, std::path::Path::new(&model_path)).map_err(|e| e.to_string())?;
+    eprintln!("wrote {model_path}");
+    Ok(())
+}
+
+fn detect(opts: &HashMap<String, String>) -> Result<(), String> {
+    let corpus = load_corpus(opts)?;
+    let model_path = opts.get("model").ok_or("missing --model <file>")?;
+    let model = load_model(std::path::Path::new(model_path)).map_err(|e| e.to_string())?;
+    let limit: usize = flag(opts, "limit", 20);
+    let mut det = Rl4oasdDetector::new(&model, &corpus.network);
+    for t in corpus.test.trajectories.iter().take(limit) {
+        let labels = det.label_trajectory(t);
+        let spans = traj::extract_subtrajectories(&labels);
+        if spans.is_empty() {
+            println!("trajectory {:>4}: NORMAL ({} segments)", t.id.0, t.len());
+        } else {
+            println!(
+                "trajectory {:>4}: ANOMALOUS at {:?} ({} segments)",
+                t.id.0,
+                spans.iter().map(|s| (s.start, s.end)).collect::<Vec<_>>(),
+                t.len()
+            );
+        }
+    }
+    Ok(())
+}
+
+fn eval_cmd(opts: &HashMap<String, String>) -> Result<(), String> {
+    let corpus = load_corpus(opts)?;
+    let model_path = opts.get("model").ok_or("missing --model <file>")?;
+    let model = load_model(std::path::Path::new(model_path)).map_err(|e| e.to_string())?;
+    let mut det = Rl4oasdDetector::new(&model, &corpus.network);
+    let mut outputs = Vec::new();
+    let mut truths = Vec::new();
+    for t in &corpus.test.trajectories {
+        let Some(gt) = corpus.test.truth(t.id) else {
+            continue;
+        };
+        outputs.push(det.label_trajectory(t));
+        truths.push(gt.to_vec());
+    }
+    if truths.is_empty() {
+        return Err("corpus has no labelled test trajectories".to_string());
+    }
+    let m = eval::evaluate(&outputs, &truths);
+    let c = eval::Confusion::of_corpus(&outputs, &truths);
+    println!("span-level   : F1 {:.3}  TF1 {:.3}  (P {:.3}, R {:.3})", m.f1, m.tf1, m.precision, m.recall);
+    println!(
+        "segment-level: F1 {:.3}  acc {:.3}  FPR {:.4}",
+        c.f1(),
+        c.accuracy(),
+        c.false_positive_rate()
+    );
+    Ok(())
+}

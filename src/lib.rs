@@ -1,0 +1,66 @@
+//! # RL4OASD reproduction — umbrella crate
+//!
+//! This crate re-exports the workspace's public API so the examples and
+//! downstream users can depend on a single crate:
+//!
+//! * [`rnet`] — road networks and the synthetic city generator;
+//! * [`traj`] — trajectories, SD pairs, the traffic simulator and the
+//!   [`traj::OnlineDetector`] trait;
+//! * [`mapmatch`] — HMM map matching;
+//! * [`nn`] — the minimal neural-network substrate;
+//! * [`rl4oasd`] — the paper's contribution: preprocessing, RSRNet, ASDNet,
+//!   training and the online detector;
+//! * [`baselines`] — IBOAT, DBTOD, CTSS and the GM-VSAE family;
+//! * [`eval`] — NER-style F1/TF1 metrics and threshold tuning.
+//!
+//! ## Quickstart
+//!
+//! ```no_run
+//! use rl4oasd_repro::prelude::*;
+//!
+//! // 1. a synthetic city and its traffic
+//! let net = CityBuilder::new(CityConfig::chengdu_like()).build();
+//! let sim = TrafficSimulator::new(&net, TrafficConfig::default());
+//! let data = sim.generate();
+//! let train = Dataset::from_generated(&data);
+//!
+//! // 2. train RL4OASD without any labels
+//! let model = rl4oasd::train(&net, &train, &Rl4oasdConfig::default());
+//!
+//! // 3. detect anomalous subtrajectories online
+//! let mut detector = Rl4oasdDetector::new(&model, &net);
+//! let labels = detector.label_trajectory(&train.trajectories[0]);
+//! println!("anomalous spans: {:?}", traj::extract_subtrajectories(&labels));
+//! ```
+
+pub use baselines;
+pub use eval;
+pub use mapmatch;
+pub use nn;
+pub use rl4oasd;
+pub use rnet;
+pub use traj;
+
+/// Convenient glob-import surface for examples and tests.
+pub mod prelude {
+    pub use baselines::{Ctss, Dbtod, Iboat, RouteStats, ScoringDetector, Thresholded};
+    pub use eval::{evaluate, DetectionMetrics};
+    pub use mapmatch::{MapMatcher, MatchConfig};
+    pub use rl4oasd::{Rl4oasdConfig, Rl4oasdDetector, TrainedModel};
+    pub use rnet::{CityBuilder, CityConfig, RoadNetwork, SegmentId};
+    pub use traj::{
+        Dataset, DriftConfig, MappedTrajectory, OnlineDetector, SdPair, TrafficConfig,
+        TrafficSimulator,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn prelude_compiles() {
+        use crate::prelude::*;
+        let _ = Rl4oasdConfig::default();
+        let _ = TrafficConfig::default();
+        let _ = MatchConfig::default();
+    }
+}

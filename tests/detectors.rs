@@ -1,0 +1,134 @@
+//! Cross-crate detector invariants: every detector (RL4OASD and all seven
+//! baselines) must satisfy the online-detection contract on the same data.
+
+use baselines::{Ctss, Dbtod, Iboat, RouteStats, ScoringDetector, Seq2SeqDetector, Seq2SeqKind,
+    Thresholded, VsaeConfig};
+use rl4oasd_repro::prelude::*;
+use rnet::{CityBuilder, CityConfig};
+use std::sync::Arc;
+
+struct Fixture {
+    net: RoadNetwork,
+    train: Dataset,
+    test: Dataset,
+    stats: Arc<RouteStats>,
+}
+
+fn fixture(seed: u64) -> Fixture {
+    let net = CityBuilder::new(CityConfig::tiny(seed)).build();
+    let sim = TrafficSimulator::new(
+        &net,
+        TrafficConfig {
+            num_sd_pairs: 3,
+            trajs_per_pair: (40, 50),
+            anomaly_ratio: 0.1,
+            ..TrafficConfig::tiny(seed)
+        },
+    );
+    let generated = sim.generate();
+    let train = Dataset::from_generated(&generated);
+    let test = Dataset::from_generated(&sim.generate_from_pairs(&generated.pairs, (4, 5), 0.4, 1));
+    let stats = Arc::new(RouteStats::fit(&train));
+    Fixture {
+        net,
+        train,
+        test,
+        stats,
+    }
+}
+
+fn check_contract(det: &mut dyn OnlineDetector, test: &Dataset) {
+    for t in &test.trajectories {
+        let labels = det.label_trajectory(t);
+        assert_eq!(labels.len(), t.len(), "{}: length mismatch", det.name());
+        assert!(
+            labels.iter().all(|&l| l <= 1),
+            "{}: labels must be 0/1",
+            det.name()
+        );
+        // re-running the same trajectory gives the same answer
+        let again = det.label_trajectory(t);
+        assert_eq!(labels, again, "{}: must be deterministic", det.name());
+    }
+}
+
+#[test]
+fn all_baselines_satisfy_the_contract() {
+    let f = fixture(1);
+    let vocab = f.net.num_segments();
+    let vsae_cfg = VsaeConfig {
+        embed_dim: 8,
+        hidden_dim: 10,
+        latent_dim: 6,
+        epochs: 1,
+        max_train: 100,
+        ..Default::default()
+    };
+
+    let mut iboat = Thresholded::new(Iboat::new(Arc::clone(&f.stats), 0.05), 0.8);
+    check_contract(&mut iboat, &f.test);
+
+    let mut dbtod_inner = Dbtod::new(&f.net, Arc::clone(&f.stats));
+    dbtod_inner.fit(&f.train, 1, 0.05);
+    let mut dbtod = Thresholded::new(dbtod_inner, 1.5);
+    check_contract(&mut dbtod, &f.test);
+
+    let mut ctss = Thresholded::new(Ctss::new(&f.net, Arc::clone(&f.stats)), 80.0);
+    check_contract(&mut ctss, &f.test);
+
+    for kind in [
+        Seq2SeqKind::Sae,
+        Seq2SeqKind::Vsae,
+        Seq2SeqKind::GmVsae(3),
+        Seq2SeqKind::SdVsae(3),
+    ] {
+        let mut m = Seq2SeqDetector::new(kind, vocab, vsae_cfg.clone());
+        m.fit(&f.train);
+        let mut det = Thresholded::new(m, 5.0);
+        check_contract(&mut det, &f.test);
+    }
+}
+
+#[test]
+fn rl4oasd_satisfies_the_contract() {
+    let f = fixture(2);
+    let cfg = Rl4oasdConfig {
+        pretrain_trajs: 80,
+        joint_trajs: 80,
+        ..Rl4oasdConfig::tiny(2)
+    };
+    let model = rl4oasd::train(&f.net, &f.train, &cfg);
+    let mut det = Rl4oasdDetector::new(&model, &f.net);
+    check_contract(&mut det, &f.test);
+}
+
+#[test]
+fn streaming_equals_batch_for_scorers() {
+    // ScoringDetector::score_trajectory must equal manual streaming.
+    let f = fixture(3);
+    let mut iboat = Iboat::new(Arc::clone(&f.stats), 0.05);
+    for t in f.test.trajectories.iter().take(10) {
+        let batch = iboat.score_trajectory(t);
+        iboat.begin_scoring(t.sd_pair().unwrap(), t.start_time);
+        let streamed: Vec<f64> = t.segments.iter().map(|&s| iboat.score_next(s)).collect();
+        assert_eq!(batch, streamed);
+    }
+}
+
+#[test]
+fn threshold_extremes_produce_degenerate_labels() {
+    let f = fixture(4);
+    // threshold +inf => nothing anomalous
+    let mut never = Thresholded::new(Iboat::new(Arc::clone(&f.stats), 0.05), f64::INFINITY);
+    for t in f.test.trajectories.iter().take(5) {
+        assert!(never.label_trajectory(t).iter().all(|&l| l == 0));
+    }
+    // threshold -inf => everything anomalous except the pinned endpoints
+    let mut always = Thresholded::new(Iboat::new(Arc::clone(&f.stats), 0.05), f64::NEG_INFINITY);
+    for t in f.test.trajectories.iter().take(5) {
+        let labels = always.label_trajectory(t);
+        assert_eq!(labels[0], 0);
+        assert_eq!(*labels.last().unwrap(), 0);
+        assert!(labels[1..labels.len() - 1].iter().all(|&l| l == 1));
+    }
+}

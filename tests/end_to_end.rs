@@ -1,0 +1,171 @@
+//! End-to-end integration: city → traffic → raw GPS → map matching →
+//! preprocessing → training → online detection → evaluation.
+
+use rl4oasd_repro::prelude::*;
+use rnet::{CityBuilder, CityConfig};
+
+fn tiny_city(seed: u64) -> RoadNetwork {
+    CityBuilder::new(CityConfig::tiny(seed)).build()
+}
+
+#[test]
+fn full_pipeline_on_simulated_gps() {
+    let net = tiny_city(42);
+    // Simulate raw GPS, map-match it, and check the matched corpus feeds
+    // the preprocessor sensibly.
+    let sim = TrafficSimulator::new(
+        &net,
+        TrafficConfig {
+            num_sd_pairs: 2,
+            trajs_per_pair: (10, 12),
+            generate_raw: true,
+            gps_noise_std: 4.0,
+            ..TrafficConfig::tiny(42)
+        },
+    );
+    let generated = sim.generate();
+    let matcher = MapMatcher::new(&net, MatchConfig::default());
+    let mut matched = Vec::new();
+    for raw in &generated.raw {
+        let m = matcher.match_trajectory(raw).expect("matching succeeds");
+        assert!(net.is_connected_path(&m.segments));
+        matched.push(m);
+    }
+    assert_eq!(matched.len(), generated.trajectories.len());
+    // Map-matched routes agree with the simulator's ground-truth routes on
+    // the overwhelming majority of segments.
+    let mut agree = 0usize;
+    let mut total = 0usize;
+    for (m, t) in matched.iter().zip(&generated.trajectories) {
+        let set: std::collections::HashSet<_> = t.segments.iter().collect();
+        agree += m.segments.iter().filter(|s| set.contains(s)).count();
+        total += m.segments.len();
+    }
+    assert!(
+        agree as f64 / total as f64 > 0.9,
+        "matched/simulated agreement too low: {agree}/{total}"
+    );
+}
+
+#[test]
+fn train_detect_evaluate_beats_trivial_detector() {
+    let net = tiny_city(7);
+    let sim = TrafficSimulator::new(
+        &net,
+        TrafficConfig {
+            num_sd_pairs: 4,
+            trajs_per_pair: (60, 80),
+            anomaly_ratio: 0.12,
+            ..TrafficConfig::tiny(7)
+        },
+    );
+    let generated = sim.generate();
+    let train = Dataset::from_generated(&generated);
+    let test = Dataset::from_generated(&sim.generate_from_pairs(&generated.pairs, (6, 8), 0.4, 9));
+
+    let cfg = Rl4oasdConfig {
+        pretrain_trajs: 150,
+        joint_trajs: 150,
+        ..Rl4oasdConfig::tiny(7)
+    };
+    let model = rl4oasd::train(&net, &train, &cfg);
+    let mut detector = Rl4oasdDetector::new(&model, &net);
+
+    let truths: Vec<Vec<u8>> = test
+        .trajectories
+        .iter()
+        .map(|t| test.truth(t.id).unwrap().to_vec())
+        .collect();
+    let outputs: Vec<Vec<u8>> = test
+        .trajectories
+        .iter()
+        .map(|t| detector.label_trajectory(t))
+        .collect();
+    let ours = evaluate(&outputs, &truths);
+
+    // trivial all-normal detector
+    let trivial: Vec<Vec<u8>> = truths.iter().map(|t| vec![0; t.len()]).collect();
+    let base = evaluate(&trivial, &truths);
+    assert!(
+        ours.f1 > base.f1 + 0.2,
+        "trained model ({}) must clearly beat all-normal ({})",
+        ours.f1,
+        base.f1
+    );
+    // label shape invariants
+    for (o, t) in outputs.iter().zip(&test.trajectories) {
+        assert_eq!(o.len(), t.len());
+        assert_eq!(o[0], 0);
+        assert_eq!(*o.last().unwrap(), 0);
+    }
+}
+
+/// Paper-scale configuration smoke test (128-dim networks, 10k joint
+/// trajectories). Ignored by default — takes several minutes; run with
+/// `cargo test --release -- --ignored paper_scale`.
+#[test]
+#[ignore = "paper-scale run, several minutes; use --release -- --ignored"]
+fn paper_scale_configuration_trains() {
+    let net = CityBuilder::new(CityConfig::chengdu_like()).build();
+    let sim = TrafficSimulator::new(
+        &net,
+        TrafficConfig {
+            num_sd_pairs: 50,
+            trajs_per_pair: (100, 200),
+            ..Default::default()
+        },
+    );
+    let generated = sim.generate();
+    let train = Dataset::from_generated(&generated);
+    let test = Dataset::from_generated(&sim.generate_from_pairs(&generated.pairs, (6, 8), 0.4, 1));
+    let model = rl4oasd::train(&net, &train, &Rl4oasdConfig::paper());
+    let mut det = Rl4oasdDetector::new(&model, &net);
+    let outputs: Vec<Vec<u8>> = test
+        .trajectories
+        .iter()
+        .map(|t| det.label_trajectory(t))
+        .collect();
+    let truths: Vec<Vec<u8>> = test
+        .trajectories
+        .iter()
+        .map(|t| test.truth(t.id).unwrap().to_vec())
+        .collect();
+    let m = evaluate(&outputs, &truths);
+    assert!(m.f1 > 0.5, "paper-scale config F1 = {}", m.f1);
+}
+
+#[test]
+fn codec_roundtrips_simulated_corpus() {
+    let net = tiny_city(3);
+    let sim = TrafficSimulator::new(&net, TrafficConfig::tiny(3));
+    let generated = sim.generate();
+    let encoded = traj::codec::encode_trajectories(&generated.trajectories);
+    let decoded = traj::codec::decode_trajectories(&encoded).unwrap();
+    assert_eq!(decoded, generated.trajectories);
+    // compact: well under 4 bytes per segment on average for real routes
+    let segments: usize = generated.trajectories.iter().map(|t| t.len()).sum();
+    assert!(encoded.len() < segments * 4 + generated.trajectories.len() * 16);
+}
+
+#[test]
+fn model_serialization_roundtrip_preserves_detection() {
+    let net = tiny_city(11);
+    let sim = TrafficSimulator::new(
+        &net,
+        TrafficConfig {
+            num_sd_pairs: 2,
+            trajs_per_pair: (30, 40),
+            ..TrafficConfig::tiny(11)
+        },
+    );
+    let generated = sim.generate();
+    let train = Dataset::from_generated(&generated);
+    let model = rl4oasd::train(&net, &train, &Rl4oasdConfig::tiny(11));
+    let json = serde_json::to_string(&model).expect("model serializes");
+    let restored: TrainedModel = serde_json::from_str(&json).expect("model deserializes");
+    let mut d1 = Rl4oasdDetector::new(&model, &net);
+    let mut d2 = Rl4oasdDetector::new(&restored, &net);
+    for t in train.trajectories.iter().take(10) {
+        assert_eq!(d1.label_trajectory(t), d2.label_trajectory(t));
+    }
+}

@@ -1,0 +1,101 @@
+//! Property-based integration tests over the whole stack.
+
+use proptest::prelude::*;
+use rl4oasd_repro::prelude::*;
+use rnet::{CityBuilder, CityConfig};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Any seed yields a strongly connected city whose simulated
+    /// trajectories are connected paths with consistent ground truth.
+    #[test]
+    fn simulator_invariants(seed in 0u64..500) {
+        let net = CityBuilder::new(CityConfig::tiny(seed)).build();
+        let sim = TrafficSimulator::new(&net, TrafficConfig {
+            num_sd_pairs: 2,
+            trajs_per_pair: (8, 12),
+            ..TrafficConfig::tiny(seed)
+        });
+        let data = sim.generate();
+        for (t, gt) in data.trajectories.iter().zip(&data.ground_truth) {
+            prop_assert!(net.is_connected_path(&t.segments));
+            prop_assert_eq!(t.len(), gt.len());
+            prop_assert_eq!(gt[0], 0);
+            prop_assert_eq!(*gt.last().unwrap(), 0);
+            prop_assert!((0.0..86_400.0).contains(&t.start_time));
+        }
+    }
+
+    /// Shortest paths found on generated cities are optimal w.r.t. any
+    /// sampled alternative simple route (spot check via perturbation).
+    #[test]
+    fn shortest_path_is_no_longer_than_simulated_routes(seed in 0u64..200) {
+        let net = CityBuilder::new(CityConfig::tiny(seed)).build();
+        let sim = TrafficSimulator::new(&net, TrafficConfig {
+            num_sd_pairs: 2,
+            trajs_per_pair: (4, 6),
+            ..TrafficConfig::tiny(seed)
+        });
+        let data = sim.generate();
+        for t in data.trajectories.iter().take(5) {
+            let first = net.segment(t.segments[0]);
+            let last = net.segment(*t.segments.last().unwrap());
+            let sp = rnet::shortest_path(&net, first.from, last.to)
+                .expect("strongly connected");
+            prop_assert!(sp.cost <= net.path_length(&t.segments) + 1e-6);
+        }
+    }
+
+    /// Metric bounds hold for arbitrary label sequences.
+    #[test]
+    fn metric_bounds(
+        labels in proptest::collection::vec(
+            (proptest::collection::vec(0u8..2, 1..40),
+             proptest::collection::vec(0u8..2, 1..40)),
+            1..10,
+        )
+    ) {
+        let pairs: Vec<(Vec<u8>, Vec<u8>)> = labels
+            .into_iter()
+            .map(|(a, b)| {
+                let n = a.len().min(b.len());
+                (a[..n].to_vec(), b[..n].to_vec())
+            })
+            .collect();
+        let outputs: Vec<Vec<u8>> = pairs.iter().map(|(a, _)| a.clone()).collect();
+        let truths: Vec<Vec<u8>> = pairs.iter().map(|(_, b)| b.clone()).collect();
+        let m = evaluate(&outputs, &truths);
+        for v in [m.precision, m.recall, m.f1, m.tf1] {
+            prop_assert!((0.0..=1.0 + 1e-9).contains(&v));
+        }
+        // evaluating the truth against itself is perfect
+        let perfect = evaluate(&truths, &truths);
+        prop_assert!((perfect.f1 - 1.0).abs() < 1e-9);
+    }
+
+    /// Codec round-trips arbitrary valid trajectories.
+    #[test]
+    fn codec_roundtrip(
+        segs in proptest::collection::vec(0u32..100_000, 1..120),
+        start in 0.0f64..86_400.0,
+    ) {
+        let t = MappedTrajectory {
+            id: traj::TrajectoryId(1),
+            segments: segs.into_iter().map(SegmentId).collect(),
+            start_time: start,
+        };
+        let bytes = traj::codec::encode_trajectories(std::slice::from_ref(&t));
+        let back = traj::codec::decode_trajectories(&bytes).unwrap();
+        prop_assert_eq!(back, vec![t]);
+    }
+
+    /// Delayed labeling never removes anomalies, only extends them, and
+    /// extraction/reconstruction of spans is lossless.
+    #[test]
+    fn span_roundtrip(labels in proptest::collection::vec(0u8..2, 0..60)) {
+        let spans = traj::extract_subtrajectories(&labels);
+        let rebuilt = traj::labels::spans_to_labels(&spans, labels.len());
+        prop_assert_eq!(rebuilt, labels);
+    }
+}
