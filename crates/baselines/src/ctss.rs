@@ -75,7 +75,11 @@ impl ScoringDetector for Ctss<'_> {
             self.row = Vec::with_capacity(m);
             let mut running = 0.0f64;
             for j in 0..m {
-                running = if j == 0 { dist(0) } else { running.max(dist(j)) };
+                running = if j == 0 {
+                    dist(0)
+                } else {
+                    running.max(dist(j))
+                };
                 self.row.push(running);
             }
             self.started = true;

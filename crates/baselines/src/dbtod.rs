@@ -90,12 +90,7 @@ impl<'a> Dbtod<'a> {
                 chosen = Some(k);
             }
             let f = self.features(prev, s);
-            logits.push(
-                f.iter()
-                    .zip(&self.weights)
-                    .map(|(a, b)| a * b)
-                    .sum::<f64>(),
-            );
+            logits.push(f.iter().zip(&self.weights).map(|(a, b)| a * b).sum::<f64>());
         }
         let max = logits.iter().copied().fold(f64::NEG_INFINITY, f64::max);
         let mut sum = 0.0;

@@ -172,7 +172,10 @@ mod tests {
         let mut d = Iboat::new(stats, 0.05);
         let scores = d.score_trajectory(&t);
         assert!(scores[1] > 0.99, "unseen segment must have ~no support");
-        assert!(scores[2] <= 0.11, "window must recover after isolation: {scores:?}");
+        assert!(
+            scores[2] <= 0.11,
+            "window must recover after isolation: {scores:?}"
+        );
     }
 
     #[test]

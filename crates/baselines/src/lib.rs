@@ -23,6 +23,7 @@ pub mod ctss;
 pub mod dbtod;
 pub mod iboat;
 pub mod scoring;
+pub mod session;
 pub mod stats;
 pub mod vsae;
 
@@ -30,5 +31,6 @@ pub use ctss::Ctss;
 pub use dbtod::Dbtod;
 pub use iboat::Iboat;
 pub use scoring::{ScoringDetector, Thresholded};
+pub use session::{ctss_engine, dbtod_engine, iboat_engine};
 pub use stats::RouteStats;
 pub use vsae::{Seq2SeqDetector, Seq2SeqKind, VsaeConfig};

@@ -1,0 +1,120 @@
+//! Session-engine constructors for the baselines.
+//!
+//! Every baseline scores trajectories through [`crate::ScoringDetector`] and
+//! becomes an [`traj::OnlineDetector`] via [`crate::Thresholded`]; here each
+//! gains the fleet-scale [`traj::SessionEngine`] API through
+//! [`traj::SessionMux`], which gives each session its own thresholded
+//! detector value. The heavy fitted state ([`RouteStats`], trained seq2seq
+//! weights) stays shared behind `Arc`s, so per-session values are cheap and
+//! per-session labels are identical to the per-trajectory path by
+//! construction.
+
+use crate::ctss::Ctss;
+use crate::dbtod::Dbtod;
+use crate::iboat::Iboat;
+use crate::scoring::Thresholded;
+use crate::stats::RouteStats;
+use rnet::RoadNetwork;
+use std::sync::Arc;
+use traj::SessionMux;
+
+/// Session engine over IBOAT with the given support threshold `theta` and
+/// decision threshold.
+pub fn iboat_engine(
+    stats: Arc<RouteStats>,
+    theta: f64,
+    threshold: f64,
+) -> SessionMux<Thresholded<Iboat>, impl FnMut() -> Thresholded<Iboat>> {
+    SessionMux::new(move || Thresholded::new(Iboat::new(Arc::clone(&stats), theta), threshold))
+}
+
+/// Session engine over DBTOD with fitted `weights` and the given decision
+/// threshold.
+pub fn dbtod_engine<'a>(
+    net: &'a RoadNetwork,
+    stats: Arc<RouteStats>,
+    weights: [f64; 6],
+    threshold: f64,
+) -> SessionMux<Thresholded<Dbtod<'a>>, impl FnMut() -> Thresholded<Dbtod<'a>>> {
+    SessionMux::new(move || {
+        let mut d = Dbtod::new(net, Arc::clone(&stats));
+        d.weights = weights;
+        Thresholded::new(d, threshold)
+    })
+}
+
+/// Session engine over CTSS with the given deviation threshold (metres).
+pub fn ctss_engine<'a>(
+    net: &'a RoadNetwork,
+    stats: Arc<RouteStats>,
+    threshold: f64,
+) -> SessionMux<Thresholded<Ctss<'a>>, impl FnMut() -> Thresholded<Ctss<'a>>> {
+    SessionMux::new(move || Thresholded::new(Ctss::new(net, Arc::clone(&stats)), threshold))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rnet::{CityBuilder, CityConfig};
+    use traj::{Dataset, OnlineDetector, SessionEngine, TrafficConfig, TrafficSimulator};
+
+    fn setup() -> (RoadNetwork, Dataset, Arc<RouteStats>) {
+        let net = CityBuilder::new(CityConfig::tiny(77)).build();
+        let cfg = TrafficConfig {
+            num_sd_pairs: 3,
+            trajs_per_pair: (20, 30),
+            ..TrafficConfig::tiny(77)
+        };
+        let ds = Dataset::from_generated(&TrafficSimulator::new(&net, cfg).generate());
+        let stats = Arc::new(RouteStats::fit(&ds));
+        (net, ds, stats)
+    }
+
+    #[test]
+    fn interleaved_baseline_sessions_match_sequential() {
+        let (net, ds, stats) = setup();
+        let trajs: Vec<_> = ds.trajectories.iter().take(12).cloned().collect();
+
+        let mut engines: Vec<Box<dyn SessionEngine + '_>> = vec![
+            Box::new(iboat_engine(Arc::clone(&stats), 0.05, 0.5)),
+            Box::new(dbtod_engine(&net, Arc::clone(&stats), [1.0; 6], 2.0)),
+            Box::new(ctss_engine(&net, Arc::clone(&stats), 150.0)),
+        ];
+        let mut sequential: Vec<Box<dyn OnlineDetector + '_>> = vec![
+            Box::new(Thresholded::new(Iboat::new(Arc::clone(&stats), 0.05), 0.5)),
+            Box::new({
+                let mut d = Dbtod::new(&net, Arc::clone(&stats));
+                d.weights = [1.0; 6];
+                Thresholded::new(d, 2.0)
+            }),
+            Box::new(Thresholded::new(Ctss::new(&net, Arc::clone(&stats)), 150.0)),
+        ];
+
+        for (engine, detector) in engines.iter_mut().zip(&mut sequential) {
+            let expected: Vec<Vec<u8>> =
+                trajs.iter().map(|t| detector.label_trajectory(t)).collect();
+            let handles: Vec<_> = trajs
+                .iter()
+                .map(|t| engine.open(t.sd_pair().unwrap(), t.start_time))
+                .collect();
+            let max_len = trajs.iter().map(|t| t.len()).max().unwrap();
+            let mut out = Vec::new();
+            for tick in 0..max_len {
+                let events: Vec<_> = trajs
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, t)| tick < t.len())
+                    .map(|(k, t)| (handles[k], t.segments[tick]))
+                    .collect();
+                engine.observe_batch(&events, &mut out);
+            }
+            let got: Vec<Vec<u8>> = handles.iter().map(|&h| engine.close(h)).collect();
+            assert_eq!(
+                got,
+                expected,
+                "{} interleaving changed labels",
+                engine.engine_name()
+            );
+        }
+    }
+}

@@ -61,7 +61,10 @@ impl RouteStats {
 
     /// Historical trajectories of `pair` (empty if unknown).
     pub fn history(&self, pair: SdPair) -> &[Vec<SegmentId>] {
-        self.histories.get(&pair).map(|v| v.as_slice()).unwrap_or(&[])
+        self.histories
+            .get(&pair)
+            .map(|v| v.as_slice())
+            .unwrap_or(&[])
     }
 
     /// Reference route of `pair`, if known.
@@ -128,7 +131,12 @@ mod tests {
         let manual = ds
             .trajectories
             .iter()
-            .map(|t| t.segments.windows(2).filter(|w| w[0] == a && w[1] == b).count())
+            .map(|t| {
+                t.segments
+                    .windows(2)
+                    .filter(|w| w[0] == a && w[1] == b)
+                    .count()
+            })
             .sum::<usize>();
         assert_eq!(stats.transition_count(a, b) as usize, manual);
         assert_eq!(stats.transition_count(SegmentId(99_999), b), 0);

@@ -517,11 +517,7 @@ mod tests {
 
     #[test]
     fn training_reduces_reconstruction_loss() {
-        for kind in [
-            Seq2SeqKind::Sae,
-            Seq2SeqKind::Vsae,
-            Seq2SeqKind::GmVsae(3),
-        ] {
+        for kind in [Seq2SeqKind::Sae, Seq2SeqKind::Vsae, Seq2SeqKind::GmVsae(3)] {
             let (vocab, ds) = corpus(5);
             let mut m = Seq2SeqDetector::new(kind, vocab, tiny_cfg(5));
             let mut rng = StdRng::seed_from_u64(1);
@@ -566,11 +562,7 @@ mod tests {
             }
             let mn = normal.0 / normal.1 as f64;
             let ma = anom.0 / anom.1.max(1) as f64;
-            assert!(
-                ma > mn,
-                "{}: anomalous {ma} <= normal {mn}",
-                kind.name()
-            );
+            assert!(ma > mn, "{}: anomalous {ma} <= normal {mn}", kind.name());
         }
     }
 

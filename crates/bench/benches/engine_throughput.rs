@@ -1,0 +1,71 @@
+//! Criterion bench: stream-engine serving throughput (points/sec) at 1,
+//! 100 and 10,000 concurrent sessions.
+//!
+//! The reproduction target is *scaling shape*, not absolute numbers: the
+//! batched LSTM pass amortises the weight-matrix walk across every lane
+//! that advanced in a tick, holding per-point cost roughly flat from 1 to
+//! 10,000 concurrent sessions even as the aggregate session state
+//! outgrows the cache. `cargo run --release -p bench_suite --bin engine`
+//! writes the same measurement to `BENCH_engine.json`.
+
+use bench_suite::throughput::drive_interleaved;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rl4oasd::{train, Rl4oasdConfig, StreamEngine};
+use rnet::{CityBuilder, CityConfig};
+use std::hint::black_box;
+use std::sync::Arc;
+use traj::{Dataset, MappedTrajectory, TrafficConfig, TrafficSimulator};
+
+#[allow(clippy::type_complexity)]
+fn setup() -> (
+    Arc<rnet::RoadNetwork>,
+    Arc<rl4oasd::TrainedModel>,
+    Vec<MappedTrajectory>,
+) {
+    let net = CityBuilder::new(CityConfig::chengdu_like()).build();
+    let sim = TrafficSimulator::new(
+        &net,
+        TrafficConfig {
+            num_sd_pairs: 10,
+            trajs_per_pair: (50, 80),
+            ..TrafficConfig::default()
+        },
+    );
+    let generated = sim.generate();
+    let train_set = Dataset::from_generated(&generated);
+    let model = train(
+        &net,
+        &train_set,
+        &Rl4oasdConfig {
+            joint_trajs: 200,
+            pretrain_trajs: 100,
+            ..Rl4oasdConfig::default()
+        },
+    );
+    let trajs: Vec<_> = train_set.trajectories.iter().take(200).cloned().collect();
+    (Arc::new(net), Arc::new(model), trajs)
+}
+
+fn engine_throughput(c: &mut Criterion) {
+    let (net, model, trajs) = setup();
+    let mut group = c.benchmark_group("engine_points_per_sec");
+    group.sample_size(10);
+    for sessions in [1usize, 100, 10_000] {
+        let min_points = (sessions as u64 * 20).max(50_000);
+        group.bench_with_input(
+            BenchmarkId::new("sessions", sessions),
+            &sessions,
+            |b, &sessions| {
+                b.iter(|| {
+                    let mut engine = StreamEngine::new(Arc::clone(&model), Arc::clone(&net));
+                    let sample = drive_interleaved(&mut engine, &trajs, sessions, min_points);
+                    black_box(sample.points)
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, engine_throughput);
+criterion_main!(benches);

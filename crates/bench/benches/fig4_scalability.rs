@@ -28,18 +28,14 @@ fn per_group(c: &mut Criterion) {
             if sub.is_empty() {
                 continue;
             }
-            group.bench_with_input(
-                BenchmarkId::new(method.name(), g.name()),
-                &sub,
-                |b, sub| {
-                    b.iter(|| {
-                        let mut det = ctx.detector(method);
-                        for t in sub {
-                            black_box(det.label_trajectory(black_box(t)));
-                        }
-                    })
-                },
-            );
+            group.bench_with_input(BenchmarkId::new(method.name(), g.name()), &sub, |b, sub| {
+                b.iter(|| {
+                    let mut det = ctx.detector(method);
+                    for t in sub {
+                        black_box(det.label_trajectory(black_box(t)));
+                    }
+                })
+            });
         }
     }
     group.finish();

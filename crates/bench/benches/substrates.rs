@@ -22,9 +22,8 @@ fn substrates(c: &mut Criterion) {
 
     c.bench_function("dijkstra_full_city", |b| {
         b.iter(|| {
-            let (dist, _) = rnet::dijkstra(&net, NodeId(0), f64::INFINITY, |s| {
-                net.segment(s).length
-            });
+            let (dist, _) =
+                rnet::dijkstra(&net, NodeId(0), f64::INFINITY, |s| net.segment(s).length);
             black_box(dist)
         })
     });
@@ -65,12 +64,10 @@ fn substrates(c: &mut Criterion) {
         let mut m = model.clone();
         let feats = model.preprocessor.features(t0);
         b.iter(|| {
-            black_box(m.rsrnet.train_step(
-                &t0.segments,
-                &feats.nrf,
-                &feats.noisy_labels,
-                0.01,
-            ))
+            black_box(
+                m.rsrnet
+                    .train_step(&t0.segments, &feats.nrf, &feats.noisy_labels, 0.01),
+            )
         })
     });
 }

@@ -1,0 +1,104 @@
+//! `engine` — stream-engine throughput measurement, written to
+//! `BENCH_engine.json`.
+//!
+//! Measures points/sec of [`rl4oasd::StreamEngine`] serving 1, 100 and
+//! 10,000 concurrent interleaved trajectory sessions over one shared
+//! trained model (the fleet workload of the paper's motivating scenario),
+//! plus how much of the work went through the batched nn pass.
+//!
+//! ```text
+//! cargo run --release -p bench_suite --bin engine [-- out.json]
+//! ```
+
+use bench_suite::throughput::drive_interleaved;
+use rl4oasd::{train, Rl4oasdConfig, StreamEngine};
+use rnet::{CityBuilder, CityConfig};
+use serde::Serialize;
+use std::sync::Arc;
+use traj::{Dataset, TrafficConfig, TrafficSimulator};
+
+#[derive(Serialize)]
+struct Row {
+    sessions: usize,
+    points: u64,
+    seconds: f64,
+    points_per_sec: f64,
+    batched_events: u64,
+    scalar_events: u64,
+    batched_rounds: u64,
+}
+
+#[derive(Serialize)]
+struct Report {
+    bench: String,
+    city: String,
+    hidden_dim: usize,
+    embed_dim: usize,
+    results: Vec<Row>,
+}
+
+fn main() {
+    let out_path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_engine.json".to_string());
+
+    eprintln!("building city + training model (one-time setup)...");
+    let net = CityBuilder::new(CityConfig::chengdu_like()).build();
+    let sim = TrafficSimulator::new(
+        &net,
+        TrafficConfig {
+            num_sd_pairs: 10,
+            trajs_per_pair: (50, 80),
+            ..TrafficConfig::default()
+        },
+    );
+    let generated = sim.generate();
+    let train_set = Dataset::from_generated(&generated);
+    let config = Rl4oasdConfig {
+        joint_trajs: 200,
+        pretrain_trajs: 100,
+        ..Rl4oasdConfig::default()
+    };
+    let model = train(&net, &train_set, &config);
+    let trajs: Vec<_> = train_set.trajectories.iter().take(200).cloned().collect();
+    let net = Arc::new(net);
+    let model = Arc::new(model);
+
+    let mut results = Vec::new();
+    for sessions in [1usize, 100, 10_000] {
+        let min_points = (sessions as u64 * 20).max(100_000);
+        let mut engine = StreamEngine::new(Arc::clone(&model), Arc::clone(&net));
+        let sample = drive_interleaved(&mut engine, &trajs, sessions, min_points);
+        let stats = engine.stats();
+        eprintln!(
+            "{:>6} sessions: {:>9} points in {:>7.3}s = {:>12.0} points/sec \
+             ({} batched / {} scalar events)",
+            sample.sessions,
+            sample.points,
+            sample.seconds,
+            sample.points_per_sec,
+            stats.batched_events,
+            stats.scalar_events,
+        );
+        results.push(Row {
+            sessions: sample.sessions,
+            points: sample.points,
+            seconds: sample.seconds,
+            points_per_sec: sample.points_per_sec,
+            batched_events: stats.batched_events,
+            scalar_events: stats.scalar_events,
+            batched_rounds: stats.batched_rounds,
+        });
+    }
+
+    let report = Report {
+        bench: "stream_engine_throughput".to_string(),
+        city: "Chengdu-sim".to_string(),
+        hidden_dim: config.hidden_dim,
+        embed_dim: config.embed_dim,
+        results,
+    };
+    let json = serde_json::to_string_pretty(&report).expect("report serialises");
+    std::fs::write(&out_path, json).expect("write BENCH_engine.json");
+    eprintln!("wrote {out_path}");
+}

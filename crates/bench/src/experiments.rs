@@ -26,10 +26,16 @@ pub fn table2(ctxs: &[&Context]) -> String {
         let test_stats = ctx.test.stats();
         t.row([
             ctx.city.name().to_string(),
-            format!("{}", train_stats.num_trajectories + test_stats.num_trajectories),
+            format!(
+                "{}",
+                train_stats.num_trajectories + test_stats.num_trajectories
+            ),
             format!("{}", ctx.net.num_segments()),
             format!("{}", ctx.net.num_nodes()),
-            format!("{} ({})", test_stats.num_routes, test_stats.num_trajectories),
+            format!(
+                "{} ({})",
+                test_stats.num_routes, test_stats.num_trajectories
+            ),
             format!(
                 "{} ({})",
                 test_stats.num_anomalous_routes, test_stats.num_anomalous_trajectories
@@ -120,7 +126,7 @@ pub fn table4(ctx: &Context, base: &Rl4oasdConfig) -> String {
             }
             AblationVariant::NoRnel | AblationVariant::NoDelayedLabeling => {
                 // inference-time switches: reuse the trained full model
-                let mut model = ctx.model.clone();
+                let mut model = (*ctx.model).clone();
                 model.config = variant_config(base, variant);
                 let mut det = Rl4oasdDetector::new(&model, &ctx.net);
                 let outputs: Vec<Vec<u8>> = ctx
@@ -169,18 +175,10 @@ pub fn table5(city: City, sizes: &[usize], base: &Rl4oasdConfig) -> String {
     let sim = TrafficSimulator::new(&net, traffic);
     let generated = sim.generate();
     let full = Dataset::from_generated(&generated);
-    let dev = Dataset::from_generated(&sim.generate_from_pairs(
-        &generated.pairs,
-        (2, 2),
-        0.35,
-        0xDE,
-    ));
-    let test = Dataset::from_generated(&sim.generate_from_pairs(
-        &generated.pairs,
-        (4, 6),
-        0.40,
-        0x7E57,
-    ));
+    let dev =
+        Dataset::from_generated(&sim.generate_from_pairs(&generated.pairs, (2, 2), 0.35, 0xDE));
+    let test =
+        Dataset::from_generated(&sim.generate_from_pairs(&generated.pairs, (4, 6), 0.40, 0x7E57));
     let truths: Vec<Vec<u8>> = test
         .trajectories
         .iter()
@@ -319,7 +317,7 @@ pub fn params(ctx: &Context, base: &Rl4oasdConfig) -> String {
     // D is an inference-time knob: reuse the context's trained model.
     let mut tdd = Table::new(["D", "F1-score"]);
     for d in [0usize, 2, 4, 8, 12, 16] {
-        let mut model = ctx.model.clone();
+        let mut model = (*ctx.model).clone();
         model.config.delay_d = d;
         model.config.use_delayed_labeling = d > 0;
         tdd.row([format!("{d}"), f3(eval_model(&model))]);

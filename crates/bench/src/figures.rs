@@ -1,8 +1,8 @@
 //! Figure experiments (paper Figs. 3–7).
 
 use crate::{City, Context, Method};
-use eval::report::{f3, ms, Table};
 use eval::evaluate;
+use eval::report::{f3, ms, Table};
 use rl4oasd::{train_with_dev, OnlineLearner, Rl4oasdConfig, Rl4oasdDetector};
 use rnet::{CityBuilder, RoadNetwork};
 use traj::types::part_of_time;
@@ -119,12 +119,7 @@ pub fn fig5(ctx: &Context) -> String {
     ));
     out.push_str("legend: '.' normal route, 'x' ground-truth detour, 'O' RL4OASD detection, 'C' CTSS detection\n\n");
     out.push_str(&render_map(
-        &ctx.net,
-        &reference,
-        traj_,
-        truth,
-        &ours[0],
-        &ctss[0],
+        &ctx.net, &reference, traj_, truth, &ours[0], &ctss[0],
     ));
     out
 }
@@ -230,12 +225,8 @@ pub fn drift_setup(city: City) -> DriftSetup {
     let sim = TrafficSimulator::new(&net, traffic);
     let generated = sim.generate();
     let data = Dataset::from_generated(&generated);
-    let test = Dataset::from_generated(&sim.generate_from_pairs(
-        &generated.pairs,
-        (16, 20),
-        0.35,
-        0xF167,
-    ));
+    let test =
+        Dataset::from_generated(&sim.generate_from_pairs(&generated.pairs, (16, 20), 0.35, 0xF167));
     DriftSetup { net, data, test }
 }
 

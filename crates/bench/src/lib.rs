@@ -13,14 +13,17 @@
 
 pub mod experiments;
 pub mod figures;
+pub mod throughput;
 
-use baselines::{Ctss, Dbtod, Iboat, RouteStats, ScoringDetector, Seq2SeqDetector, Seq2SeqKind,
-    Thresholded, VsaeConfig};
-use rl4oasd::{train_with_dev, Rl4oasdConfig, Rl4oasdDetector, TrainedModel};
+use baselines::{
+    ctss_engine, dbtod_engine, iboat_engine, Ctss, Dbtod, Iboat, RouteStats, ScoringDetector,
+    Seq2SeqDetector, Seq2SeqKind, Thresholded, VsaeConfig,
+};
+use rl4oasd::{train_with_dev, Rl4oasdConfig, Rl4oasdDetector, StreamEngine, TrainedModel};
 use rnet::{CityBuilder, CityConfig, RoadNetwork};
 use std::sync::Arc;
 use std::time::Instant;
-use traj::{Dataset, OnlineDetector, TrafficConfig, TrafficSimulator};
+use traj::{Dataset, OnlineDetector, SessionEngine, SessionMux, TrafficConfig, TrafficSimulator};
 
 /// The two evaluation cities (synthetic stand-ins for the paper's datasets).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -127,8 +130,8 @@ impl Method {
 pub struct Context {
     /// Which city.
     pub city: City,
-    /// Road network.
-    pub net: RoadNetwork,
+    /// Road network (shared with serving engines).
+    pub net: Arc<RoadNetwork>,
     /// Route families (for test-set generation and case studies).
     pub generated: traj::generator::GeneratedTraffic,
     /// Training corpus (unlabelled).
@@ -138,8 +141,8 @@ pub struct Context {
     pub dev: Dataset,
     /// Labelled test set (anomaly-heavy, like the paper's labelled routes).
     pub test: Dataset,
-    /// Trained RL4OASD model.
-    pub model: TrainedModel,
+    /// Trained RL4OASD model (shared with serving engines).
+    pub model: Arc<TrainedModel>,
     /// Historical statistics shared by the heuristic baselines.
     pub stats: Arc<RouteStats>,
     /// Trained GM-VSAE model (SD-VSAE reuses it; SAE and VSAE are trained
@@ -262,12 +265,12 @@ impl Context {
 
         let mut ctx = Context {
             city,
-            net,
+            net: Arc::new(net),
             generated,
             train,
             dev,
             test,
-            model,
+            model: Arc::new(model),
             stats,
             gm_vsae,
             sae,
@@ -301,7 +304,10 @@ impl Context {
         };
         let dev = &self.dev;
         let score_all = |d: &mut dyn ScoringDetector| -> Vec<Vec<f64>> {
-            dev.trajectories.iter().map(|t| d.score_trajectory(t)).collect()
+            dev.trajectories
+                .iter()
+                .map(|t| d.score_trajectory(t))
+                .collect()
         };
         let mut iboat = Iboat::new(Arc::clone(&self.stats), 0.05);
         let iboat_thr = tune(score_all(&mut iboat));
@@ -363,6 +369,46 @@ impl Context {
             outputs.push(detector.label_trajectory(t));
         }
         (outputs, points, t0.elapsed().as_secs_f64())
+    }
+
+    /// Constructs a fleet-scale session engine for a method (the
+    /// [`SessionEngine`] serving API: `open`/`observe`/`close` over many
+    /// concurrent trips).
+    ///
+    /// RL4OASD multiplexes every session over the shared `Arc` model via
+    /// [`StreamEngine`], with batched nn ticks; IBOAT/DBTOD/CTSS multiplex
+    /// cheap per-session detector values over their shared fitted
+    /// statistics; the seq2seq family falls back to a generic mux whose
+    /// per-session values copy the trained weights (correct, but heavy —
+    /// open few sessions for those).
+    pub fn engine(&self, method: Method) -> Box<dyn SessionEngine + '_> {
+        match method {
+            Method::Iboat => Box::new(iboat_engine(
+                Arc::clone(&self.stats),
+                0.05,
+                self.thresholds.iboat,
+            )),
+            Method::Dbtod => Box::new(dbtod_engine(
+                &self.net,
+                Arc::clone(&self.stats),
+                self.dbtod_weights,
+                self.thresholds.dbtod,
+            )),
+            Method::Ctss => Box::new(ctss_engine(
+                &self.net,
+                Arc::clone(&self.stats),
+                self.thresholds.ctss,
+            )),
+            Method::GmVsae | Method::SdVsae | Method::Sae | Method::Vsae => {
+                Box::new(SessionMux::named(method.name(), move || {
+                    self.detector(method)
+                }))
+            }
+            Method::Rl4oasd => Box::new(StreamEngine::new(
+                Arc::clone(&self.model),
+                Arc::clone(&self.net),
+            )),
+        }
     }
 
     /// Constructs a ready-to-run detector for a method.

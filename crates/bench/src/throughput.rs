@@ -1,0 +1,121 @@
+//! Interleaved-session throughput driver for serving engines.
+//!
+//! Simulates the fleet workload: `sessions` concurrent trips are kept open
+//! at all times; every tick each live trip receives its next road segment
+//! and the whole tick is fed to the engine as one `observe_batch` call (so
+//! engines with batched nn steps advance everyone in one matrix pass).
+//! Trips that reach their destination are closed and immediately replaced
+//! by the next trajectory, round-robin over the corpus.
+
+use std::time::Instant;
+use traj::{MappedTrajectory, SessionEngine, SessionId};
+
+/// One throughput measurement.
+#[derive(Debug, Clone, Copy)]
+pub struct ThroughputSample {
+    /// Concurrent sessions held open.
+    pub sessions: usize,
+    /// Total `observe` events processed.
+    pub points: u64,
+    /// Wall-clock seconds spent inside the engine loop.
+    pub seconds: f64,
+    /// `points / seconds`.
+    pub points_per_sec: f64,
+}
+
+struct Lane {
+    handle: SessionId,
+    traj: usize,
+    pos: usize,
+}
+
+/// Drives at least `min_points` observe events through `engine` with
+/// `sessions` concurrent trips, returning the measured throughput.
+///
+/// # Panics
+/// Panics if `sessions == 0` or `trajs` contains no non-empty trajectory.
+pub fn drive_interleaved<E: SessionEngine + ?Sized>(
+    engine: &mut E,
+    trajs: &[MappedTrajectory],
+    sessions: usize,
+    min_points: u64,
+) -> ThroughputSample {
+    assert!(sessions > 0, "need at least one session");
+    let trajs: Vec<&MappedTrajectory> = trajs.iter().filter(|t| !t.is_empty()).collect();
+    assert!(!trajs.is_empty(), "need at least one non-empty trajectory");
+
+    let started = Instant::now();
+    let mut next_traj = 0usize;
+    let open_lane = |engine: &mut E, next_traj: &mut usize| {
+        let ti = *next_traj % trajs.len();
+        *next_traj += 1;
+        Lane {
+            handle: engine.open(
+                trajs[ti].sd_pair().expect("non-empty"),
+                trajs[ti].start_time,
+            ),
+            traj: ti,
+            pos: 0,
+        }
+    };
+    let mut lanes: Vec<Lane> = (0..sessions)
+        .map(|_| open_lane(engine, &mut next_traj))
+        .collect();
+
+    let mut points = 0u64;
+    let mut events = Vec::with_capacity(sessions);
+    let mut out = Vec::new();
+    while points < min_points {
+        events.clear();
+        for lane in &lanes {
+            events.push((lane.handle, trajs[lane.traj].segments[lane.pos]));
+        }
+        engine.observe_batch(&events, &mut out);
+        debug_assert_eq!(out.len(), events.len());
+        points += events.len() as u64;
+        for lane in lanes.iter_mut() {
+            lane.pos += 1;
+            if lane.pos == trajs[lane.traj].len() {
+                engine.close(lane.handle);
+                *lane = open_lane(engine, &mut next_traj);
+            }
+        }
+    }
+    for lane in lanes {
+        engine.close(lane.handle);
+    }
+    let seconds = started.elapsed().as_secs_f64();
+    ThroughputSample {
+        sessions,
+        points,
+        seconds,
+        points_per_sec: points as f64 / seconds.max(1e-12),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rnet::SegmentId;
+    use traj::detector::AlwaysNormal;
+    use traj::{SessionMux, TrajectoryId};
+
+    fn traj(id: u32, len: usize) -> MappedTrajectory {
+        MappedTrajectory {
+            id: TrajectoryId(id),
+            segments: (0..len as u32).map(SegmentId).collect(),
+            start_time: 0.0,
+        }
+    }
+
+    #[test]
+    fn driver_processes_and_recycles() {
+        let trajs = vec![traj(0, 3), traj(1, 5), traj(2, 0)];
+        let mut engine = SessionMux::new(AlwaysNormal::default);
+        let sample = drive_interleaved(&mut engine, &trajs, 4, 100);
+        assert!(sample.points >= 100);
+        assert_eq!(sample.sessions, 4);
+        assert!(sample.points_per_sec > 0.0);
+        assert_eq!(engine.active_sessions(), 0, "all lanes closed at the end");
+    }
+}

@@ -68,11 +68,24 @@ impl AsdNet {
     pub fn action_probs(&self, state: &[f32]) -> [f32; 2] {
         let mut logits = vec![0.0; 2];
         self.policy.infer(state, &mut logits);
+        Self::probs_from_logits([logits[0], logits[1]])
+    }
+
+    /// Action probabilities from the policy head's raw logits. Shared by
+    /// the scalar path and the engine's batched head pass so both make
+    /// bit-identical decisions.
+    pub fn probs_from_logits(logits: [f32; 2]) -> [f32; 2] {
         let m = logits[0].max(logits[1]);
         let e0 = (logits[0] - m).exp();
         let e1 = (logits[1] - m).exp();
         let s = e0 + e1;
         [e0 / s, e1 / s]
+    }
+
+    /// Greedy action from raw logits (see [`AsdNet::probs_from_logits`]).
+    pub fn greedy_from_logits(logits: [f32; 2]) -> u8 {
+        let p = Self::probs_from_logits(logits);
+        u8::from(p[1] > p[0])
     }
 
     /// Samples an action from the stochastic policy.
@@ -83,8 +96,9 @@ impl AsdNet {
 
     /// Greedy action (inference).
     pub fn greedy(&self, state: &[f32]) -> u8 {
-        let p = self.action_probs(state);
-        u8::from(p[1] > p[0])
+        let mut logits = vec![0.0; 2];
+        self.policy.infer(state, &mut logits);
+        Self::greedy_from_logits([logits[0], logits[1]])
     }
 
     /// The local (continuity) reward of Eq. 2 for consecutive
@@ -107,8 +121,7 @@ impl AsdNet {
             return 0.0;
         }
         // Update the baseline first, then use the residual advantage.
-        self.baseline = self.baseline_beta * self.baseline
-            + (1.0 - self.baseline_beta) * reward;
+        self.baseline = self.baseline_beta * self.baseline + (1.0 - self.baseline_beta) * reward;
         let advantage = reward - self.baseline;
         self.zero_grad();
         let label_dim = self.label_embed.dim();

@@ -18,29 +18,253 @@
 use crate::asdnet::AsdNet;
 use crate::config::Rl4oasdConfig;
 use crate::preprocess::Preprocessor;
-use crate::rsrnet::RsrNet;
+use crate::rsrnet::{RsrNet, RsrStream};
 use crate::train::TrainedModel;
 use rnet::{RoadNetwork, SegmentId};
 use traj::{slot_of_time, OnlineDetector, SdPair};
 
-/// Online detector over a trained model (or its parts, during training).
-pub struct Rl4oasdDetector<'a> {
-    config: &'a Rl4oasdConfig,
-    pre: &'a Preprocessor,
-    rsrnet: &'a RsrNet,
-    asdnet: &'a AsdNet,
-    net: &'a RoadNetwork,
-    // ---- per-trajectory state ----
-    stream: crate::rsrnet::RsrStream,
+/// Borrowed, read-only view of everything a detection step consults: the
+/// trained model's parts plus the road network. Shared by the
+/// single-session [`Rl4oasdDetector`] and the fleet-scale
+/// [`crate::StreamEngine`], so both run the exact same per-step logic.
+#[derive(Clone, Copy)]
+pub(crate) struct ModelView<'a> {
+    pub config: &'a Rl4oasdConfig,
+    pub pre: &'a Preprocessor,
+    pub rsrnet: &'a RsrNet,
+    pub asdnet: &'a AsdNet,
+    pub net: &'a RoadNetwork,
+}
+
+impl<'a> ModelView<'a> {
+    pub fn of(model: &'a TrainedModel, net: &'a RoadNetwork) -> Self {
+        ModelView {
+            config: &model.config,
+            pre: &model.preprocessor,
+            rsrnet: &model.rsrnet,
+            asdnet: &model.asdnet,
+            net,
+        }
+    }
+}
+
+/// Decision diagnostics: how often RNEL short-circuited the policy.
+#[derive(Debug, Clone, Copy, Default)]
+pub(crate) struct DecisionCounters {
+    pub rnel_hits: usize,
+    pub policy_calls: usize,
+}
+
+/// What a step needs after the representation `z` is available.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Pending {
+    /// The label is already determined (endpoint pinning or an RNEL rule);
+    /// the nn step still runs to advance the stream state.
+    Fixed(u8),
+    /// The policy (or the "w/o ASDNet" classifier) must be consulted on
+    /// `z`.
+    Policy,
+}
+
+/// Compact per-session state of Algorithm 1: the RSRNet stream, the pinned
+/// SD pair/time slot, the previous segment and label (for RNEL and the
+/// policy state), and the provisional labels (for Delayed Labeling).
+///
+/// All model access goes through a [`ModelView`] argument, so thousands of
+/// sessions share one immutable model and each session is only a few
+/// hundred bytes (two `hidden_dim` vectors plus the label buffer).
+#[derive(Debug, Clone)]
+pub(crate) struct SessionState {
+    stream: RsrStream,
     sd: SdPair,
     slot: usize,
     prev_seg: Option<SegmentId>,
     prev_label: u8,
     labels: Vec<u8>,
-    /// Count of decisions short-circuited by RNEL (diagnostics).
-    rnel_hits: usize,
-    /// Count of policy invocations (diagnostics).
-    policy_calls: usize,
+}
+
+impl SessionState {
+    /// Opens a session for a trip of the given SD pair and start time.
+    pub fn open(view: &ModelView, sd: SdPair, start_time: f64) -> Self {
+        SessionState {
+            stream: view.rsrnet.stream(),
+            sd,
+            slot: slot_of_time(start_time),
+            prev_seg: None,
+            prev_label: 0,
+            labels: Vec::new(),
+        }
+    }
+
+    /// The incoming segment's NRF and whether it is a pinned endpoint
+    /// (evaluated *before* the nn step — Algorithm 1 lines 2–3).
+    pub fn pre_step(&self, view: &ModelView, segment: SegmentId) -> (u8, bool) {
+        let is_endpoint = self.labels.is_empty() || segment == self.sd.dest;
+        let nrf = view
+            .pre
+            .nrf_at(self.sd, self.slot, self.prev_seg, segment, is_endpoint);
+        (nrf, is_endpoint)
+    }
+
+    /// Resolves everything decidable without `z`: endpoint pinning and the
+    /// RNEL degree rules (§IV-E). Returns [`Pending::Policy`] when the nn
+    /// heads must be consulted.
+    pub fn plan(
+        &self,
+        view: &ModelView,
+        segment: SegmentId,
+        is_endpoint: bool,
+        counters: &mut DecisionCounters,
+    ) -> Pending {
+        if is_endpoint {
+            return Pending::Fixed(0); // Algorithm 1 lines 2–3
+        }
+        if let (true, Some(prev)) = (view.config.use_rnel, self.prev_seg) {
+            if let Some(label) = rnel(view.net, prev, segment, self.prev_label) {
+                counters.rnel_hits += 1;
+                return Pending::Fixed(label);
+            }
+        }
+        counters.policy_calls += 1;
+        Pending::Policy
+    }
+
+    /// The nn decision for a [`Pending::Policy`] step, given this step's
+    /// representation `z`.
+    pub fn decide_policy(&self, view: &ModelView, z: &[f32]) -> u8 {
+        if view.config.use_asdnet {
+            let state = view.asdnet.state(z, self.prev_label);
+            view.asdnet.greedy(&state)
+        } else {
+            // Ablation "w/o ASDNet": an ordinary classifier on RSRNet
+            // outputs.
+            let p = view.rsrnet.classify(z);
+            u8::from(p[1] > p[0])
+        }
+    }
+
+    /// Appends the policy-head input `s_i = [z_i ; v(prev_label)]` to
+    /// `out` (batched path; same bytes as [`AsdNet::state`], without the
+    /// per-lane allocation).
+    pub fn append_policy_state(&self, view: &ModelView, z: &[f32], out: &mut Vec<f32>) {
+        out.extend_from_slice(z);
+        out.extend_from_slice(view.asdnet.label_embed.lookup(self.prev_label as usize));
+    }
+
+    /// Records the decided label of `segment`.
+    pub fn commit(&mut self, segment: SegmentId, label: u8) {
+        self.labels.push(label);
+        self.prev_label = label;
+        self.prev_seg = Some(segment);
+    }
+
+    /// One full scalar step: NRF, RSRNet stream step, decision, commit.
+    /// This *is* the per-trajectory path; the engine's batched tick differs
+    /// only in running the nn passes for many sessions at once
+    /// (bit-identically — see `RsrNet::stream_step_batch`).
+    pub fn observe(
+        &mut self,
+        view: &ModelView,
+        segment: SegmentId,
+        counters: &mut DecisionCounters,
+    ) -> u8 {
+        let (nrf, is_endpoint) = self.pre_step(view, segment);
+        let z = view.rsrnet.stream_step(&mut self.stream, segment, nrf);
+        let label = match self.plan(view, segment, is_endpoint, counters) {
+            Pending::Fixed(label) => label,
+            Pending::Policy => self.decide_policy(view, &z),
+        };
+        self.commit(segment, label);
+        label
+    }
+
+    /// Mutable access to the RSRNet stream (engine batched pass).
+    pub fn stream_mut(&mut self) -> &mut RsrStream {
+        &mut self.stream
+    }
+
+    /// Finalises the session: destination pinning plus Delayed Labeling.
+    pub fn finish(&mut self, view: &ModelView) -> Vec<u8> {
+        let mut labels = std::mem::take(&mut self.labels);
+        // Destination pinned normal even if the trajectory ended early.
+        if let Some(last) = labels.last_mut() {
+            *last = 0;
+        }
+        if view.config.use_delayed_labeling {
+            delayed_labeling(&mut labels, view.config.delay_d);
+        }
+        self.prev_seg = None;
+        self.prev_label = 0;
+        labels
+    }
+}
+
+/// The RNEL rules (§IV-E). Returns a deterministic label when one of the
+/// three degree cases applies.
+pub(crate) fn rnel(
+    net: &RoadNetwork,
+    prev: SegmentId,
+    cur: SegmentId,
+    prev_label: u8,
+) -> Option<u8> {
+    let out_prev = net.out_degree(prev);
+    let in_cur = net.in_degree(cur);
+    if out_prev == 1 && in_cur == 1 {
+        Some(prev_label) // case (1): no alternatives on either side
+    } else if out_prev == 1 && in_cur > 1 && prev_label == 0 {
+        Some(0) // case (2)
+    } else if out_prev > 1 && in_cur == 1 && prev_label == 1 {
+        Some(1) // case (3)
+    } else {
+        None
+    }
+}
+
+/// Delayed Labeling (§IV-E): fills 0-gaps strictly shorter than `d` that
+/// separate two anomalous runs.
+pub(crate) fn delayed_labeling(labels: &mut [u8], d: usize) {
+    if d == 0 {
+        return;
+    }
+    let n = labels.len();
+    let mut i = 0;
+    while i < n {
+        if labels[i] == 1 {
+            // find the end of this 1-run
+            let mut j = i;
+            while j + 1 < n && labels[j + 1] == 1 {
+                j += 1;
+            }
+            // gap of zeros after the run
+            let gap_start = j + 1;
+            let mut k = gap_start;
+            while k < n && labels[k] == 0 {
+                k += 1;
+            }
+            if k < n && k - gap_start < d {
+                // a later 1 within the window: fill the gap
+                for l in labels.iter_mut().take(k).skip(gap_start) {
+                    *l = 1;
+                }
+                i = j + 1; // re-scan from the merged run
+            } else {
+                i = k;
+            }
+        } else {
+            i += 1;
+        }
+    }
+}
+
+/// Online detector over a trained model (or its parts, during training).
+///
+/// This is the single-session adapter over the shared step logic in
+/// [`SessionState`]; the fleet-scale counterpart multiplexing thousands of
+/// sessions over one model is [`crate::StreamEngine`].
+pub struct Rl4oasdDetector<'a> {
+    view: ModelView<'a>,
+    state: SessionState,
+    counters: DecisionCounters,
 }
 
 impl<'a> Rl4oasdDetector<'a> {
@@ -64,78 +288,37 @@ impl<'a> Rl4oasdDetector<'a> {
         asdnet: &'a AsdNet,
         net: &'a RoadNetwork,
     ) -> Self {
-        Rl4oasdDetector {
-            stream: rsrnet.stream(),
+        let view = ModelView {
             config,
             pre,
             rsrnet,
             asdnet,
             net,
-            sd: SdPair::default(),
-            slot: 0,
-            prev_seg: None,
-            prev_label: 0,
-            labels: Vec::new(),
-            rnel_hits: 0,
-            policy_calls: 0,
+        };
+        Rl4oasdDetector {
+            state: SessionState::open(&view, SdPair::default(), 0.0),
+            view,
+            counters: DecisionCounters::default(),
         }
     }
 
     /// `(RNEL short-circuits, policy invocations)` since construction.
     pub fn decision_counts(&self) -> (usize, usize) {
-        (self.rnel_hits, self.policy_calls)
+        (self.counters.rnel_hits, self.counters.policy_calls)
     }
 
     /// The RNEL rules (§IV-E). Returns a deterministic label when one of
     /// the three cases applies.
+    #[cfg(test)]
     fn rnel(&self, prev: SegmentId, cur: SegmentId, prev_label: u8) -> Option<u8> {
-        let out_prev = self.net.out_degree(prev);
-        let in_cur = self.net.in_degree(cur);
-        if out_prev == 1 && in_cur == 1 {
-            Some(prev_label) // case (1): no alternatives on either side
-        } else if out_prev == 1 && in_cur > 1 && prev_label == 0 {
-            Some(0) // case (2)
-        } else if out_prev > 1 && in_cur == 1 && prev_label == 1 {
-            Some(1) // case (3)
-        } else {
-            None
-        }
+        rnel(self.view.net, prev, cur, prev_label)
     }
 
     /// Delayed Labeling (§IV-E): fills 0-gaps strictly shorter than `D`
-    /// that separate two anomalous runs.
+    /// between anomalous runs.
+    #[cfg(test)]
     fn delayed_labeling(labels: &mut [u8], d: usize) {
-        if d == 0 {
-            return;
-        }
-        let n = labels.len();
-        let mut i = 0;
-        while i < n {
-            if labels[i] == 1 {
-                // find the end of this 1-run
-                let mut j = i;
-                while j + 1 < n && labels[j + 1] == 1 {
-                    j += 1;
-                }
-                // gap of zeros after the run
-                let gap_start = j + 1;
-                let mut k = gap_start;
-                while k < n && labels[k] == 0 {
-                    k += 1;
-                }
-                if k < n && k - gap_start < d {
-                    // a later 1 within the window: fill the gap
-                    for l in labels.iter_mut().take(k).skip(gap_start) {
-                        *l = 1;
-                    }
-                    i = j + 1; // re-scan from the merged run
-                } else {
-                    i = k;
-                }
-            } else {
-                i += 1;
-            }
-        }
+        delayed_labeling(labels, d)
     }
 }
 
@@ -145,73 +328,17 @@ impl OnlineDetector for Rl4oasdDetector<'_> {
     }
 
     fn begin(&mut self, sd: SdPair, start_time: f64) {
-        self.stream = self.rsrnet.stream();
-        self.sd = sd;
-        self.slot = slot_of_time(start_time);
-        self.prev_seg = None;
-        self.prev_label = 0;
-        self.labels.clear();
+        self.state = SessionState::open(&self.view, sd, start_time);
     }
 
     fn observe(&mut self, segment: SegmentId) -> u8 {
-        let i = self.labels.len();
-        let is_endpoint = i == 0 || segment == self.sd.dest;
-        let nrf = self.pre.nrf_at(
-            self.sd,
-            self.slot,
-            self.prev_seg,
-            segment,
-            is_endpoint,
-        );
-        let z = self.rsrnet.stream_step(&mut self.stream, segment, nrf);
-
-        let label = if is_endpoint {
-            0 // Algorithm 1 lines 2–3
-        } else if let (true, Some(prev)) = (self.config.use_rnel, self.prev_seg) {
-            match self.rnel(prev, segment, self.prev_label) {
-                Some(l) => {
-                    self.rnel_hits += 1;
-                    l
-                }
-                None => self.policy_decision(&z),
-            }
-        } else {
-            self.policy_decision(&z)
-        };
-
-        self.labels.push(label);
-        self.prev_label = label;
-        self.prev_seg = Some(segment);
-        label
+        let view = self.view;
+        self.state.observe(&view, segment, &mut self.counters)
     }
 
     fn finish(&mut self) -> Vec<u8> {
-        let mut labels = std::mem::take(&mut self.labels);
-        // Destination pinned normal even if the trajectory ended early.
-        if let Some(last) = labels.last_mut() {
-            *last = 0;
-        }
-        if self.config.use_delayed_labeling {
-            Self::delayed_labeling(&mut labels, self.config.delay_d);
-        }
-        self.prev_seg = None;
-        self.prev_label = 0;
-        labels
-    }
-}
-
-impl Rl4oasdDetector<'_> {
-    fn policy_decision(&mut self, z: &[f32]) -> u8 {
-        self.policy_calls += 1;
-        if self.config.use_asdnet {
-            let state = self.asdnet.state(z, self.prev_label);
-            self.asdnet.greedy(&state)
-        } else {
-            // Ablation "w/o ASDNet": an ordinary classifier on RSRNet
-            // outputs.
-            let p = self.rsrnet.classify(z);
-            u8::from(p[1] > p[0])
-        }
+        let view = self.view;
+        self.state.finish(&view)
     }
 }
 
@@ -241,7 +368,6 @@ mod tests {
         let model = train(&net, &ds, &cfg);
         (net, ds, model)
     }
-
 
     #[test]
     fn labels_have_right_shape_and_pinned_endpoints() {

@@ -1,0 +1,458 @@
+//! Fleet-scale serving: multiplex thousands of concurrent trajectory
+//! sessions over one shared, immutable trained model.
+//!
+//! The paper's motivating scenario is an operator watching *many* ongoing
+//! trips at once. [`StreamEngine`] is that serving layer for RL4OASD:
+//!
+//! * **shared state** — one `Arc<TrainedModel>` + `Arc<RoadNetwork>`,
+//!   never mutated while serving (cheap to share across engines or
+//!   threads);
+//! * **per-session state** — a compact
+//!   [`SessionState`](crate::detector::SessionState): the LSTM stream
+//!   vectors, previous segment/label and the provisional label buffer;
+//!   opening a session allocates two `hidden_dim` vectors and nothing
+//!   else;
+//! * **batched ticks** — [`StreamEngine::observe_batch`] advances every
+//!   session that received a point in the same tick through *one* LSTM
+//!   matrix pass (`RsrNet::stream_step_batch`) and one policy-head pass,
+//!   instead of N scalar passes. The batched kernels use the exact
+//!   accumulation order of the scalar path, so labels are **bit-identical**
+//!   to driving each trajectory alone through
+//!   [`Rl4oasdDetector`](crate::Rl4oasdDetector) — interleaving never
+//!   changes results (property-tested in `tests/engine.rs`).
+//!
+//! The engine implements [`traj::SessionEngine`]; wrap it in
+//! [`traj::SingleSession`] to recover the per-trajectory
+//! [`traj::OnlineDetector`] view.
+
+use crate::detector::{DecisionCounters, ModelView, Pending, SessionState};
+use crate::rsrnet::RsrBatch;
+use crate::train::TrainedModel;
+use rnet::{RoadNetwork, SegmentId};
+use std::collections::HashSet;
+use std::sync::Arc;
+use traj::{SdPair, SessionEngine, SessionId, SessionSlab};
+
+/// Serving statistics (cumulative since construction).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EngineStats {
+    /// Sessions opened.
+    pub sessions_opened: u64,
+    /// Sessions closed.
+    pub sessions_closed: u64,
+    /// Total `observe` events processed (scalar and batched).
+    pub observe_events: u64,
+    /// Events advanced through the batched nn pass.
+    pub batched_events: u64,
+    /// Batched rounds executed (each is one LSTM matrix pass).
+    pub batched_rounds: u64,
+    /// Events advanced through the scalar path (single-session ticks).
+    pub scalar_events: u64,
+}
+
+/// Reusable per-tick buffers so a warm engine allocates almost nothing.
+#[derive(Default)]
+struct TickScratch {
+    rsr: RsrBatch,
+    inputs: Vec<(SegmentId, u8)>,
+    /// Flat `batch × z_dim` representations of the current round.
+    zs: Vec<f32>,
+    head_in: Vec<f32>,
+    head_out: Vec<f32>,
+    policy_lanes: Vec<usize>,
+    round: Vec<u32>,
+    deferred: Vec<u32>,
+    remaining: Vec<u32>,
+    seen: HashSet<SessionId>,
+    /// Sessions moved out of the slab for the current round. The per-round
+    /// `Vec<&mut RsrStream>` of phase 2 cannot live here (it borrows into
+    /// these lanes), so that one small pointer array remains the only
+    /// per-round allocation.
+    lanes: Vec<(u32, SegmentId, SessionState, Pending)>,
+}
+
+/// A multiplexing detection engine: one shared model, thousands of cheap
+/// concurrent sessions, batched nn steps per tick.
+pub struct StreamEngine {
+    model: Arc<TrainedModel>,
+    net: Arc<RoadNetwork>,
+    sessions: SessionSlab<SessionState>,
+    counters: DecisionCounters,
+    stats: EngineStats,
+    scratch: TickScratch,
+}
+
+impl StreamEngine {
+    /// Builds an engine over a shared trained model and road network.
+    pub fn new(model: Arc<TrainedModel>, net: Arc<RoadNetwork>) -> Self {
+        StreamEngine {
+            model,
+            net,
+            sessions: SessionSlab::new(),
+            counters: DecisionCounters::default(),
+            stats: EngineStats::default(),
+            scratch: TickScratch::default(),
+        }
+    }
+
+    /// The shared model.
+    pub fn model(&self) -> &Arc<TrainedModel> {
+        &self.model
+    }
+
+    /// The shared road network.
+    pub fn network(&self) -> &Arc<RoadNetwork> {
+        &self.net
+    }
+
+    /// Cumulative serving statistics.
+    pub fn stats(&self) -> EngineStats {
+        self.stats
+    }
+
+    /// `(RNEL short-circuits, policy invocations)` since construction.
+    pub fn decision_counts(&self) -> (usize, usize) {
+        (self.counters.rnel_hits, self.counters.policy_calls)
+    }
+
+    /// Advances one round of events whose sessions are pairwise distinct,
+    /// using the batched LSTM and policy-head kernels.
+    fn observe_round(&mut self, events: &[(SessionId, SegmentId)], out: &mut [u8]) {
+        let round = std::mem::take(&mut self.scratch.round);
+        let batch = round.len();
+        debug_assert!(batch > 1);
+        let view = ModelView::of(&self.model, &self.net);
+
+        // Phase 1: move the round's sessions out of the slab, resolve the
+        // pre-nn plan (endpoint pinning, RNEL) and gather the nn inputs.
+        let mut lanes = std::mem::take(&mut self.scratch.lanes);
+        lanes.clear();
+        self.scratch.inputs.clear();
+        for &ei in &round {
+            let (session, segment) = events[ei as usize];
+            let state = self.sessions.take(session);
+            let (nrf, is_endpoint) = state.pre_step(&view, segment);
+            let pending = state.plan(&view, segment, is_endpoint, &mut self.counters);
+            self.scratch.inputs.push((segment, nrf));
+            lanes.push((ei, segment, state, pending));
+        }
+
+        // Phase 2: one batched LSTM pass advances every lane's stream.
+        {
+            let mut streams: Vec<&mut crate::rsrnet::RsrStream> = lanes
+                .iter_mut()
+                .map(|(_, _, state, _)| state.stream_mut())
+                .collect();
+            view.rsrnet.stream_step_batch(
+                &mut self.scratch.rsr,
+                &self.scratch.inputs,
+                &mut streams,
+                &mut self.scratch.zs,
+            );
+        }
+
+        // Phase 3: one batched head pass for the lanes whose label was not
+        // fixed by endpoint pinning or RNEL.
+        let z_dim = view.rsrnet.z_dim();
+        self.scratch.policy_lanes.clear();
+        self.scratch.policy_lanes.extend(
+            lanes
+                .iter()
+                .enumerate()
+                .filter(|(_, (_, _, _, pending))| *pending == Pending::Policy)
+                .map(|(lane, _)| lane),
+        );
+        if !self.scratch.policy_lanes.is_empty() {
+            self.scratch.head_in.clear();
+            let head = if view.config.use_asdnet {
+                for &lane in &self.scratch.policy_lanes {
+                    let z = &self.scratch.zs[lane * z_dim..(lane + 1) * z_dim];
+                    lanes[lane]
+                        .2
+                        .append_policy_state(&view, z, &mut self.scratch.head_in);
+                }
+                &view.asdnet.policy
+            } else {
+                for &lane in &self.scratch.policy_lanes {
+                    self.scratch
+                        .head_in
+                        .extend_from_slice(&self.scratch.zs[lane * z_dim..(lane + 1) * z_dim]);
+                }
+                &view.rsrnet.head
+            };
+            self.scratch.head_out.clear();
+            self.scratch
+                .head_out
+                .resize(self.scratch.policy_lanes.len() * 2, 0.0);
+            head.infer_batch(
+                &self.scratch.head_in,
+                self.scratch.policy_lanes.len(),
+                &mut self.scratch.head_out,
+            );
+            for (k, &lane) in self.scratch.policy_lanes.iter().enumerate() {
+                let logits = [
+                    self.scratch.head_out[2 * k],
+                    self.scratch.head_out[2 * k + 1],
+                ];
+                let label = if view.config.use_asdnet {
+                    crate::asdnet::AsdNet::greedy_from_logits(logits)
+                } else {
+                    let p = crate::rsrnet::RsrNet::classify_from_logits(logits);
+                    u8::from(p[1] > p[0])
+                };
+                lanes[lane].3 = Pending::Fixed(label);
+            }
+        }
+
+        // Phase 4: commit labels and return the sessions to the slab.
+        for (ei, segment, mut state, pending) in lanes.drain(..) {
+            let (session, _) = events[ei as usize];
+            let label = match pending {
+                Pending::Fixed(label) => label,
+                Pending::Policy => unreachable!("all policy lanes decided in phase 3"),
+            };
+            state.commit(segment, label);
+            out[ei as usize] = label;
+            self.sessions.restore(session, state);
+        }
+
+        self.stats.observe_events += batch as u64;
+        self.stats.batched_events += batch as u64;
+        self.stats.batched_rounds += 1;
+        self.scratch.round = round;
+        self.scratch.lanes = lanes;
+    }
+}
+
+impl SessionEngine for StreamEngine {
+    fn engine_name(&self) -> &'static str {
+        "RL4OASD"
+    }
+
+    fn open(&mut self, sd: SdPair, start_time: f64) -> SessionId {
+        let view = ModelView::of(&self.model, &self.net);
+        let state = SessionState::open(&view, sd, start_time);
+        self.stats.sessions_opened += 1;
+        self.sessions.insert(state)
+    }
+
+    fn observe(&mut self, session: SessionId, segment: SegmentId) -> u8 {
+        let view = ModelView::of(&self.model, &self.net);
+        let state = self.sessions.get_mut(session);
+        let label = state.observe(&view, segment, &mut self.counters);
+        self.stats.observe_events += 1;
+        self.stats.scalar_events += 1;
+        label
+    }
+
+    /// Batched tick: every session that received a point this tick advances
+    /// through one LSTM matrix pass (and one head pass) instead of N scalar
+    /// passes. Sessions appearing multiple times in `events` are applied in
+    /// order across successive sub-rounds.
+    fn observe_batch(&mut self, events: &[(SessionId, SegmentId)], out: &mut Vec<u8>) {
+        out.clear();
+        out.resize(events.len(), 0);
+        let mut remaining = std::mem::take(&mut self.scratch.remaining);
+        remaining.clear();
+        remaining.extend(0..events.len() as u32);
+        let mut seen = std::mem::take(&mut self.scratch.seen);
+        while !remaining.is_empty() {
+            // Select a round in which each session appears at most once;
+            // later duplicates are deferred to the next round.
+            seen.clear();
+            let mut round = std::mem::take(&mut self.scratch.round);
+            let mut deferred = std::mem::take(&mut self.scratch.deferred);
+            round.clear();
+            deferred.clear();
+            for &ei in &remaining {
+                if seen.insert(events[ei as usize].0) {
+                    round.push(ei);
+                } else {
+                    deferred.push(ei);
+                }
+            }
+            if round.len() == 1 {
+                let ei = round[0] as usize;
+                let (session, segment) = events[ei];
+                out[ei] = self.observe(session, segment);
+                self.scratch.round = round;
+            } else {
+                self.scratch.round = round;
+                self.observe_round(events, out);
+            }
+            std::mem::swap(&mut remaining, &mut deferred);
+            self.scratch.deferred = deferred;
+        }
+        self.scratch.remaining = remaining;
+        self.scratch.seen = seen;
+    }
+
+    fn close(&mut self, session: SessionId) -> Vec<u8> {
+        let view = ModelView::of(&self.model, &self.net);
+        let mut state = self.sessions.remove(session);
+        self.stats.sessions_closed += 1;
+        state.finish(&view)
+    }
+
+    fn active_sessions(&self) -> usize {
+        self.sessions.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::Rl4oasdConfig;
+    use crate::detector::Rl4oasdDetector;
+    use crate::train::train;
+    use rnet::{CityBuilder, CityConfig};
+    use traj::{Dataset, OnlineDetector, SingleSession, TrafficConfig, TrafficSimulator};
+
+    fn setup(seed: u64) -> (Arc<RoadNetwork>, Dataset, Arc<TrainedModel>) {
+        let net = CityBuilder::new(CityConfig::tiny(seed)).build();
+        let cfg = TrafficConfig {
+            num_sd_pairs: 4,
+            trajs_per_pair: (40, 60),
+            anomaly_ratio: 0.15,
+            ..TrafficConfig::tiny(seed)
+        };
+        let data = TrafficSimulator::new(&net, cfg).generate();
+        let ds = Dataset::from_generated(&data);
+        let cfg = Rl4oasdConfig::tiny(seed);
+        let model = train(&net, &ds, &cfg);
+        (Arc::new(net), ds, Arc::new(model))
+    }
+
+    /// Sequential per-trajectory labels via the single-session detector.
+    fn sequential_labels(
+        model: &TrainedModel,
+        net: &RoadNetwork,
+        trajs: &[traj::MappedTrajectory],
+    ) -> Vec<Vec<u8>> {
+        let mut det = Rl4oasdDetector::new(model, net);
+        trajs.iter().map(|t| det.label_trajectory(t)).collect()
+    }
+
+    #[test]
+    fn interleaved_ticks_match_sequential_labels() {
+        let (net, ds, model) = setup(21);
+        let trajs: Vec<_> = ds.trajectories.iter().take(24).cloned().collect();
+        let expected = sequential_labels(&model, &net, &trajs);
+
+        let mut engine = StreamEngine::new(Arc::clone(&model), Arc::clone(&net));
+        let handles: Vec<_> = trajs
+            .iter()
+            .map(|t| engine.open(t.sd_pair().unwrap(), t.start_time))
+            .collect();
+        assert_eq!(engine.active_sessions(), trajs.len());
+
+        // Tick-synchronous interleaving: every still-active trip advances
+        // one segment per tick through the batched path.
+        let max_len = trajs.iter().map(|t| t.len()).max().unwrap();
+        let mut out = Vec::new();
+        for tick in 0..max_len {
+            let events: Vec<_> = trajs
+                .iter()
+                .enumerate()
+                .filter(|(_, t)| tick < t.len())
+                .map(|(k, t)| (handles[k], t.segments[tick]))
+                .collect();
+            engine.observe_batch(&events, &mut out);
+            assert_eq!(out.len(), events.len());
+        }
+        let got: Vec<Vec<u8>> = handles.iter().map(|&h| engine.close(h)).collect();
+        assert_eq!(got, expected, "interleaving changed labels");
+        assert_eq!(engine.active_sessions(), 0);
+
+        let stats = engine.stats();
+        assert!(stats.batched_rounds > 0, "batched path never used");
+        assert!(stats.batched_events > stats.scalar_events);
+        assert_eq!(
+            stats.observe_events,
+            trajs.iter().map(|t| t.len() as u64).sum::<u64>()
+        );
+    }
+
+    #[test]
+    fn scalar_observe_matches_sequential_labels() {
+        let (net, ds, model) = setup(22);
+        let trajs: Vec<_> = ds.trajectories.iter().take(8).cloned().collect();
+        let expected = sequential_labels(&model, &net, &trajs);
+
+        // Round-robin single observes across all sessions at once.
+        let mut engine = StreamEngine::new(Arc::clone(&model), Arc::clone(&net));
+        let handles: Vec<_> = trajs
+            .iter()
+            .map(|t| engine.open(t.sd_pair().unwrap(), t.start_time))
+            .collect();
+        let max_len = trajs.iter().map(|t| t.len()).max().unwrap();
+        for tick in 0..max_len {
+            for (k, t) in trajs.iter().enumerate() {
+                if tick < t.len() {
+                    engine.observe(handles[k], t.segments[tick]);
+                }
+            }
+        }
+        let got: Vec<Vec<u8>> = handles.iter().map(|&h| engine.close(h)).collect();
+        assert_eq!(got, expected);
+        assert_eq!(engine.stats().batched_rounds, 0);
+    }
+
+    #[test]
+    fn repeated_sessions_within_one_tick_are_ordered() {
+        let (net, ds, model) = setup(23);
+        let t = ds.trajectories[0].clone();
+        let expected = sequential_labels(&model, &net, std::slice::from_ref(&t));
+
+        // Feed an entire trajectory as one observe_batch call (the same
+        // session repeats); sub-rounds must preserve per-session order.
+        let mut engine = StreamEngine::new(Arc::clone(&model), Arc::clone(&net));
+        let h = engine.open(t.sd_pair().unwrap(), t.start_time);
+        let events: Vec<_> = t.segments.iter().map(|&s| (h, s)).collect();
+        let mut out = Vec::new();
+        engine.observe_batch(&events, &mut out);
+        assert_eq!(out.len(), t.len());
+        assert_eq!(engine.close(h), expected[0]);
+    }
+
+    #[test]
+    fn single_session_adapter_over_engine_matches_detector() {
+        let (net, ds, model) = setup(24);
+        let trajs: Vec<_> = ds.trajectories.iter().take(10).cloned().collect();
+        let expected = sequential_labels(&model, &net, &trajs);
+        let mut adapter =
+            SingleSession::new(StreamEngine::new(Arc::clone(&model), Arc::clone(&net)));
+        assert_eq!(adapter.name(), "RL4OASD");
+        let got: Vec<Vec<u8>> = trajs.iter().map(|t| adapter.label_trajectory(t)).collect();
+        assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn sessions_are_cheap_to_open_and_close() {
+        let (net, _, model) = setup(25);
+        let mut engine = StreamEngine::new(Arc::clone(&model), Arc::clone(&net));
+        let sd = SdPair {
+            source: SegmentId(0),
+            dest: SegmentId(1),
+        };
+        let handles: Vec<_> = (0..5000).map(|i| engine.open(sd, i as f64)).collect();
+        assert_eq!(engine.active_sessions(), 5000);
+        for h in handles {
+            assert!(engine.close(h).is_empty());
+        }
+        assert_eq!(engine.active_sessions(), 0);
+        assert_eq!(engine.stats().sessions_closed, 5000);
+    }
+
+    #[test]
+    #[should_panic(expected = "stale session")]
+    fn closed_sessions_cannot_be_observed() {
+        let (net, ds, model) = setup(26);
+        let t = &ds.trajectories[0];
+        let mut engine = StreamEngine::new(model, net);
+        let h = engine.open(t.sd_pair().unwrap(), t.start_time);
+        engine.close(h);
+        let _h2 = engine.open(t.sd_pair().unwrap(), t.start_time);
+        engine.observe(h, t.segments[0]);
+    }
+}

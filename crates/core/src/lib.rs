@@ -32,6 +32,7 @@ pub mod ablation;
 pub mod asdnet;
 pub mod config;
 pub mod detector;
+pub mod engine;
 pub mod pipeline;
 pub mod preprocess;
 pub mod rsrnet;
@@ -40,6 +41,7 @@ pub mod train;
 
 pub use config::Rl4oasdConfig;
 pub use detector::Rl4oasdDetector;
+pub use engine::{EngineStats, StreamEngine};
 pub use pipeline::{load_model, save_model, train_from_gps, PipelineResult};
 pub use preprocess::{GroupStats, Preprocessor};
 pub use train::{train, train_with_dev, train_with_stats, OnlineLearner, TrainedModel};

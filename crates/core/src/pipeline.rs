@@ -72,8 +72,7 @@ pub fn save_model(model: &TrainedModel, path: &std::path::Path) -> std::io::Resu
 /// Restores a model saved with [`save_model`].
 pub fn load_model(path: &std::path::Path) -> std::io::Result<TrainedModel> {
     let json = std::fs::read_to_string(path)?;
-    serde_json::from_str(&json)
-        .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))
+    serde_json::from_str(&json).map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))
 }
 
 #[cfg(test)]

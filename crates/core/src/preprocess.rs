@@ -19,27 +19,25 @@ pub type TransKey = (Option<SegmentId>, SegmentId);
 /// Serde helper: (de)serialises maps with non-string keys as entry lists,
 /// keeping the model JSON-serialisable.
 mod map_as_vec {
-    use serde::{Deserialize, Deserializer, Serialize, Serializer};
+    use serde::{Deserialize, Error, Serialize, Value};
     use std::collections::HashMap;
     use std::hash::Hash;
 
-    pub fn serialize<K, V, S>(map: &HashMap<K, V>, s: S) -> Result<S::Ok, S::Error>
+    pub fn serialize<K, V>(map: &HashMap<K, V>) -> Value
     where
         K: Serialize,
         V: Serialize,
-        S: Serializer,
     {
         let entries: Vec<(&K, &V)> = map.iter().collect();
-        entries.serialize(s)
+        entries.serialize()
     }
 
-    pub fn deserialize<'de, K, V, D>(d: D) -> Result<HashMap<K, V>, D::Error>
+    pub fn deserialize<K, V>(v: &Value) -> Result<HashMap<K, V>, Error>
     where
-        K: Deserialize<'de> + Eq + Hash,
-        V: Deserialize<'de>,
-        D: Deserializer<'de>,
+        K: Deserialize + Eq + Hash,
+        V: Deserialize,
     {
-        let entries: Vec<(K, V)> = Vec::deserialize(d)?;
+        let entries: Vec<(K, V)> = Vec::deserialize(v)?;
         Ok(entries.into_iter().collect())
     }
 }
@@ -339,8 +337,6 @@ mod tests {
         (data, ds, pre)
     }
 
-
-
     #[test]
     fn fits_all_pairs() {
         let (data, _, pre) = setup(1);
@@ -472,7 +468,11 @@ mod tests {
             let pair = t.sd_pair().unwrap();
             let slot = t.time_slot();
             for i in 0..t.len() {
-                let prev = if i == 0 { None } else { Some(t.segments[i - 1]) };
+                let prev = if i == 0 {
+                    None
+                } else {
+                    Some(t.segments[i - 1])
+                };
                 let endpoint = i == 0 || i == t.len() - 1;
                 assert_eq!(
                     pre.nrf_at(pair, slot, prev, t.segments[i], endpoint),

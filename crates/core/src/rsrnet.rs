@@ -50,6 +50,16 @@ pub struct RsrStream {
     state: LstmState,
 }
 
+/// Reusable scratch buffers for [`RsrNet::stream_step_batch`], so a serving
+/// engine allocates nothing per tick once warm.
+#[derive(Debug, Default)]
+pub struct RsrBatch {
+    xh: Vec<f32>,
+    c: Vec<f32>,
+    h: Vec<f32>,
+    z: Vec<f32>,
+}
+
 impl RsrNet {
     /// Builds the network. `toast_init` (if given) must be a
     /// `vocab × embed_dim` matrix.
@@ -208,12 +218,71 @@ impl RsrNet {
         ops::concat(&stream.state.h, self.nrf_embed.lookup(nrf as usize))
     }
 
+    /// Batched streaming step: advances `inputs.len()` independent streams
+    /// in one LSTM matrix pass, writing each lane's `z_i` into the flat
+    /// `batch × z_dim` row-major `zs` buffer (cleared first; lane `i`'s
+    /// representation is `zs[i*z_dim..(i+1)*z_dim]`). The flat layout keeps
+    /// the serving hot path allocation-free once buffers are warm.
+    ///
+    /// Per-lane results are **bit-identical** to [`RsrNet::stream_step`] —
+    /// the batched LSTM kernel uses the same accumulation order — so a
+    /// serving engine can mix scalar and batched ticks freely without
+    /// changing labels.
+    ///
+    /// # Panics
+    /// Panics if `inputs` and `streams` have different lengths.
+    pub fn stream_step_batch(
+        &self,
+        scratch: &mut RsrBatch,
+        inputs: &[(SegmentId, u8)],
+        streams: &mut [&mut RsrStream],
+        zs: &mut Vec<f32>,
+    ) {
+        assert_eq!(inputs.len(), streams.len(), "lane count mismatch");
+        let batch = inputs.len();
+        let hidden = self.lstm.hidden_dim();
+        scratch.xh.clear();
+        scratch.c.clear();
+        for (&(seg, _), stream) in inputs.iter().zip(streams.iter()) {
+            scratch.xh.extend_from_slice(self.embed.lookup(seg.idx()));
+            scratch.xh.extend_from_slice(&stream.state.h);
+            scratch.c.extend_from_slice(&stream.state.c);
+        }
+        scratch.h.clear();
+        scratch.h.resize(batch * hidden, 0.0);
+        self.lstm.infer_step_batch(
+            batch,
+            &scratch.xh,
+            &mut scratch.c,
+            &mut scratch.h,
+            &mut scratch.z,
+        );
+        zs.clear();
+        for (lane, (&(_, nrf), stream)) in inputs.iter().zip(streams.iter_mut()).enumerate() {
+            let h = &scratch.h[lane * hidden..(lane + 1) * hidden];
+            stream.state.h.copy_from_slice(h);
+            stream
+                .state
+                .c
+                .copy_from_slice(&scratch.c[lane * hidden..(lane + 1) * hidden]);
+            zs.extend_from_slice(h);
+            zs.extend_from_slice(self.nrf_embed.lookup(nrf as usize));
+        }
+    }
+
     /// Label probabilities for a representation `z` (used by the
     /// "w/o ASDNet" ablation, which classifies directly from RSRNet).
     pub fn classify(&self, z: &[f32]) -> [f32; 2] {
         let mut logits = vec![0.0; 2];
         self.head.infer(z, &mut logits);
-        let mut p = [logits[0], logits[1]];
+        Self::classify_from_logits([logits[0], logits[1]])
+    }
+
+    /// Label probabilities from the head's raw logits. Shared by the scalar
+    /// [`RsrNet::classify`] path and the engine's batched head pass so both
+    /// make bit-identical decisions.
+    pub fn classify_from_logits(logits: [f32; 2]) -> [f32; 2] {
+        let mut p = logits;
         softmax2(&mut p);
         p
     }
@@ -244,7 +313,10 @@ mod tests {
     }
 
     fn toy_batch() -> (Vec<SegmentId>, Vec<u8>, Vec<u8>) {
-        let segs: Vec<SegmentId> = [0u32, 3, 7, 7, 2, 9].iter().map(|&i| SegmentId(i)).collect();
+        let segs: Vec<SegmentId> = [0u32, 3, 7, 7, 2, 9]
+            .iter()
+            .map(|&i| SegmentId(i))
+            .collect();
         let nrf = vec![0, 0, 1, 1, 1, 0];
         let labels = vec![0, 0, 1, 1, 1, 0];
         (segs, nrf, labels)
@@ -309,6 +381,48 @@ mod tests {
             let z = net.stream_step(&mut stream, segs[i], nrf[i]);
             for (a, b) in z.iter().zip(&fwd.zs[i]) {
                 assert!((a - b).abs() < 1e-6);
+            }
+        }
+    }
+
+    #[test]
+    fn stream_step_batch_matches_scalar_bitwise() {
+        let net = tiny_net(8);
+        let (segs, nrf, _) = toy_batch();
+        // Three lanes at different positions of the same toy trajectory.
+        let mut scalar: Vec<RsrStream> = (0..3).map(|_| net.stream()).collect();
+        let mut batched: Vec<RsrStream> = (0..3).map(|_| net.stream()).collect();
+        for (lane, s) in scalar.iter_mut().enumerate() {
+            for i in 0..lane {
+                net.stream_step(s, segs[i], nrf[i]);
+            }
+        }
+        for (lane, s) in batched.iter_mut().enumerate() {
+            for i in 0..lane {
+                net.stream_step(s, segs[i], nrf[i]);
+            }
+        }
+        // Advance all three lanes twice: once scalar, once batched.
+        let mut scratch = RsrBatch::default();
+        for step in 0..2 {
+            let inputs: Vec<(SegmentId, u8)> = (0..3)
+                .map(|lane| (segs[lane + step], nrf[lane + step]))
+                .collect();
+            let scalar_zs: Vec<Vec<f32>> = scalar
+                .iter_mut()
+                .enumerate()
+                .map(|(lane, s)| net.stream_step(s, inputs[lane].0, inputs[lane].1))
+                .collect();
+            let mut streams: Vec<&mut RsrStream> = batched.iter_mut().collect();
+            let mut zs = Vec::new();
+            net.stream_step_batch(&mut scratch, &inputs, &mut streams, &mut zs);
+            let z_dim = net.z_dim();
+            for (lane, scalar_z) in scalar_zs.iter().enumerate() {
+                assert_eq!(
+                    &zs[lane * z_dim..(lane + 1) * z_dim],
+                    &scalar_z[..],
+                    "step {step} lane {lane}"
+                );
             }
         }
     }

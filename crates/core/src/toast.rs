@@ -71,7 +71,7 @@ pub fn train_embeddings(net: &RoadNetwork, data: &Dataset, cfg: &ToastConfig) ->
 
     // Input and output (context) vectors, uniform small init.
     let mut w_in: Vec<f32> = (0..vocab * sg_dim)
-        .map(|_| rng.gen_range(-0.5..0.5) / sg_dim as f32)
+        .map(|_| rng.gen_range(-0.5f32..0.5) / sg_dim as f32)
         .collect();
     let mut w_out: Vec<f32> = vec![0.0; vocab * sg_dim];
 

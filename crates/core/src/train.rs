@@ -130,7 +130,11 @@ pub fn train_with_dev(
     // is used — the joint loop then continues at the paper's lr. Skipped
     // entirely for the "w/o ASDNet" ablation, which replaces the policy
     // with an ordinary classifier trained on the noisy labels.
-    for _ in 0..if config.use_asdnet { config.pretrain_epochs } else { 0 } {
+    for _ in 0..if config.use_asdnet {
+        config.pretrain_epochs
+    } else {
+        0
+    } {
         for (id, labels) in &warm_labels {
             let traj = &data.trajectories[*id];
             let feats = preprocessor.features(traj);
@@ -159,12 +163,8 @@ pub fn train_with_dev(
             if !config.use_asdnet {
                 // "w/o ASDNet": keep training the classifier on the noisy
                 // labels; no refinement loop exists without the policy.
-                let loss = rsrnet.train_step(
-                    &traj.segments,
-                    &feats.nrf,
-                    &feats.noisy_labels,
-                    joint_lr,
-                );
+                let loss =
+                    rsrnet.train_step(&traj.segments, &feats.nrf, &feats.noisy_labels, joint_lr);
                 loss_sum += loss;
                 count += 1;
                 continue;
@@ -188,8 +188,14 @@ pub fn train_with_dev(
                 refined[i] = action;
                 prev = action;
             }
-            let reward =
-                episode_reward(config, &rsrnet, &fwd.zs, &traj.segments, &feats.nrf, &refined);
+            let reward = episode_reward(
+                config,
+                &rsrnet,
+                &fwd.zs,
+                &traj.segments,
+                &feats.nrf,
+                &refined,
+            );
             asdnet.reinforce(&steps, reward, config.lr_asdnet);
             // Continued policy anchor (behaviour cloning towards the noisy
             // labels) — keeps the policy from random-walking under
@@ -227,12 +233,8 @@ pub fn train_with_dev(
                 }
             }
         }
-        stats
-            .epoch_losses
-            .push(loss_sum / count.max(1) as f32);
-        stats
-            .epoch_rewards
-            .push(reward_sum / count.max(1) as f32);
+        stats.epoch_losses.push(loss_sum / count.max(1) as f32);
+        stats.epoch_rewards.push(reward_sum / count.max(1) as f32);
     }
     // Final candidate also competes for best.
     if let Some(dev) = dev {
@@ -444,7 +446,9 @@ impl OnlineLearner {
                 &feats.nrf,
                 &refined,
             );
-            self.model.asdnet.reinforce(&steps, reward, config.lr_asdnet);
+            self.model
+                .asdnet
+                .reinforce(&steps, reward, config.lr_asdnet);
             if config.use_noisy_labels && config.policy_anchor_weight > 0.0 {
                 let anchor = forced_steps(&self.model.asdnet, &fwd.zs, &feats.noisy_labels);
                 self.model

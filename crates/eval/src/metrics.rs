@@ -98,9 +98,17 @@ where
         tj_total += tj;
     }
     let metrics = |j: f64| -> (f64, f64, f64) {
-        let p = if n_output > 0 { j / n_output as f64 } else { 0.0 };
+        let p = if n_output > 0 {
+            j / n_output as f64
+        } else {
+            0.0
+        };
         let r = if n_truth > 0 { j / n_truth as f64 } else { 0.0 };
-        let f1 = if p + r > 0.0 { 2.0 * p * r / (p + r) } else { 0.0 };
+        let f1 = if p + r > 0.0 {
+            2.0 * p * r / (p + r)
+        } else {
+            0.0
+        };
         (p, r, f1)
     };
     let (precision, recall, f1) = metrics(j_total);

@@ -102,7 +102,15 @@ mod tests {
     fn perfect_prediction() {
         let t = vec![vec![0, 1, 1, 0]];
         let c = Confusion::of_corpus(&t, &t);
-        assert_eq!(c, Confusion { tp: 2, fp: 0, fn_: 0, tn: 2 });
+        assert_eq!(
+            c,
+            Confusion {
+                tp: 2,
+                fp: 0,
+                fn_: 0,
+                tn: 2
+            }
+        );
         assert_eq!(c.precision(), 1.0);
         assert_eq!(c.recall(), 1.0);
         assert_eq!(c.f1(), 1.0);

@@ -110,10 +110,14 @@ impl<'a> MapMatcher<'a> {
                 None
             };
             let (a, b) = match (prev, next) {
-                (_, Some(n)) if raw.points[pi].pos.dist(&n) >= self.config.min_heading_displacement => {
+                (_, Some(n))
+                    if raw.points[pi].pos.dist(&n) >= self.config.min_heading_displacement =>
+                {
                     (raw.points[pi].pos, n)
                 }
-                (Some(p), _) if p.dist(&raw.points[pi].pos) >= self.config.min_heading_displacement => {
+                (Some(p), _)
+                    if p.dist(&raw.points[pi].pos) >= self.config.min_heading_displacement =>
+                {
                     (p, raw.points[pi].pos)
                 }
                 _ => return None,
@@ -152,12 +156,10 @@ impl<'a> MapMatcher<'a> {
                 .map(|a| {
                     let seg_a = self.net.segment(a.segment);
                     let rem_a = (seg_a.length - a.offset).max(0.0);
-                    let (dist, _) = dijkstra(
-                        self.net,
-                        seg_a.to,
-                        self.config.max_hop_distance,
-                        |s| self.net.segment(s).length,
-                    );
+                    let (dist, _) =
+                        dijkstra(self.net, seg_a.to, self.config.max_hop_distance, |s| {
+                            self.net.segment(s).length
+                        });
                     cur_cands
                         .iter()
                         .map(|b| {
@@ -236,12 +238,9 @@ impl<'a> MapMatcher<'a> {
                 push_dedup(&mut segments, b.segment);
                 continue;
             }
-            let (dist, parent) = dijkstra(
-                self.net,
-                seg_a.to,
-                self.config.max_hop_distance,
-                |s| self.net.segment(s).length,
-            );
+            let (dist, parent) = dijkstra(self.net, seg_a.to, self.config.max_hop_distance, |s| {
+                self.net.segment(s).length
+            });
             if dist[seg_b.from.idx()].is_finite() {
                 if let Some(path) = reconstruct(self.net, &parent, seg_a.to, seg_b.from) {
                     for s in path {
@@ -267,7 +266,9 @@ impl<'a> MapMatcher<'a> {
         let (last_t, last_cands) = lattice.last().expect("nonempty lattice");
         let _ = last_t;
         let last_c = &last_cands[*chain.last().expect("nonempty chain")];
-        if segments.len() >= 2 && *segments.last().unwrap() == last_c.segment && last_c.offset < trim
+        if segments.len() >= 2
+            && *segments.last().unwrap() == last_c.segment
+            && last_c.offset < trim
         {
             segments.pop();
         }

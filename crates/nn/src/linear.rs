@@ -57,6 +57,20 @@ impl Linear {
         }
     }
 
+    /// Batched inference: `xs` holds `batch` input rows (`batch × in_dim`,
+    /// row-major); writes `batch × out_dim` into `ys`. Bit-identical to
+    /// `batch` independent [`Linear::infer`] calls (same accumulation
+    /// order), but walks the weight matrix once for all lanes.
+    pub fn infer_batch(&self, xs: &[f32], batch: usize, ys: &mut [f32]) {
+        let out = self.out_dim();
+        ops::matvec_batch(&self.w.value, self.w.rows, self.w.cols, xs, batch, ys);
+        for b in 0..batch {
+            for (yi, bi) in ys[b * out..(b + 1) * out].iter_mut().zip(&self.b.value) {
+                *yi += bi;
+            }
+        }
+    }
+
     /// Backward pass: accumulates `dL/dW`, `dL/db` and returns `dL/dx`.
     pub fn backward(&mut self, ctx: &LinearCtx, dy: &[f32]) -> Vec<f32> {
         debug_assert_eq!(dy.len(), self.out_dim());
@@ -103,6 +117,19 @@ mod tests {
         let mut y2 = vec![0.0; 4];
         l.infer(&x, &mut y2);
         assert_eq!(y, y2);
+    }
+
+    #[test]
+    fn infer_batch_matches_scalar_bitwise() {
+        let l = Linear::new(3, 4, &mut seeded_rng(7));
+        let xs: Vec<f32> = (0..9).map(|i| (i as f32 - 4.0) * 0.33).collect();
+        let mut ys = vec![0.0; 12];
+        l.infer_batch(&xs, 3, &mut ys);
+        for b in 0..3 {
+            let mut y = vec![0.0; 4];
+            l.infer(&xs[b * 3..(b + 1) * 3], &mut y);
+            assert_eq!(&ys[b * 4..(b + 1) * 4], &y[..], "lane {b}");
+        }
     }
 
     /// Loss = sum(tanh(y)); analytic gradients must match finite

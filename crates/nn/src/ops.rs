@@ -106,6 +106,27 @@ pub fn matvec(w: &[f32], rows: usize, cols: usize, x: &[f32], y: &mut [f32]) {
     }
 }
 
+/// Batched matrix–vector product: for each of `batch` input row-vectors
+/// `x_b` (`cols` wide, row-major in `xs`), computes `y_b = W x_b` into the
+/// `batch × rows` row-major `ys`.
+///
+/// Each output element is produced by the same [`dot`] accumulation as
+/// [`matvec`], so results are **bit-identical** to `batch` independent
+/// `matvec` calls — the batched form only reorders the loops so one weight
+/// row stays hot in cache across all lanes (the matrix-pass win the stream
+/// engine relies on).
+pub fn matvec_batch(w: &[f32], rows: usize, cols: usize, xs: &[f32], batch: usize, ys: &mut [f32]) {
+    debug_assert_eq!(w.len(), rows * cols);
+    debug_assert_eq!(xs.len(), batch * cols);
+    debug_assert_eq!(ys.len(), batch * rows);
+    for r in 0..rows {
+        let row = &w[r * cols..(r + 1) * cols];
+        for b in 0..batch {
+            ys[b * rows + r] = dot(row, &xs[b * cols..(b + 1) * cols]);
+        }
+    }
+}
+
 /// Transposed matrix–vector product `y += W^T g` (accumulates into `y`).
 pub fn matvec_t_acc(w: &[f32], rows: usize, cols: usize, g: &[f32], y: &mut [f32]) {
     debug_assert_eq!(w.len(), rows * cols);
@@ -183,6 +204,19 @@ mod tests {
         let c = [-1.0, 0.0];
         assert!((cosine(&a, &c) + 1.0).abs() < 1e-6);
         assert_eq!(cosine(&[0.0, 0.0], &a), 0.0);
+    }
+
+    #[test]
+    fn matvec_batch_is_bit_identical_to_scalar() {
+        let w: Vec<f32> = (0..6).map(|i| (i as f32 + 1.0) * 0.37).collect(); // 2x3
+        let xs: Vec<f32> = (0..12).map(|i| (i as f32 - 5.0) * 0.21).collect(); // 4 lanes
+        let mut ys = vec![0.0; 8];
+        matvec_batch(&w, 2, 3, &xs, 4, &mut ys);
+        for b in 0..4 {
+            let mut y = vec![0.0; 2];
+            matvec(&w, 2, 3, &xs[b * 3..(b + 1) * 3], &mut y);
+            assert_eq!(&ys[b * 2..(b + 1) * 2], &y[..], "lane {b}");
+        }
     }
 
     #[test]

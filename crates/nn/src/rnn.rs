@@ -123,6 +123,53 @@ impl LstmCell {
         )
     }
 
+    /// Inference-only batched step advancing `batch` independent lanes in
+    /// one matrix pass.
+    ///
+    /// * `xh` — `batch × (input + hidden)` row-major, each lane's input
+    ///   concatenated with its previous hidden vector;
+    /// * `c` — `batch × hidden` cell states, updated in place;
+    /// * `h` — `batch × hidden` output hidden vectors, overwritten;
+    /// * `z_scratch` — reusable gate buffer (resized to `batch × 4·hidden`).
+    ///
+    /// Per-lane results are **bit-identical** to [`LstmCell::forward`]
+    /// (same dot-product accumulation order, same element-wise gate
+    /// expressions); the batched form exists so one pass over the `4H ×
+    /// (I+H)` weight matrix serves every lane that advanced this tick.
+    pub fn infer_step_batch(
+        &self,
+        batch: usize,
+        xh: &[f32],
+        c: &mut [f32],
+        h: &mut [f32],
+        z_scratch: &mut Vec<f32>,
+    ) {
+        let hd = self.hidden;
+        debug_assert_eq!(xh.len(), batch * (self.input + hd));
+        debug_assert_eq!(c.len(), batch * hd);
+        debug_assert_eq!(h.len(), batch * hd);
+        z_scratch.clear();
+        z_scratch.resize(batch * 4 * hd, 0.0);
+        ops::matvec_batch(&self.w.value, 4 * hd, self.input + hd, xh, batch, z_scratch);
+        for b in 0..batch {
+            let z = &mut z_scratch[b * 4 * hd..(b + 1) * 4 * hd];
+            for (zi, bi) in z.iter_mut().zip(&self.b.value) {
+                *zi += bi;
+            }
+            let cb = &mut c[b * hd..(b + 1) * hd];
+            let hb = &mut h[b * hd..(b + 1) * hd];
+            for k in 0..hd {
+                let i = sigmoid(z[k]);
+                let f = sigmoid(z[hd + k]);
+                let g = z[2 * hd + k].tanh();
+                let o = sigmoid(z[3 * hd + k]);
+                let new_c = f * cb[k] + i * g;
+                cb[k] = new_c;
+                hb[k] = o * new_c.tanh();
+            }
+        }
+    }
+
     /// Backward for one step. `dh`/`dc` are the gradients flowing into this
     /// step's output state. Accumulates parameter gradients and returns
     /// `(dx, dh_prev, dc_prev)`.
@@ -382,6 +429,41 @@ mod tests {
     }
 
     #[test]
+    fn lstm_batched_step_matches_scalar_bitwise() {
+        // Three lanes with different inputs and different prior states must
+        // advance exactly as three scalar forward() calls would.
+        let cell = LstmCell::new(I, H, &mut seeded_rng(11));
+        let inputs = seq();
+        let mut states: Vec<LstmState> = (0..3)
+            .map(|lane| {
+                let mut s = LstmState::zeros(H);
+                // desynchronise the lanes
+                for x in inputs.iter().take(lane) {
+                    s = cell.forward(x, &s).0;
+                }
+                s
+            })
+            .collect();
+
+        let mut xh = Vec::new();
+        let mut c = Vec::new();
+        for (lane, s) in states.iter().enumerate() {
+            xh.extend_from_slice(&inputs[lane]);
+            xh.extend_from_slice(&s.h);
+            c.extend_from_slice(&s.c);
+        }
+        let mut h = vec![0.0; 3 * H];
+        let mut z = Vec::new();
+        cell.infer_step_batch(3, &xh, &mut c, &mut h, &mut z);
+
+        for (lane, s) in states.iter_mut().enumerate() {
+            let (expect, _) = cell.forward(&inputs[lane], s);
+            assert_eq!(&h[lane * H..(lane + 1) * H], &expect.h[..], "h lane {lane}");
+            assert_eq!(&c[lane * H..(lane + 1) * H], &expect.c[..], "c lane {lane}");
+        }
+    }
+
+    #[test]
     fn lstm_state_shapes_and_bounds() {
         let cell = LstmCell::new(I, H, &mut seeded_rng(2));
         let (s, _) = cell.forward(&[1.0, 2.0, 3.0], &LstmState::zeros(H));
@@ -428,12 +510,7 @@ mod tests {
             &gru_loss,
             &|c| {
                 vec![
-                    &mut c.wz,
-                    &mut c.bz,
-                    &mut c.wr,
-                    &mut c.br,
-                    &mut c.wn,
-                    &mut c.bn,
+                    &mut c.wz, &mut c.bz, &mut c.wr, &mut c.br, &mut c.wn, &mut c.bn,
                 ]
             },
             1e-2,

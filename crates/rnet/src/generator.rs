@@ -90,7 +90,10 @@ pub struct CityBuilder {
 impl CityBuilder {
     /// Creates a builder for the given config.
     pub fn new(config: CityConfig) -> Self {
-        assert!(config.cols >= 2 && config.rows >= 2, "city needs a 2x2 grid");
+        assert!(
+            config.cols >= 2 && config.rows >= 2,
+            "city needs a 2x2 grid"
+        );
         assert!(
             (0.0..=0.4).contains(&config.jitter),
             "jitter must be in [0, 0.4]"
@@ -185,7 +188,10 @@ impl CityBuilder {
         }
 
         let net = b.build();
-        debug_assert!(strongly_connected(&net), "backbone must keep the city strongly connected");
+        debug_assert!(
+            strongly_connected(&net),
+            "backbone must keep the city strongly connected"
+        );
         net
     }
 }

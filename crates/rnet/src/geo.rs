@@ -144,7 +144,11 @@ pub fn point_at_offset(line: &[Point], offset: f64) -> Option<Point> {
     for w in line.windows(2) {
         let seg_len = w[0].dist(&w[1]);
         if remaining <= seg_len {
-            let t = if seg_len > 0.0 { remaining / seg_len } else { 0.0 };
+            let t = if seg_len > 0.0 {
+                remaining / seg_len
+            } else {
+                0.0
+            };
             return Some(w[0].lerp(&w[1], t));
         }
         remaining -= seg_len;

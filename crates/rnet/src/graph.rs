@@ -74,9 +74,9 @@ impl RoadClass {
     /// Default free-flow speed for the class, metres per second.
     pub fn default_speed(self) -> f64 {
         match self {
-            RoadClass::Arterial => 16.7, // ~60 km/h
+            RoadClass::Arterial => 16.7,  // ~60 km/h
             RoadClass::Collector => 11.1, // ~40 km/h
-            RoadClass::Local => 8.3,     // ~30 km/h
+            RoadClass::Local => 8.3,      // ~30 km/h
         }
     }
 
@@ -348,8 +348,12 @@ impl RoadNetworkBuilder {
     }
 
     /// Adds a two-way street: two directed segments `u->v` and `v->u`.
-    pub fn add_two_way(&mut self, u: NodeId, v: NodeId, class: RoadClass) -> (SegmentId, SegmentId)
-    {
+    pub fn add_two_way(
+        &mut self,
+        u: NodeId,
+        v: NodeId,
+        class: RoadClass,
+    ) -> (SegmentId, SegmentId) {
         (self.add_segment(u, v, class), self.add_segment(v, u, class))
     }
 
@@ -445,9 +449,7 @@ mod tests {
         let e0 = g.segment(SegmentId(0));
         let expect = (100.0f64 * 100.0 + 100.0 * 100.0).sqrt();
         assert!((e0.length - expect).abs() < 1e-9);
-        assert!(
-            (g.path_length(&[SegmentId(0), SegmentId(1)]) - 2.0 * expect).abs() < 1e-9
-        );
+        assert!((g.path_length(&[SegmentId(0), SegmentId(1)]) - 2.0 * expect).abs() < 1e-9);
         // midpoint of a straight segment is the centre
         let mid = e0.midpoint();
         assert!((mid.x - 50.0).abs() < 1e-9 && (mid.y - 50.0).abs() < 1e-9);
@@ -481,10 +483,7 @@ mod tests {
         let g2: RoadNetwork = serde_json::from_str(&json).unwrap();
         assert_eq!(g2.num_segments(), g.num_segments());
         assert_eq!(g2.segment(SegmentId(2)).from, g.segment(SegmentId(2)).from);
-        assert_eq!(
-            g2.segment_between(NodeId(0), NodeId(1)),
-            Some(SegmentId(0))
-        );
+        assert_eq!(g2.segment_between(NodeId(0), NodeId(1)), Some(SegmentId(0)));
     }
 
     #[test]

@@ -70,12 +70,16 @@ impl SegmentIndex {
     /// distance (ascending, ties by id for determinism).
     pub fn candidates(&self, net: &RoadNetwork, p: &Point, radius: f64) -> Vec<Candidate> {
         let mut out = Vec::new();
-        let c0 = (((p.x - radius) - self.min.x) / self.cell_size).floor().max(0.0) as usize;
-        let r0 = (((p.y - radius) - self.min.y) / self.cell_size).floor().max(0.0) as usize;
-        let c1 = ((((p.x + radius) - self.min.x) / self.cell_size).floor() as usize)
-            .min(self.cols - 1);
-        let r1 = ((((p.y + radius) - self.min.y) / self.cell_size).floor() as usize)
-            .min(self.rows - 1);
+        let c0 = (((p.x - radius) - self.min.x) / self.cell_size)
+            .floor()
+            .max(0.0) as usize;
+        let r0 = (((p.y - radius) - self.min.y) / self.cell_size)
+            .floor()
+            .max(0.0) as usize;
+        let c1 =
+            ((((p.x + radius) - self.min.x) / self.cell_size).floor() as usize).min(self.cols - 1);
+        let r1 =
+            ((((p.y + radius) - self.min.y) / self.cell_size).floor() as usize).min(self.rows - 1);
         let mut seen = std::collections::HashSet::new();
         for r in r0..=r1 {
             for c in c0..=c1 {

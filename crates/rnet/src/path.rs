@@ -87,7 +87,10 @@ where
             if nd < dist[next.idx()] {
                 dist[next.idx()] = nd;
                 parent[next.idx()] = Some(sid);
-                heap.push(HeapEntry { cost: nd, node: next });
+                heap.push(HeapEntry {
+                    cost: nd,
+                    node: next,
+                });
             }
         }
     }

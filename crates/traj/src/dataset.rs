@@ -183,10 +183,7 @@ impl Dataset {
         let mut routes: HashMap<&[rnet::SegmentId], bool> = HashMap::new();
         let mut anomalous_trajs = 0usize;
         for (t, g) in self.trajectories.iter().zip(&self.ground_truth) {
-            let anom = g
-                .as_ref()
-                .map(|g| g.contains(&1))
-                .unwrap_or(false);
+            let anom = g.as_ref().map(|g| g.contains(&1)).unwrap_or(false);
             anomalous_trajs += usize::from(anom);
             let e = routes.entry(t.segments.as_slice()).or_insert(false);
             *e = *e || anom;

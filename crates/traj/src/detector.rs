@@ -55,6 +55,21 @@ pub trait OnlineDetector {
     }
 }
 
+impl<D: OnlineDetector + ?Sized> OnlineDetector for Box<D> {
+    fn name(&self) -> &'static str {
+        (**self).name()
+    }
+    fn begin(&mut self, sd: SdPair, start_time: f64) {
+        (**self).begin(sd, start_time)
+    }
+    fn observe(&mut self, segment: SegmentId) -> u8 {
+        (**self).observe(segment)
+    }
+    fn finish(&mut self) -> Vec<u8> {
+        (**self).finish()
+    }
+}
+
 /// A trivial detector that labels everything normal. Useful as a sanity
 /// floor in evaluations and tests.
 #[derive(Debug, Default, Clone)]

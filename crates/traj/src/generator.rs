@@ -342,7 +342,8 @@ impl<'a> TrafficSimulator<'a> {
                 if sim.config.generate_raw {
                     out.raw.push(sim.emit_gps(&traj, &mut rng));
                 }
-                out.ground_truth.push(sim.ground_truth_for(pair, ri, regime));
+                out.ground_truth
+                    .push(sim.ground_truth_for(pair, ri, regime));
                 out.trajectories.push(traj);
                 out.pair_of.push(pi);
                 out.route_of.push(ri);
@@ -379,7 +380,11 @@ impl<'a> TrafficSimulator<'a> {
     fn sample_route(&self, pair: &SdPairData, regime: usize, rng: &mut StdRng) -> usize {
         let normals = pair.normal_route_indices(regime);
         let all: Vec<usize> = (0..pair.routes.len()).collect();
-        let anomalous: Vec<usize> = all.iter().copied().filter(|i| !normals.contains(i)).collect();
+        let anomalous: Vec<usize> = all
+            .iter()
+            .copied()
+            .filter(|i| !normals.contains(i))
+            .collect();
         if !anomalous.is_empty() && rng.gen::<f64>() < self.config.anomaly_ratio {
             anomalous[rng.gen_range(0..anomalous.len())]
         } else {
@@ -450,8 +455,7 @@ impl<'a> TrafficSimulator<'a> {
 
         // Detours: splice an alternative sub-path (disjoint from every
         // normal segment) into the most popular normal route.
-        let normal_set: HashSet<SegmentId> =
-            normals.iter().flatten().copied().collect();
+        let normal_set: HashSet<SegmentId> = normals.iter().flatten().copied().collect();
         let mut detours: Vec<Route> = Vec::new();
         let mut tries = 0;
         while detours.len() < self.config.num_detour_routes && tries < 24 {
@@ -521,12 +525,8 @@ impl<'a> TrafficSimulator<'a> {
             let u = (h >> 11) as f64 / (1u64 << 53) as f64; // [0, 1)
             net.segment(s).length * (0.6 + 1.2 * u)
         };
-        let mid = shortest_path_weighted(
-            net,
-            net.segment(first).to,
-            net.segment(last).from,
-            weight,
-        )?;
+        let mid =
+            shortest_path_weighted(net, net.segment(first).to, net.segment(last).from, weight)?;
         let mut segs = Vec::with_capacity(mid.segments.len() + 2);
         segs.push(first);
         segs.extend(mid.segments);
@@ -676,7 +676,10 @@ mod tests {
     fn trajectories_are_connected_paths() {
         let (net, data) = sim_data(2);
         for t in &data.trajectories {
-            assert!(net.is_connected_path(&t.segments), "disconnected trajectory");
+            assert!(
+                net.is_connected_path(&t.segments),
+                "disconnected trajectory"
+            );
             assert!(t.len() >= 5);
         }
     }
@@ -745,11 +748,7 @@ mod tests {
             ..TrafficConfig::tiny(7)
         };
         let data = TrafficSimulator::new(&net, cfg).generate();
-        let anomalous = data
-            .ground_truth
-            .iter()
-            .filter(|g| g.contains(&1))
-            .count() as f64;
+        let anomalous = data.ground_truth.iter().filter(|g| g.contains(&1)).count() as f64;
         let ratio = anomalous / data.trajectories.len() as f64;
         assert!((0.05..0.18).contains(&ratio), "ratio {ratio} out of range");
     }
@@ -797,7 +796,10 @@ mod tests {
                 assert!(data.ground_truth[k].iter().all(|&l| l == 0));
             }
         }
-        assert!(checked, "expected at least one regime-1 old-normal trajectory");
+        assert!(
+            checked,
+            "expected at least one regime-1 old-normal trajectory"
+        );
     }
 
     #[test]

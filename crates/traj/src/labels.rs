@@ -53,7 +53,10 @@ pub fn extract_subtrajectories(labels: &[u8]) -> Vec<LabelSpan> {
         match (l, start) {
             (1, None) => start = Some(i),
             (0, Some(s)) => {
-                spans.push(LabelSpan { start: s, end: i - 1 });
+                spans.push(LabelSpan {
+                    start: s,
+                    end: i - 1,
+                });
                 start = None;
             }
             _ => {}

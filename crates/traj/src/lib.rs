@@ -16,7 +16,12 @@
 //!   statistics.
 //!
 //! The [`OnlineDetector`] trait (shared by RL4OASD and all baselines) lives
-//! here so that the evaluation and benchmark harnesses are detector-agnostic.
+//! here so that the evaluation and benchmark harnesses are detector-agnostic,
+//! together with its fleet-scale counterpart [`session::SessionEngine`]:
+//! a session-oriented serving API (`open`/`observe`/`close`) that
+//! multiplexes many concurrent trajectories over one detector, with
+//! [`session::SessionMux`] lifting any detector factory to an engine and
+//! [`session::SingleSession`] adapting an engine back to a detector.
 
 #![deny(missing_docs)]
 #![warn(clippy::all)]
@@ -26,13 +31,15 @@ pub mod dataset;
 pub mod detector;
 pub mod generator;
 pub mod labels;
+pub mod session;
 pub mod types;
 
 pub use dataset::{Dataset, DatasetStats};
 pub use detector::OnlineDetector;
 pub use generator::{DriftConfig, RouteKind, SdPairData, TrafficConfig, TrafficSimulator};
 pub use labels::{extract_subtrajectories, LabelSpan};
+pub use session::{SessionEngine, SessionId, SessionMux, SessionSlab, SingleSession};
 pub use types::{
-    slot_of_time, GpsPoint, MappedTrajectory, RawTrajectory, SdPair, Transition, TrajectoryId,
+    slot_of_time, GpsPoint, MappedTrajectory, RawTrajectory, SdPair, TrajectoryId, Transition,
     HOURS_PER_DAY, SECONDS_PER_DAY,
 };

@@ -1,0 +1,448 @@
+//! Session-oriented serving API: multiplex many concurrent trajectories
+//! over one detector implementation.
+//!
+//! The paper's motivating scenario is a ride-hailing operator watching
+//! *many* ongoing trips at once (Problem 1 is stated per trip, but the
+//! serving system is fleet-scale). [`crate::OnlineDetector`] models exactly
+//! one ongoing trajectory per detector value; [`SessionEngine`] is the
+//! fleet-scale counterpart: `open` admits a new trip, `observe` feeds one
+//! segment of *any* open trip, and `close` finalises a trip and returns its
+//! labels. Engines may override [`SessionEngine::observe_batch`] to advance
+//! every session that received a point in the same tick in one batched
+//! model pass (see `rl4oasd::StreamEngine`).
+//!
+//! Two adapters bridge the old and new interfaces:
+//!
+//! * [`SessionMux`] lifts any [`OnlineDetector`] factory to a
+//!   [`SessionEngine`] by giving each session its own detector value
+//!   (cheap for the heuristic baselines, which share their fitted
+//!   statistics behind an `Arc`);
+//! * [`SingleSession`] wraps a [`SessionEngine`] back into an
+//!   [`OnlineDetector`], making the per-trajectory trait a thin
+//!   single-session view of the engine.
+
+use crate::detector::OnlineDetector;
+use crate::types::SdPair;
+use rnet::SegmentId;
+
+/// Opaque handle of one open trajectory session within an engine.
+///
+/// Handles are generational: closing a session invalidates its id, and a
+/// stale id panics instead of silently touching a recycled slot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct SessionId(u64);
+
+impl SessionId {
+    #[inline]
+    fn new(index: u32, generation: u32) -> Self {
+        SessionId(((generation as u64) << 32) | index as u64)
+    }
+
+    #[inline]
+    fn index(self) -> usize {
+        (self.0 & 0xFFFF_FFFF) as usize
+    }
+
+    #[inline]
+    fn generation(self) -> u32 {
+        (self.0 >> 32) as u32
+    }
+}
+
+impl std::fmt::Display for SessionId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "s{}g{}", self.index(), self.generation())
+    }
+}
+
+/// A detector serving many concurrent trajectory sessions.
+///
+/// Contract: per session, the label sequence produced by `open` /
+/// `observe`* / `close` is identical to what the same detector would emit
+/// for that trajectory alone through [`OnlineDetector`] — interleaving
+/// sessions never changes labels.
+pub trait SessionEngine {
+    /// Method name as used in the paper's tables (e.g. `"RL4OASD"`).
+    fn engine_name(&self) -> &'static str;
+
+    /// Opens a session for a trip with the given SD pair and start time
+    /// (seconds since midnight), returning its handle.
+    fn open(&mut self, sd: SdPair, start_time: f64) -> SessionId;
+
+    /// Feeds the next road segment of one open session, returning the
+    /// provisional label (0 normal / 1 anomalous).
+    fn observe(&mut self, session: SessionId, segment: SegmentId) -> u8;
+
+    /// Closes a session, returning the final labels of all its observed
+    /// segments (detectors with delayed decisions may revise here).
+    fn close(&mut self, session: SessionId) -> Vec<u8>;
+
+    /// Advances every `(session, segment)` event of one tick, appending one
+    /// label per event to `out` (cleared first, same order as `events`).
+    ///
+    /// A session may appear multiple times in `events`; occurrences are
+    /// applied in order. The default implementation loops over
+    /// [`SessionEngine::observe`]; engines with batched model steps
+    /// override this.
+    fn observe_batch(&mut self, events: &[(SessionId, SegmentId)], out: &mut Vec<u8>) {
+        out.clear();
+        out.reserve(events.len());
+        for &(session, segment) in events {
+            out.push(self.observe(session, segment));
+        }
+    }
+
+    /// Number of currently open sessions.
+    fn active_sessions(&self) -> usize;
+}
+
+impl<E: SessionEngine + ?Sized> SessionEngine for Box<E> {
+    fn engine_name(&self) -> &'static str {
+        (**self).engine_name()
+    }
+    fn open(&mut self, sd: SdPair, start_time: f64) -> SessionId {
+        (**self).open(sd, start_time)
+    }
+    fn observe(&mut self, session: SessionId, segment: SegmentId) -> u8 {
+        (**self).observe(session, segment)
+    }
+    fn close(&mut self, session: SessionId) -> Vec<u8> {
+        (**self).close(session)
+    }
+    fn observe_batch(&mut self, events: &[(SessionId, SegmentId)], out: &mut Vec<u8>) {
+        (**self).observe_batch(events, out)
+    }
+    fn active_sessions(&self) -> usize {
+        (**self).active_sessions()
+    }
+}
+
+/// Generational slot map backing session storage in engines.
+///
+/// O(1) insert / lookup / remove with index reuse; generations catch stale
+/// handles. [`SessionSlab::take`] / [`SessionSlab::restore`] let an engine
+/// move several sessions out simultaneously for a batched pass without
+/// aliasing the slab.
+#[derive(Debug, Clone)]
+pub struct SessionSlab<T> {
+    slots: Vec<Slot<T>>,
+    free: Vec<u32>,
+    active: usize,
+}
+
+#[derive(Debug, Clone)]
+struct Slot<T> {
+    generation: u32,
+    value: Option<T>,
+}
+
+impl<T> Default for SessionSlab<T> {
+    fn default() -> Self {
+        SessionSlab {
+            slots: Vec::new(),
+            free: Vec::new(),
+            active: 0,
+        }
+    }
+}
+
+impl<T> SessionSlab<T> {
+    /// An empty slab.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of live sessions (including temporarily taken ones).
+    pub fn len(&self) -> usize {
+        self.active
+    }
+
+    /// Whether no sessions are live.
+    pub fn is_empty(&self) -> bool {
+        self.active == 0
+    }
+
+    /// Stores a value, returning its handle.
+    pub fn insert(&mut self, value: T) -> SessionId {
+        self.active += 1;
+        if let Some(index) = self.free.pop() {
+            let slot = &mut self.slots[index as usize];
+            debug_assert!(slot.value.is_none());
+            slot.value = Some(value);
+            SessionId::new(index, slot.generation)
+        } else {
+            let index = u32::try_from(self.slots.len()).expect("more than 2^32 sessions");
+            self.slots.push(Slot {
+                generation: 0,
+                value: Some(value),
+            });
+            SessionId::new(index, 0)
+        }
+    }
+
+    fn slot_mut(&mut self, id: SessionId) -> &mut Slot<T> {
+        let slot = self
+            .slots
+            .get_mut(id.index())
+            .unwrap_or_else(|| panic!("unknown session {id}"));
+        assert_eq!(
+            slot.generation,
+            id.generation(),
+            "stale session handle {id} (session was closed)"
+        );
+        slot
+    }
+
+    /// Mutable access to a session's value.
+    ///
+    /// # Panics
+    /// Panics on unknown, closed or taken handles.
+    pub fn get_mut(&mut self, id: SessionId) -> &mut T {
+        self.slot_mut(id)
+            .value
+            .as_mut()
+            .unwrap_or_else(|| panic!("session {id} is taken or closed"))
+    }
+
+    /// Moves a session's value out, keeping its slot reserved. Pair with
+    /// [`SessionSlab::restore`].
+    pub fn take(&mut self, id: SessionId) -> T {
+        self.slot_mut(id)
+            .value
+            .take()
+            .unwrap_or_else(|| panic!("session {id} is taken or closed"))
+    }
+
+    /// Puts back a value previously [`SessionSlab::take`]n.
+    pub fn restore(&mut self, id: SessionId, value: T) {
+        let slot = self.slot_mut(id);
+        assert!(slot.value.is_none(), "session {id} was not taken");
+        slot.value = Some(value);
+    }
+
+    /// Removes a session, invalidating its handle.
+    pub fn remove(&mut self, id: SessionId) -> T {
+        let index = id.index();
+        let value = self
+            .slot_mut(id)
+            .value
+            .take()
+            .unwrap_or_else(|| panic!("session {id} is taken or closed"));
+        self.slots[index].generation = self.slots[index].generation.wrapping_add(1);
+        self.free.push(index as u32);
+        self.active -= 1;
+        value
+    }
+}
+
+/// Lifts an [`OnlineDetector`] factory to a [`SessionEngine`]: each session
+/// owns one detector value produced by the factory.
+///
+/// This is how the baselines (IBOAT, DBTOD, CTSS, the GM-VSAE family via
+/// `Thresholded`) gain the session API without per-detector changes —
+/// their heavy fitted state lives behind `Arc`s, so per-session values are
+/// cheap. Per-session labels are identical to the per-trajectory path by
+/// construction.
+pub struct SessionMux<D, F> {
+    name: &'static str,
+    factory: F,
+    sessions: SessionSlab<D>,
+}
+
+impl<D: OnlineDetector, F: FnMut() -> D> SessionMux<D, F> {
+    /// Builds a mux around a detector factory. One probe detector is
+    /// created (and dropped) to capture the method name; when the factory
+    /// produces heavyweight detectors, prefer [`SessionMux::named`].
+    pub fn new(mut factory: F) -> Self {
+        let name = factory().name();
+        Self::named(name, factory)
+    }
+
+    /// Builds a mux with an explicit engine name, skipping the probe
+    /// construction (for factories whose detectors are expensive to
+    /// build, e.g. ones copying trained model weights).
+    pub fn named(name: &'static str, factory: F) -> Self {
+        SessionMux {
+            name,
+            factory,
+            sessions: SessionSlab::new(),
+        }
+    }
+}
+
+impl<D: OnlineDetector, F: FnMut() -> D> SessionEngine for SessionMux<D, F> {
+    fn engine_name(&self) -> &'static str {
+        self.name
+    }
+
+    fn open(&mut self, sd: SdPair, start_time: f64) -> SessionId {
+        let mut detector = (self.factory)();
+        detector.begin(sd, start_time);
+        self.sessions.insert(detector)
+    }
+
+    fn observe(&mut self, session: SessionId, segment: SegmentId) -> u8 {
+        self.sessions.get_mut(session).observe(segment)
+    }
+
+    fn close(&mut self, session: SessionId) -> Vec<u8> {
+        self.sessions.remove(session).finish()
+    }
+
+    fn active_sessions(&self) -> usize {
+        self.sessions.len()
+    }
+}
+
+/// Wraps a [`SessionEngine`] into an [`OnlineDetector`] driving exactly one
+/// session at a time — the per-trajectory trait as a thin view of the
+/// fleet-scale engine.
+pub struct SingleSession<E: SessionEngine> {
+    engine: E,
+    current: Option<SessionId>,
+}
+
+impl<E: SessionEngine> SingleSession<E> {
+    /// Wraps an engine.
+    pub fn new(engine: E) -> Self {
+        SingleSession {
+            engine,
+            current: None,
+        }
+    }
+
+    /// The wrapped engine.
+    pub fn engine(&self) -> &E {
+        &self.engine
+    }
+
+    /// Unwraps the engine, abandoning any open session.
+    pub fn into_engine(mut self) -> E {
+        if let Some(session) = self.current.take() {
+            self.engine.close(session);
+        }
+        self.engine
+    }
+}
+
+impl<E: SessionEngine> OnlineDetector for SingleSession<E> {
+    fn name(&self) -> &'static str {
+        self.engine.engine_name()
+    }
+
+    fn begin(&mut self, sd: SdPair, start_time: f64) {
+        if let Some(previous) = self.current.take() {
+            self.engine.close(previous);
+        }
+        self.current = Some(self.engine.open(sd, start_time));
+    }
+
+    fn observe(&mut self, segment: SegmentId) -> u8 {
+        let session = self.current.expect("observe before begin");
+        self.engine.observe(session, segment)
+    }
+
+    fn finish(&mut self) -> Vec<u8> {
+        let session = self.current.take().expect("finish before begin");
+        self.engine.close(session)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::detector::AlwaysNormal;
+    use crate::types::{MappedTrajectory, TrajectoryId};
+
+    fn sd(a: u32, b: u32) -> SdPair {
+        SdPair {
+            source: SegmentId(a),
+            dest: SegmentId(b),
+        }
+    }
+
+    #[test]
+    fn slab_insert_get_remove() {
+        let mut slab = SessionSlab::new();
+        let a = slab.insert("a");
+        let b = slab.insert("b");
+        assert_eq!(slab.len(), 2);
+        assert_eq!(*slab.get_mut(a), "a");
+        assert_eq!(slab.remove(a), "a");
+        assert_eq!(slab.len(), 1);
+        assert_eq!(*slab.get_mut(b), "b");
+        // slot reuse with a fresh generation
+        let c = slab.insert("c");
+        assert_eq!(c.index(), a.index());
+        assert_ne!(c, a);
+    }
+
+    #[test]
+    #[should_panic(expected = "stale session")]
+    fn slab_rejects_stale_handles() {
+        let mut slab = SessionSlab::new();
+        let a = slab.insert(1);
+        slab.remove(a);
+        let _b = slab.insert(2); // reuses the slot
+        slab.get_mut(a);
+    }
+
+    #[test]
+    fn slab_take_and_restore() {
+        let mut slab = SessionSlab::new();
+        let a = slab.insert(vec![1, 2]);
+        let v = slab.take(a);
+        assert_eq!(slab.len(), 1, "taken sessions stay live");
+        slab.restore(a, v);
+        assert_eq!(*slab.get_mut(a), vec![1, 2]);
+    }
+
+    #[test]
+    fn mux_sessions_are_independent() {
+        let mut mux = SessionMux::new(AlwaysNormal::default);
+        assert_eq!(mux.engine_name(), "AlwaysNormal");
+        let s1 = mux.open(sd(0, 9), 0.0);
+        let s2 = mux.open(sd(1, 8), 0.0);
+        assert_eq!(mux.active_sessions(), 2);
+        mux.observe(s1, SegmentId(0));
+        mux.observe(s2, SegmentId(1));
+        mux.observe(s1, SegmentId(5));
+        assert_eq!(mux.close(s1).len(), 2);
+        assert_eq!(mux.close(s2).len(), 1);
+        assert_eq!(mux.active_sessions(), 0);
+    }
+
+    #[test]
+    fn default_observe_batch_matches_sequential() {
+        let mut mux = SessionMux::new(AlwaysNormal::default);
+        let s1 = mux.open(sd(0, 9), 0.0);
+        let s2 = mux.open(sd(1, 8), 0.0);
+        let events = vec![
+            (s1, SegmentId(0)),
+            (s2, SegmentId(1)),
+            (s1, SegmentId(2)),
+            (s1, SegmentId(9)),
+        ];
+        let mut out = Vec::new();
+        mux.observe_batch(&events, &mut out);
+        assert_eq!(out, vec![0, 0, 0, 0]);
+        assert_eq!(mux.close(s1).len(), 3);
+        assert_eq!(mux.close(s2).len(), 1);
+    }
+
+    #[test]
+    fn single_session_adapter_behaves_like_detector() {
+        let t = MappedTrajectory {
+            id: TrajectoryId(0),
+            segments: vec![SegmentId(0), SegmentId(1), SegmentId(2)],
+            start_time: 0.0,
+        };
+        let mut adapter = SingleSession::new(SessionMux::new(AlwaysNormal::default));
+        assert_eq!(adapter.label_trajectory(&t), vec![0, 0, 0]);
+        // reusable: begin closes the previous session implicitly
+        adapter.begin(sd(0, 2), 0.0);
+        adapter.observe(SegmentId(0));
+        assert_eq!(adapter.label_trajectory(&t), vec![0, 0, 0]);
+        assert_eq!(adapter.engine().active_sessions(), 0);
+    }
+}

@@ -38,12 +38,7 @@ fn main() {
 
     // 3. Detect. A detector is cheap to construct and reusable.
     let mut detector = Rl4oasdDetector::new(&model, &net);
-    let test = Dataset::from_generated(&sim.generate_from_pairs(
-        &generated.pairs,
-        (3, 4),
-        0.5,
-        42,
-    ));
+    let test = Dataset::from_generated(&sim.generate_from_pairs(&generated.pairs, (3, 4), 0.5, 42));
     let mut shown = 0;
     for t in &test.trajectories {
         let labels = detector.label_trajectory(t);
@@ -53,10 +48,7 @@ fn main() {
                 "trajectory {:?} ({} segments): anomalous subtrajectories {:?}",
                 t.id,
                 t.len(),
-                spans
-                    .iter()
-                    .map(|s| (s.start, s.end))
-                    .collect::<Vec<_>>()
+                spans.iter().map(|s| (s.start, s.end)).collect::<Vec<_>>()
             );
             shown += 1;
         }

@@ -196,7 +196,10 @@ fn eval_cmd(opts: &HashMap<String, String>) -> Result<(), String> {
     }
     let m = eval::evaluate(&outputs, &truths);
     let c = eval::Confusion::of_corpus(&outputs, &truths);
-    println!("span-level   : F1 {:.3}  TF1 {:.3}  (P {:.3}, R {:.3})", m.f1, m.tf1, m.precision, m.recall);
+    println!(
+        "span-level   : F1 {:.3}  TF1 {:.3}  (P {:.3}, R {:.3})",
+        m.f1, m.tf1, m.precision, m.recall
+    );
     println!(
         "segment-level: F1 {:.3}  acc {:.3}  FPR {:.4}",
         c.f1(),

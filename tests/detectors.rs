@@ -1,8 +1,10 @@
 //! Cross-crate detector invariants: every detector (RL4OASD and all seven
 //! baselines) must satisfy the online-detection contract on the same data.
 
-use baselines::{Ctss, Dbtod, Iboat, RouteStats, ScoringDetector, Seq2SeqDetector, Seq2SeqKind,
-    Thresholded, VsaeConfig};
+use baselines::{
+    Ctss, Dbtod, Iboat, RouteStats, ScoringDetector, Seq2SeqDetector, Seq2SeqKind, Thresholded,
+    VsaeConfig,
+};
 use rl4oasd_repro::prelude::*;
 use rnet::{CityBuilder, CityConfig};
 use std::sync::Arc;

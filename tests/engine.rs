@@ -1,0 +1,215 @@
+//! Integration tests of the fleet-scale session engine: interleaving many
+//! concurrent trajectories through `StreamEngine` (RL4OASD) or a
+//! `SessionMux` (every baseline) must yield byte-identical labels to
+//! driving each trajectory alone through the per-trajectory
+//! `OnlineDetector` path — and the engine must sustain the scale the
+//! serving layer is built for (thousands of sessions, tens of thousands of
+//! interleaved observes, batched nn ticks).
+
+use proptest::prelude::*;
+use rl4oasd_repro::prelude::*;
+use rnet::{CityBuilder, CityConfig};
+use std::sync::{Arc, OnceLock};
+
+struct Fixture {
+    net: Arc<RoadNetwork>,
+    model: Arc<TrainedModel>,
+    stats: Arc<RouteStats>,
+    trajs: Vec<MappedTrajectory>,
+}
+
+/// One shared trained fixture for every test in this file (training is the
+/// expensive part; the properties only exercise serving).
+fn fixture() -> &'static Fixture {
+    static FIXTURE: OnceLock<Fixture> = OnceLock::new();
+    FIXTURE.get_or_init(|| {
+        let net = CityBuilder::new(CityConfig::tiny(0xF1EE7)).build();
+        let cfg = TrafficConfig {
+            num_sd_pairs: 4,
+            trajs_per_pair: (50, 70),
+            anomaly_ratio: 0.15,
+            ..TrafficConfig::tiny(0xF1EE7)
+        };
+        let ds = Dataset::from_generated(&TrafficSimulator::new(&net, cfg).generate());
+        let model = rl4oasd::train(&net, &ds, &Rl4oasdConfig::tiny(0xF1EE7));
+        let stats = Arc::new(RouteStats::fit(&ds));
+        let trajs = ds
+            .trajectories
+            .iter()
+            .filter(|t| !t.is_empty())
+            .cloned()
+            .collect();
+        Fixture {
+            net: Arc::new(net),
+            model: Arc::new(model),
+            stats,
+            trajs,
+        }
+    })
+}
+
+/// Labels every trajectory alone through the per-trajectory path.
+fn sequential<D: OnlineDetector>(mut det: D, trajs: &[&MappedTrajectory]) -> Vec<Vec<u8>> {
+    trajs.iter().map(|t| det.label_trajectory(t)).collect()
+}
+
+/// Drives the trajectories through an engine with a deterministic but
+/// irregular interleaving: each tick advances a seed-dependent subset of
+/// the still-active sessions via `observe_batch` (so ticks mix batch sizes
+/// 1, 2, ... n), then closes everything.
+fn interleaved<E: SessionEngine + ?Sized>(
+    engine: &mut E,
+    trajs: &[&MappedTrajectory],
+    schedule_seed: u64,
+) -> Vec<Vec<u8>> {
+    let handles: Vec<_> = trajs
+        .iter()
+        .map(|t| engine.open(t.sd_pair().unwrap(), t.start_time))
+        .collect();
+    let mut pos = vec![0usize; trajs.len()];
+    let mut rng = schedule_seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+    let mut next = move || {
+        // xorshift64* — self-contained schedule randomness
+        rng ^= rng << 13;
+        rng ^= rng >> 7;
+        rng ^= rng << 17;
+        rng
+    };
+    let mut events = Vec::new();
+    let mut out = Vec::new();
+    loop {
+        events.clear();
+        for (k, t) in trajs.iter().enumerate() {
+            // ~2/3 of active sessions advance each tick; stragglers catch
+            // up on later ticks, so ticks interleave trips at different
+            // positions.
+            if pos[k] < t.len() && next() % 3 != 0 {
+                events.push((handles[k], t.segments[pos[k]]));
+                pos[k] += 1;
+            }
+        }
+        if events.is_empty() {
+            if pos.iter().zip(trajs).all(|(&p, t)| p == t.len()) {
+                break;
+            }
+            continue; // unlucky tick: nobody advanced
+        }
+        engine.observe_batch(&events, &mut out);
+        assert_eq!(out.len(), events.len());
+    }
+    handles.into_iter().map(|h| engine.close(h)).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// RL4OASD: interleaving N trajectories through the StreamEngine is
+    /// byte-identical to the sequential per-trajectory path, whatever the
+    /// interleaving schedule.
+    #[test]
+    fn stream_engine_matches_sequential(seed in 0u64..10_000, n in 2usize..24) {
+        let fx = fixture();
+        let trajs: Vec<&MappedTrajectory> = fx.trajs.iter().take(n).collect();
+        let expected = sequential(Rl4oasdDetector::new(&fx.model, &fx.net), &trajs);
+        let mut engine = StreamEngine::new(Arc::clone(&fx.model), Arc::clone(&fx.net));
+        let got = interleaved(&mut engine, &trajs, seed);
+        prop_assert_eq!(got, expected);
+    }
+
+    /// Every baseline behind the generic session wrapper: interleaving is
+    /// byte-identical to the sequential path.
+    #[test]
+    fn baseline_engines_match_sequential(seed in 0u64..10_000, n in 2usize..16) {
+        let fx = fixture();
+        let trajs: Vec<&MappedTrajectory> = fx.trajs.iter().take(n).collect();
+
+        // IBOAT
+        let expected = sequential(
+            Thresholded::new(Iboat::new(Arc::clone(&fx.stats), 0.05), 0.5),
+            &trajs,
+        );
+        let mut engine = baselines::iboat_engine(Arc::clone(&fx.stats), 0.05, 0.5);
+        prop_assert_eq!(interleaved(&mut engine, &trajs, seed), expected);
+
+        // DBTOD
+        let weights = [1.0, 0.5, 0.25, 0.5, 1.0, 0.75];
+        let expected = sequential(
+            {
+                let mut d = Dbtod::new(&fx.net, Arc::clone(&fx.stats));
+                d.weights = weights;
+                Thresholded::new(d, 2.0)
+            },
+            &trajs,
+        );
+        let mut engine = baselines::dbtod_engine(&fx.net, Arc::clone(&fx.stats), weights, 2.0);
+        prop_assert_eq!(interleaved(&mut engine, &trajs, seed), expected);
+
+        // CTSS
+        let expected = sequential(
+            Thresholded::new(Ctss::new(&fx.net, Arc::clone(&fx.stats)), 150.0),
+            &trajs,
+        );
+        let mut engine = baselines::ctss_engine(&fx.net, Arc::clone(&fx.stats), 150.0);
+        prop_assert_eq!(interleaved(&mut engine, &trajs, seed), expected);
+    }
+}
+
+/// The acceptance-scale run: ≥ 1,000 concurrent sessions, ≥ 10,000
+/// interleaved observe calls in one process, labels identical to the
+/// per-trajectory path, batched nn step used for every multi-session tick.
+#[test]
+fn stream_engine_sustains_fleet_scale() {
+    let fx = fixture();
+    // 1,000+ sessions cycling over the corpus.
+    let sessions: Vec<&MappedTrajectory> = fx
+        .trajs
+        .iter()
+        .cycle()
+        .take(2_000.max(fx.trajs.len()))
+        .collect();
+    let expected = sequential(Rl4oasdDetector::new(&fx.model, &fx.net), &sessions);
+
+    let mut engine = StreamEngine::new(Arc::clone(&fx.model), Arc::clone(&fx.net));
+    let handles: Vec<_> = sessions
+        .iter()
+        .map(|t| engine.open(t.sd_pair().unwrap(), t.start_time))
+        .collect();
+    assert!(engine.active_sessions() >= 1_000);
+    assert!(
+        sessions.iter().map(|t| t.len() as u64).sum::<u64>() >= 10_000,
+        "fixture too small for the acceptance scale"
+    );
+
+    // Tick-synchronous: all still-active sessions advance each tick.
+    let max_len = sessions.iter().map(|t| t.len()).max().unwrap();
+    let mut events = Vec::new();
+    let mut out = Vec::new();
+    for tick in 0..max_len {
+        events.clear();
+        for (k, t) in sessions.iter().enumerate() {
+            if tick < t.len() {
+                events.push((handles[k], t.segments[tick]));
+            }
+        }
+        engine.observe_batch(&events, &mut out);
+    }
+    let got: Vec<Vec<u8>> = handles.iter().map(|&h| engine.close(h)).collect();
+    assert_eq!(got, expected, "fleet-scale interleaving changed labels");
+
+    let stats = engine.stats();
+    assert!(
+        stats.observe_events >= 10_000,
+        "only {} observe events",
+        stats.observe_events
+    );
+    // Every tick here advances >1 session, so every event must have gone
+    // through the batched nn step.
+    assert_eq!(
+        stats.scalar_events, 0,
+        "batched nn step not used for a multi-session tick"
+    );
+    assert_eq!(stats.batched_events, stats.observe_events);
+    assert!(stats.batched_rounds > 0);
+    assert_eq!(stats.sessions_opened, handles.len() as u64);
+    assert_eq!(stats.sessions_closed, handles.len() as u64);
+}

@@ -1,0 +1,368 @@
+//! `#[derive(Serialize, Deserialize)]` for the vendored serde subset.
+//!
+//! Supports the item shapes present in this workspace, parsed directly from
+//! the token stream (no `syn`/`quote` available offline):
+//!
+//! * structs with named fields (field attribute `#[serde(with = "module")]`
+//!   honoured — `module` must provide `serialize(&T) -> Value` and
+//!   `deserialize(&Value) -> Result<T, Error>`);
+//! * newtype and tuple structs;
+//! * enums with unit variants (serialised as the variant-name string);
+//! * container attribute `#[serde(from = "Proxy", into = "Proxy")]`.
+//!
+//! Generics are not supported (none of the workspace's serialised types are
+//! generic).
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_serialize(&item)
+        .parse()
+        .expect("generated invalid Rust")
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_deserialize(&item)
+        .parse()
+        .expect("generated invalid Rust")
+}
+
+struct Field {
+    name: String,
+    with: Option<String>,
+}
+
+enum Shape {
+    Named(Vec<Field>),
+    Tuple(usize),
+    Unit,
+    Enum(Vec<String>),
+}
+
+struct Item {
+    name: String,
+    from: Option<String>,
+    into: Option<String>,
+    shape: Shape,
+}
+
+// ---- parsing --------------------------------------------------------------
+
+/// Extracts `key = "value"` pairs from the tokens of a `#[serde(...)]`
+/// attribute's inner group.
+fn parse_serde_kv(tokens: TokenStream, out: &mut Vec<(String, String)>) {
+    let mut iter = tokens.into_iter().peekable();
+    while let Some(tok) = iter.next() {
+        if let TokenTree::Ident(key) = tok {
+            if matches!(iter.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '=') {
+                iter.next();
+                if let Some(TokenTree::Literal(lit)) = iter.next() {
+                    let raw = lit.to_string();
+                    let val = raw.trim_matches('"').to_string();
+                    out.push((key.to_string(), val));
+                }
+            } else {
+                out.push((key.to_string(), String::new()));
+            }
+        }
+    }
+}
+
+/// Consumes a leading attribute (`#[...]`) if present, returning its
+/// `serde(...)` key/value pairs (empty for non-serde attributes).
+fn take_attr<I: Iterator<Item = TokenTree>>(
+    iter: &mut std::iter::Peekable<I>,
+) -> Option<Vec<(String, String)>> {
+    match iter.peek() {
+        Some(TokenTree::Punct(p)) if p.as_char() == '#' => {}
+        _ => return None,
+    }
+    iter.next();
+    let mut kv = Vec::new();
+    if let Some(TokenTree::Group(g)) = iter.next() {
+        let mut inner = g.stream().into_iter();
+        if let Some(TokenTree::Ident(name)) = inner.next() {
+            if name.to_string() == "serde" {
+                if let Some(TokenTree::Group(args)) = inner.next() {
+                    parse_serde_kv(args.stream(), &mut kv);
+                }
+            }
+        }
+    }
+    Some(kv)
+}
+
+/// Skips a visibility modifier (`pub`, `pub(crate)`, ...).
+fn skip_vis<I: Iterator<Item = TokenTree>>(iter: &mut std::iter::Peekable<I>) {
+    if matches!(iter.peek(), Some(TokenTree::Ident(id)) if id.to_string() == "pub") {
+        iter.next();
+        if matches!(iter.peek(), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+        {
+            iter.next();
+        }
+    }
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let mut iter = input.into_iter().peekable();
+    let mut from = None;
+    let mut into = None;
+    while let Some(kv) = take_attr(&mut iter) {
+        for (k, v) in kv {
+            match k.as_str() {
+                "from" => from = Some(v),
+                "into" => into = Some(v),
+                other => panic!("unsupported serde container attribute `{other}`"),
+            }
+        }
+    }
+    skip_vis(&mut iter);
+    let kind = match iter.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("expected `struct` or `enum`, got {other:?}"),
+    };
+    let name = match iter.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("expected item name, got {other:?}"),
+    };
+    if matches!(iter.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("derive(Serialize/Deserialize) stub does not support generics on `{name}`");
+    }
+    let shape = match (kind.as_str(), iter.next()) {
+        ("struct", Some(TokenTree::Group(g))) if g.delimiter() == Delimiter::Brace => {
+            Shape::Named(parse_named_fields(g.stream()))
+        }
+        ("struct", Some(TokenTree::Group(g))) if g.delimiter() == Delimiter::Parenthesis => {
+            Shape::Tuple(count_tuple_fields(g.stream()))
+        }
+        ("struct", Some(TokenTree::Punct(p))) if p.as_char() == ';' => Shape::Unit,
+        ("enum", Some(TokenTree::Group(g))) if g.delimiter() == Delimiter::Brace => {
+            Shape::Enum(parse_unit_variants(g.stream(), &name))
+        }
+        (k, t) => panic!("unsupported item shape for `{name}`: {k} {t:?}"),
+    };
+    Item {
+        name,
+        from,
+        into,
+        shape,
+    }
+}
+
+fn parse_named_fields(tokens: TokenStream) -> Vec<Field> {
+    let mut fields = Vec::new();
+    let mut iter = tokens.into_iter().peekable();
+    loop {
+        let mut with = None;
+        while let Some(kv) = take_attr(&mut iter) {
+            for (k, v) in kv {
+                match k.as_str() {
+                    "with" => with = Some(v),
+                    other => panic!("unsupported serde field attribute `{other}`"),
+                }
+            }
+        }
+        skip_vis(&mut iter);
+        let name = match iter.next() {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => break,
+            other => panic!("expected field name, got {other:?}"),
+        };
+        match iter.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => panic!("expected `:` after field `{name}`, got {other:?}"),
+        }
+        // Skip the type: consume until a comma at angle-bracket depth 0.
+        let mut depth = 0i32;
+        for tok in iter.by_ref() {
+            match tok {
+                TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => break,
+                _ => {}
+            }
+        }
+        fields.push(Field { name, with });
+    }
+    fields
+}
+
+fn count_tuple_fields(tokens: TokenStream) -> usize {
+    // Fields are `vis Type` separated by depth-0 commas.
+    let mut count = 0usize;
+    let mut depth = 0i32;
+    let mut any = false;
+    for tok in tokens {
+        any = true;
+        match tok {
+            TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => count += 1,
+            _ => {}
+        }
+    }
+    // A trailing comma would overcount, but `struct X(T,)` does not occur;
+    // count separators + 1 when any tokens were present.
+    if any {
+        count + 1
+    } else {
+        0
+    }
+}
+
+fn parse_unit_variants(tokens: TokenStream, name: &str) -> Vec<String> {
+    let mut variants = Vec::new();
+    let mut iter = tokens.into_iter().peekable();
+    loop {
+        while take_attr(&mut iter).is_some() {}
+        match iter.next() {
+            Some(TokenTree::Ident(id)) => variants.push(id.to_string()),
+            None => break,
+            other => panic!("expected variant in enum `{name}`, got {other:?}"),
+        }
+        match iter.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ',' => {}
+            None => break,
+            Some(other) => panic!("enum `{name}` has a non-unit variant (unsupported): {other:?}"),
+        }
+    }
+    variants
+}
+
+// ---- codegen --------------------------------------------------------------
+
+fn gen_serialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = if let Some(proxy) = &item.into {
+        format!(
+            "let __proxy: {proxy} = ::std::convert::Into::into(::std::clone::Clone::clone(self));\n\
+             ::serde::Serialize::serialize(&__proxy)"
+        )
+    } else {
+        match &item.shape {
+            Shape::Named(fields) => {
+                let mut s = String::from(
+                    "let mut __m: ::std::vec::Vec<(::std::string::String, ::serde::Value)> = \
+                     ::std::vec::Vec::new();\n",
+                );
+                for f in fields {
+                    let expr = match &f.with {
+                        Some(path) => format!("{path}::serialize(&self.{})", f.name),
+                        None => format!("::serde::Serialize::serialize(&self.{})", f.name),
+                    };
+                    s.push_str(&format!(
+                        "__m.push((::std::string::String::from(\"{}\"), {expr}));\n",
+                        f.name
+                    ));
+                }
+                s.push_str("::serde::Value::Map(__m)");
+                s
+            }
+            Shape::Tuple(1) => "::serde::Serialize::serialize(&self.0)".to_string(),
+            Shape::Tuple(n) => {
+                let elems: Vec<String> = (0..*n)
+                    .map(|i| format!("::serde::Serialize::serialize(&self.{i})"))
+                    .collect();
+                format!("::serde::Value::Seq(::std::vec![{}])", elems.join(", "))
+            }
+            Shape::Unit => "::serde::Value::Null".to_string(),
+            Shape::Enum(variants) => {
+                let arms: Vec<String> = variants
+                    .iter()
+                    .map(|v| {
+                        format!(
+                            "{name}::{v} => ::serde::Value::Str(::std::string::String::from(\"{v}\"))"
+                        )
+                    })
+                    .collect();
+                format!("match self {{ {} }}", arms.join(",\n"))
+            }
+        }
+    };
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+             fn serialize(&self) -> ::serde::Value {{\n{body}\n}}\n\
+         }}"
+    )
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = if let Some(proxy) = &item.from {
+        format!(
+            "let __proxy = <{proxy} as ::serde::Deserialize>::deserialize(__v)?;\n\
+             ::std::result::Result::Ok(::std::convert::From::from(__proxy))"
+        )
+    } else {
+        match &item.shape {
+            Shape::Named(fields) => {
+                let mut s = format!("::std::result::Result::Ok({name} {{\n");
+                for f in fields {
+                    let expr = match &f.with {
+                        Some(path) => format!("{path}::deserialize(__fv)?"),
+                        None => "::serde::Deserialize::deserialize(__fv)?".to_string(),
+                    };
+                    s.push_str(&format!(
+                        "{field}: match ::serde::Value::get(__v, \"{field}\") {{\n\
+                             ::std::option::Option::Some(__fv) => {expr},\n\
+                             ::std::option::Option::None => return ::std::result::Result::Err(\
+                                 ::serde::Error::missing_field(\"{name}\", \"{field}\")),\n\
+                         }},\n",
+                        field = f.name
+                    ));
+                }
+                s.push_str("})");
+                s
+            }
+            Shape::Tuple(1) => {
+                format!(
+                    "::std::result::Result::Ok({name}(::serde::Deserialize::deserialize(__v)?))"
+                )
+            }
+            Shape::Tuple(n) => {
+                let elems: Vec<String> = (0..*n)
+                    .map(|i| format!("::serde::Deserialize::deserialize(&__seq[{i}])?"))
+                    .collect();
+                format!(
+                    "let __seq = ::serde::Value::as_seq(__v)\
+                         .ok_or_else(|| ::serde::Error::expected(\"sequence\", \"{name}\"))?;\n\
+                     if __seq.len() != {n} {{\n\
+                         return ::std::result::Result::Err(::serde::Error::expected(\
+                             \"{n}-element sequence\", \"{name}\"));\n\
+                     }}\n\
+                     ::std::result::Result::Ok({name}({}))",
+                    elems.join(", ")
+                )
+            }
+            Shape::Unit => format!("::std::result::Result::Ok({name})"),
+            Shape::Enum(variants) => {
+                let arms: Vec<String> = variants
+                    .iter()
+                    .map(|v| format!("\"{v}\" => ::std::result::Result::Ok({name}::{v})"))
+                    .collect();
+                format!(
+                    "match ::serde::Value::as_str(__v) {{\n\
+                         ::std::option::Option::Some(__s) => match __s {{\n\
+                             {},\n\
+                             __other => ::std::result::Result::Err(::serde::Error::msg(\
+                                 ::std::format!(\"unknown variant `{{__other}}` of `{name}`\"))),\n\
+                         }},\n\
+                         ::std::option::Option::None => ::std::result::Result::Err(\
+                             ::serde::Error::expected(\"variant string\", \"{name}\")),\n\
+                     }}",
+                    arms.join(",\n")
+                )
+            }
+        }
+    };
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+             fn deserialize(__v: &::serde::Value) -> \
+                 ::std::result::Result<Self, ::serde::Error> {{\n{body}\n}}\n\
+         }}"
+    )
+}
