@@ -16,7 +16,14 @@ use crate::scoring::Thresholded;
 use crate::stats::RouteStats;
 use rnet::RoadNetwork;
 use std::sync::Arc;
-use traj::SessionMux;
+use traj::{SessionMux, Sharded};
+
+/// A shard-parallel baseline engine: N independent [`SessionMux`] shards
+/// behind the shared fitted statistics, driven tick-parallel by
+/// [`traj::Sharded`] exactly like the RL4OASD `ShardedEngine`. Labels are
+/// byte-identical for every shard count (the muxes already make each
+/// session independent).
+pub type ShardedBaseline<D, F> = Sharded<SessionMux<D, F>>;
 
 /// Session engine over IBOAT with the given support threshold `theta` and
 /// decision threshold.
@@ -50,6 +57,41 @@ pub fn ctss_engine<'a>(
     threshold: f64,
 ) -> SessionMux<Thresholded<Ctss<'a>>, impl FnMut() -> Thresholded<Ctss<'a>>> {
     SessionMux::new(move || Thresholded::new(Ctss::new(net, Arc::clone(&stats)), threshold))
+}
+
+/// Sharded session engine over IBOAT (see [`iboat_engine`]).
+pub fn sharded_iboat_engine(
+    stats: Arc<RouteStats>,
+    theta: f64,
+    threshold: f64,
+    shards: usize,
+) -> ShardedBaseline<Thresholded<Iboat>, impl FnMut() -> Thresholded<Iboat>> {
+    Sharded::build(shards, |_| {
+        iboat_engine(Arc::clone(&stats), theta, threshold)
+    })
+}
+
+/// Sharded session engine over DBTOD (see [`dbtod_engine`]).
+pub fn sharded_dbtod_engine<'a>(
+    net: &'a RoadNetwork,
+    stats: Arc<RouteStats>,
+    weights: [f64; 6],
+    threshold: f64,
+    shards: usize,
+) -> ShardedBaseline<Thresholded<Dbtod<'a>>, impl FnMut() -> Thresholded<Dbtod<'a>>> {
+    Sharded::build(shards, |_| {
+        dbtod_engine(net, Arc::clone(&stats), weights, threshold)
+    })
+}
+
+/// Sharded session engine over CTSS (see [`ctss_engine`]).
+pub fn sharded_ctss_engine<'a>(
+    net: &'a RoadNetwork,
+    stats: Arc<RouteStats>,
+    threshold: f64,
+    shards: usize,
+) -> ShardedBaseline<Thresholded<Ctss<'a>>, impl FnMut() -> Thresholded<Ctss<'a>>> {
+    Sharded::build(shards, |_| ctss_engine(net, Arc::clone(&stats), threshold))
 }
 
 #[cfg(test)]

@@ -1,16 +1,18 @@
 //! Criterion bench: stream-engine serving throughput (points/sec) at 1,
-//! 100 and 10,000 concurrent sessions.
+//! 100 and 10,000 concurrent sessions, single-engine and sharded.
 //!
 //! The reproduction target is *scaling shape*, not absolute numbers: the
 //! batched LSTM pass amortises the weight-matrix walk across every lane
 //! that advanced in a tick, holding per-point cost roughly flat from 1 to
 //! 10,000 concurrent sessions even as the aggregate session state
-//! outgrows the cache. `cargo run --release -p bench_suite --bin engine`
+//! outgrows the cache; sharding then multiplies that by the core count
+//! (each `ShardedEngine` shard runs its own batched pass on its own
+//! worker thread). `cargo run --release -p bench_suite --bin engine`
 //! writes the same measurement to `BENCH_engine.json`.
 
 use bench_suite::throughput::drive_interleaved;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use rl4oasd::{train, Rl4oasdConfig, StreamEngine};
+use rl4oasd::{train, Rl4oasdConfig, ShardedEngine, StreamEngine};
 use rnet::{CityBuilder, CityConfig};
 use std::hint::black_box;
 use std::sync::Arc;
@@ -63,6 +65,20 @@ fn engine_throughput(c: &mut Criterion) {
                 })
             },
         );
+        for shards in [2usize, 4, 8] {
+            group.bench_with_input(
+                BenchmarkId::new(format!("sessions_{sessions}_shards"), shards),
+                &shards,
+                |b, &shards| {
+                    b.iter(|| {
+                        let mut engine =
+                            ShardedEngine::new(Arc::clone(&model), Arc::clone(&net), shards);
+                        let sample = drive_interleaved(&mut engine, &trajs, sessions, min_points);
+                        black_box(sample.points)
+                    })
+                },
+            );
+        }
     }
     group.finish();
 }

@@ -1,17 +1,20 @@
 //! `engine` — stream-engine throughput measurement, written to
 //! `BENCH_engine.json`.
 //!
-//! Measures points/sec of [`rl4oasd::StreamEngine`] serving 1, 100 and
-//! 10,000 concurrent interleaved trajectory sessions over one shared
-//! trained model (the fleet workload of the paper's motivating scenario),
-//! plus how much of the work went through the batched nn pass.
+//! Measures points/sec of the RL4OASD serving path at 1, 100 and 10,000
+//! concurrent interleaved trajectory sessions over one shared trained
+//! model (the fleet workload of the paper's motivating scenario), sweeping
+//! the shard count {1, 2, 4, 8} of [`rl4oasd::ShardedEngine`] — the
+//! parallelism dimension of the schema (`shards`, `threads` per row). The
+//! single-shard rows drive a plain [`rl4oasd::StreamEngine`], so the sweep
+//! directly compares one core against N.
 //!
 //! ```text
 //! cargo run --release -p bench_suite --bin engine [-- out.json]
 //! ```
 
 use bench_suite::throughput::drive_interleaved;
-use rl4oasd::{train, Rl4oasdConfig, StreamEngine};
+use rl4oasd::{train, Rl4oasdConfig, ShardedEngine, StreamEngine};
 use rnet::{CityBuilder, CityConfig};
 use serde::Serialize;
 use std::sync::Arc;
@@ -20,6 +23,8 @@ use traj::{Dataset, TrafficConfig, TrafficSimulator};
 #[derive(Serialize)]
 struct Row {
     sessions: usize,
+    shards: usize,
+    threads: usize,
     points: u64,
     seconds: f64,
     points_per_sec: f64,
@@ -34,6 +39,7 @@ struct Report {
     city: String,
     hidden_dim: usize,
     embed_dim: usize,
+    host_cores: usize,
     results: Vec<Row>,
 }
 
@@ -63,32 +69,45 @@ fn main() {
     let trajs: Vec<_> = train_set.trajectories.iter().take(200).cloned().collect();
     let net = Arc::new(net);
     let model = Arc::new(model);
+    let host_cores = std::thread::available_parallelism().map_or(1, |n| n.get());
 
     let mut results = Vec::new();
     for sessions in [1usize, 100, 10_000] {
         let min_points = (sessions as u64 * 20).max(100_000);
-        let mut engine = StreamEngine::new(Arc::clone(&model), Arc::clone(&net));
-        let sample = drive_interleaved(&mut engine, &trajs, sessions, min_points);
-        let stats = engine.stats();
-        eprintln!(
-            "{:>6} sessions: {:>9} points in {:>7.3}s = {:>12.0} points/sec \
-             ({} batched / {} scalar events)",
-            sample.sessions,
-            sample.points,
-            sample.seconds,
-            sample.points_per_sec,
-            stats.batched_events,
-            stats.scalar_events,
-        );
-        results.push(Row {
-            sessions: sample.sessions,
-            points: sample.points,
-            seconds: sample.seconds,
-            points_per_sec: sample.points_per_sec,
-            batched_events: stats.batched_events,
-            scalar_events: stats.scalar_events,
-            batched_rounds: stats.batched_rounds,
-        });
+        for shards in [1usize, 2, 4, 8] {
+            let (sample, stats) = if shards == 1 {
+                // Baseline: the plain single-threaded engine.
+                let mut engine = StreamEngine::new(Arc::clone(&model), Arc::clone(&net));
+                let sample = drive_interleaved(&mut engine, &trajs, sessions, min_points);
+                (sample, engine.stats())
+            } else {
+                let mut engine = ShardedEngine::new(Arc::clone(&model), Arc::clone(&net), shards);
+                let sample = drive_interleaved(&mut engine, &trajs, sessions, min_points);
+                (sample, engine.stats())
+            };
+            eprintln!(
+                "{:>6} sessions x {} shards: {:>9} points in {:>7.3}s = {:>12.0} points/sec \
+                 ({} batched / {} scalar events)",
+                sample.sessions,
+                shards,
+                sample.points,
+                sample.seconds,
+                sample.points_per_sec,
+                stats.batched_events,
+                stats.scalar_events,
+            );
+            results.push(Row {
+                sessions: sample.sessions,
+                shards,
+                threads: shards,
+                points: sample.points,
+                seconds: sample.seconds,
+                points_per_sec: sample.points_per_sec,
+                batched_events: stats.batched_events,
+                scalar_events: stats.scalar_events,
+                batched_rounds: stats.batched_rounds,
+            });
+        }
     }
 
     let report = Report {
@@ -96,6 +115,7 @@ fn main() {
         city: "Chengdu-sim".to_string(),
         hidden_dim: config.hidden_dim,
         embed_dim: config.embed_dim,
+        host_cores,
         results,
     };
     let json = serde_json::to_string_pretty(&report).expect("report serialises");

@@ -16,10 +16,13 @@ pub mod figures;
 pub mod throughput;
 
 use baselines::{
-    ctss_engine, dbtod_engine, iboat_engine, Ctss, Dbtod, Iboat, RouteStats, ScoringDetector,
-    Seq2SeqDetector, Seq2SeqKind, Thresholded, VsaeConfig,
+    ctss_engine, dbtod_engine, iboat_engine, sharded_ctss_engine, sharded_dbtod_engine,
+    sharded_iboat_engine, Ctss, Dbtod, Iboat, RouteStats, ScoringDetector, Seq2SeqDetector,
+    Seq2SeqKind, Thresholded, VsaeConfig,
 };
-use rl4oasd::{train_with_dev, Rl4oasdConfig, Rl4oasdDetector, StreamEngine, TrainedModel};
+use rl4oasd::{
+    train_with_dev, Rl4oasdConfig, Rl4oasdDetector, ShardedEngine, StreamEngine, TrainedModel,
+};
 use rnet::{CityBuilder, CityConfig, RoadNetwork};
 use std::sync::Arc;
 use std::time::Instant;
@@ -407,6 +410,54 @@ impl Context {
             Method::Rl4oasd => Box::new(StreamEngine::new(
                 Arc::clone(&self.model),
                 Arc::clone(&self.net),
+            )),
+        }
+    }
+
+    /// Constructs a shard-parallel session engine for a method: `shards`
+    /// independent engines behind the shared fitted state, sessions hashed
+    /// to shards, ticks driven across scoped worker threads (one per shard)
+    /// — labels byte-identical to [`Context::engine`] for every shard
+    /// count.
+    ///
+    /// The seq2seq family multiplexes heavyweight per-session detectors
+    /// (see [`Context::engine`]); until its shared-weights session split
+    /// lands (ROADMAP), those methods fall back to the unsharded mux.
+    pub fn sharded_engine(&self, method: Method, shards: usize) -> Box<dyn SessionEngine + '_> {
+        match method {
+            Method::Iboat => Box::new(sharded_iboat_engine(
+                Arc::clone(&self.stats),
+                0.05,
+                self.thresholds.iboat,
+                shards,
+            )),
+            Method::Dbtod => Box::new(sharded_dbtod_engine(
+                &self.net,
+                Arc::clone(&self.stats),
+                self.dbtod_weights,
+                self.thresholds.dbtod,
+                shards,
+            )),
+            Method::Ctss => Box::new(sharded_ctss_engine(
+                &self.net,
+                Arc::clone(&self.stats),
+                self.thresholds.ctss,
+                shards,
+            )),
+            Method::GmVsae | Method::SdVsae | Method::Sae | Method::Vsae => {
+                // Loud, not silent: results for these rows must not be
+                // mistaken for sharded numbers.
+                eprintln!(
+                    "warning: {} has no sharded engine yet (seq2seq session split pending); \
+                     serving unsharded",
+                    method.name()
+                );
+                self.engine(method)
+            }
+            Method::Rl4oasd => Box::new(ShardedEngine::new(
+                Arc::clone(&self.model),
+                Arc::clone(&self.net),
+                shards,
             )),
         }
     }

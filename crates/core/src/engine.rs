@@ -50,6 +50,37 @@ pub struct EngineStats {
     pub scalar_events: u64,
 }
 
+impl std::ops::AddAssign for EngineStats {
+    fn add_assign(&mut self, rhs: Self) {
+        // Exhaustive destructuring: adding a field to EngineStats without
+        // aggregating it here must fail to compile, not silently report 0
+        // in sharded totals.
+        let EngineStats {
+            sessions_opened,
+            sessions_closed,
+            observe_events,
+            batched_events,
+            batched_rounds,
+            scalar_events,
+        } = rhs;
+        self.sessions_opened += sessions_opened;
+        self.sessions_closed += sessions_closed;
+        self.observe_events += observe_events;
+        self.batched_events += batched_events;
+        self.batched_rounds += batched_rounds;
+        self.scalar_events += scalar_events;
+    }
+}
+
+impl std::iter::Sum for EngineStats {
+    fn sum<I: Iterator<Item = Self>>(iter: I) -> Self {
+        iter.fold(EngineStats::default(), |mut acc, s| {
+            acc += s;
+            acc
+        })
+    }
+}
+
 /// Reusable per-tick buffers so a warm engine allocates almost nothing.
 #[derive(Default)]
 struct TickScratch {

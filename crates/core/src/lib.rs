@@ -36,6 +36,7 @@ pub mod engine;
 pub mod pipeline;
 pub mod preprocess;
 pub mod rsrnet;
+pub mod sharded;
 pub mod toast;
 pub mod train;
 
@@ -44,4 +45,5 @@ pub use detector::Rl4oasdDetector;
 pub use engine::{EngineStats, StreamEngine};
 pub use pipeline::{load_model, save_model, train_from_gps, PipelineResult};
 pub use preprocess::{GroupStats, Preprocessor};
+pub use sharded::ShardedEngine;
 pub use train::{train, train_with_dev, train_with_stats, OnlineLearner, TrainedModel};

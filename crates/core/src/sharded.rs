@@ -1,0 +1,256 @@
+//! Multi-core session serving: shard the fleet across N [`StreamEngine`]s
+//! behind one shared trained model.
+//!
+//! [`StreamEngine`] is single-threaded by design — one slab, one scratch —
+//! so its throughput plateaus at one core no matter how many are available.
+//! Online detection is embarrassingly parallel across trips: once the
+//! trained model is shared read-only, per-session state is fully
+//! independent. [`ShardedEngine`] exploits exactly that: sessions are
+//! hashed onto one of N `StreamEngine` shards, every shard owns its own
+//! `SessionSlab` + tick scratch, and all shards share **one**
+//! `Arc<TrainedModel>` + `Arc<RoadNetwork>` — zero weight duplication.
+//!
+//! The tick-parallel drive path ([`traj::SessionEngine::observe_batch`])
+//! partitions each tick's events by shard and advances the shards on
+//! scoped worker threads (`std::thread::scope`; no extra dependencies).
+//! Within a shard the existing batched LSTM/head kernels still apply, so
+//! per-point cost keeps the PR 1 batching win *and* scales across cores.
+//!
+//! Because a session's events always reach the same shard in order, the
+//! [`StreamEngine`] interleaving-invariance contract lifts directly:
+//! labels, decisions and per-session outputs are **byte-identical for
+//! every shard count** (property-tested in `tests/sharded.rs`).
+
+use crate::engine::{EngineStats, StreamEngine};
+use crate::train::TrainedModel;
+use rnet::{RoadNetwork, SegmentId};
+use std::sync::Arc;
+use traj::{SdPair, SessionEngine, SessionId, Sharded};
+
+/// A shard-parallel [`StreamEngine`]: N independent shards, one shared
+/// immutable model, sessions hashed to shards, ticks driven across worker
+/// threads. Implements the same [`SessionEngine`] surface as a single
+/// engine, with aggregated [`ShardedEngine::stats`] /
+/// [`ShardedEngine::decision_counts`].
+pub struct ShardedEngine {
+    inner: Sharded<StreamEngine>,
+}
+
+impl ShardedEngine {
+    /// Builds `shards` engines over one shared trained model and road
+    /// network (the `Arc`s are cloned per shard; the weights are not).
+    /// Uses one worker thread per shard; see [`ShardedEngine::with_threads`].
+    ///
+    /// # Panics
+    /// Panics if `shards == 0`.
+    pub fn new(model: Arc<TrainedModel>, net: Arc<RoadNetwork>, shards: usize) -> Self {
+        assert!(shards > 0, "need at least one shard");
+        ShardedEngine {
+            inner: Sharded::build(shards, |_| {
+                StreamEngine::new(Arc::clone(&model), Arc::clone(&net))
+            }),
+        }
+    }
+
+    /// Caps the worker threads used per tick (clamped to `1..=shards`;
+    /// `1` keeps the drive path entirely on the calling thread).
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.inner = self.inner.with_threads(threads);
+        self
+    }
+
+    /// Number of shards.
+    pub fn num_shards(&self) -> usize {
+        self.inner.num_shards()
+    }
+
+    /// Worker-thread cap for the tick-parallel drive path.
+    pub fn threads(&self) -> usize {
+        self.inner.threads()
+    }
+
+    /// The shared model (held by every shard).
+    pub fn model(&self) -> &Arc<TrainedModel> {
+        self.inner.shards()[0].model()
+    }
+
+    /// The shared road network (held by every shard).
+    pub fn network(&self) -> &Arc<RoadNetwork> {
+        self.inner.shards()[0].network()
+    }
+
+    /// Which shard serves the given open session.
+    pub fn shard_of(&self, session: SessionId) -> usize {
+        self.inner.shard_of(session)
+    }
+
+    /// Cumulative serving statistics, aggregated across all shards.
+    pub fn stats(&self) -> EngineStats {
+        self.shard_stats().into_iter().sum()
+    }
+
+    /// Per-shard serving statistics (index = shard).
+    pub fn shard_stats(&self) -> Vec<EngineStats> {
+        self.inner.shards().iter().map(|s| s.stats()).collect()
+    }
+
+    /// `(RNEL short-circuits, policy invocations)` summed across shards.
+    pub fn decision_counts(&self) -> (usize, usize) {
+        self.shard_decision_counts()
+            .into_iter()
+            .fold((0, 0), |(r, p), (sr, sp)| (r + sr, p + sp))
+    }
+
+    /// Per-shard `(RNEL short-circuits, policy invocations)` (index = shard).
+    pub fn shard_decision_counts(&self) -> Vec<(usize, usize)> {
+        self.inner
+            .shards()
+            .iter()
+            .map(|s| s.decision_counts())
+            .collect()
+    }
+}
+
+impl SessionEngine for ShardedEngine {
+    fn engine_name(&self) -> &'static str {
+        self.inner.engine_name()
+    }
+
+    fn open(&mut self, sd: SdPair, start_time: f64) -> SessionId {
+        self.inner.open(sd, start_time)
+    }
+
+    fn observe(&mut self, session: SessionId, segment: SegmentId) -> u8 {
+        self.inner.observe(session, segment)
+    }
+
+    fn observe_batch(&mut self, events: &[(SessionId, SegmentId)], out: &mut Vec<u8>) {
+        self.inner.observe_batch(events, out)
+    }
+
+    fn close(&mut self, session: SessionId) -> Vec<u8> {
+        self.inner.close(session)
+    }
+
+    fn active_sessions(&self) -> usize {
+        self.inner.active_sessions()
+    }
+}
+
+// The sharded drive path moves `StreamEngine`s across scoped threads; keep
+// that guarantee explicit so a future non-Send field fails here, not at a
+// distant call site.
+const _: fn() = || {
+    fn assert_send<T: Send>() {}
+    assert_send::<StreamEngine>();
+};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::Rl4oasdConfig;
+    use crate::train::train;
+    use rnet::{CityBuilder, CityConfig};
+    use traj::{Dataset, TrafficConfig, TrafficSimulator};
+
+    fn setup(seed: u64) -> (Arc<RoadNetwork>, Dataset, Arc<TrainedModel>) {
+        let net = CityBuilder::new(CityConfig::tiny(seed)).build();
+        let cfg = TrafficConfig {
+            num_sd_pairs: 4,
+            trajs_per_pair: (30, 50),
+            anomaly_ratio: 0.15,
+            ..TrafficConfig::tiny(seed)
+        };
+        let data = TrafficSimulator::new(&net, cfg).generate();
+        let ds = Dataset::from_generated(&data);
+        let cfg = Rl4oasdConfig::tiny(seed);
+        let model = train(&net, &ds, &cfg);
+        (Arc::new(net), ds, Arc::new(model))
+    }
+
+    #[test]
+    fn sharded_matches_single_engine_tick_for_tick() {
+        let (net, ds, model) = setup(31);
+        let trajs: Vec<_> = ds.trajectories.iter().take(20).cloned().collect();
+
+        let mut single = StreamEngine::new(Arc::clone(&model), Arc::clone(&net));
+        let mut sharded = ShardedEngine::new(Arc::clone(&model), Arc::clone(&net), 4);
+        assert_eq!(sharded.engine_name(), "RL4OASD");
+        assert_eq!(sharded.num_shards(), 4);
+
+        let hs: Vec<_> = trajs
+            .iter()
+            .map(|t| single.open(t.sd_pair().unwrap(), t.start_time))
+            .collect();
+        let hp: Vec<_> = trajs
+            .iter()
+            .map(|t| sharded.open(t.sd_pair().unwrap(), t.start_time))
+            .collect();
+        assert_eq!(sharded.active_sessions(), trajs.len());
+
+        let max_len = trajs.iter().map(|t| t.len()).max().unwrap();
+        let (mut out_s, mut out_p) = (Vec::new(), Vec::new());
+        for tick in 0..max_len {
+            let ev = |handles: &[SessionId]| -> Vec<_> {
+                trajs
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, t)| tick < t.len())
+                    .map(|(k, t)| (handles[k], t.segments[tick]))
+                    .collect()
+            };
+            single.observe_batch(&ev(&hs), &mut out_s);
+            sharded.observe_batch(&ev(&hp), &mut out_p);
+            assert_eq!(out_p, out_s, "tick {tick} labels diverged");
+        }
+        for (hs, hp) in hs.iter().zip(&hp) {
+            assert_eq!(sharded.close(*hp), single.close(*hs));
+        }
+        assert_eq!(sharded.active_sessions(), 0);
+
+        // Workload-invariant aggregates match the single engine; the
+        // batched/scalar split legitimately differs (smaller per-shard
+        // rounds), but every event is still accounted for exactly once.
+        let (agg, one) = (sharded.stats(), single.stats());
+        assert_eq!(agg.observe_events, one.observe_events);
+        assert_eq!(agg.sessions_opened, one.sessions_opened);
+        assert_eq!(agg.sessions_closed, one.sessions_closed);
+        assert_eq!(
+            agg.batched_events + agg.scalar_events,
+            one.batched_events + one.scalar_events
+        );
+        assert_eq!(sharded.decision_counts(), single.decision_counts());
+    }
+
+    #[test]
+    fn sessions_spread_across_shards() {
+        let (net, _, model) = setup(32);
+        let mut engine = ShardedEngine::new(model, net, 4);
+        let sd = SdPair {
+            source: SegmentId(0),
+            dest: SegmentId(1),
+        };
+        let handles: Vec<_> = (0..64).map(|i| engine.open(sd, i as f64)).collect();
+        let mut per_shard = vec![0usize; engine.num_shards()];
+        for &h in &handles {
+            per_shard[engine.shard_of(h)] += 1;
+        }
+        assert!(
+            per_shard.iter().all(|&n| n > 0),
+            "64 sessions left a shard empty: {per_shard:?}"
+        );
+        let opened: u64 = engine.shard_stats().iter().map(|s| s.sessions_opened).sum();
+        assert_eq!(opened, 64);
+        for h in handles {
+            engine.close(h);
+        }
+        assert_eq!(engine.stats().sessions_closed, 64);
+    }
+
+    #[test]
+    #[should_panic(expected = "need at least one shard")]
+    fn zero_shards_rejected() {
+        let (net, _, model) = setup(33);
+        let _ = ShardedEngine::new(model, net, 0);
+    }
+}

@@ -20,8 +20,10 @@
 //! together with its fleet-scale counterpart [`session::SessionEngine`]:
 //! a session-oriented serving API (`open`/`observe`/`close`) that
 //! multiplexes many concurrent trajectories over one detector, with
-//! [`session::SessionMux`] lifting any detector factory to an engine and
-//! [`session::SingleSession`] adapting an engine back to a detector.
+//! [`session::SessionMux`] lifting any detector factory to an engine,
+//! [`session::Sharded`] scaling any engine across cores by hashing
+//! sessions onto independent shards, and [`session::SingleSession`]
+//! adapting an engine back to a detector.
 
 #![deny(missing_docs)]
 #![warn(clippy::all)]
@@ -38,7 +40,7 @@ pub use dataset::{Dataset, DatasetStats};
 pub use detector::OnlineDetector;
 pub use generator::{DriftConfig, RouteKind, SdPairData, TrafficConfig, TrafficSimulator};
 pub use labels::{extract_subtrajectories, LabelSpan};
-pub use session::{SessionEngine, SessionId, SessionMux, SessionSlab, SingleSession};
+pub use session::{SessionEngine, SessionId, SessionMux, SessionSlab, Sharded, SingleSession};
 pub use types::{
     slot_of_time, GpsPoint, MappedTrajectory, RawTrajectory, SdPair, TrajectoryId, Transition,
     HOURS_PER_DAY, SECONDS_PER_DAY,

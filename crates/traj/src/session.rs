@@ -180,6 +180,19 @@ impl<T> SessionSlab<T> {
         }
     }
 
+    fn slot(&self, id: SessionId) -> &Slot<T> {
+        let slot = self
+            .slots
+            .get(id.index())
+            .unwrap_or_else(|| panic!("unknown session {id}"));
+        assert_eq!(
+            slot.generation,
+            id.generation(),
+            "stale session handle {id} (session was closed)"
+        );
+        slot
+    }
+
     fn slot_mut(&mut self, id: SessionId) -> &mut Slot<T> {
         let slot = self
             .slots
@@ -191,6 +204,17 @@ impl<T> SessionSlab<T> {
             "stale session handle {id} (session was closed)"
         );
         slot
+    }
+
+    /// Shared access to a session's value.
+    ///
+    /// # Panics
+    /// Panics on unknown, closed or taken handles.
+    pub fn get(&self, id: SessionId) -> &T {
+        self.slot(id)
+            .value
+            .as_ref()
+            .unwrap_or_else(|| panic!("session {id} is taken or closed"))
     }
 
     /// Mutable access to a session's value.
@@ -232,6 +256,195 @@ impl<T> SessionSlab<T> {
         self.free.push(index as u32);
         self.active -= 1;
         value
+    }
+}
+
+/// Where a routed session lives: its shard and its shard-local handle.
+#[derive(Debug, Clone, Copy)]
+struct Route {
+    shard: u32,
+    inner: SessionId,
+}
+
+/// Per-shard scratch of one [`Sharded::observe_batch`] tick: the shard's
+/// slice of the tick's events, the original event indices (for scattering
+/// labels back in caller order) and the shard's label output.
+#[derive(Debug, Default)]
+struct ShardLane {
+    events: Vec<(SessionId, SegmentId)>,
+    idx: Vec<u32>,
+    out: Vec<u8>,
+}
+
+/// Shards any [`SessionEngine`] across N independent instances, scaling
+/// session serving across cores with zero shared mutable state.
+///
+/// New sessions are hashed to a shard on `open`; from then on every event
+/// of that session goes to the same shard, so per-shard event order equals
+/// per-session event order and the [`SessionEngine`] contract (interleaving
+/// never changes labels) lifts to the sharded engine: labels are
+/// **byte-identical for every shard count**, including 1 (property-tested
+/// in `tests/sharded.rs`).
+///
+/// [`Sharded::observe_batch`] is the tick-parallel drive path: the tick's
+/// events are partitioned by shard and the shards advance concurrently on
+/// up to `threads` scoped worker threads (`std::thread::scope` — no
+/// channels, no pools, no dependencies). Shards share whatever their
+/// constructor shared (e.g. one `Arc` of model weights), so memory grows
+/// only with per-shard scratch, not with model copies.
+pub struct Sharded<E> {
+    shards: Vec<E>,
+    routes: SessionSlab<Route>,
+    threads: usize,
+    lanes: Vec<ShardLane>,
+}
+
+impl<E: SessionEngine> Sharded<E> {
+    /// Builds a sharded engine from pre-constructed shards (at least one).
+    /// Defaults to one worker thread per shard; see [`Sharded::with_threads`].
+    pub fn from_shards(shards: Vec<E>) -> Self {
+        assert!(!shards.is_empty(), "need at least one shard");
+        let threads = shards.len();
+        let lanes = shards.iter().map(|_| ShardLane::default()).collect();
+        Sharded {
+            shards,
+            routes: SessionSlab::new(),
+            threads,
+            lanes,
+        }
+    }
+
+    /// Builds `n` shards from a factory called with each shard index.
+    pub fn build(n: usize, mut factory: impl FnMut(usize) -> E) -> Self {
+        Self::from_shards((0..n).map(&mut factory).collect())
+    }
+
+    /// Caps the worker threads used per [`Sharded::observe_batch`] tick
+    /// (clamped to `1..=num_shards`; `1` disables spawning entirely).
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads.clamp(1, self.shards.len());
+        self
+    }
+
+    /// Number of shards.
+    pub fn num_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Worker-thread cap for the tick-parallel drive path.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// The shards, for per-shard inspection (stats aggregation etc.).
+    pub fn shards(&self) -> &[E] {
+        &self.shards
+    }
+
+    /// Which shard serves the given open session.
+    ///
+    /// # Panics
+    /// Panics on unknown or closed handles.
+    pub fn shard_of(&self, session: SessionId) -> usize {
+        self.routes.get(session).shard as usize
+    }
+
+    /// Fibonacci-hashes a fresh route index onto a shard.
+    fn hash_to_shard(&self, index: usize) -> u32 {
+        let h = (index as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        ((h >> 32) % self.shards.len() as u64) as u32
+    }
+}
+
+impl<E: SessionEngine + Send> SessionEngine for Sharded<E> {
+    fn engine_name(&self) -> &'static str {
+        self.shards[0].engine_name()
+    }
+
+    fn open(&mut self, sd: SdPair, start_time: f64) -> SessionId {
+        // Reserve the outer handle first so the shard is a pure hash of it.
+        let outer = self.routes.insert(Route {
+            shard: 0,
+            inner: SessionId::new(0, 0),
+        });
+        let shard = self.hash_to_shard(outer.index());
+        let inner = self.shards[shard as usize].open(sd, start_time);
+        *self.routes.get_mut(outer) = Route { shard, inner };
+        outer
+    }
+
+    fn observe(&mut self, session: SessionId, segment: SegmentId) -> u8 {
+        let route = *self.routes.get(session);
+        self.shards[route.shard as usize].observe(route.inner, segment)
+    }
+
+    /// Tick-parallel drive: partitions the tick's events by shard and
+    /// advances every shard with events concurrently (each through its own
+    /// `observe_batch`, so batched nn kernels still apply within a shard),
+    /// then scatters the labels back into caller order.
+    fn observe_batch(&mut self, events: &[(SessionId, SegmentId)], out: &mut Vec<u8>) {
+        for lane in &mut self.lanes {
+            lane.events.clear();
+            lane.idx.clear();
+            // Cleared here, not by the shard: a shard with no events this
+            // tick never runs, and its stale labels must not linger.
+            lane.out.clear();
+        }
+        for (i, &(session, segment)) in events.iter().enumerate() {
+            let route = *self.routes.get(session);
+            let lane = &mut self.lanes[route.shard as usize];
+            lane.events.push((route.inner, segment));
+            lane.idx.push(i as u32);
+        }
+
+        let mut active: Vec<(&mut E, &mut ShardLane)> = self
+            .shards
+            .iter_mut()
+            .zip(self.lanes.iter_mut())
+            .filter(|(_, lane)| !lane.events.is_empty())
+            .collect();
+        if active.len() <= 1 || self.threads <= 1 {
+            for (shard, lane) in active {
+                shard.observe_batch(&lane.events, &mut lane.out);
+            }
+        } else {
+            // One scoped worker per chunk of shards; the current thread
+            // takes the first chunk, saving one spawn per tick.
+            let workers = self.threads.min(active.len());
+            let per = active.len().div_ceil(workers);
+            std::thread::scope(|scope| {
+                let mut chunks = active.chunks_mut(per);
+                let first = chunks.next().expect("at least one active shard");
+                for chunk in chunks {
+                    scope.spawn(move || {
+                        for (shard, lane) in chunk {
+                            shard.observe_batch(&lane.events, &mut lane.out);
+                        }
+                    });
+                }
+                for (shard, lane) in first {
+                    shard.observe_batch(&lane.events, &mut lane.out);
+                }
+            });
+        }
+
+        out.clear();
+        out.resize(events.len(), 0);
+        for lane in &self.lanes {
+            debug_assert_eq!(lane.out.len(), lane.events.len());
+            for (k, &i) in lane.idx.iter().enumerate() {
+                out[i as usize] = lane.out[k];
+            }
+        }
+    }
+
+    fn close(&mut self, session: SessionId) -> Vec<u8> {
+        let route = self.routes.remove(session);
+        self.shards[route.shard as usize].close(route.inner)
+    }
+
+    fn active_sessions(&self) -> usize {
+        self.routes.len()
     }
 }
 
@@ -395,6 +608,96 @@ mod tests {
         assert_eq!(slab.len(), 1, "taken sessions stay live");
         slab.restore(a, v);
         assert_eq!(*slab.get_mut(a), vec![1, 2]);
+        assert_eq!(*slab.get(a), vec![1, 2]);
+    }
+
+    #[test]
+    fn slab_survives_repeated_take_restore_remove_cycles() {
+        let mut slab = SessionSlab::new();
+        let mut ids = Vec::new();
+        for cycle in 0..4 {
+            // Refill the slab, exercising the free list left by the
+            // previous cycle's removals.
+            for k in 0..8 {
+                ids.push(slab.insert(cycle * 8 + k));
+            }
+            assert_eq!(slab.len(), 8);
+            // A couple of take/restore round-trips on every live session.
+            for &id in &ids {
+                let v = slab.take(id);
+                slab.restore(id, v);
+                let v = slab.take(id);
+                slab.restore(id, v + 100);
+            }
+            for (k, id) in ids.drain(..).enumerate() {
+                assert_eq!(slab.remove(id), cycle * 8 + k as i32 + 100);
+            }
+            assert!(slab.is_empty());
+        }
+    }
+
+    #[test]
+    fn slab_reuses_ids_with_fresh_generations_after_remove() {
+        let mut slab = SessionSlab::new();
+        let first: Vec<_> = (0..4).map(|k| slab.insert(k)).collect();
+        for &id in &first {
+            slab.remove(id);
+        }
+        let second: Vec<_> = (10..14).map(|k| slab.insert(k)).collect();
+        // All four slots are reused (LIFO over the free list), but every
+        // reused handle differs from its predecessor by generation.
+        let mut first_idx: Vec<_> = first.iter().map(|id| id.index()).collect();
+        let mut second_idx: Vec<_> = second.iter().map(|id| id.index()).collect();
+        first_idx.sort_unstable();
+        second_idx.sort_unstable();
+        assert_eq!(first_idx, second_idx, "slots were not reused");
+        for (old, new) in first.iter().zip(second.iter().rev()) {
+            assert_eq!(old.index(), new.index());
+            assert_ne!(old.generation(), new.generation());
+            assert_ne!(old, new);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "stale session")]
+    fn slab_get_mut_on_removed_id_panics() {
+        let mut slab = SessionSlab::new();
+        let a = slab.insert(1);
+        slab.remove(a);
+        slab.get_mut(a);
+    }
+
+    #[test]
+    #[should_panic(expected = "stale session")]
+    fn slab_take_on_removed_id_panics() {
+        let mut slab = SessionSlab::new();
+        let a = slab.insert(1);
+        slab.remove(a);
+        slab.take(a);
+    }
+
+    #[test]
+    #[should_panic(expected = "is taken or closed")]
+    fn slab_take_twice_panics() {
+        let mut slab = SessionSlab::new();
+        let a = slab.insert(1);
+        let _v = slab.take(a);
+        slab.take(a);
+    }
+
+    #[test]
+    #[should_panic(expected = "was not taken")]
+    fn slab_restore_without_take_panics() {
+        let mut slab = SessionSlab::new();
+        let a = slab.insert(1);
+        slab.restore(a, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown session")]
+    fn slab_get_on_never_issued_id_panics() {
+        let slab: SessionSlab<i32> = SessionSlab::new();
+        slab.get(SessionId::new(7, 0));
     }
 
     #[test]
@@ -428,6 +731,109 @@ mod tests {
         assert_eq!(out, vec![0, 0, 0, 0]);
         assert_eq!(mux.close(s1).len(), 3);
         assert_eq!(mux.close(s2).len(), 1);
+    }
+
+    /// Labels each segment by parity and echoes the history on finish —
+    /// discriminative enough to catch routing or ordering mistakes.
+    #[derive(Default)]
+    struct Parity {
+        labels: Vec<u8>,
+    }
+
+    impl OnlineDetector for Parity {
+        fn name(&self) -> &'static str {
+            "Parity"
+        }
+        fn begin(&mut self, _sd: SdPair, _start_time: f64) {
+            self.labels.clear();
+        }
+        fn observe(&mut self, segment: SegmentId) -> u8 {
+            let label = (segment.0 & 1) as u8;
+            self.labels.push(label);
+            label
+        }
+        fn finish(&mut self) -> Vec<u8> {
+            std::mem::take(&mut self.labels)
+        }
+    }
+
+    #[test]
+    fn sharded_mux_routes_and_orders_events() {
+        let mut engine = Sharded::build(3, |_| SessionMux::new(Parity::default));
+        assert_eq!(engine.num_shards(), 3);
+        assert_eq!(engine.threads(), 3);
+        assert_eq!(engine.engine_name(), "Parity");
+
+        let handles: Vec<_> = (0..10).map(|k| engine.open(sd(k, k + 1), 0.0)).collect();
+        assert_eq!(engine.active_sessions(), 10);
+        for &h in &handles {
+            // Routing is stable: repeated queries agree, and the shard is
+            // in range.
+            assert_eq!(engine.shard_of(h), engine.shard_of(h));
+            assert!(engine.shard_of(h) < 3);
+        }
+
+        // One tick with duplicates: session 0 appears three times; labels
+        // must come back in event order (parity of each segment).
+        let events = vec![
+            (handles[0], SegmentId(2)),
+            (handles[1], SegmentId(3)),
+            (handles[0], SegmentId(5)),
+            (handles[2], SegmentId(4)),
+            (handles[0], SegmentId(7)),
+        ];
+        let mut out = Vec::new();
+        engine.observe_batch(&events, &mut out);
+        assert_eq!(out, vec![0, 1, 1, 0, 1]);
+
+        // Scalar observes interleave with batched ticks on the same shard.
+        assert_eq!(engine.observe(handles[1], SegmentId(8)), 0);
+
+        // Per-session history survives routing: close returns the labels
+        // in per-session order.
+        assert_eq!(engine.close(handles[0]), vec![0, 1, 1]);
+        assert_eq!(engine.close(handles[1]), vec![1, 0]);
+        assert_eq!(engine.close(handles[2]), vec![0]);
+        for &h in &handles[3..] {
+            assert!(engine.close(h).is_empty());
+        }
+        assert_eq!(engine.active_sessions(), 0);
+    }
+
+    #[test]
+    fn sharded_spreads_sessions_and_clamps_threads() {
+        let mut engine =
+            Sharded::build(4, |_| SessionMux::new(AlwaysNormal::default)).with_threads(64);
+        assert_eq!(engine.threads(), 4, "threads clamp to the shard count");
+        let mut per_shard = [0usize; 4];
+        let handles: Vec<_> = (0..64).map(|_| engine.open(sd(0, 9), 0.0)).collect();
+        for &h in &handles {
+            per_shard[engine.shard_of(h)] += 1;
+        }
+        assert!(
+            per_shard.iter().all(|&n| n > 0),
+            "64 sessions left a shard empty: {per_shard:?}"
+        );
+        for h in handles {
+            engine.close(h);
+        }
+        let single = Sharded::build(1, |_| SessionMux::new(AlwaysNormal::default));
+        assert_eq!(single.with_threads(0).threads(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "need at least one shard")]
+    fn sharded_rejects_zero_shards() {
+        let _ = Sharded::build(0, |_| SessionMux::new(AlwaysNormal::default));
+    }
+
+    #[test]
+    #[should_panic(expected = "stale session")]
+    fn sharded_rejects_closed_handles() {
+        let mut engine = Sharded::build(2, |_| SessionMux::new(AlwaysNormal::default));
+        let h = engine.open(sd(0, 9), 0.0);
+        engine.close(h);
+        engine.observe(h, SegmentId(0));
     }
 
     #[test]

@@ -2,12 +2,15 @@
 //! ride-hailing operator watches *many* live trips at once and spots each
 //! driver the moment their trajectory starts to deviate.
 //!
-//! Demonstrates the *session* API: one shared trained model serves every
-//! ongoing trip through a [`rl4oasd::StreamEngine`]; each simulation tick
-//! feeds the next GPS-matched segment of every live trip as a single
-//! `observe_batch` call, which advances all of them in one batched LSTM
-//! pass. Labels are bit-identical to running each trip alone through
-//! `Rl4oasdDetector`.
+//! Demonstrates the *session* API at multi-core scale: one shared trained
+//! model serves every ongoing trip through a [`rl4oasd::ShardedEngine`] —
+//! one `StreamEngine` shard per available core, sessions hashed to shards,
+//! zero weight duplication. Each simulation tick feeds the next
+//! GPS-matched segment of every live trip as a single `observe_batch`
+//! call; the tick is partitioned by shard and the shards advance
+//! concurrently on scoped worker threads, each through its own batched
+//! LSTM pass. Labels are bit-identical to running each trip alone through
+//! `Rl4oasdDetector`, whatever the shard count.
 //!
 //! Run with: `cargo run --release --example fleet_monitoring`
 
@@ -43,15 +46,18 @@ fn main() {
     let live = Dataset::from_generated(&sim.generate_from_pairs(&generated.pairs, (2, 3), 0.5, 7));
     let trips: Vec<_> = live.trajectories.iter().filter(|t| !t.is_empty()).collect();
 
-    // One engine, one shared immutable model, one session per live trip.
-    let mut engine = rl4oasd::StreamEngine::new(Arc::new(model), Arc::new(net));
+    // One sharded engine — a StreamEngine per core behind one shared
+    // immutable model — and one session per live trip.
+    let shards = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let mut engine = rl4oasd::ShardedEngine::new(Arc::new(model), Arc::new(net), shards);
     let handles: Vec<_> = trips
         .iter()
         .map(|t| engine.open(t.sd_pair().unwrap(), t.start_time))
         .collect();
     println!(
-        "\nmonitoring {} concurrent trips through one StreamEngine\n",
-        engine.active_sessions()
+        "\nmonitoring {} concurrent trips through {} StreamEngine shard(s)\n",
+        engine.active_sessions(),
+        engine.num_shards()
     );
 
     // Tick-synchronous serving: every live trip advances one segment per

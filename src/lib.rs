@@ -46,11 +46,13 @@ pub mod prelude {
     pub use baselines::{Ctss, Dbtod, Iboat, RouteStats, ScoringDetector, Thresholded};
     pub use eval::{evaluate, DetectionMetrics};
     pub use mapmatch::{MapMatcher, MatchConfig};
-    pub use rl4oasd::{EngineStats, Rl4oasdConfig, Rl4oasdDetector, StreamEngine, TrainedModel};
+    pub use rl4oasd::{
+        EngineStats, Rl4oasdConfig, Rl4oasdDetector, ShardedEngine, StreamEngine, TrainedModel,
+    };
     pub use rnet::{CityBuilder, CityConfig, RoadNetwork, SegmentId};
     pub use traj::{
         Dataset, DriftConfig, MappedTrajectory, OnlineDetector, SdPair, SessionEngine, SessionId,
-        SessionMux, SingleSession, TrafficConfig, TrafficSimulator,
+        SessionMux, Sharded, SingleSession, TrafficConfig, TrafficSimulator,
     };
 }
 

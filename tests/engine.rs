@@ -11,6 +11,9 @@ use rl4oasd_repro::prelude::*;
 use rnet::{CityBuilder, CityConfig};
 use std::sync::{Arc, OnceLock};
 
+mod common;
+use common::interleaved;
+
 struct Fixture {
     net: Arc<RoadNetwork>,
     model: Arc<TrainedModel>,
@@ -51,53 +54,6 @@ fn fixture() -> &'static Fixture {
 /// Labels every trajectory alone through the per-trajectory path.
 fn sequential<D: OnlineDetector>(mut det: D, trajs: &[&MappedTrajectory]) -> Vec<Vec<u8>> {
     trajs.iter().map(|t| det.label_trajectory(t)).collect()
-}
-
-/// Drives the trajectories through an engine with a deterministic but
-/// irregular interleaving: each tick advances a seed-dependent subset of
-/// the still-active sessions via `observe_batch` (so ticks mix batch sizes
-/// 1, 2, ... n), then closes everything.
-fn interleaved<E: SessionEngine + ?Sized>(
-    engine: &mut E,
-    trajs: &[&MappedTrajectory],
-    schedule_seed: u64,
-) -> Vec<Vec<u8>> {
-    let handles: Vec<_> = trajs
-        .iter()
-        .map(|t| engine.open(t.sd_pair().unwrap(), t.start_time))
-        .collect();
-    let mut pos = vec![0usize; trajs.len()];
-    let mut rng = schedule_seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
-    let mut next = move || {
-        // xorshift64* — self-contained schedule randomness
-        rng ^= rng << 13;
-        rng ^= rng >> 7;
-        rng ^= rng << 17;
-        rng
-    };
-    let mut events = Vec::new();
-    let mut out = Vec::new();
-    loop {
-        events.clear();
-        for (k, t) in trajs.iter().enumerate() {
-            // ~2/3 of active sessions advance each tick; stragglers catch
-            // up on later ticks, so ticks interleave trips at different
-            // positions.
-            if pos[k] < t.len() && next() % 3 != 0 {
-                events.push((handles[k], t.segments[pos[k]]));
-                pos[k] += 1;
-            }
-        }
-        if events.is_empty() {
-            if pos.iter().zip(trajs).all(|(&p, t)| p == t.len()) {
-                break;
-            }
-            continue; // unlucky tick: nobody advanced
-        }
-        engine.observe_batch(&events, &mut out);
-        assert_eq!(out.len(), events.len());
-    }
-    handles.into_iter().map(|h| engine.close(h)).collect()
 }
 
 proptest! {
