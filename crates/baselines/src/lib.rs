@@ -32,8 +32,8 @@ pub use dbtod::Dbtod;
 pub use iboat::Iboat;
 pub use scoring::{ScoringDetector, Thresholded};
 pub use session::{
-    ctss_engine, dbtod_engine, iboat_engine, sharded_ctss_engine, sharded_dbtod_engine,
-    sharded_iboat_engine, ShardedBaseline,
+    ctss_engine, dbtod_engine, iboat_engine, ingest_iboat_engine, sharded_ctss_engine,
+    sharded_dbtod_engine, sharded_iboat_engine, ShardedBaseline,
 };
 pub use stats::RouteStats;
 pub use vsae::{Seq2SeqDetector, Seq2SeqKind, VsaeConfig};

@@ -16,7 +16,7 @@ use crate::scoring::Thresholded;
 use crate::stats::RouteStats;
 use rnet::RoadNetwork;
 use std::sync::Arc;
-use traj::{SessionMux, Sharded};
+use traj::{IngestConfig, IngestFrontDoor, SessionMux, Sharded};
 
 /// A shard-parallel baseline engine: N independent [`SessionMux`] shards
 /// behind the shared fitted statistics, driven tick-parallel by
@@ -57,6 +57,30 @@ pub fn ctss_engine<'a>(
     threshold: f64,
 ) -> SessionMux<Thresholded<Ctss<'a>>, impl FnMut() -> Thresholded<Ctss<'a>>> {
     SessionMux::new(move || Thresholded::new(Ctss::new(net, Arc::clone(&stats)), threshold))
+}
+
+/// Async ingestion front door over IBOAT: `shards` independent muxes
+/// behind the shared fitted statistics, each owned by a persistent worker
+/// thread and fed through a bounded ingress queue (the generic
+/// [`traj::IngestFrontDoor`] combinator — exactly the wiring the RL4OASD
+/// `IngestEngine` uses). Per-session labels are byte-identical to
+/// [`iboat_engine`] for any flush policy.
+///
+/// (DBTOD and CTSS borrow the road network and therefore cannot cross the
+/// `'static` worker-thread boundary yet; they stay on the synchronous
+/// sharded path.)
+pub fn ingest_iboat_engine(
+    stats: Arc<RouteStats>,
+    theta: f64,
+    threshold: f64,
+    shards: usize,
+    config: IngestConfig,
+) -> IngestFrontDoor<SessionMux<Thresholded<Iboat>, impl FnMut() -> Thresholded<Iboat>>> {
+    IngestFrontDoor::build(
+        shards,
+        |_| iboat_engine(Arc::clone(&stats), theta, threshold),
+        config,
+    )
 }
 
 /// Sharded session engine over IBOAT (see [`iboat_engine`]).

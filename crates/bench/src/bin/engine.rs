@@ -28,6 +28,9 @@ struct Row {
     points: u64,
     seconds: f64,
     points_per_sec: f64,
+    p50_us: f64,
+    p95_us: f64,
+    p99_us: f64,
     batched_events: u64,
     scalar_events: u64,
     batched_rounds: u64,
@@ -87,12 +90,14 @@ fn main() {
             };
             eprintln!(
                 "{:>6} sessions x {} shards: {:>9} points in {:>7.3}s = {:>12.0} points/sec \
-                 ({} batched / {} scalar events)",
+                 (p50 {:.0}us / p99 {:.0}us; {} batched / {} scalar events)",
                 sample.sessions,
                 shards,
                 sample.points,
                 sample.seconds,
                 sample.points_per_sec,
+                sample.p50_us,
+                sample.p99_us,
                 stats.batched_events,
                 stats.scalar_events,
             );
@@ -103,6 +108,9 @@ fn main() {
                 points: sample.points,
                 seconds: sample.seconds,
                 points_per_sec: sample.points_per_sec,
+                p50_us: sample.p50_us,
+                p95_us: sample.p95_us,
+                p99_us: sample.p99_us,
                 batched_events: stats.batched_events,
                 scalar_events: stats.scalar_events,
                 batched_rounds: stats.batched_rounds,

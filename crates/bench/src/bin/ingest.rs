@@ -1,0 +1,293 @@
+//! `ingest` — async front-door throughput + latency measurement, written
+//! to `BENCH_ingest.json`.
+//!
+//! Drives the RL4OASD [`rl4oasd::IngestEngine`] the way production would:
+//! producer threads submit independent per-point events through a cloned
+//! [`traj::IngestHandle`] (retrying on `QueueFull` backpressure), persistent
+//! per-shard workers micro-batch them into `observe_batch` ticks under the
+//! [`traj::FlushPolicy`] latency SLO, and labels stream back through
+//! per-session subscriptions. Reported per row: sustained points/sec
+//! **and p50/p95/p99 submit→label latency** (from the front door's HDR
+//! histogram — queue wait counts against the SLO), sweeping shard count
+//! {1, 4} × concurrent sessions {100, 10k}.
+//!
+//! Closed-loop producers saturate the engine, so tail latency here is the
+//! *backpressured* latency — bounded by `queue_capacity / service_rate`,
+//! not by `max_delay` (which dominates only below saturation).
+//!
+//! ```text
+//! cargo run --release -p bench_suite --bin ingest [-- out.json]
+//! ```
+
+use rl4oasd::{train, IngestEngine, Rl4oasdConfig, TrainedModel};
+use rnet::{CityBuilder, CityConfig, RoadNetwork};
+use serde::Serialize;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+use traj::{
+    Dataset, FlushPolicy, IngestConfig, IngestHandle, MappedTrajectory, SubmitError, Subscription,
+    TrafficConfig, TrafficSimulator,
+};
+
+#[derive(Serialize)]
+struct Row {
+    sessions: usize,
+    shards: usize,
+    threads: usize,
+    producers: usize,
+    points: u64,
+    seconds: f64,
+    points_per_sec: f64,
+    p50_us: f64,
+    p95_us: f64,
+    p99_us: f64,
+    mean_us: f64,
+    queue_full_retries: u64,
+    flushes: u64,
+    max_flush_batch: usize,
+}
+
+#[derive(Serialize)]
+struct Report {
+    bench: String,
+    city: String,
+    hidden_dim: usize,
+    embed_dim: usize,
+    host_cores: usize,
+    max_batch: usize,
+    max_delay_us: u64,
+    queue_capacity: usize,
+    results: Vec<Row>,
+}
+
+struct Lane {
+    session: traj::SessionId,
+    sub: Subscription,
+    traj: usize,
+    pos: usize,
+}
+
+fn open_lane(handle: &IngestHandle, trajs: &[MappedTrajectory], next_traj: &mut usize) -> Lane {
+    let ti = *next_traj % trajs.len();
+    *next_traj += 1;
+    let (session, sub) = loop {
+        match handle.open(
+            trajs[ti].sd_pair().expect("non-empty"),
+            trajs[ti].start_time,
+        ) {
+            Ok(opened) => break opened,
+            Err(SubmitError::QueueFull) => std::thread::yield_now(),
+            Err(SubmitError::ShutDown) => panic!("front door closed mid-benchmark"),
+        }
+    };
+    Lane {
+        session,
+        sub,
+        traj: ti,
+        pos: 0,
+    }
+}
+
+/// One producer: owns `lanes` concurrent trips, submits one point per lane
+/// per round (closed loop), drains label subscriptions, recycles finished
+/// trips. Returns `QueueFull` retry count.
+fn produce(
+    handle: IngestHandle,
+    trajs: Arc<Vec<MappedTrajectory>>,
+    lanes: usize,
+    first_traj: usize,
+    total: Arc<AtomicU64>,
+    min_points: u64,
+) -> u64 {
+    let mut next_traj = first_traj;
+    let mut open: Vec<Lane> = (0..lanes)
+        .map(|_| open_lane(&handle, &trajs, &mut next_traj))
+        .collect();
+    let mut retries = 0u64;
+    let mut sink = Vec::new();
+    while total.load(Ordering::Relaxed) < min_points {
+        for lane in open.iter_mut() {
+            sink.clear();
+            lane.sub.drain_into(&mut sink);
+            let segment = trajs[lane.traj].segments[lane.pos];
+            loop {
+                match handle.submit(lane.session, segment) {
+                    Ok(()) => break,
+                    Err(SubmitError::QueueFull) => {
+                        retries += 1;
+                        sink.clear();
+                        lane.sub.drain_into(&mut sink);
+                        std::thread::yield_now();
+                    }
+                    Err(SubmitError::ShutDown) => return retries,
+                }
+            }
+            total.fetch_add(1, Ordering::Relaxed);
+            lane.pos += 1;
+            if lane.pos == trajs[lane.traj].len() {
+                let closed = std::mem::replace(lane, open_lane(&handle, &trajs, &mut next_traj));
+                wait_close(&handle, closed);
+            }
+        }
+    }
+    for lane in open {
+        wait_close(&handle, lane);
+    }
+    retries
+}
+
+fn wait_close(handle: &IngestHandle, lane: Lane) {
+    let ticket = loop {
+        match handle.close(lane.session) {
+            Ok(ticket) => break ticket,
+            Err(SubmitError::QueueFull) => std::thread::yield_now(),
+            Err(SubmitError::ShutDown) => return,
+        }
+    };
+    ticket.wait();
+}
+
+fn measure(
+    model: &Arc<TrainedModel>,
+    net: &Arc<RoadNetwork>,
+    trajs: &Arc<Vec<MappedTrajectory>>,
+    sessions: usize,
+    shards: usize,
+    min_points: u64,
+    config: IngestConfig,
+) -> Row {
+    let engine = IngestEngine::new(Arc::clone(model), Arc::clone(net), shards, config);
+    let producers = sessions.min(4);
+    let per = sessions.div_ceil(producers);
+    let total = Arc::new(AtomicU64::new(0));
+
+    let t0 = Instant::now();
+    let joins: Vec<_> = (0..producers)
+        .filter_map(|p| {
+            let lanes = per.min(sessions.saturating_sub(p * per));
+            if lanes == 0 {
+                return None; // a laneless producer would only busy-wait
+            }
+            let handle = engine.handle();
+            let trajs = Arc::clone(trajs);
+            let total = Arc::clone(&total);
+            Some(std::thread::spawn(move || {
+                produce(handle, trajs, lanes, p * 31, total, min_points)
+            }))
+        })
+        .collect();
+    let retries: u64 = joins.into_iter().map(|j| j.join().expect("producer")).sum();
+    let seconds = t0.elapsed().as_secs_f64();
+    let report = engine.shutdown();
+
+    let points = report.ingest.submitted;
+    let lat = &report.ingest.latency;
+    let us = |q: f64| lat.percentile(q).as_secs_f64() * 1e6;
+    Row {
+        sessions,
+        shards,
+        threads: shards,
+        producers,
+        points,
+        seconds,
+        points_per_sec: points as f64 / seconds.max(1e-12),
+        p50_us: us(0.50),
+        p95_us: us(0.95),
+        p99_us: us(0.99),
+        mean_us: lat.mean().as_secs_f64() * 1e6,
+        queue_full_retries: retries,
+        flushes: report.ingest.flushes,
+        max_flush_batch: report.ingest.max_flush_batch,
+    }
+}
+
+fn main() {
+    let out_path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_ingest.json".to_string());
+
+    eprintln!("building city + training model (one-time setup)...");
+    let net = CityBuilder::new(CityConfig::chengdu_like()).build();
+    let sim = TrafficSimulator::new(
+        &net,
+        TrafficConfig {
+            num_sd_pairs: 10,
+            trajs_per_pair: (50, 80),
+            ..TrafficConfig::default()
+        },
+    );
+    let generated = sim.generate();
+    let train_set = Dataset::from_generated(&generated);
+    let config = Rl4oasdConfig {
+        joint_trajs: 200,
+        pretrain_trajs: 100,
+        ..Rl4oasdConfig::default()
+    };
+    let model = Arc::new(train(&net, &train_set, &config));
+    let trajs: Arc<Vec<MappedTrajectory>> = Arc::new(
+        train_set
+            .trajectories
+            .iter()
+            .filter(|t| !t.is_empty())
+            .take(200)
+            .cloned()
+            .collect(),
+    );
+    let net = Arc::new(net);
+    let host_cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+
+    let ingest_config = IngestConfig {
+        flush: FlushPolicy::new(128, Duration::from_millis(1)),
+        queue_capacity: 512,
+        outbox_capacity: 256,
+    };
+
+    let mut results = Vec::new();
+    for sessions in [100usize, 10_000] {
+        let min_points = (sessions as u64 * 20).max(100_000);
+        for shards in [1usize, 4] {
+            let row = measure(
+                &model,
+                &net,
+                &trajs,
+                sessions,
+                shards,
+                min_points,
+                ingest_config.clone(),
+            );
+            eprintln!(
+                "{:>6} sessions x {} shards ({} producers): {:>9} points in {:>7.3}s = \
+                 {:>10.0} points/sec | latency p50 {:>8.0}us p99 {:>8.0}us | \
+                 {} retries, {} flushes (max batch {})",
+                row.sessions,
+                row.shards,
+                row.producers,
+                row.points,
+                row.seconds,
+                row.points_per_sec,
+                row.p50_us,
+                row.p99_us,
+                row.queue_full_retries,
+                row.flushes,
+                row.max_flush_batch,
+            );
+            results.push(row);
+        }
+    }
+
+    let report = Report {
+        bench: "ingest_front_door".to_string(),
+        city: "Chengdu-sim".to_string(),
+        hidden_dim: config.hidden_dim,
+        embed_dim: config.embed_dim,
+        host_cores,
+        max_batch: ingest_config.flush.max_batch,
+        max_delay_us: ingest_config.flush.max_delay.as_micros() as u64,
+        queue_capacity: ingest_config.queue_capacity,
+        results,
+    };
+    let json = serde_json::to_string_pretty(&report).expect("report serialises");
+    std::fs::write(&out_path, json).expect("write BENCH_ingest.json");
+    eprintln!("wrote {out_path}");
+}

@@ -6,6 +6,13 @@
 //! engines with batched nn steps advance everyone in one matrix pass).
 //! Trips that reach their destination are closed and immediately replaced
 //! by the next trajectory, round-robin over the corpus.
+//!
+//! Besides mean throughput, the driver records **tail latency**: in the
+//! tick-synchronous model every point of a tick completes when its
+//! `observe_batch` call returns, so the per-point latency of a tick is the
+//! tick's wall-clock duration. Each sample therefore carries exact
+//! (weighted by events per tick) p50/p95/p99 per-point latencies — the
+//! numbers an SLO cares about, which a mean hides.
 
 use std::time::Instant;
 use traj::{MappedTrajectory, SessionEngine, SessionId};
@@ -21,6 +28,32 @@ pub struct ThroughputSample {
     pub seconds: f64,
     /// `points / seconds`.
     pub points_per_sec: f64,
+    /// Median per-point latency (microseconds; tick duration, weighted by
+    /// the tick's event count).
+    pub p50_us: f64,
+    /// 95th-percentile per-point latency (microseconds).
+    pub p95_us: f64,
+    /// 99th-percentile per-point latency (microseconds).
+    pub p99_us: f64,
+}
+
+/// Exact weighted percentile over `(value, weight)` samples: the smallest
+/// value whose cumulative weight reaches `q` of the total. Zero if empty.
+pub fn weighted_percentile(samples: &mut [(f64, u64)], q: f64) -> f64 {
+    if samples.is_empty() {
+        return 0.0;
+    }
+    samples.sort_by(|a, b| a.0.total_cmp(&b.0));
+    let total: u64 = samples.iter().map(|&(_, w)| w).sum();
+    let rank = ((q.clamp(0.0, 1.0) * total as f64).ceil() as u64).max(1);
+    let mut seen = 0u64;
+    for &(value, weight) in samples.iter() {
+        seen += weight;
+        if seen >= rank {
+            return value;
+        }
+    }
+    samples.last().map_or(0.0, |&(v, _)| v)
 }
 
 struct Lane {
@@ -30,7 +63,8 @@ struct Lane {
 }
 
 /// Drives at least `min_points` observe events through `engine` with
-/// `sessions` concurrent trips, returning the measured throughput.
+/// `sessions` concurrent trips, returning the measured throughput and
+/// per-point latency percentiles.
 ///
 /// # Panics
 /// Panics if `sessions == 0` or `trajs` contains no non-empty trajectory.
@@ -65,12 +99,16 @@ pub fn drive_interleaved<E: SessionEngine + ?Sized>(
     let mut points = 0u64;
     let mut events = Vec::with_capacity(sessions);
     let mut out = Vec::new();
+    let mut tick_latencies: Vec<(f64, u64)> = Vec::new();
     while points < min_points {
         events.clear();
         for lane in &lanes {
             events.push((lane.handle, trajs[lane.traj].segments[lane.pos]));
         }
+        let tick_start = Instant::now();
         engine.observe_batch(&events, &mut out);
+        let tick_us = tick_start.elapsed().as_secs_f64() * 1e6;
+        tick_latencies.push((tick_us, events.len() as u64));
         debug_assert_eq!(out.len(), events.len());
         points += events.len() as u64;
         for lane in lanes.iter_mut() {
@@ -85,11 +123,17 @@ pub fn drive_interleaved<E: SessionEngine + ?Sized>(
         engine.close(lane.handle);
     }
     let seconds = started.elapsed().as_secs_f64();
+    let p50_us = weighted_percentile(&mut tick_latencies, 0.50);
+    let p95_us = weighted_percentile(&mut tick_latencies, 0.95);
+    let p99_us = weighted_percentile(&mut tick_latencies, 0.99);
     ThroughputSample {
         sessions,
         points,
         seconds,
         points_per_sec: points as f64 / seconds.max(1e-12),
+        p50_us,
+        p95_us,
+        p99_us,
     }
 }
 
@@ -117,5 +161,23 @@ mod tests {
         assert_eq!(sample.sessions, 4);
         assert!(sample.points_per_sec > 0.0);
         assert_eq!(engine.active_sessions(), 0, "all lanes closed at the end");
+        // Percentiles are ordered and positive on a real run.
+        assert!(sample.p50_us > 0.0);
+        assert!(sample.p50_us <= sample.p95_us);
+        assert!(sample.p95_us <= sample.p99_us);
+    }
+
+    #[test]
+    fn weighted_percentile_is_exact() {
+        let mut samples = vec![(10.0, 1u64), (20.0, 1), (30.0, 98)];
+        assert_eq!(weighted_percentile(&mut samples, 0.01), 10.0);
+        assert_eq!(weighted_percentile(&mut samples, 0.02), 20.0);
+        assert_eq!(weighted_percentile(&mut samples, 0.5), 30.0);
+        assert_eq!(weighted_percentile(&mut samples, 1.0), 30.0);
+        assert_eq!(weighted_percentile(&mut [], 0.5), 0.0);
+        // Unsorted input is handled (the helper sorts in place).
+        let mut unsorted = vec![(5.0, 50u64), (1.0, 50)];
+        assert_eq!(weighted_percentile(&mut unsorted, 0.5), 1.0);
+        assert_eq!(weighted_percentile(&mut unsorted, 0.51), 5.0);
     }
 }

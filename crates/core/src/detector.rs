@@ -259,8 +259,8 @@ pub(crate) fn delayed_labeling(labels: &mut [u8], d: usize) {
 /// Online detector over a trained model (or its parts, during training).
 ///
 /// This is the single-session adapter over the shared step logic in
-/// [`SessionState`]; the fleet-scale counterpart multiplexing thousands of
-/// sessions over one model is [`crate::StreamEngine`].
+/// `SessionState` (crate-private); the fleet-scale counterpart multiplexing
+/// thousands of sessions over one model is [`crate::StreamEngine`].
 pub struct Rl4oasdDetector<'a> {
     view: ModelView<'a>,
     state: SessionState,

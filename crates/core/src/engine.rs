@@ -7,8 +7,8 @@
 //! * **shared state** — one `Arc<TrainedModel>` + `Arc<RoadNetwork>`,
 //!   never mutated while serving (cheap to share across engines or
 //!   threads);
-//! * **per-session state** — a compact
-//!   [`SessionState`](crate::detector::SessionState): the LSTM stream
+//! * **per-session state** — a compact crate-private `SessionState`: the
+//!   LSTM stream
 //!   vectors, previous segment/label and the provisional label buffer;
 //!   opening a session allocates two `hidden_dim` vectors and nothing
 //!   else;

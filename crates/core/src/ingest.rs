@@ -1,0 +1,200 @@
+//! Async serving entry point for RL4OASD: the
+//! [`traj::IngestFrontDoor`] instantiated over [`StreamEngine`] shards.
+//!
+//! [`crate::ShardedEngine`] scales session serving across cores but is
+//! still driven tick-synchronously — one caller owns the engine and hands
+//! it whole ticks. [`IngestEngine`] is its asynchronous counterpart for
+//! the paper's actual arrival pattern (independent per-point GPS events
+//! from a fleet): the same shard layout — N [`StreamEngine`]s behind one
+//! `Arc<TrainedModel>` + `Arc<RoadNetwork>`, zero weight duplication —
+//! but each shard is owned by a **persistent worker thread** fed through
+//! a bounded ingress queue, micro-batching arrivals into `observe_batch`
+//! ticks under a [`traj::FlushPolicy`] latency SLO.
+//!
+//! Producers keep only a cheap cloneable [`IngestHandle`]; labels return
+//! through per-session [`traj::Subscription`] outboxes. Per-session label
+//! sequences are byte-identical to the synchronous engines for any flush
+//! policy and shard count (property-tested in `tests/ingest.rs`).
+
+use crate::engine::{EngineStats, StreamEngine};
+use crate::train::TrainedModel;
+use rnet::RoadNetwork;
+use std::sync::Arc;
+use traj::{IngestConfig, IngestFrontDoor, IngestHandle, IngestStats};
+
+/// Aggregate outcome of a graceful [`IngestEngine::shutdown`].
+#[derive(Debug, Clone)]
+pub struct IngestReport {
+    /// Front-door counters: accepted/rejected submits, flushes and the
+    /// submit→label latency histogram.
+    pub ingest: IngestStats,
+    /// Serving statistics summed across all shard engines.
+    pub engine: EngineStats,
+    /// Per-shard serving statistics (index = shard).
+    pub shard_stats: Vec<EngineStats>,
+    /// `(RNEL short-circuits, policy invocations)` summed across shards.
+    pub decision_counts: (usize, usize),
+}
+
+/// The asynchronous RL4OASD serving engine: a [`traj::IngestFrontDoor`]
+/// over N [`StreamEngine`] shards sharing one immutable trained model.
+///
+/// Unlike [`crate::ShardedEngine`], which a single driver thread ticks
+/// through `observe_batch`, this engine is fed from any number of
+/// producer threads via [`IngestEngine::handle`] and does its model work
+/// on persistent per-shard workers. See [`crate::ingest`] module docs.
+pub struct IngestEngine {
+    door: IngestFrontDoor<StreamEngine>,
+}
+
+impl IngestEngine {
+    /// Builds `shards` stream engines over one shared trained model and
+    /// road network (the `Arc`s are cloned per shard; the weights are
+    /// not), each behind its own ingress queue and worker thread.
+    ///
+    /// # Panics
+    /// Panics if `shards == 0`.
+    pub fn new(
+        model: Arc<TrainedModel>,
+        net: Arc<RoadNetwork>,
+        shards: usize,
+        config: IngestConfig,
+    ) -> Self {
+        assert!(shards > 0, "need at least one shard");
+        IngestEngine {
+            door: IngestFrontDoor::build(
+                shards,
+                |_| StreamEngine::new(Arc::clone(&model), Arc::clone(&net)),
+                config,
+            ),
+        }
+    }
+
+    /// A cheap, cloneable producer handle (open/submit/close).
+    pub fn handle(&self) -> IngestHandle {
+        self.door.handle()
+    }
+
+    /// Number of shards (= ingress queues = persistent worker threads).
+    pub fn num_shards(&self) -> usize {
+        self.door.num_shards()
+    }
+
+    /// Gracefully shuts down: drains every accepted event, joins the
+    /// workers and aggregates serving + ingestion statistics.
+    pub fn shutdown(self) -> IngestReport {
+        let report = self.door.shutdown();
+        let shard_stats: Vec<EngineStats> = report.engines.iter().map(|e| e.stats()).collect();
+        let engine: EngineStats = shard_stats.iter().copied().sum();
+        let decision_counts = report
+            .engines
+            .iter()
+            .map(|e| e.decision_counts())
+            .fold((0, 0), |(r, p), (sr, sp)| (r + sr, p + sp));
+        IngestReport {
+            ingest: report.stats,
+            engine,
+            shard_stats,
+            decision_counts,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::Rl4oasdConfig;
+    use crate::train::train;
+    use rnet::{CityBuilder, CityConfig};
+    use traj::{Dataset, FlushPolicy, SessionEngine, TrafficConfig, TrafficSimulator};
+
+    fn setup(seed: u64) -> (Arc<RoadNetwork>, Dataset, Arc<TrainedModel>) {
+        let net = CityBuilder::new(CityConfig::tiny(seed)).build();
+        let cfg = TrafficConfig {
+            num_sd_pairs: 3,
+            trajs_per_pair: (25, 40),
+            anomaly_ratio: 0.15,
+            ..TrafficConfig::tiny(seed)
+        };
+        let data = TrafficSimulator::new(&net, cfg).generate();
+        let ds = Dataset::from_generated(&data);
+        let model = train(&net, &ds, &Rl4oasdConfig::tiny(seed));
+        (Arc::new(net), ds, Arc::new(model))
+    }
+
+    #[test]
+    fn ingest_engine_matches_synchronous_labels() {
+        let (net, ds, model) = setup(47);
+        let trajs: Vec<_> = ds
+            .trajectories
+            .iter()
+            .filter(|t| !t.is_empty())
+            .take(8)
+            .cloned()
+            .collect();
+
+        // Synchronous reference: one StreamEngine, one session at a time.
+        let mut single = StreamEngine::new(Arc::clone(&model), Arc::clone(&net));
+        let expected: Vec<Vec<u8>> = trajs
+            .iter()
+            .map(|t| {
+                let h = single.open(t.sd_pair().unwrap(), t.start_time);
+                for &seg in &t.segments {
+                    single.observe(h, seg);
+                }
+                single.close(h)
+            })
+            .collect();
+
+        let engine = IngestEngine::new(
+            Arc::clone(&model),
+            Arc::clone(&net),
+            2,
+            IngestConfig {
+                flush: FlushPolicy::new(4, std::time::Duration::from_micros(200)),
+                ..Default::default()
+            },
+        );
+        let handle = engine.handle();
+        let opened: Vec<_> = trajs
+            .iter()
+            .map(|t| handle.open(t.sd_pair().unwrap(), t.start_time).unwrap())
+            .collect();
+        // Round-robin interleaved submission across all sessions.
+        let max_len = trajs.iter().map(|t| t.len()).max().unwrap();
+        for tick in 0..max_len {
+            for (k, t) in trajs.iter().enumerate() {
+                if tick < t.len() {
+                    while handle.submit(opened[k].0, t.segments[tick])
+                        == Err(traj::SubmitError::QueueFull)
+                    {
+                        std::thread::yield_now();
+                    }
+                }
+            }
+        }
+        let got: Vec<Vec<u8>> = opened
+            .iter()
+            .map(|(id, _)| handle.close(*id).unwrap().wait())
+            .collect();
+        assert_eq!(got, expected);
+
+        let report = engine.shutdown();
+        let total: usize = trajs.iter().map(|t| t.len()).sum();
+        assert_eq!(report.ingest.submitted, total as u64);
+        assert_eq!(report.ingest.flushed_events, total as u64);
+        assert_eq!(report.engine.observe_events, total as u64);
+        assert_eq!(report.engine.sessions_opened, trajs.len() as u64);
+        assert_eq!(report.engine.sessions_closed, trajs.len() as u64);
+        assert_eq!(report.shard_stats.len(), 2);
+        assert_eq!(report.ingest.latency.count(), total as u64);
+        assert!(report.decision_counts.0 + report.decision_counts.1 > 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "need at least one shard")]
+    fn zero_shards_rejected() {
+        let (net, _, model) = setup(48);
+        let _ = IngestEngine::new(model, net, 0, IngestConfig::default());
+    }
+}

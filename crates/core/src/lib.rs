@@ -33,6 +33,7 @@ pub mod asdnet;
 pub mod config;
 pub mod detector;
 pub mod engine;
+pub mod ingest;
 pub mod pipeline;
 pub mod preprocess;
 pub mod rsrnet;
@@ -43,6 +44,7 @@ pub mod train;
 pub use config::Rl4oasdConfig;
 pub use detector::Rl4oasdDetector;
 pub use engine::{EngineStats, StreamEngine};
+pub use ingest::{IngestEngine, IngestReport};
 pub use pipeline::{load_model, save_model, train_from_gps, PipelineResult};
 pub use preprocess::{GroupStats, Preprocessor};
 pub use sharded::ShardedEngine;

@@ -1,0 +1,1119 @@
+//! Async ingestion front door: turn independent per-point arrivals into
+//! batched [`SessionEngine::observe_batch`] ticks under a latency SLO.
+//!
+//! The paper's workload is *online* — each GPS point of each ongoing trip
+//! must be labelled as it arrives — but [`crate::session::Sharded`] is
+//! driven tick-synchronously by one caller that already holds a whole
+//! tick's events. A fleet does not arrive in ticks: thousands of producer
+//! threads (one per gateway connection, per Kafka partition, per vehicle
+//! pool) each hold *one* point at a time. [`IngestFrontDoor`] is the
+//! missing subsystem between the two shapes:
+//!
+//! * **one bounded ingress queue per shard** — sessions are hashed to a
+//!   shard at [`IngestHandle::open`]; every later event of that session
+//!   lands in the same FIFO queue, so per-session order is preserved and a
+//!   slow shard never stalls the others;
+//! * **persistent worker threads** — each shard is owned by one worker
+//!   spawned once at construction (no `std::thread::scope` re-spawn per
+//!   tick, so thread start-up cost leaves the hot path entirely); the
+//!   worker also owns its batch/label scratch buffers, reused across
+//!   flushes — the per-shard tick scratch of `Sharded`, promoted to
+//!   worker-owned allocations;
+//! * **latency-SLO micro-batching** — a worker accumulates events and
+//!   flushes them into its shard as one `observe_batch` tick when either
+//!   [`FlushPolicy::max_batch`] events are pending or the *oldest* pending
+//!   event has waited [`FlushPolicy::max_delay`] (measured from `submit`,
+//!   so queue wait counts against the SLO);
+//! * **explicit backpressure** — [`IngestHandle::submit`] never blocks: a
+//!   full ingress queue is reported as [`SubmitError::QueueFull`] and the
+//!   producer decides (drop, retry, shed). Labels flow back through a
+//!   bounded per-session outbox ([`Subscription`]); a consumer that stops
+//!   draining eventually stalls only its own shard's flush;
+//! * **graceful shutdown** — [`IngestFrontDoor::shutdown`] drains every
+//!   event whose `submit` returned `Ok` (a quiescence barrier covers even
+//!   submits racing the shutdown call), flushes it, and hands the shard
+//!   engines back together with aggregate [`IngestStats`] (including an
+//!   HDR-style submit→label [`LatencyHistogram`]).
+//!
+//! Because a session's events reach its shard in submit order and
+//! [`SessionEngine`] guarantees interleaving never changes labels, the
+//! per-session label sequence is **byte-identical** to driving
+//! `observe_batch` synchronously — for any [`FlushPolicy`] and any shard
+//! count (property-tested in `tests/ingest.rs`).
+
+use crate::session::{SessionEngine, SessionId};
+use crate::types::SdPair;
+use rnet::SegmentId;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc::{sync_channel, Receiver, RecvTimeoutError, SyncSender, TrySendError};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// When a worker flushes its pending micro-batch into its shard.
+///
+/// A flush happens as soon as **either** bound is hit:
+///
+/// * `max_batch` — the batch reached this many events (throughput bound:
+///   larger batches amortise the per-tick cost and widen the batched nn
+///   kernels);
+/// * `max_delay` — the *oldest* pending event has waited this long since
+///   its `submit` (latency bound: no accepted event waits in the worker
+///   longer than the SLO, even on a quiet shard). The clock starts at
+///   `submit`, so ingress-queue wait counts against the budget.
+///
+/// Two special points in the space: [`FlushPolicy::immediate`] flushes
+/// every event alone (minimum latency, no batching win), and a huge
+/// `max_batch` with a long `max_delay` approximates the tick-synchronous
+/// driver. Shutdown and `close` always flush whatever is pending,
+/// regardless of policy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FlushPolicy {
+    /// Flush when this many events are pending (clamped to at least 1).
+    pub max_batch: usize,
+    /// Flush when the oldest pending event has waited this long.
+    pub max_delay: Duration,
+}
+
+impl FlushPolicy {
+    /// Flush every event by itself: minimum latency, no batching.
+    pub fn immediate() -> Self {
+        FlushPolicy {
+            max_batch: 1,
+            max_delay: Duration::ZERO,
+        }
+    }
+
+    /// A policy with the given bounds.
+    pub fn new(max_batch: usize, max_delay: Duration) -> Self {
+        FlushPolicy {
+            max_batch,
+            max_delay,
+        }
+    }
+}
+
+impl Default for FlushPolicy {
+    /// 64-event batches under a 1 ms SLO — batched-kernel wins at
+    /// sub-millisecond added latency.
+    fn default() -> Self {
+        FlushPolicy {
+            max_batch: 64,
+            max_delay: Duration::from_millis(1),
+        }
+    }
+}
+
+/// Construction-time knobs of an [`IngestFrontDoor`].
+#[derive(Debug, Clone)]
+pub struct IngestConfig {
+    /// Micro-batching bounds (see [`FlushPolicy`]).
+    pub flush: FlushPolicy,
+    /// Capacity of each per-shard ingress queue; a full queue turns
+    /// [`IngestHandle::submit`] into [`SubmitError::QueueFull`].
+    pub queue_capacity: usize,
+    /// Capacity of each per-session label outbox; an undrained outbox
+    /// eventually blocks its shard's flush (backpressure toward the
+    /// consumer), so size it for the consumer's polling cadence.
+    pub outbox_capacity: usize,
+}
+
+impl Default for IngestConfig {
+    fn default() -> Self {
+        IngestConfig {
+            flush: FlushPolicy::default(),
+            queue_capacity: 1024,
+            outbox_capacity: 256,
+        }
+    }
+}
+
+/// Why an [`IngestHandle`] call was rejected.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SubmitError {
+    /// The session's shard queue is full — backpressure. The event was
+    /// **not** accepted; retry, shed or slow down.
+    QueueFull,
+    /// The front door is shutting down (or already shut down); no further
+    /// events are accepted.
+    ShutDown,
+}
+
+impl std::fmt::Display for SubmitError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SubmitError::QueueFull => write!(f, "shard ingress queue is full"),
+            SubmitError::ShutDown => write!(f, "ingest front door is shut down"),
+        }
+    }
+}
+
+impl std::error::Error for SubmitError {}
+
+/// The per-session label outbox: accepted events yield provisional labels
+/// here, in submit order. Disconnects (all further receives return `None`)
+/// once the session is closed and every delivered label has been taken.
+///
+/// Delivery is bounded (`outbox_capacity`): a consumer that stops
+/// draining eventually blocks its shard's flush — consumer-directed
+/// backpressure — so drain promptly, and never block waiting for *later*
+/// labels while leaving earlier ones untaken. One deliberate exception
+/// keeps close from deadlocking: labels still pending when
+/// [`IngestHandle::close`] is processed are delivered to the stream only
+/// as outbox room allows (the closer is waiting on the [`CloseTicket`],
+/// whose final labels cover every accepted event regardless).
+pub struct Subscription {
+    rx: Receiver<u8>,
+}
+
+impl Subscription {
+    /// Takes the next label without blocking; `None` if nothing is ready
+    /// (including after the session closed and the outbox drained).
+    pub fn try_recv(&self) -> Option<u8> {
+        self.rx.try_recv().ok()
+    }
+
+    /// Blocks for the next label; `None` once the session is closed and
+    /// the outbox is drained.
+    pub fn recv(&self) -> Option<u8> {
+        self.rx.recv().ok()
+    }
+
+    /// Drains every currently ready label into `out`, returning how many
+    /// were appended.
+    pub fn drain_into(&self, out: &mut Vec<u8>) -> usize {
+        let before = out.len();
+        while let Ok(label) = self.rx.try_recv() {
+            out.push(label);
+        }
+        out.len() - before
+    }
+}
+
+/// Pending result of an [`IngestHandle::close`]: the session's final
+/// labels arrive once its shard worker has flushed the session's pending
+/// events and closed it in the engine.
+pub struct CloseTicket {
+    rx: Receiver<Vec<u8>>,
+}
+
+impl CloseTicket {
+    /// Blocks until the close completes, returning the session's final
+    /// labels (engines with delayed decisions may have revised them).
+    ///
+    /// # Panics
+    /// Panics if the shard worker died before completing the close (e.g.
+    /// it panicked on a stale handle).
+    pub fn wait(self) -> Vec<u8> {
+        self.rx
+            .recv()
+            .expect("shard worker died before completing close")
+    }
+
+    /// Non-blocking probe; `Some(labels)` once the close has completed.
+    pub fn try_wait(&self) -> Option<Vec<u8>> {
+        self.rx.try_recv().ok()
+    }
+}
+
+/// HDR-style latency histogram: power-of-two octaves with 16 linear
+/// sub-buckets each, so recorded values keep ~4 significant bits
+/// (quantile error ≤ 1/16 ≈ 6%) in 8 KiB of counters, whatever the range.
+#[derive(Debug, Clone)]
+pub struct LatencyHistogram {
+    counts: Vec<u64>,
+    total: u64,
+    sum_nanos: u128,
+    max_nanos: u64,
+}
+
+const HIST_BUCKETS: usize = 1024;
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl LatencyHistogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        LatencyHistogram {
+            counts: vec![0; HIST_BUCKETS],
+            total: 0,
+            sum_nanos: 0,
+            max_nanos: 0,
+        }
+    }
+
+    fn index(nanos: u64) -> usize {
+        if nanos < 16 {
+            nanos as usize
+        } else {
+            let exp = 63 - nanos.leading_zeros() as u64; // >= 4
+            let sub = (nanos >> (exp - 4)) & 0xF;
+            (((exp - 3) << 4) | sub) as usize
+        }
+    }
+
+    /// Representative value (nanoseconds) of a bucket: its midpoint.
+    fn value_of(index: usize) -> u64 {
+        if index < 16 {
+            index as u64
+        } else {
+            let exp = (index >> 4) as u64 + 3;
+            let sub = (index & 0xF) as u64;
+            let lo = (16 + sub) << (exp - 4);
+            lo + (1u64 << (exp - 4)) / 2
+        }
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, latency: Duration) {
+        let nanos = u64::try_from(latency.as_nanos()).unwrap_or(u64::MAX);
+        self.counts[Self::index(nanos).min(HIST_BUCKETS - 1)] += 1;
+        self.total += 1;
+        self.sum_nanos += nanos as u128;
+        self.max_nanos = self.max_nanos.max(nanos);
+    }
+
+    /// Merges another histogram into this one.
+    pub fn merge(&mut self, other: &LatencyHistogram) {
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+        self.total += other.total;
+        self.sum_nanos += other.sum_nanos;
+        self.max_nanos = self.max_nanos.max(other.max_nanos);
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.total
+    }
+
+    /// Mean latency (zero if empty).
+    pub fn mean(&self) -> Duration {
+        if self.total == 0 {
+            return Duration::ZERO;
+        }
+        Duration::from_nanos((self.sum_nanos / self.total as u128) as u64)
+    }
+
+    /// Largest recorded latency (exact, not quantised).
+    pub fn max(&self) -> Duration {
+        Duration::from_nanos(self.max_nanos)
+    }
+
+    /// The `q`-quantile (`0.0..=1.0`), accurate to the bucket resolution
+    /// (~6%). Zero if empty.
+    pub fn percentile(&self, q: f64) -> Duration {
+        if self.total == 0 {
+            return Duration::ZERO;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * self.total as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return Duration::from_nanos(Self::value_of(i).min(self.max_nanos));
+            }
+        }
+        self.max()
+    }
+}
+
+/// Aggregate counters of one front door's lifetime, returned by
+/// [`IngestFrontDoor::shutdown`] (live counters are also visible through
+/// [`IngestHandle::accepted_events`] / [`IngestHandle::rejected_events`]).
+#[derive(Debug, Clone)]
+pub struct IngestStats {
+    /// Observe events accepted by `submit`.
+    pub submitted: u64,
+    /// `submit` calls rejected with [`SubmitError::QueueFull`].
+    pub rejected_full: u64,
+    /// Events flushed into shard engines (equals `submitted` after a
+    /// graceful shutdown).
+    pub flushed_events: u64,
+    /// Micro-batch flushes executed (each is one `observe_batch` tick).
+    pub flushes: u64,
+    /// Largest single flush.
+    pub max_flush_batch: usize,
+    /// Submit→label latency of every flushed event.
+    pub latency: LatencyHistogram,
+}
+
+/// Everything a graceful [`IngestFrontDoor::shutdown`] hands back: the
+/// shard engines (with any still-open sessions intact) and the aggregate
+/// ingestion statistics.
+pub struct ShutdownReport<E> {
+    /// The shard engines, in shard order.
+    pub engines: Vec<E>,
+    /// Aggregate counters and the merged latency histogram.
+    pub stats: IngestStats,
+}
+
+enum Cmd {
+    Open {
+        outer: u64,
+        sd: SdPair,
+        start_time: f64,
+        outbox: SyncSender<u8>,
+    },
+    Observe {
+        outer: u64,
+        segment: SegmentId,
+        submitted: Instant,
+    },
+    Close {
+        outer: u64,
+        reply: SyncSender<Vec<u8>>,
+    },
+    Shutdown,
+}
+
+struct Shared {
+    queues: Vec<SyncSender<Cmd>>,
+    next_session: AtomicU64,
+    closed: AtomicBool,
+    /// Producers inside a check-closed + enqueue critical section right
+    /// now. `shutdown` waits for this to reach zero after setting `closed`
+    /// (a quiescence barrier), so every command whose submit returned `Ok`
+    /// — even one racing the shutdown call — is in its queue before the
+    /// `Shutdown` markers go out and is therefore drained, never dropped.
+    inflight: AtomicU64,
+    accepted: AtomicU64,
+    rejected: AtomicU64,
+    outbox_capacity: usize,
+}
+
+impl Shared {
+    /// Fibonacci-hashes a session's raw id onto a shard (the same spread
+    /// as [`crate::session::Sharded`]).
+    fn shard_of(&self, raw: u64) -> usize {
+        let h = raw.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        ((h >> 32) % self.queues.len() as u64) as usize
+    }
+}
+
+/// Cheap, cloneable producer handle of an [`IngestFrontDoor`]: any number
+/// of threads submit per-point events concurrently; none of the calls
+/// blocks on engine work.
+#[derive(Clone)]
+pub struct IngestHandle {
+    shared: Arc<Shared>,
+}
+
+/// Whether a queued command counts toward the observe-event tallies.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Tally {
+    Observe,
+    Control,
+}
+
+impl IngestHandle {
+    /// Enqueues a command inside the shutdown quiescence barrier: the
+    /// closed check, the enqueue and the stats tally all happen while
+    /// `inflight` is held, so `shutdown` can wait out every concurrent
+    /// producer before sealing the queues.
+    fn push(&self, shard: usize, cmd: Cmd, tally: Tally) -> Result<(), SubmitError> {
+        self.shared.inflight.fetch_add(1, Ordering::SeqCst);
+        let result = if self.shared.closed.load(Ordering::SeqCst) {
+            Err(SubmitError::ShutDown)
+        } else {
+            match self.shared.queues[shard].try_send(cmd) {
+                Ok(()) => Ok(()),
+                Err(TrySendError::Full(_)) => Err(SubmitError::QueueFull),
+                Err(TrySendError::Disconnected(_)) => Err(SubmitError::ShutDown),
+            }
+        };
+        if tally == Tally::Observe {
+            match result {
+                Ok(()) => {
+                    self.shared.accepted.fetch_add(1, Ordering::Relaxed);
+                }
+                Err(SubmitError::QueueFull) => {
+                    self.shared.rejected.fetch_add(1, Ordering::Relaxed);
+                }
+                Err(SubmitError::ShutDown) => {}
+            }
+        }
+        self.shared.inflight.fetch_sub(1, Ordering::SeqCst);
+        result
+    }
+
+    /// Opens a session for a trip, returning its handle and the
+    /// [`Subscription`] its provisional labels will arrive on.
+    ///
+    /// The open travels through the session's shard queue like any other
+    /// event (FIFO), so events submitted afterwards are guaranteed to be
+    /// processed after it.
+    pub fn open(
+        &self,
+        sd: SdPair,
+        start_time: f64,
+    ) -> Result<(SessionId, Subscription), SubmitError> {
+        let raw = self.shared.next_session.fetch_add(1, Ordering::Relaxed);
+        let (tx, rx) = sync_channel(self.shared.outbox_capacity);
+        self.push(
+            self.shared.shard_of(raw),
+            Cmd::Open {
+                outer: raw,
+                sd,
+                start_time,
+                outbox: tx,
+            },
+            Tally::Control,
+        )?;
+        Ok((SessionId::from_raw(raw), Subscription { rx }))
+    }
+
+    /// Submits the next road segment of an open session. Never blocks: a
+    /// full shard queue is reported as [`SubmitError::QueueFull`] and the
+    /// event is **not** accepted.
+    ///
+    /// Submitting to a session that was never opened (or already closed)
+    /// is a contract violation and panics the session's shard worker.
+    pub fn submit(&self, session: SessionId, segment: SegmentId) -> Result<(), SubmitError> {
+        let raw = session.raw();
+        self.push(
+            self.shared.shard_of(raw),
+            Cmd::Observe {
+                outer: raw,
+                segment,
+                submitted: Instant::now(),
+            },
+            Tally::Observe,
+        )
+    }
+
+    /// Like [`IngestHandle::submit`], but waits for queue space instead of
+    /// reporting [`SubmitError::QueueFull`] — the blocking producer style
+    /// for callers that prefer waiting over shedding.
+    pub fn submit_blocking(
+        &self,
+        session: SessionId,
+        segment: SegmentId,
+    ) -> Result<(), SubmitError> {
+        let raw = session.raw();
+        self.shared.inflight.fetch_add(1, Ordering::SeqCst);
+        let result = if self.shared.closed.load(Ordering::SeqCst) {
+            Err(SubmitError::ShutDown)
+        } else {
+            self.shared.queues[self.shared.shard_of(raw)]
+                .send(Cmd::Observe {
+                    outer: raw,
+                    segment,
+                    submitted: Instant::now(),
+                })
+                .map_err(|_| SubmitError::ShutDown)
+        };
+        if result.is_ok() {
+            self.shared.accepted.fetch_add(1, Ordering::Relaxed);
+        }
+        self.shared.inflight.fetch_sub(1, Ordering::SeqCst);
+        result
+    }
+
+    /// Requests the session's close. The shard worker first flushes the
+    /// session's pending events, then closes it; the final labels arrive
+    /// on the returned [`CloseTicket`].
+    pub fn close(&self, session: SessionId) -> Result<CloseTicket, SubmitError> {
+        let raw = session.raw();
+        let (tx, rx) = sync_channel(1);
+        self.push(
+            self.shared.shard_of(raw),
+            Cmd::Close {
+                outer: raw,
+                reply: tx,
+            },
+            Tally::Control,
+        )?;
+        Ok(CloseTicket { rx })
+    }
+
+    /// Number of shards (and ingress queues) behind this handle.
+    pub fn num_shards(&self) -> usize {
+        self.shared.queues.len()
+    }
+
+    /// Live count of events accepted by `submit` so far.
+    pub fn accepted_events(&self) -> u64 {
+        self.shared.accepted.load(Ordering::Relaxed)
+    }
+
+    /// Live count of `submit` calls rejected with `QueueFull` so far.
+    pub fn rejected_events(&self) -> u64 {
+        self.shared.rejected.load(Ordering::Relaxed)
+    }
+}
+
+/// Per-worker report handed back on shutdown.
+struct WorkerReport<E> {
+    engine: E,
+    flushed_events: u64,
+    flushes: u64,
+    max_flush_batch: usize,
+    latency: LatencyHistogram,
+}
+
+/// One persistent shard worker: owns its engine and its reused batch
+/// scratch; drains its ingress queue; flushes micro-batches per the
+/// [`FlushPolicy`].
+struct Worker<E> {
+    engine: E,
+    rx: Receiver<Cmd>,
+    policy: FlushPolicy,
+    /// outer raw id → (shard-local handle, label outbox)
+    routes: HashMap<u64, (SessionId, SyncSender<u8>)>,
+    /// Pending micro-batch, in shard-local handles (fed to the engine).
+    batch: Vec<(SessionId, SegmentId)>,
+    /// Outer id + submit time per pending event (for outbox + latency).
+    meta: Vec<(u64, Instant)>,
+    /// Label output of the last flush (reused allocation).
+    out: Vec<u8>,
+    report: WorkerReportCounters,
+}
+
+#[derive(Default)]
+struct WorkerReportCounters {
+    flushed_events: u64,
+    flushes: u64,
+    max_flush_batch: usize,
+    latency: LatencyHistogram,
+}
+
+enum Control {
+    Continue,
+    Drain,
+}
+
+impl<E: SessionEngine> Worker<E> {
+    fn new(engine: E, rx: Receiver<Cmd>, policy: FlushPolicy) -> Self {
+        let max_batch = policy.max_batch.max(1);
+        Worker {
+            engine,
+            rx,
+            policy: FlushPolicy {
+                max_batch,
+                max_delay: policy.max_delay,
+            },
+            routes: HashMap::new(),
+            batch: Vec::with_capacity(max_batch),
+            meta: Vec::with_capacity(max_batch),
+            out: Vec::new(),
+            report: WorkerReportCounters::default(),
+        }
+    }
+
+    /// Flushes the pending micro-batch into the engine and fans the labels
+    /// out to the session outboxes.
+    ///
+    /// Outbox delivery is blocking (an undrained outbox stalls this
+    /// shard's flush — consumer-directed backpressure; a dropped
+    /// [`Subscription`] just discards its labels) **except** for the
+    /// session named in `closing`: its consumer is, by protocol, already
+    /// waiting on the [`CloseTicket`] rather than draining the
+    /// subscription, so blocking on its full outbox would deadlock the
+    /// shard. Labels that do not fit that outbox are dropped from the
+    /// *stream* only — the final labels returned by the close still cover
+    /// every accepted event.
+    fn flush(&mut self, closing: Option<u64>) {
+        if self.batch.is_empty() {
+            return;
+        }
+        self.engine.observe_batch(&self.batch, &mut self.out);
+        debug_assert_eq!(self.out.len(), self.batch.len());
+        let done = Instant::now();
+        self.report.flushes += 1;
+        self.report.flushed_events += self.batch.len() as u64;
+        self.report.max_flush_batch = self.report.max_flush_batch.max(self.batch.len());
+        for (k, &(outer, submitted)) in self.meta.iter().enumerate() {
+            self.report
+                .latency
+                .record(done.saturating_duration_since(submitted));
+            if let Some((_, outbox)) = self.routes.get(&outer) {
+                if closing == Some(outer) {
+                    let _ = outbox.try_send(self.out[k]);
+                } else {
+                    let _ = outbox.send(self.out[k]);
+                }
+            }
+        }
+        self.batch.clear();
+        self.meta.clear();
+    }
+
+    fn handle(&mut self, cmd: Cmd, deadline: &mut Instant) -> Control {
+        match cmd {
+            Cmd::Open {
+                outer,
+                sd,
+                start_time,
+                outbox,
+            } => {
+                let inner = self.engine.open(sd, start_time);
+                self.routes.insert(outer, (inner, outbox));
+            }
+            Cmd::Observe {
+                outer,
+                segment,
+                submitted,
+            } => {
+                let inner = self
+                    .routes
+                    .get(&outer)
+                    .unwrap_or_else(|| panic!("ingest event for unknown or closed session"))
+                    .0;
+                if self.batch.is_empty() {
+                    // SLO clock starts at submit: queue wait counts.
+                    *deadline = submitted + self.policy.max_delay;
+                }
+                self.batch.push((inner, segment));
+                self.meta.push((outer, submitted));
+                if self.batch.len() >= self.policy.max_batch {
+                    self.flush(None);
+                }
+            }
+            Cmd::Close { outer, reply } => {
+                // The session's pending events must land before the close
+                // (its own stream delivery downgraded to non-blocking: the
+                // closer is waiting on the ticket, not draining).
+                self.flush(Some(outer));
+                let (inner, outbox) = self
+                    .routes
+                    .remove(&outer)
+                    .unwrap_or_else(|| panic!("ingest close for unknown or closed session"));
+                drop(outbox); // disconnects the Subscription once drained
+                let labels = self.engine.close(inner);
+                let _ = reply.send(labels);
+            }
+            Cmd::Shutdown => return Control::Drain,
+        }
+        Control::Continue
+    }
+
+    fn run(mut self) -> WorkerReport<E> {
+        let mut deadline = Instant::now();
+        'serve: loop {
+            let cmd = if self.batch.is_empty() {
+                // Idle: park until work arrives (or every sender is gone).
+                match self.rx.recv() {
+                    Ok(cmd) => cmd,
+                    Err(_) => break 'serve,
+                }
+            } else {
+                let now = Instant::now();
+                if now >= deadline {
+                    self.flush(None);
+                    continue;
+                }
+                match self.rx.recv_timeout(deadline - now) {
+                    Ok(cmd) => cmd,
+                    Err(RecvTimeoutError::Timeout) => {
+                        self.flush(None);
+                        continue;
+                    }
+                    Err(RecvTimeoutError::Disconnected) => break 'serve,
+                }
+            };
+            if let Control::Drain = self.handle(cmd, &mut deadline) {
+                // Graceful shutdown: everything enqueued before the
+                // Shutdown marker has already been received (FIFO); sweep
+                // any stragglers that raced the marker, then stop.
+                while let Ok(cmd) = self.rx.try_recv() {
+                    let _ = self.handle(cmd, &mut deadline);
+                }
+                break 'serve;
+            }
+        }
+        self.flush(None);
+        WorkerReport {
+            engine: self.engine,
+            flushed_events: self.report.flushed_events,
+            flushes: self.report.flushes,
+            max_flush_batch: self.report.max_flush_batch,
+            latency: self.report.latency,
+        }
+    }
+}
+
+/// The async ingestion front door: one bounded ingress queue + one
+/// persistent worker thread per shard, micro-batching per-point arrivals
+/// into [`SessionEngine::observe_batch`] ticks under a [`FlushPolicy`].
+///
+/// See the [module docs](self) for the full contract. Construct with
+/// [`IngestFrontDoor::new`] / [`IngestFrontDoor::build`], produce through
+/// cloned [`IngestHandle`]s, and finish with [`IngestFrontDoor::shutdown`]
+/// to drain in-flight events and recover the shard engines.
+pub struct IngestFrontDoor<E> {
+    shared: Arc<Shared>,
+    workers: Vec<JoinHandle<WorkerReport<E>>>,
+}
+
+impl<E: SessionEngine + Send + 'static> IngestFrontDoor<E> {
+    /// Spawns one persistent worker per pre-built shard engine.
+    ///
+    /// # Panics
+    /// Panics if `shards` is empty or `config.queue_capacity` is zero.
+    pub fn new(shards: Vec<E>, config: IngestConfig) -> Self {
+        assert!(!shards.is_empty(), "need at least one shard");
+        assert!(config.queue_capacity > 0, "queue capacity must be positive");
+        let mut queues = Vec::with_capacity(shards.len());
+        let mut workers = Vec::with_capacity(shards.len());
+        for (i, engine) in shards.into_iter().enumerate() {
+            let (tx, rx) = sync_channel(config.queue_capacity);
+            queues.push(tx);
+            let worker = Worker::new(engine, rx, config.flush);
+            workers.push(
+                std::thread::Builder::new()
+                    .name(format!("ingest-shard-{i}"))
+                    .spawn(move || worker.run())
+                    .expect("spawn ingest worker"),
+            );
+        }
+        IngestFrontDoor {
+            shared: Arc::new(Shared {
+                queues,
+                next_session: AtomicU64::new(0),
+                closed: AtomicBool::new(false),
+                inflight: AtomicU64::new(0),
+                accepted: AtomicU64::new(0),
+                rejected: AtomicU64::new(0),
+                outbox_capacity: config.outbox_capacity.max(1),
+            }),
+            workers,
+        }
+    }
+
+    /// Builds `n` shards from a factory called with each shard index.
+    pub fn build(n: usize, mut factory: impl FnMut(usize) -> E, config: IngestConfig) -> Self {
+        Self::new((0..n).map(&mut factory).collect(), config)
+    }
+
+    /// A cheap, cloneable producer handle.
+    pub fn handle(&self) -> IngestHandle {
+        IngestHandle {
+            shared: Arc::clone(&self.shared),
+        }
+    }
+
+    /// Number of shards (= ingress queues = worker threads).
+    pub fn num_shards(&self) -> usize {
+        self.shared.queues.len()
+    }
+
+    /// Gracefully shuts down: rejects further submits, drains **every**
+    /// event whose `submit` returned `Ok` — including ones racing this
+    /// call — flushes, joins the workers and returns the shard engines
+    /// plus aggregate [`IngestStats`].
+    ///
+    /// The drain guarantee is a quiescence barrier, not best-effort: after
+    /// sealing the door this method waits for all in-flight producer
+    /// enqueues to land before the shutdown markers enter the queues, so
+    /// an accepted event is always *ahead of* the marker and gets flushed,
+    /// and an accepted close always completes its [`CloseTicket`].
+    ///
+    /// Sessions still open keep their state inside the returned engines
+    /// (their subscriptions disconnect without final labels).
+    ///
+    /// # Panics
+    /// Propagates a worker panic (e.g. from a submit on a closed session).
+    pub fn shutdown(mut self) -> ShutdownReport<E> {
+        self.shared.closed.store(true, Ordering::SeqCst);
+        // Quiescence: wait out producers already past the closed check.
+        // Their critical section is a handful of instructions (plus, for
+        // `submit_blocking`, a queue wait the draining worker unblocks),
+        // so this spin is short-lived by construction.
+        while self.shared.inflight.load(Ordering::SeqCst) > 0 {
+            std::thread::yield_now();
+        }
+        for queue in &self.shared.queues {
+            // Blocking send is fine: the worker is draining this queue.
+            // An already-dead worker returns Err, which is exactly the
+            // state Shutdown would have produced.
+            let _ = queue.send(Cmd::Shutdown);
+        }
+        let mut engines = Vec::with_capacity(self.workers.len());
+        let mut stats = IngestStats {
+            submitted: 0,
+            rejected_full: 0,
+            flushed_events: 0,
+            flushes: 0,
+            max_flush_batch: 0,
+            latency: LatencyHistogram::new(),
+        };
+        for worker in std::mem::take(&mut self.workers) {
+            match worker.join() {
+                Ok(report) => {
+                    stats.flushed_events += report.flushed_events;
+                    stats.flushes += report.flushes;
+                    stats.max_flush_batch = stats.max_flush_batch.max(report.max_flush_batch);
+                    stats.latency.merge(&report.latency);
+                    engines.push(report.engine);
+                }
+                Err(panic) => std::panic::resume_unwind(panic),
+            }
+        }
+        // Read the tallies after the barrier + joins so they cover every
+        // producer that got an `Ok` (`submitted == flushed_events` is the
+        // graceful-shutdown invariant the tests pin).
+        stats.submitted = self.shared.accepted.load(Ordering::SeqCst);
+        stats.rejected_full = self.shared.rejected.load(Ordering::SeqCst);
+        ShutdownReport { engines, stats }
+    }
+}
+
+impl<E> Drop for IngestFrontDoor<E> {
+    /// Best-effort teardown when dropped without [`IngestFrontDoor::shutdown`]:
+    /// flags the door closed and nudges the workers to exit. Does not join
+    /// (detached workers exit once their queues disconnect); prefer an
+    /// explicit `shutdown` for drain guarantees and stats.
+    fn drop(&mut self) {
+        if self.workers.is_empty() {
+            return; // shutdown already ran
+        }
+        self.shared.closed.store(true, Ordering::Release);
+        for queue in &self.shared.queues {
+            let _ = queue.try_send(Cmd::Shutdown);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::detector::OnlineDetector;
+    use crate::session::SessionMux;
+
+    fn sd(a: u32, b: u32) -> SdPair {
+        SdPair {
+            source: SegmentId(a),
+            dest: SegmentId(b),
+        }
+    }
+
+    /// Labels each segment by parity — discriminative enough to catch
+    /// routing or ordering mistakes through the queues.
+    #[derive(Default)]
+    struct Parity {
+        labels: Vec<u8>,
+    }
+
+    impl OnlineDetector for Parity {
+        fn name(&self) -> &'static str {
+            "Parity"
+        }
+        fn begin(&mut self, _sd: SdPair, _start_time: f64) {
+            self.labels.clear();
+        }
+        fn observe(&mut self, segment: SegmentId) -> u8 {
+            let label = (segment.0 & 1) as u8;
+            self.labels.push(label);
+            label
+        }
+        fn finish(&mut self) -> Vec<u8> {
+            std::mem::take(&mut self.labels)
+        }
+    }
+
+    fn parity_door(
+        shards: usize,
+        config: IngestConfig,
+    ) -> IngestFrontDoor<SessionMux<Parity, fn() -> Parity>> {
+        IngestFrontDoor::build(
+            shards,
+            |_| SessionMux::new(Parity::default as fn() -> Parity),
+            config,
+        )
+    }
+
+    #[test]
+    fn submit_labels_flow_back_in_order() {
+        let door = parity_door(3, IngestConfig::default());
+        let handle = door.handle();
+        assert_eq!(handle.num_shards(), 3);
+        let (s1, sub1) = handle.open(sd(0, 9), 0.0).unwrap();
+        let (s2, sub2) = handle.open(sd(1, 8), 0.0).unwrap();
+        for seg in [2u32, 3, 5] {
+            handle.submit(s1, SegmentId(seg)).unwrap();
+        }
+        handle.submit(s2, SegmentId(7)).unwrap();
+        let t1 = handle.close(s1).unwrap();
+        let t2 = handle.close(s2).unwrap();
+        assert_eq!(t1.wait(), vec![0, 1, 1]);
+        assert_eq!(t2.wait(), vec![1]);
+        // Subscriptions carry the provisional stream, then disconnect.
+        let mut got = Vec::new();
+        while let Some(l) = sub1.recv() {
+            got.push(l);
+        }
+        assert_eq!(got, vec![0, 1, 1]);
+        assert_eq!(sub2.recv(), Some(1));
+        assert_eq!(sub2.recv(), None);
+        let report = door.shutdown();
+        assert_eq!(report.stats.submitted, 4);
+        assert_eq!(report.stats.flushed_events, 4);
+        assert_eq!(report.stats.rejected_full, 0);
+        assert_eq!(report.stats.latency.count(), 4);
+        assert_eq!(report.engines.len(), 3);
+    }
+
+    #[test]
+    fn max_batch_one_flushes_every_event_alone() {
+        let door = parity_door(
+            1,
+            IngestConfig {
+                flush: FlushPolicy::immediate(),
+                ..Default::default()
+            },
+        );
+        let handle = door.handle();
+        let (s, sub) = handle.open(sd(0, 9), 0.0).unwrap();
+        for seg in 0..10u32 {
+            handle.submit(s, SegmentId(seg)).unwrap();
+        }
+        handle.close(s).unwrap().wait();
+        let mut labels = Vec::new();
+        while let Some(l) = sub.recv() {
+            labels.push(l);
+        }
+        assert_eq!(labels, vec![0, 1, 0, 1, 0, 1, 0, 1, 0, 1]);
+        let report = door.shutdown();
+        assert_eq!(report.stats.flushes, 10, "immediate policy batches nothing");
+        assert_eq!(report.stats.max_flush_batch, 1);
+    }
+
+    #[test]
+    fn shutdown_drains_unflushed_batches() {
+        // A policy that never flushes on its own within the test window.
+        let door = parity_door(
+            2,
+            IngestConfig {
+                flush: FlushPolicy::new(1_000_000, Duration::from_secs(3600)),
+                ..Default::default()
+            },
+        );
+        let handle = door.handle();
+        let (s, sub) = handle.open(sd(0, 9), 0.0).unwrap();
+        for seg in [1u32, 2, 3] {
+            handle.submit(s, SegmentId(seg)).unwrap();
+        }
+        let report = door.shutdown();
+        assert_eq!(report.stats.flushed_events, 3, "shutdown flushed the batch");
+        let mut labels = Vec::new();
+        sub.drain_into(&mut labels);
+        assert_eq!(labels, vec![1, 0, 1]);
+        // The session never closed: its state is still in the engine.
+        let open_sessions: usize = report.engines.iter().map(|e| e.active_sessions()).sum();
+        assert_eq!(open_sessions, 1);
+        assert!(handle.submit(s, SegmentId(9)).is_err(), "door is closed");
+        assert_eq!(handle.submit(s, SegmentId(9)), Err(SubmitError::ShutDown));
+    }
+
+    #[test]
+    fn handles_are_cloneable_across_threads() {
+        let door = parity_door(2, IngestConfig::default());
+        let handle = door.handle();
+        let mut joins = Vec::new();
+        for p in 0..4u32 {
+            let h = handle.clone();
+            joins.push(std::thread::spawn(move || {
+                let (s, _sub) = h.open(sd(p, p + 1), 0.0).unwrap();
+                for seg in 0..50u32 {
+                    while h.submit(s, SegmentId(seg)) == Err(SubmitError::QueueFull) {
+                        std::thread::yield_now();
+                    }
+                }
+                h.close(s).unwrap().wait().len()
+            }));
+        }
+        let total: usize = joins.into_iter().map(|j| j.join().unwrap()).sum();
+        assert_eq!(total, 200);
+        let report = door.shutdown();
+        assert_eq!(report.stats.flushed_events, 200);
+    }
+
+    #[test]
+    #[should_panic(expected = "need at least one shard")]
+    fn zero_shards_rejected() {
+        let _ = parity_door(0, IngestConfig::default());
+    }
+
+    /// Regression: closing a session whose pending labels exceed the
+    /// outbox capacity must not deadlock the shard — the close-triggered
+    /// flush downgrades that session's stream delivery to non-blocking,
+    /// and the final labels still cover every event.
+    #[test]
+    fn close_with_overfull_outbox_does_not_deadlock() {
+        const OUTBOX: usize = 2;
+        const EVENTS: u32 = 10;
+        let door = parity_door(
+            1,
+            IngestConfig {
+                // Never flush on its own: everything is pending at close.
+                flush: FlushPolicy::new(1_000_000, Duration::from_secs(3600)),
+                outbox_capacity: OUTBOX,
+                ..Default::default()
+            },
+        );
+        let handle = door.handle();
+        let (s, sub) = handle.open(sd(0, 9), 0.0).unwrap();
+        for seg in 0..EVENTS {
+            handle.submit(s, SegmentId(seg)).unwrap();
+        }
+        // Close without draining the subscription first — the pattern
+        // that would deadlock against a blocking outbox send.
+        let finals = handle.close(s).unwrap().wait();
+        assert_eq!(finals.len(), EVENTS as usize);
+        // The stream got what fit; the rest went only to the finals.
+        let mut streamed = Vec::new();
+        while let Some(l) = sub.recv() {
+            streamed.push(l);
+        }
+        assert_eq!(streamed.len(), OUTBOX);
+        assert_eq!(streamed, finals[..OUTBOX]);
+        let report = door.shutdown();
+        assert_eq!(report.stats.flushed_events, EVENTS as u64);
+    }
+
+    #[test]
+    fn histogram_small_values_are_exact() {
+        let mut h = LatencyHistogram::new();
+        for nanos in [1u64, 2, 3, 15] {
+            h.record(Duration::from_nanos(nanos));
+        }
+        assert_eq!(h.count(), 4);
+        assert_eq!(h.percentile(0.0), Duration::from_nanos(1));
+        assert_eq!(h.percentile(1.0), Duration::from_nanos(15));
+        assert_eq!(h.max(), Duration::from_nanos(15));
+    }
+
+    #[test]
+    fn histogram_percentiles_within_bucket_resolution() {
+        let mut h = LatencyHistogram::new();
+        for i in 1..=10_000u64 {
+            h.record(Duration::from_nanos(i * 1_000)); // 1us..10ms
+        }
+        for (q, want_nanos) in [(0.5, 5_000_000.0), (0.95, 9_500_000.0), (0.99, 9_900_000.0)] {
+            let got = h.percentile(q).as_nanos() as f64;
+            let err = (got - want_nanos).abs() / want_nanos;
+            assert!(err < 0.08, "p{q}: got {got}, want {want_nanos}, err {err}");
+        }
+        assert_eq!(h.max(), Duration::from_nanos(10_000_000));
+        let mean = h.mean().as_nanos() as f64;
+        assert!((mean - 5_000_500.0).abs() < 1_000.0);
+    }
+
+    #[test]
+    fn histogram_merge_adds_counts() {
+        let mut a = LatencyHistogram::new();
+        let mut b = LatencyHistogram::new();
+        a.record(Duration::from_micros(10));
+        b.record(Duration::from_micros(1000));
+        a.merge(&b);
+        assert_eq!(a.count(), 2);
+        assert_eq!(a.max(), Duration::from_micros(1000));
+    }
+}

@@ -23,7 +23,10 @@
 //! [`session::SessionMux`] lifting any detector factory to an engine,
 //! [`session::Sharded`] scaling any engine across cores by hashing
 //! sessions onto independent shards, and [`session::SingleSession`]
-//! adapting an engine back to a detector.
+//! adapting an engine back to a detector. [`ingest::IngestFrontDoor`]
+//! is the asynchronous entry point over any of these: per-shard bounded
+//! ingress queues and persistent worker threads micro-batch independent
+//! per-point arrivals into `observe_batch` ticks under a latency SLO.
 
 #![deny(missing_docs)]
 #![warn(clippy::all)]
@@ -32,6 +35,7 @@ pub mod codec;
 pub mod dataset;
 pub mod detector;
 pub mod generator;
+pub mod ingest;
 pub mod labels;
 pub mod session;
 pub mod types;
@@ -39,6 +43,10 @@ pub mod types;
 pub use dataset::{Dataset, DatasetStats};
 pub use detector::OnlineDetector;
 pub use generator::{DriftConfig, RouteKind, SdPairData, TrafficConfig, TrafficSimulator};
+pub use ingest::{
+    CloseTicket, FlushPolicy, IngestConfig, IngestFrontDoor, IngestHandle, IngestStats,
+    LatencyHistogram, ShutdownReport, SubmitError, Subscription,
+};
 pub use labels::{extract_subtrajectories, LabelSpan};
 pub use session::{SessionEngine, SessionId, SessionMux, SessionSlab, Sharded, SingleSession};
 pub use types::{

@@ -47,6 +47,19 @@ impl SessionId {
     fn generation(self) -> u32 {
         (self.0 >> 32) as u32
     }
+
+    /// Rebuilds a handle from its raw transport form (ingest front door:
+    /// handles cross thread boundaries as plain counters).
+    #[inline]
+    pub(crate) fn from_raw(raw: u64) -> Self {
+        SessionId(raw)
+    }
+
+    /// The raw transport form of this handle.
+    #[inline]
+    pub(crate) fn raw(self) -> u64 {
+        self.0
+    }
 }
 
 impl std::fmt::Display for SessionId {
@@ -292,6 +305,14 @@ struct ShardLane {
 /// channels, no pools, no dependencies). Shards share whatever their
 /// constructor shared (e.g. one `Arc` of model weights), so memory grows
 /// only with per-shard scratch, not with model copies.
+///
+/// The scoped threads are re-spawned every tick — the price of accepting
+/// non-`'static` engines (the borrowing baselines) behind a `&mut self`
+/// call. When the engines are `Send + 'static`, prefer the async
+/// [`crate::ingest::IngestFrontDoor`]: it owns one **persistent** worker
+/// thread per shard (spawned once, never per tick) which also owns the
+/// per-shard event/label scratch as reused allocations — the `ShardLane`
+/// buffers below, promoted out of the hot path.
 pub struct Sharded<E> {
     shards: Vec<E>,
     routes: SessionSlab<Route>,

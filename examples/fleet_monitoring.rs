@@ -2,22 +2,112 @@
 //! ride-hailing operator watches *many* live trips at once and spots each
 //! driver the moment their trajectory starts to deviate.
 //!
-//! Demonstrates the *session* API at multi-core scale: one shared trained
-//! model serves every ongoing trip through a [`rl4oasd::ShardedEngine`] —
-//! one `StreamEngine` shard per available core, sessions hashed to shards,
-//! zero weight duplication. Each simulation tick feeds the next
-//! GPS-matched segment of every live trip as a single `observe_batch`
-//! call; the tick is partitioned by shard and the shards advance
-//! concurrently on scoped worker threads, each through its own batched
-//! LSTM pass. Labels are bit-identical to running each trip alone through
-//! `Rl4oasdDetector`, whatever the shard count.
+//! Demonstrates the *async ingestion* path end-to-end: GPS points do not
+//! arrive in neat ticks, they arrive one at a time from many gateway
+//! connections. Here several **producer threads** each monitor a slice of
+//! the fleet, submitting every point through a cloned
+//! [`traj::IngestHandle`] into an [`rl4oasd::IngestEngine`] — one
+//! `StreamEngine` shard per available core behind one shared trained
+//! model, each shard owned by a persistent worker thread that
+//! micro-batches arrivals into batched LSTM ticks under a
+//! [`traj::FlushPolicy`] latency SLO (flush at 64 events or 2 ms,
+//! whichever first). Labels stream back on per-session subscriptions: the
+//! producer raises a deviation alert the moment the first anomalous label
+//! arrives, while the trip is still in progress. Labels are bit-identical
+//! to running each trip alone through `Rl4oasdDetector`, whatever the
+//! shard count or flush policy.
 //!
 //! Run with: `cargo run --release --example fleet_monitoring`
 
 use rl4oasd_repro::prelude::*;
 use rnet::{CityBuilder, CityConfig};
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
+
+/// One producer thread: feeds its slice of the fleet point-by-point,
+/// watching subscriptions for the first anomalous label of each trip.
+/// Returns `(trip index, final labels)` for every trip it served.
+fn produce(
+    handle: IngestHandle,
+    trips: Arc<Vec<MappedTrajectory>>,
+    mine: Vec<usize>,
+) -> Vec<(usize, Vec<u8>)> {
+    struct Lane {
+        trip: usize,
+        session: traj::SessionId,
+        sub: traj::Subscription,
+        received: usize,
+        alerted: bool,
+    }
+
+    // Open a session per owned trip.
+    let mut lanes: Vec<Lane> = mine
+        .iter()
+        .map(|&k| {
+            let t = &trips[k];
+            let (session, sub) = handle
+                .open(t.sd_pair().expect("non-empty"), t.start_time)
+                .expect("fleet fits the front door");
+            Lane {
+                trip: k,
+                session,
+                sub,
+                received: 0,
+                alerted: false,
+            }
+        })
+        .collect();
+
+    let alert = |trip: &MappedTrajectory, tick: usize, label: u8, alerted: &mut bool| {
+        if label == 1 && !*alerted {
+            println!(
+                "  !! tick {tick:>3}: deviation alert for trip {:?} (live)",
+                trip.id
+            );
+            *alerted = true;
+        }
+    };
+
+    // Submit one point per trip per round (the simulated GPS cadence),
+    // draining labels as they stream back.
+    let max_len = mine.iter().map(|&k| trips[k].len()).max().unwrap_or(0);
+    for tick in 0..max_len {
+        for lane in lanes.iter_mut() {
+            let t = &trips[lane.trip];
+            if tick < t.len() {
+                // Backpressure: wait politely instead of shedding points.
+                while handle.submit(lane.session, t.segments[tick]) == Err(SubmitError::QueueFull) {
+                    std::thread::yield_now();
+                }
+            }
+            while let Some(label) = lane.sub.try_recv() {
+                lane.received += 1;
+                alert(t, tick, label, &mut lane.alerted);
+            }
+        }
+    }
+
+    // Every point is submitted, but the last micro-batches may still be in
+    // flight: wait out the remaining labels (the flush SLO bounds the wait)
+    // so no live alert is lost, then close.
+    lanes
+        .into_iter()
+        .map(|mut lane| {
+            let t = &trips[lane.trip];
+            while lane.received < t.len() {
+                match lane.sub.recv() {
+                    Some(label) => {
+                        lane.received += 1;
+                        alert(t, t.len() - 1, label, &mut lane.alerted);
+                    }
+                    None => break,
+                }
+            }
+            let labels = handle.close(lane.session).expect("close accepted").wait();
+            (lane.trip, labels)
+        })
+        .collect()
+}
 
 fn main() {
     let net = CityBuilder::new(CityConfig::chengdu_like()).build();
@@ -44,60 +134,58 @@ fn main() {
     // The fleet: a batch of live trips sharing the route families, with
     // detours forced so the demo has something to alert on.
     let live = Dataset::from_generated(&sim.generate_from_pairs(&generated.pairs, (2, 3), 0.5, 7));
-    let trips: Vec<_> = live.trajectories.iter().filter(|t| !t.is_empty()).collect();
+    let trips: Arc<Vec<MappedTrajectory>> = Arc::new(
+        live.trajectories
+            .iter()
+            .filter(|t| !t.is_empty())
+            .cloned()
+            .collect(),
+    );
 
-    // One sharded engine — a StreamEngine per core behind one shared
-    // immutable model — and one session per live trip.
+    // The async front door: one StreamEngine shard per core behind one
+    // shared immutable model, persistent workers, 64-event / 2 ms flushes.
     let shards = std::thread::available_parallelism().map_or(1, |n| n.get());
-    let mut engine = rl4oasd::ShardedEngine::new(Arc::new(model), Arc::new(net), shards);
-    let handles: Vec<_> = trips
-        .iter()
-        .map(|t| engine.open(t.sd_pair().unwrap(), t.start_time))
-        .collect();
+    let engine = rl4oasd::IngestEngine::new(
+        Arc::new(model),
+        Arc::new(net),
+        shards,
+        IngestConfig {
+            flush: FlushPolicy::new(64, Duration::from_millis(2)),
+            ..Default::default()
+        },
+    );
+    let producers = 4usize.min(trips.len().max(1));
     println!(
-        "\nmonitoring {} concurrent trips through {} StreamEngine shard(s)\n",
-        engine.active_sessions(),
+        "\nmonitoring {} concurrent trips: {} producer threads -> {} shard worker(s)\n",
+        trips.len(),
+        producers,
         engine.num_shards()
     );
 
-    // Tick-synchronous serving: every live trip advances one segment per
-    // tick; the engine batches the whole tick through the model.
-    let mut alerted = vec![false; trips.len()];
-    let mut events = Vec::new();
-    let mut out = Vec::new();
-    let mut total_points = 0u64;
-    let max_len = trips.iter().map(|t| t.len()).max().unwrap_or(0);
+    // Producer threads: each owns an interleaved slice of the fleet.
     let t0 = Instant::now();
-    for tick in 0..max_len {
-        events.clear();
-        let mut tick_trips = Vec::new();
-        for (k, t) in trips.iter().enumerate() {
-            if tick < t.len() {
-                events.push((handles[k], t.segments[tick]));
-                tick_trips.push(k);
-            }
-        }
-        engine.observe_batch(&events, &mut out);
-        total_points += events.len() as u64;
-        for (i, (label, &k)) in out.iter().zip(&tick_trips).enumerate() {
-            if *label == 1 && !alerted[k] {
-                println!(
-                    "  !! tick {tick:>3}: deviation alert for trip {:?} (segment {})",
-                    trips[k].id, events[i].1
-                );
-                alerted[k] = true;
-            }
-        }
-    }
+    let joins: Vec<_> = (0..producers)
+        .map(|p| {
+            let handle = engine.handle();
+            let trips = Arc::clone(&trips);
+            let mine: Vec<usize> = (p..trips.len()).step_by(producers).collect();
+            std::thread::spawn(move || produce(handle, trips, mine))
+        })
+        .collect();
+    let mut final_labels: Vec<(usize, Vec<u8>)> = joins
+        .into_iter()
+        .flat_map(|j| j.join().expect("producer thread"))
+        .collect();
+    final_labels.sort_by_key(|&(k, _)| k);
     let serve_seconds = t0.elapsed().as_secs_f64();
+    let report = engine.shutdown();
 
-    // Close every session and compare the flagged spans with ground truth.
+    // Compare the flagged spans with ground truth.
     let mut hits = 0usize;
     let mut flagged = 0usize;
-    for (k, t) in trips.iter().enumerate() {
-        let labels = engine.close(handles[k]);
-        let spans = traj::extract_subtrajectories(&labels);
-        let truth_spans = traj::extract_subtrajectories(live.truth(t.id).unwrap());
+    for (k, labels) in &final_labels {
+        let spans = traj::extract_subtrajectories(labels);
+        let truth_spans = traj::extract_subtrajectories(live.truth(trips[*k].id).unwrap());
         if !spans.is_empty() {
             flagged += 1;
         }
@@ -105,7 +193,7 @@ fn main() {
             hits += 1;
         }
     }
-    let stats = engine.stats();
+    let total_points = report.ingest.submitted;
     println!(
         "\n  {} of {} trips flagged ({} with a true detour detected)",
         flagged,
@@ -118,11 +206,17 @@ fn main() {
         total_points as f64 / serve_seconds.max(1e-12)
     );
     println!(
-        "  batched nn events: {} ({} rounds); scalar events: {}",
-        stats.batched_events, stats.batched_rounds, stats.scalar_events
+        "  micro-batches: {} flushes, largest {} events; batched nn events: {}, scalar: {}",
+        report.ingest.flushes,
+        report.ingest.max_flush_batch,
+        report.engine.batched_events,
+        report.engine.scalar_events
     );
+    let lat = &report.ingest.latency;
     println!(
-        "  mean latency per point: {:.1} us (paper: < 0.1 ms)",
-        serve_seconds * 1e6 / total_points.max(1) as f64
+        "  submit->label latency: p50 {:.0} us, p99 {:.0} us, max {:.1} ms (paper: < 0.1 ms compute/point)",
+        lat.percentile(0.50).as_secs_f64() * 1e6,
+        lat.percentile(0.99).as_secs_f64() * 1e6,
+        lat.max().as_secs_f64() * 1e3
     );
 }

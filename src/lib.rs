@@ -47,12 +47,15 @@ pub mod prelude {
     pub use eval::{evaluate, DetectionMetrics};
     pub use mapmatch::{MapMatcher, MatchConfig};
     pub use rl4oasd::{
-        EngineStats, Rl4oasdConfig, Rl4oasdDetector, ShardedEngine, StreamEngine, TrainedModel,
+        EngineStats, IngestEngine, IngestReport, Rl4oasdConfig, Rl4oasdDetector, ShardedEngine,
+        StreamEngine, TrainedModel,
     };
     pub use rnet::{CityBuilder, CityConfig, RoadNetwork, SegmentId};
     pub use traj::{
-        Dataset, DriftConfig, MappedTrajectory, OnlineDetector, SdPair, SessionEngine, SessionId,
-        SessionMux, Sharded, SingleSession, TrafficConfig, TrafficSimulator,
+        Dataset, DriftConfig, FlushPolicy, IngestConfig, IngestFrontDoor, IngestHandle,
+        IngestStats, LatencyHistogram, MappedTrajectory, OnlineDetector, SdPair, SessionEngine,
+        SessionId, SessionMux, Sharded, SingleSession, SubmitError, TrafficConfig,
+        TrafficSimulator,
     };
 }
 
