@@ -29,7 +29,7 @@
 
 use crate::scoring::ScoringDetector;
 use nn::ops;
-use nn::{Embedding, GruCell, Linear, Param};
+use nn::{Embedding, GruCell, GruScratch, Linear, PackedGru, PackedLinear, Param};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use rnet::SegmentId;
@@ -126,11 +126,86 @@ pub struct Seq2SeqDetector {
     decoder: GruCell,
     /// Decoder state → vocabulary logits.
     out: Linear,
+    /// Packed inference weights, built once per trained model (lazily at
+    /// scoring time, invalidated by [`Seq2SeqDetector::train_step`] and
+    /// [`Seq2SeqDetector::copy_weights_from`]) so the per-point scoring
+    /// path never repacks and never touches the raw matrices.
+    packed: Option<PackedSeq2Seq>,
+    /// Reusable scoring buffers (GRU scratch, vocabulary logits, decoder
+    /// state ping-pong) — the per-point path allocates nothing once warm.
+    scratch: ScoreScratch,
     // ---- per-trajectory scoring state ----
     dec_states: Vec<Vec<f32>>,
     enc_state: Vec<f32>,
     prefix: Vec<SegmentId>,
     prev_token: Option<SegmentId>,
+}
+
+/// The packed hot-path weights of the scoring loop: the decoder GRU and
+/// the (large, `vocab × hidden`) output head dominate per-point cost; the
+/// encoder and `dec_init` run per point for SAE's re-decode scheme.
+#[derive(Clone)]
+struct PackedSeq2Seq {
+    encoder: PackedGru,
+    dec_init: PackedLinear,
+    decoder: PackedGru,
+    out: PackedLinear,
+}
+
+impl PackedSeq2Seq {
+    fn of(d: &Seq2SeqDetector) -> Self {
+        PackedSeq2Seq {
+            encoder: PackedGru::of(&d.encoder),
+            dec_init: PackedLinear::of(&d.dec_init),
+            decoder: PackedGru::of(&d.decoder),
+            out: PackedLinear::of(&d.out),
+        }
+    }
+
+    /// Latent → initial decoder state (`tanh(dec_init(z))`) into `out`.
+    fn dec_state(&self, z: &[f32], out: &mut Vec<f32>) {
+        out.clear();
+        out.resize(self.dec_init.out_dim(), 0.0);
+        self.dec_init.infer(z, out);
+        out.iter_mut().for_each(|v| *v = v.tanh());
+    }
+
+    /// NLL of `token` under the decoder state; the advanced state is
+    /// written into `next`. Allocation-free: the GRU scratch and the
+    /// vocabulary-sized logits buffer are reused across points.
+    #[allow(clippy::too_many_arguments)]
+    fn step_nll(
+        &self,
+        embed: &Embedding,
+        gru: &mut GruScratch,
+        logits: &mut Vec<f32>,
+        state: &[f32],
+        prev: SegmentId,
+        token: SegmentId,
+        next: &mut Vec<f32>,
+    ) -> f64 {
+        self.decoder
+            .infer_step(embed.lookup(prev.idx()), state, next, gru);
+        logits.clear();
+        logits.resize(self.out.out_dim(), 0.0);
+        self.out.infer(next, logits);
+        ops::softmax_inplace(logits);
+        -(logits[token.idx()].max(1e-12).ln() as f64)
+    }
+}
+
+/// Reusable buffers of the scoring loop; see
+/// [`Seq2SeqDetector::score_next`].
+#[derive(Clone, Default)]
+struct ScoreScratch {
+    gru: GruScratch,
+    logits: Vec<f32>,
+    /// Current / next decoder state ping-pong (SAE re-decode walk, and the
+    /// per-component advance's swap partner).
+    state_a: Vec<f32>,
+    state_b: Vec<f32>,
+    /// SAE's truncated/padded latent.
+    latent: Vec<f32>,
 }
 
 impl Seq2SeqDetector {
@@ -147,6 +222,8 @@ impl Seq2SeqDetector {
             dec_init: Linear::new(config.latent_dim, config.hidden_dim, &mut rng),
             decoder: GruCell::new(config.embed_dim, config.hidden_dim, &mut rng),
             out: Linear::new(config.hidden_dim, vocab, &mut rng),
+            packed: None,
+            scratch: ScoreScratch::default(),
             dec_states: Vec::new(),
             enc_state: Vec::new(),
             prefix: Vec::new(),
@@ -178,8 +255,9 @@ impl Seq2SeqDetector {
         self.dec_init = other.dec_init.clone();
         self.decoder = other.decoder.clone();
         self.out = other.out.clone();
-        // Mixture means only when both sides have the same component count;
-        // non-mixture kinds keep their (unused) means.
+        self.packed = None; // weights changed; repack lazily at scoring time
+                            // Mixture means only when both sides have the same component count;
+                            // non-mixture kinds keep their (unused) means.
         if self.comp_means.rows == other.comp_means.rows {
             self.comp_means = other.comp_means.clone();
         }
@@ -217,17 +295,6 @@ impl Seq2SeqDetector {
         h
     }
 
-    /// NLL of `token` under the decoder state, and the advanced state.
-    fn step_nll(&self, state: &[f32], prev: SegmentId, token: SegmentId) -> (f64, Vec<f32>) {
-        let x = self.embed.lookup(prev.idx());
-        let (h, _) = self.decoder.forward(x, state);
-        let mut logits = vec![0.0; self.embed.vocab()];
-        self.out.infer(&h, &mut logits);
-        ops::softmax_inplace(&mut logits);
-        let nll = -(logits[token.idx()].max(1e-12).ln() as f64);
-        (nll, h)
-    }
-
     // ---- training ------------------------------------------------------
 
     /// Trains on the corpus (teacher forcing; Adam).
@@ -249,6 +316,7 @@ impl Seq2SeqDetector {
 
     /// One training step; returns the per-token CE loss.
     pub fn train_step(&mut self, segs: &[SegmentId], sd: SdPair, rng: &mut StdRng) -> f32 {
+        self.packed = None; // weights are about to change
         self.zero_grad();
         let latent = self.config.latent_dim;
         let n = segs.len();
@@ -402,6 +470,9 @@ impl ScoringDetector for Seq2SeqDetector {
     }
 
     fn begin_scoring(&mut self, sd: SdPair, _start_time: f64) {
+        if self.packed.is_none() {
+            self.packed = Some(PackedSeq2Seq::of(self));
+        }
         self.prefix.clear();
         self.prev_token = None;
         match self.kind {
@@ -431,43 +502,64 @@ impl ScoringDetector for Seq2SeqDetector {
         if segment.idx() >= self.embed.vocab() {
             return 30.0; // out-of-vocabulary segment
         }
+        if self.packed.is_none() {
+            // Defensive: `begin_scoring` packs; tolerate direct use.
+            self.packed = Some(PackedSeq2Seq::of(self));
+        }
+        let packed = self.packed.as_ref().expect("packed above");
         let score = match (self.kind, self.prev_token) {
             (_, None) => 0.0, // the source segment is given, not generated
             (Seq2SeqKind::Sae, Some(_)) => {
-                // re-decode the whole prefix from the current encoding
-                let mut z = self.enc_state.clone();
-                z.resize(self.config.latent_dim, 0.0);
-                let mut state = self.dec_state_from_latent(&z);
-                let mut nll = 0.0;
+                // re-decode the whole prefix from the current encoding,
+                // ping-ponging between the two scratch state buffers
+                let ScoreScratch {
+                    gru,
+                    logits,
+                    state_a,
+                    state_b,
+                    latent,
+                } = &mut self.scratch;
+                latent.clear();
+                latent.extend_from_slice(&self.enc_state);
+                latent.resize(self.config.latent_dim, 0.0);
+                packed.dec_state(latent, state_a);
                 for w in self.prefix.windows(2) {
-                    let (_, h) = self.step_nll(&state, w[0], w[1]);
-                    state = h;
+                    packed.step_nll(&self.embed, gru, logits, state_a, w[0], w[1], state_b);
+                    std::mem::swap(state_a, state_b);
                 }
                 let prev = *self.prefix.last().expect("non-empty prefix");
-                let (s, _) = self.step_nll(&state, prev, segment);
-                nll += s;
-                nll
+                packed.step_nll(&self.embed, gru, logits, state_a, prev, segment, state_b)
             }
             (_, Some(prev)) => {
                 // advance every component state; score = min NLL
                 let mut best = f64::INFINITY;
-                let states = std::mem::take(&mut self.dec_states);
-                let mut next_states = Vec::with_capacity(states.len());
-                for state in &states {
-                    let (nll, h) = self.step_nll(state, prev, segment);
+                let mut states = std::mem::take(&mut self.dec_states);
+                let ScoreScratch {
+                    gru,
+                    logits,
+                    state_b,
+                    ..
+                } = &mut self.scratch;
+                for state in states.iter_mut() {
+                    let nll =
+                        packed.step_nll(&self.embed, gru, logits, state, prev, segment, state_b);
                     best = best.min(nll);
-                    next_states.push(h);
+                    std::mem::swap(state, state_b);
                 }
-                self.dec_states = next_states;
+                self.dec_states = states;
                 best
             }
         };
-        // advance SAE's running encoder
+        // advance SAE's running encoder (allocation-free packed step)
         if self.kind == Seq2SeqKind::Sae {
-            let (h, _) = self
-                .encoder
-                .forward(self.embed.lookup(segment.idx()), &self.enc_state);
-            self.enc_state = h;
+            let ScoreScratch { gru, state_b, .. } = &mut self.scratch;
+            packed.encoder.infer_step(
+                self.embed.lookup(segment.idx()),
+                &self.enc_state,
+                state_b,
+                gru,
+            );
+            std::mem::swap(&mut self.enc_state, state_b);
         }
         self.prefix.push(segment);
         self.prev_token = Some(segment);

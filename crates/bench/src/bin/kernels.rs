@@ -1,0 +1,229 @@
+//! `kernels` — micro-GEMM kernel layer benchmark, written to
+//! `BENCH_kernels.json`.
+//!
+//! Measures ns/op and GFLOP/s of the vectorized kernel layer
+//! (`nn::ops::kernels`) against the seed's scalar implementations
+//! (`nn::ops::kernels::reference`) for the three inference-hot-path
+//! shapes:
+//!
+//! * `matvec` — one `dims × dims` matrix–vector product (scalar session
+//!   ticks, per-point policy/classifier heads);
+//! * `matvec_batch` — the engine's batched tick over `batch` lanes on raw
+//!   row-major weights;
+//! * `gemm_micro` — the same batched shape on a [`nn::PackedWeights`]
+//!   matrix (row-padded layout, the form every serving engine holds via
+//!   `TrainedModel::packed`).
+//!
+//! Sweeps dims {64, 128, 256} × batch {1, 8, 64, 256} (batch applies to
+//! the batched ops; `matvec` rows carry batch 1). The `speedup` column is
+//! `ns_old / ns_new` per row. FLOP count per op is `2 · rows · cols ·
+//! batch` (one multiply + one add per matrix element per lane).
+//!
+//! ```text
+//! cargo run --release -p bench_suite --bin kernels [-- out.json]
+//! ```
+
+use nn::ops::kernels::{self, reference};
+use nn::PackedWeights;
+use serde::Serialize;
+use std::time::Instant;
+
+#[derive(Serialize)]
+struct Row {
+    op: String,
+    rows: usize,
+    cols: usize,
+    batch: usize,
+    ns_old: f64,
+    ns_new: f64,
+    gflops_old: f64,
+    gflops_new: f64,
+    speedup: f64,
+}
+
+#[derive(Serialize)]
+struct Report {
+    bench: String,
+    host_cores: usize,
+    lanes: usize,
+    results: Vec<Row>,
+}
+
+/// Deterministic pseudo-random fill (no RNG dependency needed for
+/// benchmark inputs; values in roughly [-1, 1]).
+fn fill(n: usize, seed: u64) -> Vec<f32> {
+    let mut state = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+    (0..n)
+        .map(|_| {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            ((state >> 40) as f32 / (1u64 << 24) as f32) * 2.0 - 1.0
+        })
+        .collect()
+}
+
+/// Times `f` (which must fully recompute its output each call) and
+/// returns mean ns per call, self-calibrating the iteration count to
+/// ~80ms of measurement.
+fn time_ns(mut f: impl FnMut()) -> f64 {
+    // warm up + calibrate
+    let mut iters = 1u64;
+    loop {
+        let t = Instant::now();
+        for _ in 0..iters {
+            f();
+        }
+        let elapsed = t.elapsed();
+        if elapsed.as_millis() >= 20 {
+            let target = (iters as f64 * 0.08 / elapsed.as_secs_f64()).max(1.0) as u64;
+            let t = Instant::now();
+            for _ in 0..target {
+                f();
+            }
+            return t.elapsed().as_nanos() as f64 / target as f64;
+        }
+        iters *= 4;
+    }
+}
+
+fn main() {
+    let out_path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_kernels.json".to_string());
+    let host_cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let mut results = Vec::new();
+
+    for dims in [64usize, 128, 256] {
+        let (rows, cols) = (dims, dims);
+        let w = fill(rows * cols, dims as u64);
+        let packed = PackedWeights::pack(&w, rows, cols);
+
+        // -- matvec (batch 1) ------------------------------------------
+        {
+            let x = fill(cols, 7 + dims as u64);
+            let mut y = vec![0.0f32; rows];
+            let ns_old = time_ns(|| {
+                reference::matvec(
+                    std::hint::black_box(&w),
+                    rows,
+                    cols,
+                    std::hint::black_box(&x),
+                    &mut y,
+                );
+                std::hint::black_box(&y);
+            });
+            let ns_new = time_ns(|| {
+                nn::ops::matvec(
+                    std::hint::black_box(&w),
+                    rows,
+                    cols,
+                    std::hint::black_box(&x),
+                    &mut y,
+                );
+                std::hint::black_box(&y);
+            });
+            let flops = (2 * rows * cols) as f64;
+            results.push(Row {
+                op: "matvec".into(),
+                rows,
+                cols,
+                batch: 1,
+                ns_old,
+                ns_new,
+                gflops_old: flops / ns_old,
+                gflops_new: flops / ns_new,
+                speedup: ns_old / ns_new,
+            });
+            eprintln!(
+                "matvec        dims {dims:>3}            {:>9.1} -> {:>9.1} ns  ({:.2}x)",
+                ns_old,
+                ns_new,
+                ns_old / ns_new
+            );
+        }
+
+        // -- matvec_batch and packed gemm_micro ------------------------
+        for batch in [1usize, 8, 64, 256] {
+            let xs = fill(batch * cols, 31 + (dims + batch) as u64);
+            let mut ys = vec![0.0f32; batch * rows];
+            let flops = (2 * rows * cols * batch) as f64;
+
+            let ns_old = time_ns(|| {
+                reference::matvec_batch(
+                    std::hint::black_box(&w),
+                    rows,
+                    cols,
+                    std::hint::black_box(&xs),
+                    batch,
+                    &mut ys,
+                );
+                std::hint::black_box(&ys);
+            });
+            let ns_new = time_ns(|| {
+                nn::ops::matvec_batch(
+                    std::hint::black_box(&w),
+                    rows,
+                    cols,
+                    std::hint::black_box(&xs),
+                    batch,
+                    &mut ys,
+                );
+                std::hint::black_box(&ys);
+            });
+            results.push(Row {
+                op: "matvec_batch".into(),
+                rows,
+                cols,
+                batch,
+                ns_old,
+                ns_new,
+                gflops_old: flops / ns_old,
+                gflops_new: flops / ns_new,
+                speedup: ns_old / ns_new,
+            });
+            eprintln!(
+                "matvec_batch  dims {dims:>3} batch {batch:>3}  {:>9.1} -> {:>9.1} ns  ({:.2}x)",
+                ns_old,
+                ns_new,
+                ns_old / ns_new
+            );
+
+            let ns_packed = time_ns(|| {
+                std::hint::black_box(&packed).matvec_batch(
+                    std::hint::black_box(&xs),
+                    batch,
+                    &mut ys,
+                );
+                std::hint::black_box(&ys);
+            });
+            results.push(Row {
+                op: "gemm_micro".into(),
+                rows,
+                cols,
+                batch,
+                ns_old,
+                ns_new: ns_packed,
+                gflops_old: flops / ns_old,
+                gflops_new: flops / ns_packed,
+                speedup: ns_old / ns_packed,
+            });
+            eprintln!(
+                "gemm_micro    dims {dims:>3} batch {batch:>3}  {:>9.1} -> {:>9.1} ns  ({:.2}x)",
+                ns_old,
+                ns_packed,
+                ns_old / ns_packed
+            );
+        }
+    }
+
+    let report = Report {
+        bench: "micro_gemm_kernels".to_string(),
+        host_cores,
+        lanes: kernels::LANES,
+        results,
+    };
+    let json = serde_json::to_string_pretty(&report).expect("serialise report");
+    std::fs::write(&out_path, json).expect("write BENCH_kernels.json");
+    eprintln!("wrote {out_path}");
+}

@@ -17,6 +17,7 @@
 
 use crate::asdnet::AsdNet;
 use crate::config::Rl4oasdConfig;
+use crate::packed::PackedModel;
 use crate::preprocess::Preprocessor;
 use crate::rsrnet::{RsrNet, RsrStream};
 use crate::train::TrainedModel;
@@ -24,8 +25,8 @@ use rnet::{RoadNetwork, SegmentId};
 use traj::{slot_of_time, OnlineDetector, SdPair};
 
 /// Borrowed, read-only view of everything a detection step consults: the
-/// trained model's parts plus the road network. Shared by the
-/// single-session [`Rl4oasdDetector`] and the fleet-scale
+/// trained model's parts (raw and packed) plus the road network. Shared by
+/// the single-session [`Rl4oasdDetector`] and the fleet-scale
 /// [`crate::StreamEngine`], so both run the exact same per-step logic.
 #[derive(Clone, Copy)]
 pub(crate) struct ModelView<'a> {
@@ -34,6 +35,8 @@ pub(crate) struct ModelView<'a> {
     pub rsrnet: &'a RsrNet,
     pub asdnet: &'a AsdNet,
     pub net: &'a RoadNetwork,
+    /// Packed hot-path weights; every nn step in detection runs on these.
+    pub packed: &'a PackedModel,
 }
 
 impl<'a> ModelView<'a> {
@@ -44,8 +47,20 @@ impl<'a> ModelView<'a> {
             rsrnet: &model.rsrnet,
             asdnet: &model.asdnet,
             net,
+            packed: model.packed(),
         }
     }
+}
+
+/// Reusable per-step buffers of the scalar detection path: the LSTM
+/// scratch, the representation `z_i` and the policy-state vector. One per
+/// detector (or per engine, for its scalar ticks) — the hot path allocates
+/// nothing once these are warm.
+#[derive(Debug, Default)]
+pub(crate) struct StepScratch {
+    pub lstm: nn::LstmScratch,
+    pub z: Vec<f32>,
+    pub state: Vec<f32>,
 }
 
 /// Decision diagnostics: how often RNEL short-circuited the policy.
@@ -130,15 +145,20 @@ impl SessionState {
     }
 
     /// The nn decision for a [`Pending::Policy`] step, given this step's
-    /// representation `z`.
-    pub fn decide_policy(&self, view: &ModelView, z: &[f32]) -> u8 {
+    /// representation `z`. Runs on the packed head weights; `state_buf` is
+    /// the reusable policy-state buffer (`[z ; v(prev_label)]`).
+    pub fn decide_policy(&self, view: &ModelView, z: &[f32], state_buf: &mut Vec<f32>) -> u8 {
+        let mut logits = [0.0f32; 2];
         if view.config.use_asdnet {
-            let state = view.asdnet.state(z, self.prev_label);
-            view.asdnet.greedy(&state)
+            state_buf.clear();
+            self.append_policy_state(view, z, state_buf);
+            view.packed.policy.infer(state_buf, &mut logits);
+            AsdNet::greedy_from_logits(logits)
         } else {
             // Ablation "w/o ASDNet": an ordinary classifier on RSRNet
             // outputs.
-            let p = view.rsrnet.classify(z);
+            view.packed.head.infer(z, &mut logits);
+            let p = RsrNet::classify_from_logits(logits);
             u8::from(p[1] > p[0])
         }
     }
@@ -161,18 +181,28 @@ impl SessionState {
     /// One full scalar step: NRF, RSRNet stream step, decision, commit.
     /// This *is* the per-trajectory path; the engine's batched tick differs
     /// only in running the nn passes for many sessions at once
-    /// (bit-identically — see `RsrNet::stream_step_batch`).
+    /// (bit-identically — see `RsrNet::stream_step_batch_packed`). All nn
+    /// work runs on the packed weights with the caller's reusable
+    /// [`StepScratch`], so a warm session allocates nothing per point.
     pub fn observe(
         &mut self,
         view: &ModelView,
         segment: SegmentId,
         counters: &mut DecisionCounters,
+        scratch: &mut StepScratch,
     ) -> u8 {
         let (nrf, is_endpoint) = self.pre_step(view, segment);
-        let z = view.rsrnet.stream_step(&mut self.stream, segment, nrf);
+        view.rsrnet.stream_step_packed(
+            &view.packed.lstm,
+            &mut self.stream,
+            segment,
+            nrf,
+            &mut scratch.lstm,
+            &mut scratch.z,
+        );
         let label = match self.plan(view, segment, is_endpoint, counters) {
             Pending::Fixed(label) => label,
-            Pending::Policy => self.decide_policy(view, &z),
+            Pending::Policy => self.decide_policy(view, &scratch.z, &mut scratch.state),
         };
         self.commit(segment, label);
         label
@@ -256,31 +286,84 @@ pub(crate) fn delayed_labeling(labels: &mut [u8], d: usize) {
     }
 }
 
+/// Where a detector's packed weights come from: borrowed from a
+/// [`TrainedModel`]'s shared cache, or owned (packed at construction from
+/// loose parts during training's dev-set evaluation).
+enum PackedSource<'a> {
+    Shared(&'a PackedModel),
+    Owned(Box<PackedModel>),
+}
+
+impl PackedSource<'_> {
+    #[inline]
+    fn get(&self) -> &PackedModel {
+        match self {
+            PackedSource::Shared(p) => p,
+            PackedSource::Owned(p) => p,
+        }
+    }
+}
+
+/// The borrowed raw parts of a detector, separated from the (possibly
+/// owned) packed weights so a [`ModelView`] can be assembled per call
+/// without borrowing the whole detector.
+#[derive(Clone, Copy)]
+struct Parts<'a> {
+    config: &'a Rl4oasdConfig,
+    pre: &'a Preprocessor,
+    rsrnet: &'a RsrNet,
+    asdnet: &'a AsdNet,
+    net: &'a RoadNetwork,
+}
+
+impl<'a> Parts<'a> {
+    fn with<'b>(self, packed: &'b PackedModel) -> ModelView<'b>
+    where
+        'a: 'b,
+    {
+        ModelView {
+            config: self.config,
+            pre: self.pre,
+            rsrnet: self.rsrnet,
+            asdnet: self.asdnet,
+            net: self.net,
+            packed,
+        }
+    }
+}
+
 /// Online detector over a trained model (or its parts, during training).
 ///
 /// This is the single-session adapter over the shared step logic in
 /// `SessionState` (crate-private); the fleet-scale counterpart multiplexing
-/// thousands of sessions over one model is [`crate::StreamEngine`].
+/// thousands of sessions over one model is [`crate::StreamEngine`]. All nn
+/// steps run on packed weights ([`TrainedModel::packed`]) with reusable
+/// per-detector scratch, so the per-point path is allocation-free.
 pub struct Rl4oasdDetector<'a> {
-    view: ModelView<'a>,
+    parts: Parts<'a>,
+    packed: PackedSource<'a>,
     state: SessionState,
     counters: DecisionCounters,
+    scratch: StepScratch,
 }
 
 impl<'a> Rl4oasdDetector<'a> {
-    /// Creates a detector bound to a trained model and road network.
+    /// Creates a detector bound to a trained model and road network,
+    /// sharing the model's cached packed weights.
     pub fn new(model: &'a TrainedModel, net: &'a RoadNetwork) -> Self {
-        Self::from_parts(
+        Self::build(
             &model.config,
             &model.preprocessor,
             &model.rsrnet,
             &model.asdnet,
             net,
+            PackedSource::Shared(model.packed()),
         )
     }
 
     /// Creates a detector from individual components (used for dev-set
-    /// evaluation while training is still in progress).
+    /// evaluation while training is still in progress); the hot-path
+    /// weights are packed once here.
     pub fn from_parts(
         config: &'a Rl4oasdConfig,
         pre: &'a Preprocessor,
@@ -288,17 +371,38 @@ impl<'a> Rl4oasdDetector<'a> {
         asdnet: &'a AsdNet,
         net: &'a RoadNetwork,
     ) -> Self {
-        let view = ModelView {
+        Self::build(
+            config,
+            pre,
+            rsrnet,
+            asdnet,
+            net,
+            PackedSource::Owned(Box::new(PackedModel::of(rsrnet, asdnet))),
+        )
+    }
+
+    fn build(
+        config: &'a Rl4oasdConfig,
+        pre: &'a Preprocessor,
+        rsrnet: &'a RsrNet,
+        asdnet: &'a AsdNet,
+        net: &'a RoadNetwork,
+        packed: PackedSource<'a>,
+    ) -> Self {
+        let parts = Parts {
             config,
             pre,
             rsrnet,
             asdnet,
             net,
         };
+        let state = SessionState::open(&parts.with(packed.get()), SdPair::default(), 0.0);
         Rl4oasdDetector {
-            state: SessionState::open(&view, SdPair::default(), 0.0),
-            view,
+            parts,
+            packed,
+            state,
             counters: DecisionCounters::default(),
+            scratch: StepScratch::default(),
         }
     }
 
@@ -311,7 +415,7 @@ impl<'a> Rl4oasdDetector<'a> {
     /// the three cases applies.
     #[cfg(test)]
     fn rnel(&self, prev: SegmentId, cur: SegmentId, prev_label: u8) -> Option<u8> {
-        rnel(self.view.net, prev, cur, prev_label)
+        rnel(self.parts.net, prev, cur, prev_label)
     }
 
     /// Delayed Labeling (§IV-E): fills 0-gaps strictly shorter than `D`
@@ -328,16 +432,18 @@ impl OnlineDetector for Rl4oasdDetector<'_> {
     }
 
     fn begin(&mut self, sd: SdPair, start_time: f64) {
-        self.state = SessionState::open(&self.view, sd, start_time);
+        let view = self.parts.with(self.packed.get());
+        self.state = SessionState::open(&view, sd, start_time);
     }
 
     fn observe(&mut self, segment: SegmentId) -> u8 {
-        let view = self.view;
-        self.state.observe(&view, segment, &mut self.counters)
+        let view = self.parts.with(self.packed.get());
+        self.state
+            .observe(&view, segment, &mut self.counters, &mut self.scratch)
     }
 
     fn finish(&mut self) -> Vec<u8> {
-        let view = self.view;
+        let view = self.parts.with(self.packed.get());
         self.state.finish(&view)
     }
 }

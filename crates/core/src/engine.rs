@@ -25,7 +25,7 @@
 //! [`traj::SingleSession`] to recover the per-trajectory
 //! [`traj::OnlineDetector`] view.
 
-use crate::detector::{DecisionCounters, ModelView, Pending, SessionState};
+use crate::detector::{DecisionCounters, ModelView, Pending, SessionState, StepScratch};
 use crate::rsrnet::RsrBatch;
 use crate::train::TrainedModel;
 use rnet::{RoadNetwork, SegmentId};
@@ -85,6 +85,8 @@ impl std::iter::Sum for EngineStats {
 #[derive(Default)]
 struct TickScratch {
     rsr: RsrBatch,
+    /// Scalar-path step buffers (single-session `observe` ticks).
+    step: StepScratch,
     inputs: Vec<(SegmentId, u8)>,
     /// Flat `batch × z_dim` representations of the current round.
     zs: Vec<f32>,
@@ -168,13 +170,15 @@ impl StreamEngine {
             lanes.push((ei, segment, state, pending));
         }
 
-        // Phase 2: one batched LSTM pass advances every lane's stream.
+        // Phase 2: one batched LSTM pass (on the packed gate matrix)
+        // advances every lane's stream.
         {
             let mut streams: Vec<&mut crate::rsrnet::RsrStream> = lanes
                 .iter_mut()
                 .map(|(_, _, state, _)| state.stream_mut())
                 .collect();
-            view.rsrnet.stream_step_batch(
+            view.rsrnet.stream_step_batch_packed(
+                &view.packed.lstm,
                 &mut self.scratch.rsr,
                 &self.scratch.inputs,
                 &mut streams,
@@ -202,14 +206,14 @@ impl StreamEngine {
                         .2
                         .append_policy_state(&view, z, &mut self.scratch.head_in);
                 }
-                &view.asdnet.policy
+                &view.packed.policy
             } else {
                 for &lane in &self.scratch.policy_lanes {
                     self.scratch
                         .head_in
                         .extend_from_slice(&self.scratch.zs[lane * z_dim..(lane + 1) * z_dim]);
                 }
-                &view.rsrnet.head
+                &view.packed.head
             };
             self.scratch.head_out.clear();
             self.scratch
@@ -270,7 +274,7 @@ impl SessionEngine for StreamEngine {
     fn observe(&mut self, session: SessionId, segment: SegmentId) -> u8 {
         let view = ModelView::of(&self.model, &self.net);
         let state = self.sessions.get_mut(session);
-        let label = state.observe(&view, segment, &mut self.counters);
+        let label = state.observe(&view, segment, &mut self.counters, &mut self.scratch.step);
         self.stats.observe_events += 1;
         self.stats.scalar_events += 1;
         label

@@ -34,6 +34,7 @@ pub mod config;
 pub mod detector;
 pub mod engine;
 pub mod ingest;
+pub mod packed;
 pub mod pipeline;
 pub mod preprocess;
 pub mod rsrnet;
@@ -45,6 +46,7 @@ pub use config::Rl4oasdConfig;
 pub use detector::Rl4oasdDetector;
 pub use engine::{EngineStats, StreamEngine};
 pub use ingest::{IngestEngine, IngestReport};
+pub use packed::PackedModel;
 pub use pipeline::{load_model, save_model, train_from_gps, PipelineResult};
 pub use preprocess::{GroupStats, Preprocessor};
 pub use sharded::ShardedEngine;

@@ -1,0 +1,44 @@
+//! Packed (inference-ready) form of a trained RL4OASD model.
+//!
+//! Serving never mutates weights, so the three dense matrices on the
+//! per-point hot path — RSRNet's `4H × (I+H)` LSTM gate matrix, its
+//! classification head and ASDNet's policy head — are re-packed once into
+//! the row-padded layout the vectorized `nn::ops::kernels` prefer (see
+//! `nn::pack`). [`crate::TrainedModel`] caches a [`PackedModel`] behind a
+//! `OnceLock`, so every engine — [`crate::StreamEngine`],
+//! [`crate::ShardedEngine`], [`crate::IngestEngine`] and the
+//! single-session [`crate::Rl4oasdDetector`] — shares one packed copy
+//! with zero per-tick repacking.
+//!
+//! Packing changes the memory layout, never the values or the kernel
+//! reduction order: packed inference is bit-identical to running the raw
+//! weights through the same kernels, which is what keeps the repo's
+//! batched-vs-scalar, shard-invariance and ingest-vs-sync byte-identity
+//! guarantees intact.
+
+use crate::asdnet::AsdNet;
+use crate::rsrnet::RsrNet;
+use nn::{PackedLinear, PackedLstm};
+
+/// The packed hot-path weights of one trained model. Embeddings stay in
+/// their dense tables (lookups are row reads, not GEMMs).
+#[derive(Debug, Clone)]
+pub struct PackedModel {
+    /// RSRNet's LSTM gate matrix, packed.
+    pub lstm: PackedLstm,
+    /// RSRNet's classification head (the "w/o ASDNet" ablation path).
+    pub head: PackedLinear,
+    /// ASDNet's policy head.
+    pub policy: PackedLinear,
+}
+
+impl PackedModel {
+    /// Packs the hot-path weights of a trained network pair.
+    pub fn of(rsrnet: &RsrNet, asdnet: &AsdNet) -> Self {
+        PackedModel {
+            lstm: PackedLstm::of(&rsrnet.lstm),
+            head: PackedLinear::of(&rsrnet.head),
+            policy: PackedLinear::of(&asdnet.policy),
+        }
+    }
+}

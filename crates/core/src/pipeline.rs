@@ -137,6 +137,36 @@ mod tests {
     }
 
     #[test]
+    fn loads_model_files_saved_before_the_packed_cache_existed() {
+        // Pre-PR-4 model JSON has no "packed" key (the packed-kernel cache
+        // is derived data serialised as null via a `with`-adapter); such
+        // files must keep loading and detect identically.
+        let net = CityBuilder::new(CityConfig::tiny(24)).build();
+        let sim = TrafficSimulator::new(
+            &net,
+            TrafficConfig {
+                num_sd_pairs: 2,
+                trajs_per_pair: (20, 25),
+                ..TrafficConfig::tiny(24)
+            },
+        );
+        let ds = Dataset::from_generated(&sim.generate());
+        let model = crate::train::train(&net, &ds, &Rl4oasdConfig::tiny(24));
+        let json = serde_json::to_string(&model).unwrap();
+        assert!(json.contains("\"packed\":null"), "cache serialised as null");
+        let legacy = json
+            .replace("\"packed\":null,", "")
+            .replace(",\"packed\":null", "");
+        assert!(!legacy.contains("\"packed\""), "key stripped for the test");
+        let restored: crate::train::TrainedModel = serde_json::from_str(&legacy).unwrap();
+        let mut d1 = crate::detector::Rl4oasdDetector::new(&model, &net);
+        let mut d2 = crate::detector::Rl4oasdDetector::new(&restored, &net);
+        for t in ds.trajectories.iter().take(3) {
+            assert_eq!(d1.label_trajectory(t), d2.label_trajectory(t));
+        }
+    }
+
+    #[test]
     #[should_panic(expected = "no trajectory could be map-matched")]
     fn empty_or_unmatched_input_panics() {
         let net = CityBuilder::new(CityConfig::tiny(23)).build();

@@ -12,7 +12,7 @@
 
 use crate::config::Rl4oasdConfig;
 use nn::ops;
-use nn::{Embedding, Linear, LstmCell, LstmCtx, LstmState};
+use nn::{Embedding, Linear, LstmCell, LstmCtx, LstmScratch, LstmState, PackedLstm};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use rnet::SegmentId;
@@ -218,6 +218,27 @@ impl RsrNet {
         ops::concat(&stream.state.h, self.nrf_embed.lookup(nrf as usize))
     }
 
+    /// [`RsrNet::stream_step`] on packed weights, allocation-free: the
+    /// LSTM advances through `lstm` (the packed form of `self.lstm`) with
+    /// reusable scratch, and `z_i` is written into `z`. Bit-identical to
+    /// `stream_step` — packing changes layout, not values or reduction
+    /// order — so packed serving sessions and raw-weight paths can be
+    /// compared byte-for-byte.
+    pub fn stream_step_packed(
+        &self,
+        lstm: &PackedLstm,
+        stream: &mut RsrStream,
+        seg: SegmentId,
+        nrf: u8,
+        scratch: &mut LstmScratch,
+        z: &mut Vec<f32>,
+    ) {
+        lstm.infer_step(self.embed.lookup(seg.idx()), &mut stream.state, scratch);
+        z.clear();
+        z.extend_from_slice(&stream.state.h);
+        z.extend_from_slice(self.nrf_embed.lookup(nrf as usize));
+    }
+
     /// Batched streaming step: advances `inputs.len()` independent streams
     /// in one LSTM matrix pass, writing each lane's `z_i` into the flat
     /// `batch × z_dim` row-major `zs` buffer (cleared first; lane `i`'s
@@ -238,6 +259,39 @@ impl RsrNet {
         streams: &mut [&mut RsrStream],
         zs: &mut Vec<f32>,
     ) {
+        self.stream_step_batch_impl(scratch, inputs, streams, zs, |batch, xh, c, h, z| {
+            self.lstm.infer_step_batch(batch, xh, c, h, z)
+        })
+    }
+
+    /// [`RsrNet::stream_step_batch`] on packed weights: identical gather /
+    /// scatter, with the LSTM matrix pass running through `lstm` (the
+    /// packed form of `self.lstm`). Bit-identical per lane to both the raw
+    /// batched path and [`RsrNet::stream_step_packed`].
+    pub fn stream_step_batch_packed(
+        &self,
+        lstm: &PackedLstm,
+        scratch: &mut RsrBatch,
+        inputs: &[(SegmentId, u8)],
+        streams: &mut [&mut RsrStream],
+        zs: &mut Vec<f32>,
+    ) {
+        self.stream_step_batch_impl(scratch, inputs, streams, zs, |batch, xh, c, h, z| {
+            lstm.infer_step_batch(batch, xh, c, h, z)
+        })
+    }
+
+    /// Shared body of the batched streaming step, parameterised by the
+    /// LSTM kernel (raw or packed) so both variants share one
+    /// gather/scatter path.
+    fn stream_step_batch_impl(
+        &self,
+        scratch: &mut RsrBatch,
+        inputs: &[(SegmentId, u8)],
+        streams: &mut [&mut RsrStream],
+        zs: &mut Vec<f32>,
+        step: impl FnOnce(usize, &[f32], &mut [f32], &mut [f32], &mut Vec<f32>),
+    ) {
         assert_eq!(inputs.len(), streams.len(), "lane count mismatch");
         let batch = inputs.len();
         let hidden = self.lstm.hidden_dim();
@@ -250,7 +304,7 @@ impl RsrNet {
         }
         scratch.h.clear();
         scratch.h.resize(batch * hidden, 0.0);
-        self.lstm.infer_step_batch(
+        step(
             batch,
             &scratch.xh,
             &mut scratch.c,

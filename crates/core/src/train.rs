@@ -36,6 +36,53 @@ pub struct TrainedModel {
     pub rsrnet: RsrNet,
     /// Policy network.
     pub asdnet: AsdNet,
+    /// Lazily-built packed hot-path weights (see [`TrainedModel::packed`]).
+    /// Derived from the networks above, so excluded from serialisation via
+    /// the [`packed_cache`] adapter and rebuilt on first use after load.
+    #[serde(with = "packed_cache")]
+    packed: std::sync::OnceLock<crate::packed::PackedModel>,
+}
+
+impl TrainedModel {
+    /// Assembles a model from its trained parts.
+    pub fn from_parts(
+        config: Rl4oasdConfig,
+        preprocessor: Preprocessor,
+        rsrnet: RsrNet,
+        asdnet: AsdNet,
+    ) -> Self {
+        TrainedModel {
+            config,
+            preprocessor,
+            rsrnet,
+            asdnet,
+            packed: std::sync::OnceLock::new(),
+        }
+    }
+
+    /// The packed hot-path weights, built on first use and cached for the
+    /// model's lifetime. Every serving engine sharing this model (via
+    /// `Arc`) hits the same packed copy — packing happens once per loaded
+    /// model, never per session or per tick.
+    pub fn packed(&self) -> &crate::packed::PackedModel {
+        self.packed
+            .get_or_init(|| crate::packed::PackedModel::of(&self.rsrnet, &self.asdnet))
+    }
+}
+
+/// Serde adapter for the packed-kernel cache: serialised as `null`
+/// (the packed form is derived data), deserialised as an empty cache.
+mod packed_cache {
+    use crate::packed::PackedModel;
+    use std::sync::OnceLock;
+
+    pub fn serialize(_: &OnceLock<PackedModel>) -> serde::Value {
+        serde::Value::Null
+    }
+
+    pub fn deserialize(_: &serde::Value) -> Result<OnceLock<PackedModel>, serde::Error> {
+        Ok(OnceLock::new())
+    }
 }
 
 /// Diagnostics of a training run.
@@ -250,12 +297,7 @@ pub fn train_with_dev(
     stats.train_seconds = started.elapsed().as_secs_f64();
 
     (
-        TrainedModel {
-            config: config.clone(),
-            preprocessor,
-            rsrnet,
-            asdnet,
-        },
+        TrainedModel::from_parts(config.clone(), preprocessor, rsrnet, asdnet),
         stats,
     )
 }

@@ -29,10 +29,12 @@ pub mod gradcheck;
 pub mod init;
 pub mod linear;
 pub mod ops;
+pub mod pack;
 pub mod param;
 pub mod rnn;
 
 pub use embedding::Embedding;
 pub use linear::{Linear, LinearCtx};
+pub use pack::{PackedGru, PackedLinear, PackedLstm, PackedWeights};
 pub use param::Param;
-pub use rnn::{GruCell, GruCtx, LstmCell, LstmCtx, LstmState};
+pub use rnn::{GruCell, GruCtx, GruScratch, LstmCell, LstmCtx, LstmScratch, LstmState};

@@ -1,5 +1,12 @@
 //! Numeric primitives: activations, softmax/cross-entropy, cosine
 //! similarity and small vector helpers.
+//!
+//! The dot-product-shaped entry points ([`dot`], [`matvec`],
+//! [`matvec_batch`]) are thin wrappers over the vectorized [`kernels`]
+//! layer and share its fixed reduction order; see the module docs there
+//! for why that keeps the repo's bit-identity invariants intact.
+
+pub mod kernels;
 
 /// Logistic sigmoid.
 #[inline]
@@ -71,20 +78,16 @@ pub fn cosine(a: &[f32], b: &[f32]) -> f32 {
     }
 }
 
-/// Dot product.
+/// Dot product (vectorized; [`kernels`] fixed reduction order).
 #[inline]
 pub fn dot(a: &[f32], b: &[f32]) -> f32 {
-    debug_assert_eq!(a.len(), b.len());
-    a.iter().zip(b).map(|(x, y)| x * y).sum()
+    kernels::dot(a, b)
 }
 
-/// `y += alpha * x`.
+/// `y += alpha * x` (8-lane unrolled; bit-identical to the naive loop).
 #[inline]
 pub fn axpy(alpha: f32, x: &[f32], y: &mut [f32]) {
-    debug_assert_eq!(x.len(), y.len());
-    for (yi, &xi) in y.iter_mut().zip(x) {
-        *yi += alpha * xi;
-    }
+    kernels::axpy(alpha, x, y)
 }
 
 /// Concatenates two slices into a fresh vector.
@@ -95,39 +98,35 @@ pub fn concat(a: &[f32], b: &[f32]) -> Vec<f32> {
     out
 }
 
-/// Matrix–vector product `y = W x` for a row-major `rows × cols` matrix.
+/// Matrix–vector product `y = W x` for a row-major `rows × cols` matrix
+/// (vectorized; each output element is one [`kernels::dot`]).
 pub fn matvec(w: &[f32], rows: usize, cols: usize, x: &[f32], y: &mut [f32]) {
     debug_assert_eq!(w.len(), rows * cols);
-    debug_assert_eq!(x.len(), cols);
-    debug_assert_eq!(y.len(), rows);
-    for (r, yr) in y.iter_mut().enumerate() {
-        let row = &w[r * cols..(r + 1) * cols];
-        *yr = dot(row, x);
-    }
+    kernels::matvec(w, cols, rows, cols, x, y)
 }
 
 /// Batched matrix–vector product: for each of `batch` input row-vectors
 /// `x_b` (`cols` wide, row-major in `xs`), computes `y_b = W x_b` into the
 /// `batch × rows` row-major `ys`.
 ///
-/// Each output element is produced by the same [`dot`] accumulation as
-/// [`matvec`], so results are **bit-identical** to `batch` independent
-/// `matvec` calls — the batched form only reorders the loops so one weight
-/// row stays hot in cache across all lanes (the matrix-pass win the stream
-/// engine relies on).
+/// Implemented on [`kernels::gemm_micro`], whose every output cell uses
+/// the same fixed reduction order as [`dot`], so results are
+/// **bit-identical** to `batch` independent [`matvec`] calls — the
+/// register blocking only changes which cells are in flight, never the
+/// order of additions within a cell (the invariant the stream engine's
+/// batched tick relies on).
 pub fn matvec_batch(w: &[f32], rows: usize, cols: usize, xs: &[f32], batch: usize, ys: &mut [f32]) {
     debug_assert_eq!(w.len(), rows * cols);
     debug_assert_eq!(xs.len(), batch * cols);
-    debug_assert_eq!(ys.len(), batch * rows);
-    for r in 0..rows {
-        let row = &w[r * cols..(r + 1) * cols];
-        for b in 0..batch {
-            ys[b * rows + r] = dot(row, &xs[b * cols..(b + 1) * cols]);
-        }
-    }
+    kernels::gemm_micro(w, cols, rows, cols, xs, cols, batch, ys)
 }
 
 /// Transposed matrix–vector product `y += W^T g` (accumulates into `y`).
+///
+/// Built on the unrolled [`kernels::axpy`]; the accumulation stays
+/// row-by-row over `g` (element-wise in `y`), so results are bit-identical
+/// to the pre-kernel implementation and `⟨Wx, g⟩ ≈ ⟨x, Wᵀg⟩` adjointness
+/// with [`matvec`] holds to normal `f32` tolerance.
 pub fn matvec_t_acc(w: &[f32], rows: usize, cols: usize, g: &[f32], y: &mut [f32]) {
     debug_assert_eq!(w.len(), rows * cols);
     debug_assert_eq!(g.len(), rows);
@@ -141,7 +140,8 @@ pub fn matvec_t_acc(w: &[f32], rows: usize, cols: usize, g: &[f32], y: &mut [f32
     }
 }
 
-/// Outer-product accumulation `W_grad += g x^T`.
+/// Outer-product accumulation `W_grad += g x^T` (row-wise
+/// [`kernels::axpy`]; element-wise, so bit-identical to the naive loops).
 pub fn outer_acc(wg: &mut [f32], rows: usize, cols: usize, g: &[f32], x: &[f32]) {
     debug_assert_eq!(wg.len(), rows * cols);
     debug_assert_eq!(g.len(), rows);

@@ -1,0 +1,393 @@
+//! Packed (inference-ready) weight representations for the serving hot
+//! path.
+//!
+//! Training mutates [`Param`](crate::Param) values in place, so layers
+//! keep their weights in plain dense row-major storage. Serving never
+//! mutates weights — so a model can be *packed once at load time* into a
+//! layout the vectorized [`kernels`](mod@crate::ops::kernels) prefer:
+//!
+//! * **row padding** — each weight row starts at a multiple of
+//!   [`LANES`] `f32`s, so every row's 8-wide
+//!   k-blocks sit on consistent 32-byte boundaries (padding is
+//!   zero-filled and *never read*: the kernels stop at the logical
+//!   column count, which is also why packed results are bit-identical to
+//!   the unpacked path — same values, same fixed reduction order);
+//! * **precomputed shapes** — the bias is carried alongside and the
+//!   stride is resolved once, so the per-tick code is pure kernel calls.
+//!
+//! [`PackedLinear`], [`PackedLstm`] and [`PackedGru`] mirror the
+//! inference entry points of [`Linear`], [`LstmCell`] and [`GruCell`];
+//! a trained model caches them once (e.g. `rl4oasd`'s `TrainedModel`
+//! holds a `OnceLock`-ed packed form) and every engine tick — scalar or
+//! batched, sharded or ingest-driven — runs on the packed weights with
+//! zero per-tick repacking.
+//!
+//! A transposed layout for the batch≥4 path was evaluated and rejected:
+//! it forces a sequential-k accumulation per output cell, a different
+//! reduction order than the scalar path, which would break the repo's
+//! batched-vs-scalar bit-identity invariants (see the
+//! [`kernels`](mod@crate::ops::kernels) docs).
+
+use crate::linear::Linear;
+use crate::ops::kernels::{self, LANES};
+use crate::rnn::{
+    gru_infer_step_strided, lstm_infer_step_batch_strided, lstm_infer_step_strided, GruCell,
+    GruScratch, LstmCell, LstmScratch, LstmState,
+};
+
+/// A row-major weight matrix re-laid-out with each row padded to the
+/// kernel lane width. The padding is zero-filled and never read.
+#[derive(Debug, Clone)]
+pub struct PackedWeights {
+    data: Vec<f32>,
+    rows: usize,
+    cols: usize,
+    stride: usize,
+}
+
+impl PackedWeights {
+    /// Packs a dense row-major `rows × cols` matrix.
+    ///
+    /// # Panics
+    /// Panics if `values.len() != rows * cols`.
+    pub fn pack(values: &[f32], rows: usize, cols: usize) -> Self {
+        assert_eq!(values.len(), rows * cols, "shape mismatch");
+        let stride = cols.div_ceil(LANES) * LANES;
+        let mut data = vec![0.0f32; rows * stride];
+        for r in 0..rows {
+            data[r * stride..r * stride + cols].copy_from_slice(&values[r * cols..(r + 1) * cols]);
+        }
+        PackedWeights {
+            data,
+            rows,
+            cols,
+            stride,
+        }
+    }
+
+    /// Number of logical rows.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of logical columns.
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Padded row stride in `f32`s (a multiple of the kernel lane width).
+    #[inline]
+    pub fn stride(&self) -> usize {
+        self.stride
+    }
+
+    /// The logical (unpadded) row `r`.
+    #[inline]
+    pub fn row(&self, r: usize) -> &[f32] {
+        &self.data[r * self.stride..r * self.stride + self.cols]
+    }
+
+    /// `y = W x`. Bit-identical to `ops::matvec` on the unpacked values.
+    #[inline]
+    pub fn matvec(&self, x: &[f32], y: &mut [f32]) {
+        kernels::matvec(&self.data, self.stride, self.rows, self.cols, x, y)
+    }
+
+    /// Batched `ys[b] = W x_b` over `batch` contiguous input rows
+    /// (`batch × cols` row-major `xs`, `batch × rows` row-major `ys`).
+    /// Bit-identical per lane to [`PackedWeights::matvec`].
+    #[inline]
+    pub fn matvec_batch(&self, xs: &[f32], batch: usize, ys: &mut [f32]) {
+        debug_assert_eq!(xs.len(), batch * self.cols);
+        kernels::gemm_micro(
+            &self.data,
+            self.stride,
+            self.rows,
+            self.cols,
+            xs,
+            self.cols,
+            batch,
+            ys,
+        )
+    }
+}
+
+/// Inference-ready form of a [`Linear`] layer: packed weights plus the
+/// bias. Built once per trained model; see the module docs.
+#[derive(Debug, Clone)]
+pub struct PackedLinear {
+    /// Packed `out × in` weight matrix.
+    pub w: PackedWeights,
+    b: Vec<f32>,
+}
+
+impl PackedLinear {
+    /// Packs a trained layer.
+    pub fn of(layer: &Linear) -> Self {
+        PackedLinear {
+            w: PackedWeights::pack(&layer.w.value, layer.w.rows, layer.w.cols),
+            b: layer.b.value.clone(),
+        }
+    }
+
+    /// Input dimension.
+    #[inline]
+    pub fn in_dim(&self) -> usize {
+        self.w.cols()
+    }
+
+    /// Output dimension.
+    #[inline]
+    pub fn out_dim(&self) -> usize {
+        self.w.rows()
+    }
+
+    /// `y = W x + b`. Bit-identical to [`Linear::infer`].
+    pub fn infer(&self, x: &[f32], y: &mut [f32]) {
+        self.w.matvec(x, y);
+        for (yi, bi) in y.iter_mut().zip(&self.b) {
+            *yi += bi;
+        }
+    }
+
+    /// Batched inference; bit-identical to [`Linear::infer_batch`] (and
+    /// therefore to `batch` independent [`PackedLinear::infer`] calls).
+    pub fn infer_batch(&self, xs: &[f32], batch: usize, ys: &mut [f32]) {
+        let out = self.out_dim();
+        self.w.matvec_batch(xs, batch, ys);
+        for b in 0..batch {
+            for (yi, bi) in ys[b * out..(b + 1) * out].iter_mut().zip(&self.b) {
+                *yi += bi;
+            }
+        }
+    }
+}
+
+/// Inference-ready form of an [`LstmCell`]: the combined `4H × (I+H)`
+/// gate matrix packed, bias carried alongside.
+#[derive(Debug, Clone)]
+pub struct PackedLstm {
+    w: PackedWeights,
+    b: Vec<f32>,
+    input: usize,
+    hidden: usize,
+}
+
+impl PackedLstm {
+    /// Packs a trained cell.
+    pub fn of(cell: &LstmCell) -> Self {
+        PackedLstm {
+            w: PackedWeights::pack(&cell.w.value, cell.w.rows, cell.w.cols),
+            b: cell.b.value.clone(),
+            input: cell.input_dim(),
+            hidden: cell.hidden_dim(),
+        }
+    }
+
+    /// Input dimension.
+    #[inline]
+    pub fn input_dim(&self) -> usize {
+        self.input
+    }
+
+    /// Hidden dimension.
+    #[inline]
+    pub fn hidden_dim(&self) -> usize {
+        self.hidden
+    }
+
+    /// Allocation-free scalar step advancing `state` in place.
+    /// Bit-identical to [`LstmCell::forward`]'s value path and to
+    /// [`LstmCell::infer_step`].
+    pub fn infer_step(&self, x: &[f32], state: &mut LstmState, scratch: &mut LstmScratch) {
+        lstm_infer_step_strided(
+            &self.w.data,
+            self.w.stride,
+            &self.b,
+            self.input,
+            self.hidden,
+            x,
+            state,
+            scratch,
+        );
+    }
+
+    /// Batched step with the layout contract of
+    /// [`LstmCell::infer_step_batch`], to which it is bit-identical.
+    pub fn infer_step_batch(
+        &self,
+        batch: usize,
+        xh: &[f32],
+        c: &mut [f32],
+        h: &mut [f32],
+        z_scratch: &mut Vec<f32>,
+    ) {
+        lstm_infer_step_batch_strided(
+            &self.w.data,
+            self.w.stride,
+            &self.b,
+            self.input,
+            self.hidden,
+            batch,
+            xh,
+            c,
+            h,
+            z_scratch,
+        );
+    }
+}
+
+/// Inference-ready form of a [`GruCell`]: all three gate matrices packed.
+#[derive(Debug, Clone)]
+pub struct PackedGru {
+    wz: PackedWeights,
+    wr: PackedWeights,
+    wn: PackedWeights,
+    bz: Vec<f32>,
+    br: Vec<f32>,
+    bn: Vec<f32>,
+    input: usize,
+    hidden: usize,
+}
+
+impl PackedGru {
+    /// Packs a trained cell.
+    pub fn of(cell: &GruCell) -> Self {
+        PackedGru {
+            wz: PackedWeights::pack(&cell.wz.value, cell.wz.rows, cell.wz.cols),
+            wr: PackedWeights::pack(&cell.wr.value, cell.wr.rows, cell.wr.cols),
+            wn: PackedWeights::pack(&cell.wn.value, cell.wn.rows, cell.wn.cols),
+            bz: cell.bz.value.clone(),
+            br: cell.br.value.clone(),
+            bn: cell.bn.value.clone(),
+            input: cell.input_dim(),
+            hidden: cell.hidden_dim(),
+        }
+    }
+
+    /// Input dimension.
+    #[inline]
+    pub fn input_dim(&self) -> usize {
+        self.input
+    }
+
+    /// Hidden dimension.
+    #[inline]
+    pub fn hidden_dim(&self) -> usize {
+        self.hidden
+    }
+
+    /// Allocation-free scalar step writing the new hidden vector into
+    /// `h_new`. Bit-identical to [`GruCell::forward`]'s value path and to
+    /// [`GruCell::infer_step`].
+    pub fn infer_step(
+        &self,
+        x: &[f32],
+        h_prev: &[f32],
+        h_new: &mut Vec<f32>,
+        scratch: &mut GruScratch,
+    ) {
+        gru_infer_step_strided(
+            (&self.wz.data, self.wz.stride),
+            (&self.wr.data, self.wr.stride),
+            (&self.wn.data, self.wn.stride),
+            &self.bz,
+            &self.br,
+            &self.bn,
+            self.input,
+            self.hidden,
+            x,
+            h_prev,
+            h_new,
+            scratch,
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::init::seeded_rng;
+
+    #[test]
+    fn packed_weights_pad_rows_and_preserve_values() {
+        let values: Vec<f32> = (0..6).map(|i| i as f32).collect(); // 2×3
+        let p = PackedWeights::pack(&values, 2, 3);
+        assert_eq!(p.stride(), LANES);
+        assert_eq!(p.row(0), &[0.0, 1.0, 2.0]);
+        assert_eq!(p.row(1), &[3.0, 4.0, 5.0]);
+        // padding zero-filled
+        assert!(p.data[3..8].iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn packed_matvec_is_bit_identical_to_unpacked() {
+        let values: Vec<f32> = (0..35).map(|i| (i as f32 - 17.0) * 0.21).collect(); // 5×7
+        let p = PackedWeights::pack(&values, 5, 7);
+        let x: Vec<f32> = (0..7).map(|i| (i as f32) * 0.4 - 1.0).collect();
+        let mut y0 = vec![0.0; 5];
+        let mut y1 = vec![0.0; 5];
+        crate::ops::matvec(&values, 5, 7, &x, &mut y0);
+        p.matvec(&x, &mut y1);
+        assert_eq!(y0, y1);
+    }
+
+    #[test]
+    fn packed_linear_matches_raw_bitwise() {
+        let l = Linear::new(13, 9, &mut seeded_rng(3));
+        let p = PackedLinear::of(&l);
+        let xs: Vec<f32> = (0..39).map(|i| (i as f32 - 20.0) * 0.11).collect();
+        let mut y0 = vec![0.0; 9];
+        let mut y1 = vec![0.0; 9];
+        for b in 0..3 {
+            l.infer(&xs[b * 13..(b + 1) * 13], &mut y0);
+            p.infer(&xs[b * 13..(b + 1) * 13], &mut y1);
+            assert_eq!(y0, y1, "lane {b}");
+        }
+        let mut ys0 = vec![0.0; 27];
+        let mut ys1 = vec![0.0; 27];
+        l.infer_batch(&xs, 3, &mut ys0);
+        p.infer_batch(&xs, 3, &mut ys1);
+        assert_eq!(ys0, ys1);
+    }
+
+    #[test]
+    fn packed_lstm_scalar_and_batched_match_forward_bitwise() {
+        let cell = LstmCell::new(3, 5, &mut seeded_rng(4));
+        let p = PackedLstm::of(&cell);
+        let x = [0.4, -0.2, 0.9];
+        let mut state = LstmState::zeros(5);
+        let mut scratch = LstmScratch::default();
+        // two chained steps through the packed scalar path
+        p.infer_step(&x, &mut state, &mut scratch);
+        p.infer_step(&x, &mut state, &mut scratch);
+        // reference: raw forward twice
+        let mut expect = LstmState::zeros(5);
+        expect = cell.forward(&x, &expect).0;
+        expect = cell.forward(&x, &expect).0;
+        assert_eq!(state, expect);
+        // raw scratch-based step agrees too
+        let mut raw = LstmState::zeros(5);
+        cell.infer_step(&x, &mut raw, &mut scratch);
+        cell.infer_step(&x, &mut raw, &mut scratch);
+        assert_eq!(raw, expect);
+    }
+
+    #[test]
+    fn packed_gru_matches_forward_bitwise() {
+        let cell = GruCell::new(4, 6, &mut seeded_rng(5));
+        let p = PackedGru::of(&cell);
+        let x = [0.1, -0.5, 0.3, 0.8];
+        let h0 = vec![0.05; 6];
+        let (expect, _) = cell.forward(&x, &h0);
+        let mut scratch = GruScratch::default();
+        let mut got = Vec::new();
+        p.infer_step(&x, &h0, &mut got, &mut scratch);
+        assert_eq!(got, expect);
+        let mut raw = Vec::new();
+        cell.infer_step(&x, &h0, &mut raw, &mut scratch);
+        assert_eq!(raw, expect);
+    }
+}

@@ -3,11 +3,184 @@
 //! Cells are *stateless* computation units: callers own the hidden state
 //! and drive sequences / BPTT explicitly (RSRNet unrolls an LSTM over a
 //! trajectory; the GM-VSAE baselines unroll GRU encoders/decoders).
+//!
+//! The inference-only step paths ([`LstmCell::infer_step`],
+//! [`LstmCell::infer_step_batch`], [`GruCell::infer_step`]) take reusable
+//! [`LstmScratch`]/[`GruScratch`] buffers instead of allocating the
+//! `[x; h]` concatenations and gate vectors per point — the serving hot
+//! path allocates nothing once a session's scratch is warm. The same
+//! strided step helpers back the packed-weight variants in
+//! [`crate::pack`], so raw and packed inference share one accumulation
+//! order and stay bit-identical.
 
-use crate::ops::{self, sigmoid};
+use crate::ops::{self, kernels, sigmoid};
 use crate::param::Param;
 use rand::rngs::StdRng;
 use serde::{Deserialize, Serialize};
+
+/// Reusable buffers for the allocation-free scalar LSTM inference step:
+/// the `[x; h]` concatenation and the `4H` pre-activation gate vector.
+#[derive(Debug, Clone, Default)]
+pub struct LstmScratch {
+    pub(crate) xh: Vec<f32>,
+    pub(crate) gates: Vec<f32>,
+}
+
+/// Reusable buffers for the allocation-free scalar GRU inference step:
+/// `[x; h]` / `[x; r⊙h]` concatenations and the `z`/`r` gate vectors.
+#[derive(Debug, Clone, Default)]
+pub struct GruScratch {
+    pub(crate) xh: Vec<f32>,
+    pub(crate) xrh: Vec<f32>,
+    pub(crate) z: Vec<f32>,
+    pub(crate) r: Vec<f32>,
+}
+
+/// Adds the bias into the `4H` pre-activations and applies the LSTM gate
+/// element-wise math for one lane: `c ← f⊙c + i⊙g`, `h ← o⊙tanh(c)`.
+/// Exactly the expressions of [`LstmCell::forward`], shared by the raw and
+/// packed batched/scalar step paths so all four are bit-identical.
+#[inline]
+pub(crate) fn lstm_gate_fuse(z: &mut [f32], bias: &[f32], c: &mut [f32], h: &mut [f32]) {
+    let hd = c.len();
+    debug_assert_eq!(z.len(), 4 * hd);
+    debug_assert_eq!(bias.len(), 4 * hd);
+    debug_assert_eq!(h.len(), hd);
+    for (zi, bi) in z.iter_mut().zip(bias) {
+        *zi += bi;
+    }
+    for k in 0..hd {
+        let i = sigmoid(z[k]);
+        let f = sigmoid(z[hd + k]);
+        let g = z[2 * hd + k].tanh();
+        let o = sigmoid(z[3 * hd + k]);
+        let new_c = f * c[k] + i * g;
+        c[k] = new_c;
+        h[k] = o * new_c.tanh();
+    }
+}
+
+/// Scalar LSTM inference step over a strided weight matrix (`stride ==
+/// input + hidden` for raw weights; the padded stride for packed ones).
+/// Advances `state` in place; allocation-free once `scratch` is warm.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn lstm_infer_step_strided(
+    w: &[f32],
+    stride: usize,
+    bias: &[f32],
+    input: usize,
+    hidden: usize,
+    x: &[f32],
+    state: &mut LstmState,
+    scratch: &mut LstmScratch,
+) {
+    debug_assert_eq!(x.len(), input);
+    debug_assert_eq!(state.h.len(), hidden);
+    scratch.xh.clear();
+    scratch.xh.extend_from_slice(x);
+    scratch.xh.extend_from_slice(&state.h);
+    scratch.gates.clear();
+    scratch.gates.resize(4 * hidden, 0.0);
+    kernels::matvec(
+        w,
+        stride,
+        4 * hidden,
+        input + hidden,
+        &scratch.xh,
+        &mut scratch.gates,
+    );
+    lstm_gate_fuse(&mut scratch.gates, bias, &mut state.c, &mut state.h);
+}
+
+/// Batched LSTM inference step over a strided weight matrix; see
+/// [`LstmCell::infer_step_batch`] for the layout contract.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn lstm_infer_step_batch_strided(
+    w: &[f32],
+    stride: usize,
+    bias: &[f32],
+    input: usize,
+    hidden: usize,
+    batch: usize,
+    xh: &[f32],
+    c: &mut [f32],
+    h: &mut [f32],
+    z_scratch: &mut Vec<f32>,
+) {
+    debug_assert_eq!(xh.len(), batch * (input + hidden));
+    debug_assert_eq!(c.len(), batch * hidden);
+    debug_assert_eq!(h.len(), batch * hidden);
+    z_scratch.clear();
+    z_scratch.resize(batch * 4 * hidden, 0.0);
+    kernels::gemm_micro(
+        w,
+        stride,
+        4 * hidden,
+        input + hidden,
+        xh,
+        input + hidden,
+        batch,
+        z_scratch,
+    );
+    for b in 0..batch {
+        lstm_gate_fuse(
+            &mut z_scratch[b * 4 * hidden..(b + 1) * 4 * hidden],
+            bias,
+            &mut c[b * hidden..(b + 1) * hidden],
+            &mut h[b * hidden..(b + 1) * hidden],
+        );
+    }
+}
+
+/// Scalar GRU inference step over strided weight matrices (one `(matrix,
+/// stride)` pair per gate). Writes the new hidden vector into `h_new`;
+/// bit-identical to [`GruCell::forward`]'s value path.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn gru_infer_step_strided(
+    wz: (&[f32], usize),
+    wr: (&[f32], usize),
+    wn: (&[f32], usize),
+    bz: &[f32],
+    br: &[f32],
+    bn: &[f32],
+    input: usize,
+    hidden: usize,
+    x: &[f32],
+    h_prev: &[f32],
+    h_new: &mut Vec<f32>,
+    scratch: &mut GruScratch,
+) {
+    debug_assert_eq!(x.len(), input);
+    debug_assert_eq!(h_prev.len(), hidden);
+    let cols = input + hidden;
+    scratch.xh.clear();
+    scratch.xh.extend_from_slice(x);
+    scratch.xh.extend_from_slice(h_prev);
+    scratch.z.clear();
+    scratch.z.resize(hidden, 0.0);
+    scratch.r.clear();
+    scratch.r.resize(hidden, 0.0);
+    kernels::matvec(wz.0, wz.1, hidden, cols, &scratch.xh, &mut scratch.z);
+    kernels::matvec(wr.0, wr.1, hidden, cols, &scratch.xh, &mut scratch.r);
+    for k in 0..hidden {
+        scratch.z[k] = sigmoid(scratch.z[k] + bz[k]);
+        scratch.r[k] = sigmoid(scratch.r[k] + br[k]);
+    }
+    scratch.xrh.clear();
+    scratch.xrh.extend_from_slice(x);
+    scratch
+        .xrh
+        .extend(scratch.r.iter().zip(h_prev).map(|(rk, hk)| rk * hk));
+    h_new.clear();
+    h_new.resize(hidden, 0.0);
+    kernels::matvec(wn.0, wn.1, hidden, cols, &scratch.xrh, h_new);
+    for k in 0..hidden {
+        h_new[k] = (h_new[k] + bn[k]).tanh();
+    }
+    for k in 0..hidden {
+        h_new[k] = (1.0 - scratch.z[k]) * h_new[k] + scratch.z[k] * h_prev[k];
+    }
+}
 
 /// Hidden state of an LSTM: `(h, c)`.
 #[derive(Debug, Clone, PartialEq, Default)]
@@ -123,6 +296,24 @@ impl LstmCell {
         )
     }
 
+    /// Inference-only scalar step advancing `state` in place without the
+    /// per-point `concat`/gate allocations of [`LstmCell::forward`] — the
+    /// `[x; h]` and pre-activation buffers live in the caller's reusable
+    /// [`LstmScratch`]. Bit-identical to the value path of `forward` (same
+    /// kernels, same gate expressions).
+    pub fn infer_step(&self, x: &[f32], state: &mut LstmState, scratch: &mut LstmScratch) {
+        lstm_infer_step_strided(
+            &self.w.value,
+            self.input + self.hidden,
+            &self.b.value,
+            self.input,
+            self.hidden,
+            x,
+            state,
+            scratch,
+        );
+    }
+
     /// Inference-only batched step advancing `batch` independent lanes in
     /// one matrix pass.
     ///
@@ -133,7 +324,7 @@ impl LstmCell {
     /// * `z_scratch` — reusable gate buffer (resized to `batch × 4·hidden`).
     ///
     /// Per-lane results are **bit-identical** to [`LstmCell::forward`]
-    /// (same dot-product accumulation order, same element-wise gate
+    /// (same kernel accumulation order, same element-wise gate
     /// expressions); the batched form exists so one pass over the `4H ×
     /// (I+H)` weight matrix serves every lane that advanced this tick.
     pub fn infer_step_batch(
@@ -144,30 +335,18 @@ impl LstmCell {
         h: &mut [f32],
         z_scratch: &mut Vec<f32>,
     ) {
-        let hd = self.hidden;
-        debug_assert_eq!(xh.len(), batch * (self.input + hd));
-        debug_assert_eq!(c.len(), batch * hd);
-        debug_assert_eq!(h.len(), batch * hd);
-        z_scratch.clear();
-        z_scratch.resize(batch * 4 * hd, 0.0);
-        ops::matvec_batch(&self.w.value, 4 * hd, self.input + hd, xh, batch, z_scratch);
-        for b in 0..batch {
-            let z = &mut z_scratch[b * 4 * hd..(b + 1) * 4 * hd];
-            for (zi, bi) in z.iter_mut().zip(&self.b.value) {
-                *zi += bi;
-            }
-            let cb = &mut c[b * hd..(b + 1) * hd];
-            let hb = &mut h[b * hd..(b + 1) * hd];
-            for k in 0..hd {
-                let i = sigmoid(z[k]);
-                let f = sigmoid(z[hd + k]);
-                let g = z[2 * hd + k].tanh();
-                let o = sigmoid(z[3 * hd + k]);
-                let new_c = f * cb[k] + i * g;
-                cb[k] = new_c;
-                hb[k] = o * new_c.tanh();
-            }
-        }
+        lstm_infer_step_batch_strided(
+            &self.w.value,
+            self.input + self.hidden,
+            &self.b.value,
+            self.input,
+            self.hidden,
+            batch,
+            xh,
+            c,
+            h,
+            z_scratch,
+        );
     }
 
     /// Backward for one step. `dh`/`dc` are the gradients flowing into this
@@ -305,6 +484,35 @@ impl GruCell {
                 h_prev: h_prev.to_vec(),
             },
         )
+    }
+
+    /// Inference-only scalar step writing the new hidden vector into
+    /// `h_new`, without the per-point `concat`/gate allocations of
+    /// [`GruCell::forward`] — all intermediates live in the caller's
+    /// reusable [`GruScratch`]. Bit-identical to the value path of
+    /// `forward`.
+    pub fn infer_step(
+        &self,
+        x: &[f32],
+        h_prev: &[f32],
+        h_new: &mut Vec<f32>,
+        scratch: &mut GruScratch,
+    ) {
+        let cols = self.input + self.hidden;
+        gru_infer_step_strided(
+            (&self.wz.value, cols),
+            (&self.wr.value, cols),
+            (&self.wn.value, cols),
+            &self.bz.value,
+            &self.br.value,
+            &self.bn.value,
+            self.input,
+            self.hidden,
+            x,
+            h_prev,
+            h_new,
+            scratch,
+        );
     }
 
     /// Backward for one step: accumulates parameter gradients, returns

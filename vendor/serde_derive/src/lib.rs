@@ -306,11 +306,22 @@ fn gen_deserialize(item: &Item) -> String {
                         Some(path) => format!("{path}::deserialize(__fv)?"),
                         None => "::serde::Deserialize::deserialize(__fv)?".to_string(),
                     };
+                    // `with`-adapter fields tolerate a missing key: the
+                    // adapter is handed `Null`, so derived-data fields
+                    // (e.g. caches serialised as null) stay readable from
+                    // documents written before the field existed.
+                    let missing = match &f.with {
+                        Some(path) => format!("{path}::deserialize(&::serde::Value::Null)?"),
+                        None => format!(
+                            "return ::std::result::Result::Err(\
+                                 ::serde::Error::missing_field(\"{name}\", \"{field}\"))",
+                            field = f.name
+                        ),
+                    };
                     s.push_str(&format!(
                         "{field}: match ::serde::Value::get(__v, \"{field}\") {{\n\
                              ::std::option::Option::Some(__fv) => {expr},\n\
-                             ::std::option::Option::None => return ::std::result::Result::Err(\
-                                 ::serde::Error::missing_field(\"{name}\", \"{field}\")),\n\
+                             ::std::option::Option::None => {missing},\n\
                          }},\n",
                         field = f.name
                     ));
