@@ -1,28 +1,35 @@
-//! `ingest` — async front-door throughput + latency measurement, written
-//! to `BENCH_ingest.json`.
+//! `hotswap` — serving cost of zero-downtime model hot-swap, written to
+//! `BENCH_hotswap.json`.
 //!
-//! Drives the RL4OASD [`rl4oasd::IngestEngine`] the way production would:
-//! producer threads submit independent per-point events through a cloned
-//! [`traj::IngestHandle`] (retrying on `QueueFull` backpressure), persistent
-//! per-shard workers micro-batch them into `observe_batch` ticks under the
-//! [`traj::FlushPolicy`] latency SLO, and labels stream back through
-//! per-session subscriptions. Reported per row: sustained points/sec
-//! **and p50/p95/p99 submit→label latency** (from the front door's HDR
-//! histogram — queue wait counts against the SLO), sweeping shard count
-//! {1, 4} × concurrent sessions {100, 10k}.
+//! Drives a live [`rl4oasd::IngestEngine`] with closed-loop producers (the
+//! `--bin ingest` workload) while a publisher thread hot-swaps the serving
+//! model through [`rl4oasd::SwapModel::swap_model`], and reports sustained
+//! points/sec + p50/p99 submit→label latency per mode:
 //!
-//! Closed-loop producers saturate the engine, so tail latency here is the
-//! *backpressured* latency — bounded by `queue_capacity / service_rate`,
-//! not by `max_delay` (which dominates only below saturation).
+//! * `baseline` — no swaps (the `--bin ingest` numbers for this config);
+//! * `swap_Nms` — a prebuilt second model republished every N ms: measures
+//!   the pure swap overhead (queue broadcast + flush-boundary apply +
+//!   epoch bookkeeping) at an absurdly hot cadence;
+//! * `fine_tune_live` — the drift-adaptation closed loop: an
+//!   [`rl4oasd::OnlineLearner`] fine-tunes on recorded trips in the
+//!   publisher thread and publishes each refreshed snapshot into the
+//!   running engine (swap cadence = fine-tune duration).
+//!
+//! Every row also records how many swaps were applied (per shard) during
+//! the run. The invariant half of the story — swaps never change any
+//! in-flight session's labels — is `tests/hotswap.rs`; this bin measures
+//! that the freedom is close to free.
 //!
 //! ```text
-//! cargo run --release -p bench_suite --bin ingest [-- out.json]
+//! cargo run --release -p bench_suite --bin hotswap [-- out.json]
 //! ```
 
-use rl4oasd::{train, IngestEngine, Rl4oasdConfig, StreamEngine, TrainedModel};
+use rl4oasd::{
+    train, IngestEngine, OnlineLearner, Rl4oasdConfig, StreamEngine, SwapModel, TrainedModel,
+};
 use rnet::{CityBuilder, CityConfig, RoadNetwork};
 use serde::Serialize;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 use traj::{
@@ -32,20 +39,17 @@ use traj::{
 
 #[derive(Serialize)]
 struct Row {
+    mode: String,
     sessions: usize,
     shards: usize,
-    threads: usize,
     producers: usize,
     points: u64,
     seconds: f64,
     points_per_sec: f64,
     p50_us: f64,
-    p95_us: f64,
     p99_us: f64,
-    mean_us: f64,
+    swaps_per_shard: u64,
     queue_full_retries: u64,
-    flushes: u64,
-    max_flush_batch: usize,
 }
 
 #[derive(Serialize)]
@@ -53,11 +57,9 @@ struct Report {
     bench: String,
     city: String,
     hidden_dim: usize,
-    embed_dim: usize,
     host_cores: usize,
     max_batch: usize,
     max_delay_us: u64,
-    queue_capacity: usize,
     results: Vec<Row>,
 }
 
@@ -93,9 +95,8 @@ fn open_lane(
     }
 }
 
-/// One producer: owns `lanes` concurrent trips, submits one point per lane
-/// per round (closed loop), drains label subscriptions, recycles finished
-/// trips. Returns `QueueFull` retry count.
+/// Closed-loop producer (same shape as `--bin ingest`): `lanes` concurrent
+/// trips, one point per lane per round, recycling finished trips.
 fn produce(
     handle: IngestHandle<StreamEngine>,
     trajs: Arc<Vec<MappedTrajectory>>,
@@ -152,26 +153,75 @@ fn wait_close(handle: &IngestHandle<StreamEngine>, lane: Lane) {
     ticket.wait();
 }
 
+/// What the publisher thread does while the producers hammer the engine.
+enum Publisher {
+    None,
+    /// Republish prebuilt models alternately every `period`.
+    Alternate {
+        period: Duration,
+    },
+    /// Fine-tune an [`OnlineLearner`] on `recent` and publish each
+    /// snapshot as soon as it is ready (cadence = fine-tune duration).
+    FineTune {
+        recent: Dataset,
+    },
+}
+
+#[allow(clippy::too_many_arguments)]
 fn measure(
-    model: &Arc<TrainedModel>,
+    mode: &str,
+    v1: &Arc<TrainedModel>,
+    v2: &Arc<TrainedModel>,
     net: &Arc<RoadNetwork>,
     trajs: &Arc<Vec<MappedTrajectory>>,
     sessions: usize,
     shards: usize,
     min_points: u64,
     config: IngestConfig,
+    publisher: Publisher,
 ) -> Row {
-    let engine = IngestEngine::new(Arc::clone(model), Arc::clone(net), shards, config);
+    let engine = IngestEngine::new(Arc::clone(v1), Arc::clone(net), shards, config);
     let producers = sessions.min(4);
     let per = sessions.div_ceil(producers);
     let total = Arc::new(AtomicU64::new(0));
+    let stop = Arc::new(AtomicBool::new(false));
+
+    let swapper = {
+        let handle = engine.handle();
+        let stop = Arc::clone(&stop);
+        let (v1, v2) = (Arc::clone(v1), Arc::clone(v2));
+        let net = Arc::clone(net);
+        match publisher {
+            Publisher::None => None,
+            Publisher::Alternate { period } => Some(std::thread::spawn(move || {
+                let mut flip = false;
+                while !stop.load(Ordering::Relaxed) {
+                    std::thread::sleep(period);
+                    let next = if flip { &v1 } else { &v2 };
+                    flip = !flip;
+                    if handle.swap_model(Arc::clone(next)).is_err() {
+                        break;
+                    }
+                }
+            })),
+            Publisher::FineTune { recent } => Some(std::thread::spawn(move || {
+                let mut learner = OnlineLearner::new(TrainedModel::clone(&v1));
+                while !stop.load(Ordering::Relaxed) {
+                    learner.fine_tune(&net, &recent);
+                    if handle.swap_model(Arc::new(learner.model.clone())).is_err() {
+                        break;
+                    }
+                }
+            })),
+        }
+    };
 
     let t0 = Instant::now();
     let joins: Vec<_> = (0..producers)
         .filter_map(|p| {
             let lanes = per.min(sessions.saturating_sub(p * per));
             if lanes == 0 {
-                return None; // a laneless producer would only busy-wait
+                return None;
             }
             let handle = engine.handle();
             let trajs = Arc::clone(trajs);
@@ -183,35 +233,36 @@ fn measure(
         .collect();
     let retries: u64 = joins.into_iter().map(|j| j.join().expect("producer")).sum();
     let seconds = t0.elapsed().as_secs_f64();
+    stop.store(true, Ordering::Relaxed);
+    if let Some(swapper) = swapper {
+        swapper.join().expect("publisher thread");
+    }
     let report = engine.shutdown();
 
     let points = report.ingest.submitted;
     let lat = &report.ingest.latency;
     let us = |q: f64| lat.percentile(q).as_secs_f64() * 1e6;
     Row {
+        mode: mode.to_string(),
         sessions,
         shards,
-        threads: shards,
         producers,
         points,
         seconds,
         points_per_sec: points as f64 / seconds.max(1e-12),
         p50_us: us(0.50),
-        p95_us: us(0.95),
         p99_us: us(0.99),
-        mean_us: lat.mean().as_secs_f64() * 1e6,
+        swaps_per_shard: report.engine.model_swaps / shards as u64,
         queue_full_retries: retries,
-        flushes: report.ingest.flushes,
-        max_flush_batch: report.ingest.max_flush_batch,
     }
 }
 
 fn main() {
     let out_path = std::env::args()
         .nth(1)
-        .unwrap_or_else(|| "BENCH_ingest.json".to_string());
+        .unwrap_or_else(|| "BENCH_hotswap.json".to_string());
 
-    eprintln!("building city + training model (one-time setup)...");
+    eprintln!("building city + training two model generations (one-time setup)...");
     let net = CityBuilder::new(CityConfig::chengdu_like()).build();
     let sim = TrafficSimulator::new(
         &net,
@@ -221,14 +272,25 @@ fn main() {
             ..TrafficConfig::default()
         },
     );
-    let generated = sim.generate();
-    let train_set = Dataset::from_generated(&generated);
+    let train_set = Dataset::from_generated(&sim.generate());
     let config = Rl4oasdConfig {
         joint_trajs: 200,
         pretrain_trajs: 100,
         ..Rl4oasdConfig::default()
     };
-    let model = Arc::new(train(&net, &train_set, &config));
+    let v1 = Arc::new(train(&net, &train_set, &config));
+    let v2 = Arc::new(train(
+        &net,
+        &train_set,
+        &Rl4oasdConfig {
+            seed: config.seed ^ 0x5A11AD,
+            ..config.clone()
+        },
+    ));
+    // Pre-pack both generations: the bench measures swap cost, not the
+    // one-time packing either model would pay on its first epoch anyway.
+    v1.packed();
+    v2.packed();
     let trajs: Arc<Vec<MappedTrajectory>> = Arc::new(
         train_set
             .trajectories
@@ -238,6 +300,9 @@ fn main() {
             .cloned()
             .collect(),
     );
+    // A small "recorded" slice for the live fine-tune mode: big enough to
+    // be a real fine-tune, small enough to publish several times per run.
+    let recent = train_set.filter(|t| t.id.0 < 40);
     let net = Arc::new(net);
     let host_cores = std::thread::available_parallelism().map_or(1, |n| n.get());
 
@@ -247,51 +312,64 @@ fn main() {
         outbox_capacity: 256,
     };
 
+    let sessions = 10_000usize;
+    let min_points = 200_000u64;
     let mut results = Vec::new();
-    for sessions in [100usize, 10_000] {
-        let min_points = (sessions as u64 * 20).max(100_000);
-        for shards in [1usize, 4] {
+    for shards in [1usize, 4] {
+        for (mode, publisher) in [
+            ("baseline", Publisher::None),
+            (
+                "swap_50ms",
+                Publisher::Alternate {
+                    period: Duration::from_millis(50),
+                },
+            ),
+            (
+                "fine_tune_live",
+                Publisher::FineTune {
+                    recent: recent.clone(),
+                },
+            ),
+        ] {
             let row = measure(
-                &model,
+                mode,
+                &v1,
+                &v2,
                 &net,
                 &trajs,
                 sessions,
                 shards,
                 min_points,
                 ingest_config.clone(),
+                publisher,
             );
             eprintln!(
-                "{:>6} sessions x {} shards ({} producers): {:>9} points in {:>7.3}s = \
-                 {:>10.0} points/sec | latency p50 {:>8.0}us p99 {:>8.0}us | \
-                 {} retries, {} flushes (max batch {})",
-                row.sessions,
+                "{:>15} x {} shards: {:>8} points in {:>7.3}s = {:>9.0} points/sec | \
+                 p50 {:>8.0}us p99 {:>8.0}us | {} swaps/shard, {} retries",
+                row.mode,
                 row.shards,
-                row.producers,
                 row.points,
                 row.seconds,
                 row.points_per_sec,
                 row.p50_us,
                 row.p99_us,
+                row.swaps_per_shard,
                 row.queue_full_retries,
-                row.flushes,
-                row.max_flush_batch,
             );
             results.push(row);
         }
     }
 
     let report = Report {
-        bench: "ingest_front_door".to_string(),
+        bench: "model_hotswap".to_string(),
         city: "Chengdu-sim".to_string(),
         hidden_dim: config.hidden_dim,
-        embed_dim: config.embed_dim,
         host_cores,
         max_batch: ingest_config.flush.max_batch,
         max_delay_us: ingest_config.flush.max_delay.as_micros() as u64,
-        queue_capacity: ingest_config.queue_capacity,
         results,
     };
     let json = serde_json::to_string_pretty(&report).expect("report serialises");
-    std::fs::write(&out_path, json).expect("write BENCH_ingest.json");
+    std::fs::write(&out_path, json).expect("write BENCH_hotswap.json");
     eprintln!("wrote {out_path}");
 }

@@ -4,14 +4,20 @@
 //! The paper's motivating scenario is an operator watching *many* ongoing
 //! trips at once. [`StreamEngine`] is that serving layer for RL4OASD:
 //!
-//! * **shared state** — one `Arc<TrainedModel>` + `Arc<RoadNetwork>`,
-//!   never mutated while serving (cheap to share across engines or
-//!   threads);
+//! * **shared state** — `Arc<TrainedModel>` + `Arc<RoadNetwork>`, never
+//!   mutated while serving (cheap to share across engines or threads).
+//!   Model ownership is **per-session**, organised in *epochs*: every
+//!   session is pinned at `open` to the engine's current model epoch, and
+//!   [`StreamEngine::swap_model`] installs a new epoch for *future* opens
+//!   without touching the sessions already running — their label streams
+//!   stay self-consistent on the weights they started with, and an old
+//!   epoch's `Arc<TrainedModel>` is released the moment its last session
+//!   closes (live-session refcounts per epoch; see `tests/hotswap.rs`);
 //! * **per-session state** — a compact crate-private `SessionState`: the
 //!   LSTM stream
-//!   vectors, previous segment/label and the provisional label buffer;
-//!   opening a session allocates two `hidden_dim` vectors and nothing
-//!   else;
+//!   vectors, previous segment/label and the provisional label buffer,
+//!   plus the session's model-epoch id; opening a session allocates two
+//!   `hidden_dim` vectors and nothing else;
 //! * **batched ticks** — [`StreamEngine::observe_batch`] advances every
 //!   session that received a point in the same tick through *one* LSTM
 //!   matrix pass (`RsrNet::stream_step_batch`) and one policy-head pass,
@@ -48,6 +54,10 @@ pub struct EngineStats {
     pub batched_rounds: u64,
     /// Events advanced through the scalar path (single-session ticks).
     pub scalar_events: u64,
+    /// Model hot-swaps applied ([`StreamEngine::swap_model`]). Sharded and
+    /// ingest engines broadcast one swap per shard, so their aggregated
+    /// count is `shards × swaps`.
+    pub model_swaps: u64,
 }
 
 impl std::ops::AddAssign for EngineStats {
@@ -62,6 +72,7 @@ impl std::ops::AddAssign for EngineStats {
             batched_events,
             batched_rounds,
             scalar_events,
+            model_swaps,
         } = rhs;
         self.sessions_opened += sessions_opened;
         self.sessions_closed += sessions_closed;
@@ -69,6 +80,7 @@ impl std::ops::AddAssign for EngineStats {
         self.batched_events += batched_events;
         self.batched_rounds += batched_rounds;
         self.scalar_events += scalar_events;
+        self.model_swaps += model_swaps;
     }
 }
 
@@ -104,12 +116,35 @@ struct TickScratch {
     lanes: Vec<(u32, SegmentId, SessionState, Pending)>,
 }
 
-/// A multiplexing detection engine: one shared model, thousands of cheap
-/// concurrent sessions, batched nn steps per tick.
-pub struct StreamEngine {
+/// One model generation an engine is (or was) serving: the shared weights
+/// plus how many open sessions still run on them. Retired (dropped) as
+/// soon as it is no longer current *and* its last session closed — the
+/// engine never pins more `Arc<TrainedModel>`s than it has live
+/// generations.
+struct ModelEpoch {
     model: Arc<TrainedModel>,
+    live_sessions: u32,
+}
+
+/// One open session: the algorithmic state plus the id of the model epoch
+/// it was opened under (and will run on until it closes).
+struct SessionEntry {
+    epoch: u32,
+    state: SessionState,
+}
+
+/// A multiplexing detection engine: one shared model, thousands of cheap
+/// concurrent sessions, batched nn steps per tick, and zero-downtime model
+/// hot-swap ([`StreamEngine::swap_model`]) with per-session model epochs.
+pub struct StreamEngine {
+    /// Model epochs by id; retired entries are `None` (slots are reused by
+    /// later swaps, so the vec stays as short as the number of epochs that
+    /// ever ran concurrently — typically 1 or 2).
+    epochs: Vec<Option<ModelEpoch>>,
+    /// Epoch id new sessions are opened under.
+    current: u32,
     net: Arc<RoadNetwork>,
-    sessions: SessionSlab<SessionState>,
+    sessions: SessionSlab<SessionEntry>,
     counters: DecisionCounters,
     stats: EngineStats,
     scratch: TickScratch,
@@ -119,7 +154,11 @@ impl StreamEngine {
     /// Builds an engine over a shared trained model and road network.
     pub fn new(model: Arc<TrainedModel>, net: Arc<RoadNetwork>) -> Self {
         StreamEngine {
-            model,
+            epochs: vec![Some(ModelEpoch {
+                model,
+                live_sessions: 0,
+            })],
+            current: 0,
             net,
             sessions: SessionSlab::new(),
             counters: DecisionCounters::default(),
@@ -128,9 +167,74 @@ impl StreamEngine {
         }
     }
 
-    /// The shared model.
+    /// The model new sessions are currently opened under (sessions opened
+    /// before the last [`StreamEngine::swap_model`] may still be running
+    /// on an older one).
     pub fn model(&self) -> &Arc<TrainedModel> {
-        &self.model
+        &self.epoch(self.current).model
+    }
+
+    /// Installs `model` as the serving model for every session opened from
+    /// now on. Zero-downtime by construction: sessions already open keep
+    /// the `Arc` of the model they started with (their label streams stay
+    /// self-consistent — no event is dropped, reordered or relabelled),
+    /// and that old model is freed when its last session closes. The swap
+    /// itself touches no session state, so it is safe at any point between
+    /// ticks; under the async front door it is applied at a flush boundary
+    /// (see `SwapModel::swap_model`).
+    ///
+    /// Swapping while the *current* epoch has no open sessions retires it
+    /// immediately.
+    pub fn swap_model(&mut self, model: Arc<TrainedModel>) {
+        let outgoing = self.current as usize;
+        if self.epochs[outgoing]
+            .as_ref()
+            .is_some_and(|e| e.live_sessions == 0)
+        {
+            self.epochs[outgoing] = None;
+        }
+        let epoch = ModelEpoch {
+            model,
+            live_sessions: 0,
+        };
+        let id = match self.epochs.iter().position(Option::is_none) {
+            Some(free) => {
+                self.epochs[free] = Some(epoch);
+                free
+            }
+            None => {
+                self.epochs.push(Some(epoch));
+                self.epochs.len() - 1
+            }
+        };
+        self.current = u32::try_from(id).expect("more than 2^32 live model epochs");
+        self.stats.model_swaps += 1;
+    }
+
+    /// Number of model generations currently alive in this engine: the
+    /// serving model plus every older model kept alive by still-open
+    /// pre-swap sessions. `1` when no swap is mid-drain.
+    pub fn live_model_epochs(&self) -> usize {
+        self.epochs.iter().filter(|e| e.is_some()).count()
+    }
+
+    fn epoch(&self, id: u32) -> &ModelEpoch {
+        self.epochs[id as usize]
+            .as_ref()
+            .expect("model epoch retired while referenced")
+    }
+
+    /// Drops one session's claim on its epoch, retiring the epoch (and
+    /// releasing its `Arc<TrainedModel>`) when it was the last session of
+    /// a no-longer-current model.
+    fn release_epoch(&mut self, id: u32) {
+        let e = self.epochs[id as usize]
+            .as_mut()
+            .expect("model epoch retired while referenced");
+        e.live_sessions -= 1;
+        if e.live_sessions == 0 && id != self.current {
+            self.epochs[id as usize] = None;
+        }
     }
 
     /// The shared road network.
@@ -148,13 +252,20 @@ impl StreamEngine {
         (self.counters.rnel_hits, self.counters.policy_calls)
     }
 
-    /// Advances one round of events whose sessions are pairwise distinct,
-    /// using the batched LSTM and policy-head kernels.
-    fn observe_round(&mut self, events: &[(SessionId, SegmentId)], out: &mut [u8]) {
+    /// Advances one round of events whose sessions are pairwise distinct
+    /// and share the model epoch `epoch`, using the batched LSTM and
+    /// policy-head kernels of that epoch's packed weights.
+    fn observe_round(&mut self, events: &[(SessionId, SegmentId)], out: &mut [u8], epoch: u32) {
         let round = std::mem::take(&mut self.scratch.round);
         let batch = round.len();
         debug_assert!(batch > 1);
-        let view = ModelView::of(&self.model, &self.net);
+        let view = ModelView::of(
+            &self.epochs[epoch as usize]
+                .as_ref()
+                .expect("model epoch retired while referenced")
+                .model,
+            &self.net,
+        );
 
         // Phase 1: move the round's sessions out of the slab, resolve the
         // pre-nn plan (endpoint pinning, RNEL) and gather the nn inputs.
@@ -163,7 +274,9 @@ impl StreamEngine {
         self.scratch.inputs.clear();
         for &ei in &round {
             let (session, segment) = events[ei as usize];
-            let state = self.sessions.take(session);
+            let entry = self.sessions.take(session);
+            debug_assert_eq!(entry.epoch, epoch, "round mixes model epochs");
+            let state = entry.state;
             let (nrf, is_endpoint) = state.pre_step(&view, segment);
             let pending = state.plan(&view, segment, is_endpoint, &mut self.counters);
             self.scratch.inputs.push((segment, nrf));
@@ -248,7 +361,8 @@ impl StreamEngine {
             };
             state.commit(segment, label);
             out[ei as usize] = label;
-            self.sessions.restore(session, state);
+            self.sessions
+                .restore(session, SessionEntry { epoch, state });
         }
 
         self.stats.observe_events += batch as u64;
@@ -264,17 +378,35 @@ impl SessionEngine for StreamEngine {
         "RL4OASD"
     }
 
+    /// Opens a session pinned to the engine's **current** model epoch; a
+    /// later [`StreamEngine::swap_model`] does not affect it.
     fn open(&mut self, sd: SdPair, start_time: f64) -> SessionId {
-        let view = ModelView::of(&self.model, &self.net);
+        let epoch = self.current;
+        let e = self.epochs[epoch as usize]
+            .as_mut()
+            .expect("current model epoch is always live");
+        e.live_sessions += 1;
+        let view = ModelView::of(&e.model, &self.net);
         let state = SessionState::open(&view, sd, start_time);
         self.stats.sessions_opened += 1;
-        self.sessions.insert(state)
+        self.sessions.insert(SessionEntry { epoch, state })
     }
 
     fn observe(&mut self, session: SessionId, segment: SegmentId) -> u8 {
-        let view = ModelView::of(&self.model, &self.net);
-        let state = self.sessions.get_mut(session);
-        let label = state.observe(&view, segment, &mut self.counters, &mut self.scratch.step);
+        let epoch = self.sessions.get(session).epoch;
+        // Field-precise borrows: the view borrows `epochs` + `net` only,
+        // leaving `sessions`/`counters`/`scratch` free for the step.
+        let view = ModelView::of(
+            &self.epochs[epoch as usize]
+                .as_ref()
+                .expect("model epoch retired while referenced")
+                .model,
+            &self.net,
+        );
+        let entry = self.sessions.get_mut(session);
+        let label = entry
+            .state
+            .observe(&view, segment, &mut self.counters, &mut self.scratch.step);
         self.stats.observe_events += 1;
         self.stats.scalar_events += 1;
         label
@@ -283,7 +415,11 @@ impl SessionEngine for StreamEngine {
     /// Batched tick: every session that received a point this tick advances
     /// through one LSTM matrix pass (and one head pass) instead of N scalar
     /// passes. Sessions appearing multiple times in `events` are applied in
-    /// order across successive sub-rounds.
+    /// order across successive sub-rounds. After a hot-swap, sessions on
+    /// different model epochs may share a tick; each round runs sessions of
+    /// one epoch (one set of packed weights), deferring the rest — the
+    /// batched kernels stay bit-identical to the scalar path per epoch, so
+    /// mixing epochs in a tick never changes labels.
     fn observe_batch(&mut self, events: &[(SessionId, SegmentId)], out: &mut Vec<u8>) {
         out.clear();
         out.resize(events.len(), 0);
@@ -292,15 +428,24 @@ impl SessionEngine for StreamEngine {
         remaining.extend(0..events.len() as u32);
         let mut seen = std::mem::take(&mut self.scratch.seen);
         while !remaining.is_empty() {
-            // Select a round in which each session appears at most once;
-            // later duplicates are deferred to the next round.
+            // Select a round in which each session appears at most once and
+            // every session shares the first event's model epoch; later
+            // duplicates and other-epoch sessions are deferred to the next
+            // round (per-session event order is preserved: once a session
+            // is deferred, all its later events defer behind it).
             seen.clear();
             let mut round = std::mem::take(&mut self.scratch.round);
             let mut deferred = std::mem::take(&mut self.scratch.deferred);
             round.clear();
             deferred.clear();
+            let mut round_epoch = self.current;
             for &ei in &remaining {
-                if seen.insert(events[ei as usize].0) {
+                let session = events[ei as usize].0;
+                let epoch = self.sessions.get(session).epoch;
+                if round.is_empty() {
+                    round_epoch = epoch;
+                }
+                if epoch == round_epoch && seen.insert(session) {
                     round.push(ei);
                 } else {
                     deferred.push(ei);
@@ -313,7 +458,7 @@ impl SessionEngine for StreamEngine {
                 self.scratch.round = round;
             } else {
                 self.scratch.round = round;
-                self.observe_round(events, out);
+                self.observe_round(events, out, round_epoch);
             }
             std::mem::swap(&mut remaining, &mut deferred);
             self.scratch.deferred = deferred;
@@ -323,10 +468,23 @@ impl SessionEngine for StreamEngine {
     }
 
     fn close(&mut self, session: SessionId) -> Vec<u8> {
-        let view = ModelView::of(&self.model, &self.net);
-        let mut state = self.sessions.remove(session);
+        let SessionEntry { epoch, mut state } = self.sessions.remove(session);
         self.stats.sessions_closed += 1;
-        state.finish(&view)
+        let labels = {
+            let view = ModelView::of(
+                &self.epochs[epoch as usize]
+                    .as_ref()
+                    .expect("model epoch retired while referenced")
+                    .model,
+                &self.net,
+            );
+            state.finish(&view)
+        };
+        // Last pre-swap session of an old epoch gone => the old model's
+        // `Arc` is released right here (property-tested in
+        // `tests/hotswap.rs`).
+        self.release_epoch(epoch);
+        labels
     }
 
     fn active_sessions(&self) -> usize {
@@ -477,6 +635,98 @@ mod tests {
         }
         assert_eq!(engine.active_sessions(), 0);
         assert_eq!(engine.stats().sessions_closed, 5000);
+    }
+
+    #[test]
+    fn swap_model_affects_only_sessions_opened_after() {
+        let (net, ds, old) = setup(27);
+        let new = {
+            let cfg = Rl4oasdConfig::tiny(0xD1FF);
+            Arc::new(train(
+                &net,
+                &Dataset::from_generated(
+                    &TrafficSimulator::new(
+                        &net,
+                        TrafficConfig {
+                            num_sd_pairs: 4,
+                            trajs_per_pair: (40, 60),
+                            anomaly_ratio: 0.15,
+                            ..TrafficConfig::tiny(0xD1FF)
+                        },
+                    )
+                    .generate(),
+                ),
+                &cfg,
+            ))
+        };
+        let trajs: Vec<_> = ds.trajectories.iter().take(8).cloned().collect();
+        let (before, after) = trajs.split_at(4);
+        let expected_before = sequential_labels(&old, &net, before);
+        let expected_after = sequential_labels(&new, &net, after);
+
+        let mut engine = StreamEngine::new(Arc::clone(&old), Arc::clone(&net));
+        let hb: Vec<_> = before
+            .iter()
+            .map(|t| engine.open(t.sd_pair().unwrap(), t.start_time))
+            .collect();
+        // Advance the pre-swap sessions partway, then swap mid-stream.
+        let mut out = Vec::new();
+        for tick in 0..2 {
+            let events: Vec<_> = before
+                .iter()
+                .enumerate()
+                .filter(|(_, t)| tick < t.len())
+                .map(|(k, t)| (hb[k], t.segments[tick]))
+                .collect();
+            engine.observe_batch(&events, &mut out);
+        }
+        engine.swap_model(Arc::clone(&new));
+        assert!(Arc::ptr_eq(engine.model(), &new));
+        assert_eq!(
+            engine.live_model_epochs(),
+            2,
+            "old epoch drains, new serves"
+        );
+
+        let ha: Vec<_> = after
+            .iter()
+            .map(|t| engine.open(t.sd_pair().unwrap(), t.start_time))
+            .collect();
+        // Mixed-epoch ticks: old-epoch and new-epoch sessions share
+        // observe_batch calls; rounds split by epoch internally.
+        let max_len = trajs.iter().map(|t| t.len()).max().unwrap();
+        for tick in 0..max_len {
+            let mut events = Vec::new();
+            for (k, t) in before.iter().enumerate() {
+                if tick >= 2 && tick < t.len() {
+                    events.push((hb[k], t.segments[tick]));
+                }
+            }
+            for (k, t) in after.iter().enumerate() {
+                if tick < t.len() {
+                    events.push((ha[k], t.segments[tick]));
+                }
+            }
+            if !events.is_empty() {
+                engine.observe_batch(&events, &mut out);
+            }
+        }
+        let got_before: Vec<Vec<u8>> = hb.iter().map(|&h| engine.close(h)).collect();
+        let got_after: Vec<Vec<u8>> = ha.iter().map(|&h| engine.close(h)).collect();
+        assert_eq!(got_before, expected_before, "pre-swap sessions relabelled");
+        assert_eq!(got_after, expected_after, "post-swap sessions on old model");
+        assert_eq!(engine.stats().model_swaps, 1);
+        assert_eq!(engine.live_model_epochs(), 1, "drained epoch was retired");
+    }
+
+    #[test]
+    fn swap_with_no_open_sessions_retires_old_epoch_immediately() {
+        let (net, _, model) = setup(28);
+        let mut engine = StreamEngine::new(Arc::clone(&model), net);
+        assert_eq!(engine.live_model_epochs(), 1);
+        engine.swap_model(Arc::clone(&model));
+        assert_eq!(engine.live_model_epochs(), 1, "idle epoch freed at swap");
+        assert_eq!(engine.stats().model_swaps, 1);
     }
 
     #[test]

@@ -15,12 +15,17 @@
 //! through per-session [`traj::Subscription`] outboxes. Per-session label
 //! sequences are byte-identical to the synchronous engines for any flush
 //! policy and shard count (property-tested in `tests/ingest.rs`).
+//!
+//! The engine also serves through **model hot-swaps**: [`SwapModel`] lets
+//! any handle broadcast a retrained model into the running engine, applied
+//! per shard at a flush boundary with per-session model epochs — see the
+//! trait docs and `docs/ARCHITECTURE.md`.
 
 use crate::engine::{EngineStats, StreamEngine};
 use crate::train::TrainedModel;
 use rnet::RoadNetwork;
 use std::sync::Arc;
-use traj::{IngestConfig, IngestFrontDoor, IngestHandle, IngestStats};
+use traj::{IngestConfig, IngestFrontDoor, IngestHandle, IngestStats, SubmitError};
 
 /// Aggregate outcome of a graceful [`IngestEngine::shutdown`].
 #[derive(Debug, Clone)]
@@ -70,8 +75,9 @@ impl IngestEngine {
         }
     }
 
-    /// A cheap, cloneable producer handle (open/submit/close).
-    pub fn handle(&self) -> IngestHandle {
+    /// A cheap, cloneable producer handle (open/submit/close, plus the
+    /// [`SwapModel::swap_model`] hot-swap broadcast).
+    pub fn handle(&self) -> IngestHandle<StreamEngine> {
         self.door.handle()
     }
 
@@ -97,6 +103,69 @@ impl IngestEngine {
             shard_stats,
             decision_counts,
         }
+    }
+}
+
+/// Zero-downtime model hot-swap on a **running** [`IngestEngine`]: the
+/// extension of the typed [`IngestHandle<StreamEngine>`] that broadcasts a
+/// retrained [`TrainedModel`] to every shard worker.
+///
+/// The swap rides the existing per-shard FIFO ingress queues as a control
+/// command, applied by each worker at its next **flush boundary** (pending
+/// micro-batch flushed first), so it never splits a batch and never drops,
+/// reorders or relabels an in-flight event. Per the [`StreamEngine`] epoch
+/// contract, sessions opened *after* the swap (their `open` is behind the
+/// command in the same queue) run the new weights; sessions already open
+/// drain to completion on the `Arc` of the model they started with, which
+/// is freed when their last session closes. Property-tested end-to-end in
+/// `tests/hotswap.rs`.
+pub trait SwapModel {
+    /// Broadcasts `model` to every shard; see the trait docs for the
+    /// exact semantics. Blocks only for queue space (a partial swap would
+    /// be worse); returns [`SubmitError::ShutDown`] once the engine shut
+    /// down.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use rl4oasd::{IngestEngine, Rl4oasdConfig, SwapModel};
+    /// use rnet::{CityBuilder, CityConfig};
+    /// use std::sync::Arc;
+    /// use traj::{Dataset, IngestConfig, TrafficConfig, TrafficSimulator};
+    ///
+    /// let net = CityBuilder::new(CityConfig::tiny(9)).build();
+    /// let data = TrafficSimulator::new(&net, TrafficConfig::tiny(9)).generate();
+    /// let ds = Dataset::from_generated(&data);
+    /// let v1 = Arc::new(rl4oasd::train(&net, &ds, &Rl4oasdConfig::tiny(9)));
+    /// let v2 = Arc::new(rl4oasd::train(&net, &ds, &Rl4oasdConfig::tiny(10)));
+    ///
+    /// let engine = IngestEngine::new(v1, Arc::new(net), 2, IngestConfig::default());
+    /// let handle = engine.handle();
+    /// let trip = ds.trajectories.iter().find(|t| !t.is_empty()).unwrap();
+    /// let (old_session, _labels) = handle.open(trip.sd_pair().unwrap(), trip.start_time).unwrap();
+    ///
+    /// handle.swap_model(v2).unwrap(); // live: the stream keeps flowing
+    ///
+    /// // `old_session` keeps serving on v1; sessions opened now run v2.
+    /// let (new_session, _labels) = handle.open(trip.sd_pair().unwrap(), trip.start_time).unwrap();
+    /// for &segment in &trip.segments {
+    ///     handle.submit_blocking(old_session, segment).unwrap();
+    ///     handle.submit_blocking(new_session, segment).unwrap();
+    /// }
+    /// assert_eq!(handle.close(old_session).unwrap().wait().len(), trip.len());
+    /// assert_eq!(handle.close(new_session).unwrap().wait().len(), trip.len());
+    /// let report = engine.shutdown();
+    /// assert_eq!(report.engine.model_swaps, 2); // one per shard
+    /// ```
+    fn swap_model(&self, model: Arc<TrainedModel>) -> Result<(), SubmitError>;
+}
+
+impl SwapModel for IngestHandle<StreamEngine> {
+    fn swap_model(&self, model: Arc<TrainedModel>) -> Result<(), SubmitError> {
+        // Pack the hot-path weights here, once, on the publisher's thread —
+        // not lazily on a shard worker between flushes.
+        model.packed();
+        self.control(move |engine: &mut StreamEngine| engine.swap_model(Arc::clone(&model)))
     }
 }
 

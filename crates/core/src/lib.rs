@@ -24,6 +24,13 @@
 //! Labeling and Delayed Labeling enhancements. Online learning handles
 //! concept drift ([`train::OnlineLearner`]); [`ablation`] builds the
 //! paper's Table IV variants.
+//!
+//! The serving stack on top — [`engine::StreamEngine`] →
+//! [`sharded::ShardedEngine`] → [`ingest::IngestEngine`], with zero-downtime
+//! model hot-swap via [`engine::StreamEngine::swap_model`] /
+//! [`ingest::SwapModel`] — is documented layer by layer, with its
+//! bit-identity invariants and the tests enforcing each, in
+//! `docs/ARCHITECTURE.md` at the repository root.
 
 #![deny(missing_docs)]
 #![warn(clippy::all)]
@@ -45,7 +52,7 @@ pub mod train;
 pub use config::Rl4oasdConfig;
 pub use detector::Rl4oasdDetector;
 pub use engine::{EngineStats, StreamEngine};
-pub use ingest::{IngestEngine, IngestReport};
+pub use ingest::{IngestEngine, IngestReport, SwapModel};
 pub use packed::PackedModel;
 pub use pipeline::{load_model, save_model, train_from_gps, PipelineResult};
 pub use preprocess::{GroupStats, Preprocessor};

@@ -43,6 +43,29 @@ impl ShardedEngine {
     ///
     /// # Panics
     /// Panics if `shards == 0`.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use rl4oasd::{Rl4oasdConfig, ShardedEngine};
+    /// use rnet::{CityBuilder, CityConfig};
+    /// use std::sync::Arc;
+    /// use traj::{Dataset, SessionEngine, TrafficConfig, TrafficSimulator};
+    ///
+    /// let net = CityBuilder::new(CityConfig::tiny(7)).build();
+    /// let data = TrafficSimulator::new(&net, TrafficConfig::tiny(7)).generate();
+    /// let ds = Dataset::from_generated(&data);
+    /// let model = rl4oasd::train(&net, &ds, &Rl4oasdConfig::tiny(7));
+    ///
+    /// let mut engine = ShardedEngine::new(Arc::new(model), Arc::new(net), 4);
+    /// let trip = ds.trajectories.iter().find(|t| !t.is_empty()).unwrap();
+    /// let session = engine.open(trip.sd_pair().unwrap(), trip.start_time);
+    /// for &segment in &trip.segments {
+    ///     engine.observe(session, segment);
+    /// }
+    /// let labels = engine.close(session);
+    /// assert_eq!(labels.len(), trip.len());
+    /// ```
     pub fn new(model: Arc<TrainedModel>, net: Arc<RoadNetwork>, shards: usize) -> Self {
         assert!(shards > 0, "need at least one shard");
         ShardedEngine {
@@ -69,9 +92,36 @@ impl ShardedEngine {
         self.inner.threads()
     }
 
-    /// The shared model (held by every shard).
+    /// The model new sessions are currently opened under (held by every
+    /// shard; pre-swap sessions may still run older epochs).
     pub fn model(&self) -> &Arc<TrainedModel> {
         self.inner.shards()[0].model()
+    }
+
+    /// Hot-swaps the serving model on every shard, synchronously. Holding
+    /// `&mut self` means no tick is in flight, so this is always applied
+    /// at a tick boundary: sessions opened afterwards run `model`,
+    /// sessions already open drain to completion on the model they
+    /// started with (per-shard epoch refcounts free each old model when
+    /// its last session closes — same contract as
+    /// [`StreamEngine::swap_model`], property-tested in
+    /// `tests/hotswap.rs`). The asynchronous counterpart is
+    /// `SwapModel::swap_model` on the ingest handle.
+    pub fn swap_model(&mut self, model: Arc<TrainedModel>) {
+        for shard in self.inner.shards_mut() {
+            shard.swap_model(Arc::clone(&model));
+        }
+    }
+
+    /// Model generations alive per shard (index = shard): `1` everywhere
+    /// when no swap is mid-drain; an old epoch stays alive on a shard only
+    /// while that shard still serves one of its pre-swap sessions.
+    pub fn shard_live_model_epochs(&self) -> Vec<usize> {
+        self.inner
+            .shards()
+            .iter()
+            .map(|s| s.live_model_epochs())
+            .collect()
     }
 
     /// The shared road network (held by every shard).

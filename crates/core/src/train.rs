@@ -64,6 +64,29 @@ impl TrainedModel {
     /// model's lifetime. Every serving engine sharing this model (via
     /// `Arc`) hits the same packed copy — packing happens once per loaded
     /// model, never per session or per tick.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use rl4oasd::Rl4oasdConfig;
+    /// use rnet::{CityBuilder, CityConfig};
+    /// use traj::{Dataset, TrafficConfig, TrafficSimulator};
+    ///
+    /// let net = CityBuilder::new(CityConfig::tiny(3)).build();
+    /// let data = TrafficSimulator::new(&net, TrafficConfig::tiny(3)).generate();
+    /// let model = rl4oasd::train(&net, &Dataset::from_generated(&data), &Rl4oasdConfig::tiny(3));
+    ///
+    /// // Packing happens on the first call; later calls hit the cache.
+    /// let packed = model.packed();
+    /// assert!(std::ptr::eq(packed, model.packed()));
+    ///
+    /// // The cache is derived data: it survives neither serialisation...
+    /// let json = serde_json::to_string(&model).unwrap();
+    /// assert!(!json.contains("\"packed\":{"));
+    /// // ...nor deserialisation — the loaded model repacks on first use.
+    /// let reloaded: rl4oasd::TrainedModel = serde_json::from_str(&json).unwrap();
+    /// let _ = reloaded.packed();
+    /// ```
     pub fn packed(&self) -> &crate::packed::PackedModel {
         self.packed
             .get_or_init(|| crate::packed::PackedModel::of(&self.rsrnet, &self.asdnet))
@@ -412,6 +435,37 @@ impl ModelCtx<'_> {
 /// Online learning for concept drift (paper §V-G): refreshes the
 /// preprocessor's fraction statistics with newly recorded trajectories and
 /// fine-tunes both networks on them.
+///
+/// The learner owns its model copy, so fine-tuning never mutates weights a
+/// serving engine is reading: publish a snapshot (`learner.model.clone()`
+/// behind an `Arc`) into a running engine with
+/// [`StreamEngine::swap_model`](crate::StreamEngine::swap_model) /
+/// [`SwapModel`](crate::SwapModel) — the train → serve → fine-tune → swap
+/// loop of `examples/drift_adaptation.rs`.
+///
+/// # Example
+///
+/// ```
+/// use rl4oasd::{OnlineLearner, Rl4oasdConfig};
+/// use rnet::{CityBuilder, CityConfig};
+/// use traj::{Dataset, TrafficConfig, TrafficSimulator};
+///
+/// let net = CityBuilder::new(CityConfig::tiny(4)).build();
+/// let data = TrafficSimulator::new(&net, TrafficConfig::tiny(4)).generate();
+/// let ds = Dataset::from_generated(&data);
+/// let model = rl4oasd::train(&net, &ds, &Rl4oasdConfig::tiny(4));
+///
+/// // Newly recorded traffic under a drifted regime...
+/// let drifted = TrafficSimulator::new(&net, TrafficConfig::tiny(5)).generate();
+/// let recent = Dataset::from_generated(&drifted);
+///
+/// // ...refreshes the statistics and fine-tunes both networks in place.
+/// let mut learner = OnlineLearner::new(model);
+/// let seconds = learner.fine_tune(&net, &recent);
+/// assert!(seconds >= 0.0);
+/// let snapshot = std::sync::Arc::new(learner.model.clone()); // publishable
+/// # let _ = snapshot;
+/// ```
 pub struct OnlineLearner {
     /// The model being kept up to date.
     pub model: TrainedModel,

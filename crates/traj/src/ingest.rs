@@ -33,7 +33,16 @@
 //!   event whose `submit` returned `Ok` (a quiescence barrier covers even
 //!   submits racing the shutdown call), flushes it, and hands the shard
 //!   engines back together with aggregate [`IngestStats`] (including an
-//!   HDR-style submit→label [`LatencyHistogram`]).
+//!   HDR-style submit→label [`LatencyHistogram`]);
+//! * **control commands at flush boundaries** — [`IngestHandle::control`]
+//!   broadcasts an engine mutation (e.g. a model hot-swap, see
+//!   `rl4oasd::SwapModel`) through the same FIFO ingress queues; each
+//!   worker first flushes its pending micro-batch, then applies the
+//!   command, so a control never splits a micro-batch and everything
+//!   submitted before the broadcast is processed under the pre-command
+//!   engine state. The handle is typed by its engine (`IngestHandle<E>`),
+//!   so commands for the wrong engine type are a compile error, not a
+//!   runtime surprise.
 //!
 //! Because a session's events reach its shard in submit order and
 //! [`SessionEngine`] guarantees interleaving never changes labels, the
@@ -44,7 +53,9 @@
 use crate::session::{SessionEngine, SessionId};
 use crate::types::SdPair;
 use rnet::SegmentId;
+use std::any::Any;
 use std::collections::HashMap;
+use std::marker::PhantomData;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc::{sync_channel, Receiver, RecvTimeoutError, SyncSender, TrySendError};
 use std::sync::Arc;
@@ -354,6 +365,13 @@ pub struct ShutdownReport<E> {
     pub stats: IngestStats,
 }
 
+/// A type-erased control command. The queues carry the erased form so
+/// [`Shared`] stays untyped; the typed [`IngestHandle::control`] builds the
+/// closure from a concrete `FnOnce(&mut E)`, and the worker hands it
+/// `&mut E` as `&mut dyn Any` (the downcast cannot fail: handles are only
+/// minted by an `IngestFrontDoor<E>` of the same `E`).
+type ControlFn = Box<dyn FnOnce(&mut dyn Any) + Send>;
+
 enum Cmd {
     Open {
         outer: u64,
@@ -370,6 +388,8 @@ enum Cmd {
         outer: u64,
         reply: SyncSender<Vec<u8>>,
     },
+    /// Engine mutation applied at the worker's next flush boundary.
+    Control(ControlFn),
     Shutdown,
 }
 
@@ -397,12 +417,52 @@ impl Shared {
     }
 }
 
-/// Cheap, cloneable producer handle of an [`IngestFrontDoor`]: any number
-/// of threads submit per-point events concurrently; none of the calls
-/// blocks on engine work.
-#[derive(Clone)]
-pub struct IngestHandle {
+/// Cheap, cloneable producer handle of an [`IngestFrontDoor<E>`]: any
+/// number of threads submit per-point events concurrently; none of the
+/// calls blocks on engine work (except [`IngestHandle::submit_blocking`]
+/// and [`IngestHandle::control`], which wait for queue space).
+///
+/// The handle carries the front door's engine type `E` purely at the type
+/// level (it stores no engine), so engine-specific control commands —
+/// like the RL4OASD model hot-swap, `rl4oasd::SwapModel::swap_model` —
+/// are compile-time checked against the engine actually behind the door.
+///
+/// # Example
+///
+/// ```
+/// use traj::detector::AlwaysNormal;
+/// use traj::{IngestConfig, IngestFrontDoor, SdPair, SessionMux};
+/// use rnet::SegmentId;
+///
+/// let door = IngestFrontDoor::build(
+///     2,
+///     |_| SessionMux::new(AlwaysNormal::default),
+///     IngestConfig::default(),
+/// );
+/// let handle = door.handle();
+/// let sd = SdPair { source: SegmentId(0), dest: SegmentId(9) };
+/// let (session, labels) = handle.open(sd, 0.0).unwrap();
+/// handle.submit(session, SegmentId(3)).unwrap(); // never blocks
+/// let finals = handle.close(session).unwrap().wait();
+/// assert_eq!(finals, vec![0]);
+/// assert_eq!(labels.recv(), Some(0));
+/// let report = door.shutdown();
+/// assert_eq!(report.stats.flushed_events, 1);
+/// ```
+pub struct IngestHandle<E> {
     shared: Arc<Shared>,
+    /// `fn(&mut E)` keeps the handle `Send + Sync` (and covariant enough)
+    /// regardless of `E`, while still naming the engine type.
+    _engine: PhantomData<fn(&mut E)>,
+}
+
+impl<E> Clone for IngestHandle<E> {
+    fn clone(&self) -> Self {
+        IngestHandle {
+            shared: Arc::clone(&self.shared),
+            _engine: PhantomData,
+        }
+    }
 }
 
 /// Whether a queued command counts toward the observe-event tallies.
@@ -412,35 +472,50 @@ enum Tally {
     Control,
 }
 
-impl IngestHandle {
-    /// Enqueues a command inside the shutdown quiescence barrier: the
-    /// closed check, the enqueue and the stats tally all happen while
-    /// `inflight` is held, so `shutdown` can wait out every concurrent
-    /// producer before sealing the queues.
-    fn push(&self, shard: usize, cmd: Cmd, tally: Tally) -> Result<(), SubmitError> {
+impl<E> IngestHandle<E> {
+    /// The shutdown quiescence barrier, single-sourced for every enqueue
+    /// path (`push`, [`IngestHandle::submit_blocking`],
+    /// [`IngestHandle::control`]): `inflight` is held across the closed
+    /// check, the enqueue *and* the stats tally, so `shutdown` can wait
+    /// out every concurrent producer before sealing the queues — any
+    /// command whose enqueue returned `Ok` is already in its queue (and
+    /// tallied) when the `Shutdown` markers go out, hence drained, never
+    /// dropped or under-counted.
+    fn with_inflight<T>(
+        &self,
+        enqueue: impl FnOnce() -> Result<T, SubmitError>,
+    ) -> Result<T, SubmitError> {
         self.shared.inflight.fetch_add(1, Ordering::SeqCst);
         let result = if self.shared.closed.load(Ordering::SeqCst) {
             Err(SubmitError::ShutDown)
         } else {
-            match self.shared.queues[shard].try_send(cmd) {
+            enqueue()
+        };
+        self.shared.inflight.fetch_sub(1, Ordering::SeqCst);
+        result
+    }
+
+    /// Enqueues a command (non-blocking) inside the quiescence barrier.
+    fn push(&self, shard: usize, cmd: Cmd, tally: Tally) -> Result<(), SubmitError> {
+        self.with_inflight(|| {
+            let result = match self.shared.queues[shard].try_send(cmd) {
                 Ok(()) => Ok(()),
                 Err(TrySendError::Full(_)) => Err(SubmitError::QueueFull),
                 Err(TrySendError::Disconnected(_)) => Err(SubmitError::ShutDown),
-            }
-        };
-        if tally == Tally::Observe {
-            match result {
-                Ok(()) => {
-                    self.shared.accepted.fetch_add(1, Ordering::Relaxed);
+            };
+            if tally == Tally::Observe {
+                match result {
+                    Ok(()) => {
+                        self.shared.accepted.fetch_add(1, Ordering::Relaxed);
+                    }
+                    Err(SubmitError::QueueFull) => {
+                        self.shared.rejected.fetch_add(1, Ordering::Relaxed);
+                    }
+                    Err(SubmitError::ShutDown) => {}
                 }
-                Err(SubmitError::QueueFull) => {
-                    self.shared.rejected.fetch_add(1, Ordering::Relaxed);
-                }
-                Err(SubmitError::ShutDown) => {}
             }
-        }
-        self.shared.inflight.fetch_sub(1, Ordering::SeqCst);
-        result
+            result
+        })
     }
 
     /// Opens a session for a trip, returning its handle and the
@@ -497,10 +572,7 @@ impl IngestHandle {
         segment: SegmentId,
     ) -> Result<(), SubmitError> {
         let raw = session.raw();
-        self.shared.inflight.fetch_add(1, Ordering::SeqCst);
-        let result = if self.shared.closed.load(Ordering::SeqCst) {
-            Err(SubmitError::ShutDown)
-        } else {
+        self.with_inflight(|| {
             self.shared.queues[self.shared.shard_of(raw)]
                 .send(Cmd::Observe {
                     outer: raw,
@@ -508,12 +580,10 @@ impl IngestHandle {
                     submitted: Instant::now(),
                 })
                 .map_err(|_| SubmitError::ShutDown)
-        };
-        if result.is_ok() {
-            self.shared.accepted.fetch_add(1, Ordering::Relaxed);
-        }
-        self.shared.inflight.fetch_sub(1, Ordering::SeqCst);
-        result
+                .map(|()| {
+                    self.shared.accepted.fetch_add(1, Ordering::Relaxed);
+                })
+        })
     }
 
     /// Requests the session's close. The shard worker first flushes the
@@ -546,6 +616,47 @@ impl IngestHandle {
     /// Live count of `submit` calls rejected with `QueueFull` so far.
     pub fn rejected_events(&self) -> u64 {
         self.shared.rejected.load(Ordering::Relaxed)
+    }
+}
+
+impl<E: SessionEngine + 'static> IngestHandle<E> {
+    /// Broadcasts an engine mutation to every shard worker, each applying
+    /// it at its next **flush boundary**: the worker first flushes its
+    /// pending micro-batch (labelled under the pre-command engine state),
+    /// then runs `command` on its engine.
+    ///
+    /// Ordering is per shard queue (FIFO): everything this thread enqueued
+    /// before the broadcast is processed before the command, everything
+    /// after it (e.g. an `open` issued after `control` returns) is
+    /// processed after. Commands from different threads race per shard;
+    /// for state-replacing commands like a model swap this is plain
+    /// last-writer-wins.
+    ///
+    /// Unlike [`IngestHandle::submit`], the broadcast **waits for queue
+    /// space** instead of reporting [`SubmitError::QueueFull`] — a partial
+    /// broadcast (some shards swapped, some not) would be worse than a
+    /// short blocking send on queues the workers are actively draining.
+    /// Returns [`SubmitError::ShutDown`] if the door is (or becomes)
+    /// closed; workers that already exited simply never apply it.
+    pub fn control(
+        &self,
+        command: impl FnOnce(&mut E) + Clone + Send + 'static,
+    ) -> Result<(), SubmitError> {
+        self.with_inflight(|| {
+            for queue in &self.shared.queues {
+                let apply = command.clone();
+                let erased: ControlFn = Box::new(move |engine: &mut dyn Any| {
+                    let engine = engine
+                        .downcast_mut::<E>()
+                        .expect("front-door engine type matches its handle type");
+                    apply(engine);
+                });
+                if queue.send(Cmd::Control(erased)).is_err() {
+                    return Err(SubmitError::ShutDown);
+                }
+            }
+            Ok(())
+        })
     }
 }
 
@@ -589,7 +700,7 @@ enum Control {
     Drain,
 }
 
-impl<E: SessionEngine> Worker<E> {
+impl<E: SessionEngine + 'static> Worker<E> {
     fn new(engine: E, rx: Receiver<Cmd>, policy: FlushPolicy) -> Self {
         let max_batch = policy.max_batch.max(1);
         Worker {
@@ -688,6 +799,13 @@ impl<E: SessionEngine> Worker<E> {
                 drop(outbox); // disconnects the Subscription once drained
                 let labels = self.engine.close(inner);
                 let _ = reply.send(labels);
+            }
+            Cmd::Control(apply) => {
+                // Flush boundary: the pending micro-batch is labelled
+                // under the pre-command engine state before the command
+                // lands, so a control never splits a batch.
+                self.flush(None);
+                apply(&mut self.engine as &mut dyn Any);
             }
             Cmd::Shutdown => return Control::Drain,
         }
@@ -792,10 +910,11 @@ impl<E: SessionEngine + Send + 'static> IngestFrontDoor<E> {
         Self::new((0..n).map(&mut factory).collect(), config)
     }
 
-    /// A cheap, cloneable producer handle.
-    pub fn handle(&self) -> IngestHandle {
+    /// A cheap, cloneable producer handle, typed by this door's engine.
+    pub fn handle(&self) -> IngestHandle<E> {
         IngestHandle {
             shared: Arc::clone(&self.shared),
+            _engine: PhantomData,
         }
     }
 
@@ -1104,6 +1223,97 @@ mod tests {
         assert_eq!(h.max(), Duration::from_nanos(10_000_000));
         let mean = h.mean().as_nanos() as f64;
         assert!((mean - 5_000_500.0).abs() < 1_000.0);
+    }
+
+    /// A minimal engine with swappable shared state: each session is
+    /// stamped with the engine's `current` value at `open` and every one
+    /// of its events is labelled with that stamp — a miniature of the
+    /// RL4OASD model-epoch hot-swap (new sessions see the new state, open
+    /// sessions keep the old).
+    struct Stamp {
+        current: u8,
+        sessions: crate::SessionSlab<(u8, Vec<u8>)>,
+    }
+
+    impl SessionEngine for Stamp {
+        fn engine_name(&self) -> &'static str {
+            "Stamp"
+        }
+        fn open(&mut self, _sd: SdPair, _start_time: f64) -> SessionId {
+            let stamp = self.current;
+            self.sessions.insert((stamp, Vec::new()))
+        }
+        fn observe(&mut self, session: SessionId, _segment: SegmentId) -> u8 {
+            let (stamp, history) = self.sessions.get_mut(session);
+            history.push(*stamp);
+            *stamp
+        }
+        fn close(&mut self, session: SessionId) -> Vec<u8> {
+            self.sessions.remove(session).1
+        }
+        fn active_sessions(&self) -> usize {
+            self.sessions.len()
+        }
+    }
+
+    /// Control commands are applied at a flush boundary, strictly after
+    /// everything enqueued before the broadcast and strictly before
+    /// everything enqueued after it — so sessions opened before the
+    /// command keep the old engine state and sessions opened after see
+    /// the new one, even with a policy that never flushes on its own.
+    #[test]
+    fn control_applies_at_flush_boundary_between_opens() {
+        let door = IngestFrontDoor::build(
+            2,
+            |_| Stamp {
+                current: 0,
+                sessions: crate::SessionSlab::new(),
+            },
+            IngestConfig {
+                // Never flush on its own: the command's flush-first step is
+                // the only thing that can label the pre-control events.
+                flush: FlushPolicy::new(1_000_000, Duration::from_secs(3600)),
+                ..Default::default()
+            },
+        );
+        let handle = door.handle();
+        let (before, _sub_b) = handle.open(sd(0, 9), 0.0).unwrap();
+        for seg in 0..3u32 {
+            handle.submit(before, SegmentId(seg)).unwrap();
+        }
+        handle
+            .control(|engine: &mut Stamp| engine.current = 1)
+            .unwrap();
+        let (after, _sub_a) = handle.open(sd(1, 8), 0.0).unwrap();
+        for seg in 0..2u32 {
+            handle.submit(after, SegmentId(seg)).unwrap();
+            handle.submit(before, SegmentId(seg)).unwrap();
+        }
+        // Pre-control sessions keep their stamp for their whole life, even
+        // for events submitted after the control; post-control sessions
+        // carry the new stamp from their first event.
+        assert_eq!(handle.close(before).unwrap().wait(), vec![0; 5]);
+        assert_eq!(handle.close(after).unwrap().wait(), vec![1; 2]);
+        let report = door.shutdown();
+        assert_eq!(report.stats.flushed_events, 7);
+        // The control's flush-first step ran on the shard that had the
+        // pending pre-control batch (the close flushes account for the
+        // rest).
+        assert!(report.stats.flushes >= 2);
+        for engine in &report.engines {
+            assert_eq!(engine.current, 1, "every shard applied the control");
+        }
+    }
+
+    #[test]
+    fn control_after_shutdown_reports_shutdown() {
+        let door = parity_door(1, IngestConfig::default());
+        let handle = door.handle();
+        door.shutdown();
+        assert_eq!(
+            handle.control(|_engine: &mut SessionMux<Parity, fn() -> Parity>| {}),
+            Err(SubmitError::ShutDown)
+        );
     }
 
     #[test]

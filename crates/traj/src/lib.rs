@@ -26,7 +26,13 @@
 //! adapting an engine back to a detector. [`ingest::IngestFrontDoor`]
 //! is the asynchronous entry point over any of these: per-shard bounded
 //! ingress queues and persistent worker threads micro-batch independent
-//! per-point arrivals into `observe_batch` ticks under a latency SLO.
+//! per-point arrivals into `observe_batch` ticks under a latency SLO,
+//! with typed [`ingest::IngestHandle::control`] commands (e.g. model
+//! hot-swaps) applied at flush boundaries.
+//!
+//! How these layers compose into the full serving stack — and which test
+//! enforces each bit-identity invariant — is documented in
+//! `docs/ARCHITECTURE.md` at the repository root.
 
 #![deny(missing_docs)]
 #![warn(clippy::all)]

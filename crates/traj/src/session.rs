@@ -362,6 +362,14 @@ impl<E: SessionEngine> Sharded<E> {
         &self.shards
     }
 
+    /// Mutable access to the shards, for control operations applied
+    /// between ticks (e.g. broadcasting a model hot-swap to every shard —
+    /// see `rl4oasd::ShardedEngine::swap_model`). Holding `&mut self`
+    /// guarantees no tick is in flight, so this is always a tick boundary.
+    pub fn shards_mut(&mut self) -> &mut [E] {
+        &mut self.shards
+    }
+
     /// Which shard serves the given open session.
     ///
     /// # Panics

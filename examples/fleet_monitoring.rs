@@ -28,7 +28,7 @@ use std::time::{Duration, Instant};
 /// watching subscriptions for the first anomalous label of each trip.
 /// Returns `(trip index, final labels)` for every trip it served.
 fn produce(
-    handle: IngestHandle,
+    handle: IngestHandle<StreamEngine>,
     trips: Arc<Vec<MappedTrajectory>>,
     mine: Vec<usize>,
 ) -> Vec<(usize, Vec<u8>)> {

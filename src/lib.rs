@@ -47,8 +47,8 @@ pub mod prelude {
     pub use eval::{evaluate, DetectionMetrics};
     pub use mapmatch::{MapMatcher, MatchConfig};
     pub use rl4oasd::{
-        EngineStats, IngestEngine, IngestReport, Rl4oasdConfig, Rl4oasdDetector, ShardedEngine,
-        StreamEngine, TrainedModel,
+        EngineStats, IngestEngine, IngestReport, OnlineLearner, Rl4oasdConfig, Rl4oasdDetector,
+        ShardedEngine, StreamEngine, SwapModel, TrainedModel,
     };
     pub use rnet::{CityBuilder, CityConfig, RoadNetwork, SegmentId};
     pub use traj::{

@@ -76,8 +76,8 @@ fn policies() -> [FlushPolicy; 4] {
 /// irregular interleaving (the same xorshift schedule shape as
 /// `common::interleaved`), then closes every session, returning per-session
 /// `(subscription labels, final labels)`.
-fn drive_ingest(
-    handle: &IngestHandle,
+fn drive_ingest<E>(
+    handle: &IngestHandle<E>,
     trajs: &[&MappedTrajectory],
     schedule_seed: u64,
 ) -> Vec<(Vec<u8>, Vec<u8>)> {
