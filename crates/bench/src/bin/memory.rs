@@ -1,0 +1,285 @@
+//! `memory` — cost of the two-tier session store (hot slab + frozen-state
+//! arena), written to `BENCH_memory.json`.
+//!
+//! The serving engines keep every open session resident by default; the
+//! memory tier ([`rl4oasd::HibernationConfig`]) freezes idle sessions into
+//! a compact delta-encoded blob in a bump arena and thaws them
+//! transparently on their next event. This bin measures what that buys and
+//! what it costs, per fleet size (10k and 1M open sessions) and serving
+//! width (`hidden_dim` 32 and 64):
+//!
+//! * `resident` rows — hibernation off: bytes to keep the whole fleet hot,
+//!   and steady-state throughput over a small working set;
+//! * `hibernate` rows — the whole fleet frozen except the working set:
+//!   frozen bytes/session (the cold-tier unit cost), freeze ratio,
+//!   rehydrate latency (p50/p99 of an event landing on a frozen session),
+//!   and the same working-set throughput with periodic idle sweeps on.
+//!
+//! Headline: a million open sessions in well under 1 GB total. The
+//! invariant half of the story — freeze/thaw never changes any label —
+//! is `tests/hibernate.rs`; this bin measures the tier, not correctness.
+//!
+//! ```text
+//! cargo run --release -p bench_suite --bin memory [-- out.json]
+//! ```
+
+use rl4oasd::{train, HibernationConfig, Rl4oasdConfig, StreamEngine, TrainedModel};
+use rnet::{CityBuilder, CityConfig, RoadNetwork};
+use serde::Serialize;
+use std::sync::Arc;
+use std::time::Instant;
+use traj::{Dataset, MappedTrajectory, SessionEngine, SessionId, TrafficConfig, TrafficSimulator};
+
+#[derive(Serialize)]
+struct Row {
+    mode: String,
+    hidden_dim: usize,
+    sessions: usize,
+    events_per_session: usize,
+    resident_sessions: u64,
+    frozen_sessions: u64,
+    freeze_ratio: f64,
+    resident_bytes: u64,
+    frozen_bytes: u64,
+    frozen_footprint_bytes: u64,
+    /// Hot tier + cold-tier footprint: the whole session store.
+    total_session_bytes: u64,
+    bytes_per_frozen_session: f64,
+    rehydrate_p50_us: f64,
+    rehydrate_p99_us: f64,
+    throughput_points_per_sec: f64,
+}
+
+#[derive(Serialize)]
+struct Report {
+    bench: String,
+    city: String,
+    host_cores: usize,
+    working_set: usize,
+    throughput_ticks: usize,
+    rehydrate_samples: usize,
+    results: Vec<Row>,
+}
+
+/// Sessions that stay hot during the throughput phase.
+const WORKING_SET: usize = 2048;
+const THROUGHPUT_TICKS: usize = 50;
+const REHYDRATE_SAMPLES: usize = 2000;
+
+/// Opens `sessions` sessions and advances each through a short event
+/// prefix (so the frozen blobs carry real stream state and labels), in
+/// ticks of distinct sessions so the batched kernels apply.
+fn populate(
+    engine: &mut StreamEngine,
+    trajs: &[MappedTrajectory],
+    sessions: usize,
+    events_per_session: usize,
+) -> Vec<SessionId> {
+    let handles: Vec<SessionId> = (0..sessions)
+        .map(|i| {
+            let t = &trajs[i % trajs.len()];
+            engine.open(t.sd_pair().expect("non-empty"), t.start_time)
+        })
+        .collect();
+    let mut out = Vec::new();
+    let mut events = Vec::new();
+    for chunk in (0..sessions).collect::<Vec<_>>().chunks(8192) {
+        for e in 0..events_per_session {
+            events.clear();
+            events.extend(chunk.iter().map(|&i| {
+                let t = &trajs[i % trajs.len()];
+                (handles[i], t.segments[e % t.len()])
+            }));
+            engine.observe_batch(&events, &mut out);
+        }
+    }
+    handles
+}
+
+/// Steady-state drive: `WORKING_SET` sessions each get one event per tick
+/// for `THROUGHPUT_TICKS` ticks; everything else stays idle.
+fn throughput(
+    engine: &mut StreamEngine,
+    trajs: &[MappedTrajectory],
+    handles: &[SessionId],
+    events_per_session: usize,
+) -> f64 {
+    let w = WORKING_SET.min(handles.len());
+    let mut out = Vec::new();
+    let mut events = Vec::with_capacity(w);
+    let t0 = Instant::now();
+    for tick in 0..THROUGHPUT_TICKS {
+        events.clear();
+        events.extend((0..w).map(|i| {
+            let t = &trajs[i % trajs.len()];
+            (
+                handles[i],
+                t.segments[(events_per_session + tick) % t.len()],
+            )
+        }));
+        engine.observe_batch(&events, &mut out);
+    }
+    (w * THROUGHPUT_TICKS) as f64 / t0.elapsed().as_secs_f64().max(1e-12)
+}
+
+fn scenario(
+    model: &Arc<TrainedModel>,
+    net: &Arc<RoadNetwork>,
+    trajs: &[MappedTrajectory],
+    hidden_dim: usize,
+    sessions: usize,
+) -> Vec<Row> {
+    // Keep the populate phase affordable at a million sessions; smaller
+    // fleets get a longer prefix so label RLE has real runs to encode.
+    let events_per_session = if sessions >= 100_000 { 1 } else { 3 };
+    let mut rows = Vec::new();
+
+    for mode in ["resident", "hibernate"] {
+        let mut engine = StreamEngine::new(Arc::clone(model), Arc::clone(net));
+        let handles = populate(&mut engine, trajs, sessions, events_per_session);
+
+        let (mut rehydrate_p50_us, mut rehydrate_p99_us) = (0.0, 0.0);
+        if mode == "hibernate" {
+            // Freeze the entire fleet at one boundary, then disable the
+            // policy so the latency probe measures exactly one thaw per
+            // event (no sweeps interleaved with the measurement).
+            engine.set_hibernation(Some(HibernationConfig::freeze_every_tick()));
+            engine.maintain();
+            engine.set_hibernation(None);
+
+            let step = (sessions / REHYDRATE_SAMPLES).max(1);
+            let mut lat_us: Vec<f64> = handles
+                .iter()
+                .step_by(step)
+                .take(REHYDRATE_SAMPLES)
+                .map(|&h| {
+                    let seg = trajs[0].segments[0];
+                    let t0 = Instant::now();
+                    engine.observe(h, seg);
+                    t0.elapsed().as_secs_f64() * 1e6
+                })
+                .collect();
+            lat_us.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            let pick = |q: f64| lat_us[((lat_us.len() - 1) as f64 * q) as usize];
+            rehydrate_p50_us = pick(0.50);
+            rehydrate_p99_us = pick(0.99);
+
+            // Re-freeze the probed sessions so the gauges below describe
+            // the idle fleet, then leave a production-ish policy on for
+            // the throughput phase (sweeps included in the measured cost).
+            engine.set_hibernation(Some(HibernationConfig::freeze_every_tick()));
+            engine.maintain();
+            engine.set_hibernation(Some(HibernationConfig {
+                idle_ticks: 8,
+                sweep_every: 32,
+            }));
+        }
+
+        let stats = engine.stats();
+        let points_per_sec = throughput(&mut engine, trajs, &handles, events_per_session);
+
+        rows.push(Row {
+            mode: mode.to_string(),
+            hidden_dim,
+            sessions,
+            events_per_session,
+            resident_sessions: stats.resident_sessions,
+            frozen_sessions: stats.frozen_sessions,
+            freeze_ratio: stats.frozen_sessions as f64 / sessions as f64,
+            resident_bytes: stats.resident_bytes,
+            frozen_bytes: stats.frozen_bytes,
+            frozen_footprint_bytes: stats.frozen_footprint_bytes,
+            total_session_bytes: stats.resident_bytes + stats.frozen_footprint_bytes,
+            bytes_per_frozen_session: stats.frozen_bytes as f64
+                / (stats.frozen_sessions as f64).max(1.0),
+            rehydrate_p50_us,
+            rehydrate_p99_us,
+            throughput_points_per_sec: points_per_sec,
+        });
+        let row = rows.last().unwrap();
+        eprintln!(
+            "hidden {:>3} | {:>9} sessions | {:>9}: {:>6.1} MB total ({:>5.1}% frozen, {:>6.1} B/frozen) | \
+             thaw p50 {:>6.2}us p99 {:>6.2}us | {:>9.0} points/sec",
+            hidden_dim,
+            sessions,
+            row.mode,
+            row.total_session_bytes as f64 / 1e6,
+            row.freeze_ratio * 100.0,
+            row.bytes_per_frozen_session,
+            row.rehydrate_p50_us,
+            row.rehydrate_p99_us,
+            row.throughput_points_per_sec,
+        );
+    }
+    rows
+}
+
+fn main() {
+    let out_path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_memory.json".to_string());
+
+    eprintln!("building city + training serving models (one-time setup)...");
+    let net = CityBuilder::new(CityConfig::chengdu_like()).build();
+    let sim = TrafficSimulator::new(
+        &net,
+        TrafficConfig {
+            num_sd_pairs: 10,
+            trajs_per_pair: (50, 80),
+            ..TrafficConfig::default()
+        },
+    );
+    let train_set = Dataset::from_generated(&sim.generate());
+    let trajs: Vec<MappedTrajectory> = train_set
+        .trajectories
+        .iter()
+        .filter(|t| !t.is_empty())
+        .take(200)
+        .cloned()
+        .collect();
+    let net = Arc::new(net);
+    let host_cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+
+    let mut results = Vec::new();
+    // Sweep the serving width: hidden 64 is the default serving config;
+    // hidden 32 is the compact config the 1M-session headline quotes.
+    for hidden_dim in [32usize, 64] {
+        let config = Rl4oasdConfig {
+            hidden_dim,
+            embed_dim: hidden_dim,
+            pretrain_trajs: 60,
+            joint_trajs: 120,
+            ..Rl4oasdConfig::default()
+        };
+        let model = Arc::new(train(&net, &train_set, &config));
+        model.packed();
+        for sessions in [10_000usize, 1_000_000] {
+            results.extend(scenario(&model, &net, &trajs, hidden_dim, sessions));
+        }
+    }
+
+    // Headline guard: the compact serving config must fit a million open
+    // sessions comfortably under a gigabyte with the cold tier on.
+    let headline = results
+        .iter()
+        .find(|r| r.mode == "hibernate" && r.sessions == 1_000_000 && r.hidden_dim == 32)
+        .expect("headline row present");
+    eprintln!(
+        "headline: 1M sessions @ hidden 32 = {:.1} MB total, {:.1} B per frozen session",
+        headline.total_session_bytes as f64 / 1e6,
+        headline.bytes_per_frozen_session,
+    );
+
+    let report = Report {
+        bench: "session_memory_tier".to_string(),
+        city: "Chengdu-sim".to_string(),
+        host_cores,
+        working_set: WORKING_SET,
+        throughput_ticks: THROUGHPUT_TICKS,
+        rehydrate_samples: REHYDRATE_SAMPLES,
+        results,
+    };
+    let json = serde_json::to_string_pretty(&report).expect("report serialises");
+    std::fs::write(&out_path, json).expect("write BENCH_memory.json");
+    eprintln!("wrote {out_path}");
+}

@@ -22,7 +22,7 @@ use crate::preprocess::Preprocessor;
 use crate::rsrnet::{RsrNet, RsrStream};
 use crate::train::TrainedModel;
 use rnet::{RoadNetwork, SegmentId};
-use traj::{slot_of_time, OnlineDetector, SdPair};
+use traj::{slot_of_time, Hibernate, OnlineDetector, SdPair};
 
 /// Borrowed, read-only view of everything a detection step consults: the
 /// trained model's parts (raw and packed) plus the road network. Shared by
@@ -213,6 +213,14 @@ impl SessionState {
         &mut self.stream
     }
 
+    /// Estimated heap bytes held by this session while resident (stream
+    /// vectors + label buffer), for the engine's per-tier memory gauges.
+    pub fn resident_heap_bytes(&self) -> usize {
+        let state = self.stream.state();
+        (state.h.capacity() + state.c.capacity()) * std::mem::size_of::<f32>()
+            + self.labels.capacity()
+    }
+
     /// Finalises the session: destination pinning plus Delayed Labeling.
     pub fn finish(&mut self, view: &ModelView) -> Vec<u8> {
         let mut labels = std::mem::take(&mut self.labels);
@@ -226,6 +234,79 @@ impl SessionState {
         self.prev_seg = None;
         self.prev_label = 0;
         labels
+    }
+}
+
+/// Session hibernation (the memory tier): freeze/thaw of one session's
+/// full algorithmic state against the model view of its opening epoch.
+///
+/// The frozen form is compact and **lossless** — the exact-restore
+/// contract of [`Hibernate`] is what makes hibernation invisible to
+/// labels (property-tested in `tests/hibernate.rs`):
+///
+/// * LSTM `h`/`c` vectors are XOR-delta-encoded bit-for-bit against the
+///   model's initial stream state ([`RsrNet::stream`] — all zeros today,
+///   so the delta is the identity on the bit pattern, but the encoding
+///   stays exact for any initial state);
+/// * the provisional label buffer is run-length packed (binary labels,
+///   alternating runs) — the dominant saving for long trips, where the
+///   hot buffer is one byte per observed segment;
+/// * scalars (slot, SD pair, previous segment/label) go through varints,
+///   and the `hidden_dim` is encoded so the blob is self-describing.
+impl Hibernate<ModelView<'_>> for SessionState {
+    fn freeze(&self, ctx: &ModelView, out: &mut Vec<u8>) {
+        use traj::hibernate::{put_f32_delta, put_runs, put_varint};
+        put_varint(out, self.slot as u64);
+        put_varint(out, u64::from(self.sd.source.0));
+        put_varint(out, u64::from(self.sd.dest.0));
+        put_varint(out, self.prev_seg.map_or(0, |s| u64::from(s.0) + 1));
+        out.push(self.prev_label);
+        put_runs(out, &self.labels);
+        let init = ctx.rsrnet.stream();
+        let (init, state) = (init.state(), self.stream.state());
+        put_varint(out, state.h.len() as u64);
+        put_f32_delta(out, &state.h, &init.h);
+        put_f32_delta(out, &state.c, &init.c);
+    }
+
+    fn thaw(ctx: &ModelView, bytes: &[u8]) -> Self {
+        use traj::hibernate::{get_f32_delta, get_runs, get_varint};
+        let mut cursor = bytes;
+        let slot = get_varint(&mut cursor) as usize;
+        let sd = SdPair {
+            source: SegmentId(get_varint(&mut cursor) as u32),
+            dest: SegmentId(get_varint(&mut cursor) as u32),
+        };
+        let prev_seg = match get_varint(&mut cursor) {
+            0 => None,
+            s => Some(SegmentId((s - 1) as u32)),
+        };
+        let (prev_label, rest) = cursor.split_first().expect("truncated frozen session");
+        let prev_label = *prev_label;
+        cursor = rest;
+        let mut labels = Vec::new();
+        get_runs(&mut cursor, &mut labels);
+        let init_stream = ctx.rsrnet.stream();
+        let init = init_stream.state();
+        let hidden = get_varint(&mut cursor) as usize;
+        assert_eq!(
+            hidden,
+            init.h.len(),
+            "frozen session hidden_dim does not match its model epoch"
+        );
+        let mut h = Vec::new();
+        let mut c = Vec::new();
+        get_f32_delta(&mut cursor, &init.h, &mut h);
+        get_f32_delta(&mut cursor, &init.c, &mut c);
+        assert!(cursor.is_empty(), "trailing bytes in frozen session");
+        SessionState {
+            stream: RsrStream::from_state(nn::LstmState { h, c }),
+            sd,
+            slot,
+            prev_seg,
+            prev_label,
+            labels,
+        }
     }
 }
 

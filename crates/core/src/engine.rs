@@ -37,9 +37,10 @@ use crate::train::TrainedModel;
 use rnet::{RoadNetwork, SegmentId};
 use std::collections::HashSet;
 use std::sync::Arc;
-use traj::{SdPair, SessionEngine, SessionId, SessionSlab};
+use traj::{Hibernate, SdPair, SessionEngine, SessionId, SessionSlab};
 
-/// Serving statistics (cumulative since construction).
+/// Serving statistics (cumulative counters since construction, plus
+/// point-in-time memory-tier gauges sampled at [`StreamEngine::stats`]).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct EngineStats {
     /// Sessions opened.
@@ -58,13 +59,31 @@ pub struct EngineStats {
     /// ingest engines broadcast one swap per shard, so their aggregated
     /// count is `shards × swaps`.
     pub model_swaps: u64,
+    /// Sessions frozen into the cold tier (cumulative; a session
+    /// hibernating twice counts twice).
+    pub sessions_hibernated: u64,
+    /// Sessions rehydrated from the cold tier (cumulative).
+    pub sessions_rehydrated: u64,
+    /// Gauge: open sessions currently resident (hot tier).
+    pub resident_sessions: u64,
+    /// Gauge: open sessions currently hibernated (cold tier).
+    pub frozen_sessions: u64,
+    /// Gauge: estimated bytes of the hot tier — per-session entry + heap
+    /// (stream vectors, label buffers) plus the slot-map overhead.
+    pub resident_bytes: u64,
+    /// Gauge: payload bytes of all frozen sessions (the per-session
+    /// cold-tier cost; divide by [`EngineStats::frozen_sessions`]).
+    pub frozen_bytes: u64,
+    /// Gauge: total allocated cold-tier footprint (arena chunks + entry
+    /// table), ≥ [`EngineStats::frozen_bytes`].
+    pub frozen_footprint_bytes: u64,
 }
 
 impl std::ops::AddAssign for EngineStats {
     fn add_assign(&mut self, rhs: Self) {
         // Exhaustive destructuring: adding a field to EngineStats without
         // aggregating it here must fail to compile, not silently report 0
-        // in sharded totals.
+        // in sharded totals. Gauges sum to fleet-wide totals.
         let EngineStats {
             sessions_opened,
             sessions_closed,
@@ -73,6 +92,13 @@ impl std::ops::AddAssign for EngineStats {
             batched_rounds,
             scalar_events,
             model_swaps,
+            sessions_hibernated,
+            sessions_rehydrated,
+            resident_sessions,
+            frozen_sessions,
+            resident_bytes,
+            frozen_bytes,
+            frozen_footprint_bytes,
         } = rhs;
         self.sessions_opened += sessions_opened;
         self.sessions_closed += sessions_closed;
@@ -81,6 +107,72 @@ impl std::ops::AddAssign for EngineStats {
         self.batched_rounds += batched_rounds;
         self.scalar_events += scalar_events;
         self.model_swaps += model_swaps;
+        self.sessions_hibernated += sessions_hibernated;
+        self.sessions_rehydrated += sessions_rehydrated;
+        self.resident_sessions += resident_sessions;
+        self.frozen_sessions += frozen_sessions;
+        self.resident_bytes += resident_bytes;
+        self.frozen_bytes += frozen_bytes;
+        self.frozen_footprint_bytes += frozen_footprint_bytes;
+    }
+}
+
+/// Per-model-epoch serving counters, indexed by **swap sequence number**:
+/// entry 0 is the model the engine was built with, entry `k` the model
+/// installed by the `k`-th [`StreamEngine::swap_model`]. Entries persist
+/// after their epoch retires, so post-hoc slicing (e.g. the memory bench)
+/// sees every epoch that ever served.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EpochStats {
+    /// Labels decided under this epoch (one per observed segment).
+    pub decisions: u64,
+    /// Anomalous (label 1) decisions under this epoch.
+    pub alerts: u64,
+}
+
+impl std::ops::AddAssign for EpochStats {
+    fn add_assign(&mut self, rhs: Self) {
+        let EpochStats { decisions, alerts } = rhs;
+        self.decisions += decisions;
+        self.alerts += alerts;
+    }
+}
+
+/// Idle-session hibernation policy of a [`StreamEngine`]. TTLs are in
+/// engine **ticks** (one `observe_batch` call, or one standalone scalar
+/// `observe`) — never wall clock, so the hot path stays clock-free and
+/// runs are reproducible.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HibernationConfig {
+    /// Freeze a session once at least this many ticks passed since its
+    /// last event. `0` freezes every hot session at every sweep (the
+    /// adversarial schedule of the equivalence property test).
+    pub idle_ticks: u64,
+    /// Run the idle sweep every this many ticks (clamped to ≥ 1).
+    /// Sweeps also run at every ingest flush boundary via
+    /// [`traj::SessionEngine::maintain`].
+    pub sweep_every: u64,
+}
+
+impl Default for HibernationConfig {
+    fn default() -> Self {
+        HibernationConfig {
+            idle_ticks: 64,
+            sweep_every: 16,
+        }
+    }
+}
+
+impl HibernationConfig {
+    /// The adversarial schedule: every hot session is frozen at every
+    /// tick boundary (and thawed again on its next event). Maximises
+    /// freeze/thaw churn; labels must still be byte-identical to a
+    /// never-hibernated engine.
+    pub fn freeze_every_tick() -> Self {
+        HibernationConfig {
+            idle_ticks: 0,
+            sweep_every: 1,
+        }
     }
 }
 
@@ -114,6 +206,8 @@ struct TickScratch {
     /// these lanes), so that one small pointer array remains the only
     /// per-round allocation.
     lanes: Vec<(u32, SegmentId, SessionState, Pending)>,
+    /// Session ids collected by the idle sweep (reused across sweeps).
+    sweep: Vec<SessionId>,
 }
 
 /// One model generation an engine is (or was) serving: the shared weights
@@ -124,12 +218,19 @@ struct TickScratch {
 struct ModelEpoch {
     model: Arc<TrainedModel>,
     live_sessions: u32,
+    /// Swap sequence number: index of this epoch's row in
+    /// `StreamEngine::epoch_log`. Epoch *slots* are reused across swaps;
+    /// `seq` is monotone and never reused.
+    seq: u32,
 }
 
 /// One open session: the algorithmic state plus the id of the model epoch
 /// it was opened under (and will run on until it closes).
 struct SessionEntry {
     epoch: u32,
+    /// Engine tick of this session's last event (or open/rehydration);
+    /// the idle sweep freezes sessions whose `last_tick` is old enough.
+    last_tick: u64,
     state: SessionState,
 }
 
@@ -148,6 +249,14 @@ pub struct StreamEngine {
     counters: DecisionCounters,
     stats: EngineStats,
     scratch: TickScratch,
+    /// Idle-session hibernation policy; `None` keeps every session hot.
+    hibernation: Option<HibernationConfig>,
+    /// Engine tick counter: one per `observe_batch` call and one per
+    /// standalone scalar `observe`. The clock of the idle-TTL sweep.
+    tick: u64,
+    /// Per-epoch serving counters by swap sequence number (grows by one
+    /// per swap, entries are never removed).
+    epoch_log: Vec<EpochStats>,
 }
 
 impl StreamEngine {
@@ -157,6 +266,7 @@ impl StreamEngine {
             epochs: vec![Some(ModelEpoch {
                 model,
                 live_sessions: 0,
+                seq: 0,
             })],
             current: 0,
             net,
@@ -164,7 +274,28 @@ impl StreamEngine {
             counters: DecisionCounters::default(),
             stats: EngineStats::default(),
             scratch: TickScratch::default(),
+            hibernation: None,
+            tick: 0,
+            epoch_log: vec![EpochStats::default()],
         }
+    }
+
+    /// Builder form of [`StreamEngine::set_hibernation`].
+    pub fn with_hibernation(mut self, cfg: HibernationConfig) -> Self {
+        self.set_hibernation(Some(cfg));
+        self
+    }
+
+    /// Enables (or, with `None`, disables) idle-session hibernation.
+    /// Disabling stops future sweeps; already-frozen sessions stay cold
+    /// and thaw lazily on their next event or close.
+    pub fn set_hibernation(&mut self, cfg: Option<HibernationConfig>) {
+        self.hibernation = cfg;
+    }
+
+    /// The active hibernation policy, if any.
+    pub fn hibernation(&self) -> Option<HibernationConfig> {
+        self.hibernation
     }
 
     /// The model new sessions are currently opened under (sessions opened
@@ -193,9 +324,12 @@ impl StreamEngine {
         {
             self.epochs[outgoing] = None;
         }
+        let seq = u32::try_from(self.epoch_log.len()).expect("more than 2^32 model swaps");
+        self.epoch_log.push(EpochStats::default());
         let epoch = ModelEpoch {
             model,
             live_sessions: 0,
+            seq,
         };
         let id = match self.epochs.iter().position(Option::is_none) {
             Some(free) => {
@@ -242,14 +376,144 @@ impl StreamEngine {
         &self.net
     }
 
-    /// Cumulative serving statistics.
+    /// Cumulative serving statistics, with memory-tier gauges sampled now:
+    /// resident/frozen session counts and estimated bytes per tier.
     pub fn stats(&self) -> EngineStats {
-        self.stats
+        let mut stats = self.stats;
+        stats.resident_sessions = self.sessions.resident_len() as u64;
+        stats.frozen_sessions = self.sessions.frozen_len() as u64;
+        let hot_heap: usize = self
+            .sessions
+            .iter_hot()
+            .map(|(_, e)| std::mem::size_of::<SessionEntry>() + e.state.resident_heap_bytes())
+            .sum();
+        stats.resident_bytes = (hot_heap + self.sessions.slot_overhead_bytes()) as u64;
+        stats.frozen_bytes = self.sessions.frozen_bytes() as u64;
+        stats.frozen_footprint_bytes = self.sessions.frozen_footprint_bytes() as u64;
+        stats
+    }
+
+    /// Per-epoch decision/alert counters by swap sequence number: entry 0
+    /// is the construction model, entry `k` the model installed by the
+    /// `k`-th [`StreamEngine::swap_model`]. Retired epochs keep their row.
+    pub fn epoch_stats(&self) -> &[EpochStats] {
+        &self.epoch_log
+    }
+
+    /// Freezes one hot session into the cold tier: its state is
+    /// delta-encoded against its epoch's initial stream state and parked
+    /// in the slab's frozen arena. The epoch id rides as a 4-byte prefix
+    /// *outside* the blob, so the epoch's `live_sessions` pin is
+    /// untouched — a frozen session keeps its pre-swap model alive
+    /// exactly like a hot one (hot-swap drop-order is preserved).
+    fn hibernate_session(&mut self, id: SessionId) {
+        let epochs = &self.epochs;
+        let net = &self.net;
+        self.sessions.freeze_with(id, |entry, out| {
+            out.extend_from_slice(&entry.epoch.to_le_bytes());
+            let view = ModelView::of(
+                &epochs[entry.epoch as usize]
+                    .as_ref()
+                    .expect("model epoch retired while referenced")
+                    .model,
+                net,
+            );
+            entry.state.freeze(&view, out);
+        });
+        self.stats.sessions_hibernated += 1;
+    }
+
+    /// Thaws one frozen session back into the hot tier (exact restore:
+    /// the rebuilt state is byte-identical to the state that froze) and
+    /// stamps it live at the current tick.
+    fn rehydrate_session(&mut self, id: SessionId) {
+        let epochs = &self.epochs;
+        let net = &self.net;
+        let tick = self.tick;
+        self.sessions.thaw_with(id, |bytes| {
+            let (head, rest) = bytes.split_at(4);
+            let epoch = u32::from_le_bytes(head.try_into().expect("4-byte epoch prefix"));
+            let view = ModelView::of(
+                &epochs[epoch as usize]
+                    .as_ref()
+                    .expect("model epoch retired while referenced")
+                    .model,
+                net,
+            );
+            SessionEntry {
+                epoch,
+                last_tick: tick,
+                state: SessionState::thaw(&view, rest),
+            }
+        });
+        self.stats.sessions_rehydrated += 1;
+    }
+
+    /// Freezes every hot session idle for at least `idle_ticks`. No-op
+    /// without a hibernation policy.
+    fn sweep_idle(&mut self) {
+        let Some(cfg) = self.hibernation else { return };
+        let tick = self.tick;
+        let mut sweep = std::mem::take(&mut self.scratch.sweep);
+        sweep.clear();
+        sweep.extend(
+            self.sessions
+                .iter_hot()
+                .filter(|(_, e)| tick.saturating_sub(e.last_tick) >= cfg.idle_ticks)
+                .map(|(id, _)| id),
+        );
+        for &id in &sweep {
+            self.hibernate_session(id);
+        }
+        self.scratch.sweep = sweep;
+    }
+
+    /// Advances the tick clock and runs the idle sweep on `sweep_every`
+    /// boundaries. Called once per tick, *after* every event of the tick
+    /// has been applied — never mid-batch, so a sweep can never freeze a
+    /// session that still has deferred events in the current tick.
+    fn end_tick(&mut self) {
+        self.tick = self.tick.wrapping_add(1);
+        if let Some(cfg) = self.hibernation {
+            if self.tick.is_multiple_of(cfg.sweep_every.max(1)) {
+                self.sweep_idle();
+            }
+        }
     }
 
     /// `(RNEL short-circuits, policy invocations)` since construction.
     pub fn decision_counts(&self) -> (usize, usize) {
         (self.counters.rnel_hits, self.counters.policy_calls)
+    }
+
+    /// One scalar event, without touching the tick clock or sweeping —
+    /// the shared core of the trait `observe` and the single-event rounds
+    /// of `observe_batch` (which must not sweep mid-batch).
+    fn observe_scalar(&mut self, session: SessionId, segment: SegmentId) -> u8 {
+        if self.sessions.is_frozen(session) {
+            self.rehydrate_session(session);
+        }
+        let epoch = self.sessions.get(session).epoch;
+        // Field-precise borrows: the view borrows `epochs` + `net` only,
+        // leaving `sessions`/`counters`/`scratch` free for the step.
+        let view = ModelView::of(
+            &self.epochs[epoch as usize]
+                .as_ref()
+                .expect("model epoch retired while referenced")
+                .model,
+            &self.net,
+        );
+        let entry = self.sessions.get_mut(session);
+        entry.last_tick = self.tick;
+        let label = entry
+            .state
+            .observe(&view, segment, &mut self.counters, &mut self.scratch.step);
+        self.stats.observe_events += 1;
+        self.stats.scalar_events += 1;
+        let seq = self.epoch(epoch).seq as usize;
+        self.epoch_log[seq].decisions += 1;
+        self.epoch_log[seq].alerts += u64::from(label != 0);
+        label
     }
 
     /// Advances one round of events whose sessions are pairwise distinct
@@ -353,6 +617,7 @@ impl StreamEngine {
         }
 
         // Phase 4: commit labels and return the sessions to the slab.
+        let mut alerts = 0u64;
         for (ei, segment, mut state, pending) in lanes.drain(..) {
             let (session, _) = events[ei as usize];
             let label = match pending {
@@ -361,13 +626,23 @@ impl StreamEngine {
             };
             state.commit(segment, label);
             out[ei as usize] = label;
-            self.sessions
-                .restore(session, SessionEntry { epoch, state });
+            alerts += u64::from(label != 0);
+            self.sessions.restore(
+                session,
+                SessionEntry {
+                    epoch,
+                    last_tick: self.tick,
+                    state,
+                },
+            );
         }
 
         self.stats.observe_events += batch as u64;
         self.stats.batched_events += batch as u64;
         self.stats.batched_rounds += 1;
+        let seq = self.epoch(epoch).seq as usize;
+        self.epoch_log[seq].decisions += batch as u64;
+        self.epoch_log[seq].alerts += alerts;
         self.scratch.round = round;
         self.scratch.lanes = lanes;
     }
@@ -389,26 +664,19 @@ impl SessionEngine for StreamEngine {
         let view = ModelView::of(&e.model, &self.net);
         let state = SessionState::open(&view, sd, start_time);
         self.stats.sessions_opened += 1;
-        self.sessions.insert(SessionEntry { epoch, state })
+        let last_tick = self.tick;
+        self.sessions.insert(SessionEntry {
+            epoch,
+            last_tick,
+            state,
+        })
     }
 
+    /// A standalone scalar event is one engine tick: frozen sessions thaw
+    /// transparently on access, and the idle sweep may run afterwards.
     fn observe(&mut self, session: SessionId, segment: SegmentId) -> u8 {
-        let epoch = self.sessions.get(session).epoch;
-        // Field-precise borrows: the view borrows `epochs` + `net` only,
-        // leaving `sessions`/`counters`/`scratch` free for the step.
-        let view = ModelView::of(
-            &self.epochs[epoch as usize]
-                .as_ref()
-                .expect("model epoch retired while referenced")
-                .model,
-            &self.net,
-        );
-        let entry = self.sessions.get_mut(session);
-        let label = entry
-            .state
-            .observe(&view, segment, &mut self.counters, &mut self.scratch.step);
-        self.stats.observe_events += 1;
-        self.stats.scalar_events += 1;
+        let label = self.observe_scalar(session, segment);
+        self.end_tick();
         label
     }
 
@@ -423,6 +691,17 @@ impl SessionEngine for StreamEngine {
     fn observe_batch(&mut self, events: &[(SessionId, SegmentId)], out: &mut Vec<u8>) {
         out.clear();
         out.resize(events.len(), 0);
+        // Thaw prepass: every frozen session with an event this tick comes
+        // back hot before round selection reads its epoch. Gated on the
+        // cold tier being non-empty so the hibernation-off path pays one
+        // counter read per batch, not a per-event branch.
+        if self.sessions.frozen_len() > 0 {
+            for &(session, _) in events {
+                if self.sessions.is_frozen(session) {
+                    self.rehydrate_session(session);
+                }
+            }
+        }
         let mut remaining = std::mem::take(&mut self.scratch.remaining);
         remaining.clear();
         remaining.extend(0..events.len() as u32);
@@ -454,7 +733,10 @@ impl SessionEngine for StreamEngine {
             if round.len() == 1 {
                 let ei = round[0] as usize;
                 let (session, segment) = events[ei];
-                out[ei] = self.observe(session, segment);
+                // observe_scalar, not observe: the whole batch is ONE tick,
+                // and sweeping mid-batch could freeze a session that still
+                // has deferred events in a later round.
+                out[ei] = self.observe_scalar(session, segment);
                 self.scratch.round = round;
             } else {
                 self.scratch.round = round;
@@ -465,10 +747,17 @@ impl SessionEngine for StreamEngine {
         }
         self.scratch.remaining = remaining;
         self.scratch.seen = seen;
+        self.end_tick();
     }
 
     fn close(&mut self, session: SessionId) -> Vec<u8> {
-        let SessionEntry { epoch, mut state } = self.sessions.remove(session);
+        // A frozen session can be closed: thaw (exact restore) and finish.
+        if self.sessions.is_frozen(session) {
+            self.rehydrate_session(session);
+        }
+        let SessionEntry {
+            epoch, mut state, ..
+        } = self.sessions.remove(session);
         self.stats.sessions_closed += 1;
         let labels = {
             let view = ModelView::of(
@@ -489,6 +778,14 @@ impl SessionEngine for StreamEngine {
 
     fn active_sessions(&self) -> usize {
         self.sessions.len()
+    }
+
+    /// Flush-boundary hook: the async ingest workers call this after each
+    /// flush (the same seam hot-swap control commands use), forcing one
+    /// idle sweep under the configured policy. No-op when hibernation is
+    /// disabled; never changes labels.
+    fn maintain(&mut self) {
+        self.sweep_idle();
     }
 }
 
@@ -739,5 +1036,184 @@ mod tests {
         engine.close(h);
         let _h2 = engine.open(t.sd_pair().unwrap(), t.start_time);
         engine.observe(h, t.segments[0]);
+    }
+
+    #[test]
+    fn freeze_every_tick_matches_sequential_labels() {
+        let (net, ds, model) = setup(36);
+        let trajs: Vec<_> = ds.trajectories.iter().take(8).cloned().collect();
+        let expected = sequential_labels(&model, &net, &trajs);
+
+        // Adversarial schedule: every session freezes at every tick and
+        // thaws on its next event — labels must not change.
+        let mut engine = StreamEngine::new(Arc::clone(&model), Arc::clone(&net))
+            .with_hibernation(HibernationConfig::freeze_every_tick());
+        let handles: Vec<_> = trajs
+            .iter()
+            .map(|t| engine.open(t.sd_pair().unwrap(), t.start_time))
+            .collect();
+        let max_len = trajs.iter().map(|t| t.len()).max().unwrap();
+        for tick in 0..max_len {
+            for (k, t) in trajs.iter().enumerate() {
+                if tick < t.len() {
+                    engine.observe(handles[k], t.segments[tick]);
+                }
+            }
+        }
+        let got: Vec<Vec<u8>> = handles.iter().map(|&h| engine.close(h)).collect();
+        assert_eq!(got, expected, "hibernation changed scalar labels");
+        let stats = engine.stats();
+        assert!(stats.sessions_hibernated > 0, "schedule never froze");
+        assert!(
+            stats.sessions_rehydrated > 0,
+            "frozen sessions never thawed"
+        );
+
+        // Same schedule through the batched path (mid-tick thaw prepass).
+        let mut engine = StreamEngine::new(Arc::clone(&model), Arc::clone(&net))
+            .with_hibernation(HibernationConfig::freeze_every_tick());
+        let handles: Vec<_> = trajs
+            .iter()
+            .map(|t| engine.open(t.sd_pair().unwrap(), t.start_time))
+            .collect();
+        let mut out = Vec::new();
+        for tick in 0..max_len {
+            let events: Vec<_> = trajs
+                .iter()
+                .enumerate()
+                .filter(|(_, t)| tick < t.len())
+                .map(|(k, t)| (handles[k], t.segments[tick]))
+                .collect();
+            engine.observe_batch(&events, &mut out);
+        }
+        let got: Vec<Vec<u8>> = handles.iter().map(|&h| engine.close(h)).collect();
+        assert_eq!(got, expected, "hibernation changed batched labels");
+        assert!(engine.stats().sessions_rehydrated > 0);
+    }
+
+    #[test]
+    fn hibernated_sessions_pin_their_model_epoch() {
+        let (net, ds, model) = setup(37);
+        let t = ds
+            .trajectories
+            .iter()
+            .find(|t| t.len() >= 2)
+            .unwrap()
+            .clone();
+
+        // Never-hibernated reference for the same 1-event session.
+        let mut plain = StreamEngine::new(Arc::clone(&model), Arc::clone(&net));
+        let hp = plain.open(t.sd_pair().unwrap(), t.start_time);
+        plain.observe(hp, t.segments[0]);
+        let expected = plain.close(hp);
+
+        let mut engine = StreamEngine::new(Arc::clone(&model), Arc::clone(&net))
+            .with_hibernation(HibernationConfig::freeze_every_tick());
+        let h = engine.open(t.sd_pair().unwrap(), t.start_time);
+        engine.observe(h, t.segments[0]); // end of tick: h freezes
+        assert_eq!(engine.stats().frozen_sessions, 1);
+
+        // The frozen session must keep its pre-swap model alive exactly
+        // like a hot one (its epoch id rides outside the frozen blob).
+        engine.swap_model(Arc::clone(&model));
+        assert_eq!(
+            engine.live_model_epochs(),
+            2,
+            "frozen session no longer pins its epoch"
+        );
+
+        // Closing a frozen session thaws (exact restore) and finishes.
+        assert_eq!(engine.close(h), expected, "freeze/thaw changed labels");
+        assert_eq!(engine.stats().sessions_rehydrated, 1);
+        assert_eq!(engine.live_model_epochs(), 1, "drained epoch not retired");
+    }
+
+    #[test]
+    fn memory_tier_gauges_account_for_every_open_session() {
+        let (net, _, model) = setup(38);
+        let mut engine =
+            StreamEngine::new(model, net).with_hibernation(HibernationConfig::freeze_every_tick());
+        let sd = SdPair {
+            source: SegmentId(0),
+            dest: SegmentId(1),
+        };
+        let handles: Vec<_> = (0..100).map(|i| engine.open(sd, i as f64)).collect();
+        let s = engine.stats();
+        assert_eq!(s.resident_sessions, 100);
+        assert_eq!(s.frozen_sessions, 0);
+        assert!(s.resident_bytes > 0);
+
+        // The flush-boundary hook forces one sweep: everything freezes.
+        engine.maintain();
+        let s = engine.stats();
+        assert_eq!(s.frozen_sessions, 100);
+        assert_eq!(s.resident_sessions, 0);
+        assert_eq!(s.sessions_hibernated, 100);
+        assert!(s.frozen_bytes > 0);
+        assert!(s.frozen_footprint_bytes >= s.frozen_bytes);
+        assert!(
+            s.frozen_bytes / 100 < 1024,
+            "tiny-config frozen sessions should be well under 1 KiB each, got {}",
+            s.frozen_bytes / 100
+        );
+
+        for h in handles {
+            assert!(engine.close(h).is_empty());
+        }
+        let s = engine.stats();
+        assert_eq!(s.frozen_sessions, 0);
+        assert_eq!(s.resident_sessions, 0);
+        assert_eq!(s.sessions_rehydrated, 100);
+    }
+
+    #[test]
+    fn epoch_stats_attribute_decisions_to_serving_epoch() {
+        let (net, ds, model) = setup(39);
+        let trajs: Vec<_> = ds
+            .trajectories
+            .iter()
+            .filter(|t| !t.is_empty())
+            .take(4)
+            .cloned()
+            .collect();
+        let (first, second) = trajs.split_at(2);
+        let mut engine = StreamEngine::new(Arc::clone(&model), net);
+
+        // Two sessions per phase so batched rounds attribute too.
+        let drive = |engine: &mut StreamEngine, pair: &[traj::MappedTrajectory]| {
+            let hs: Vec<_> = pair
+                .iter()
+                .map(|t| engine.open(t.sd_pair().unwrap(), t.start_time))
+                .collect();
+            let mut out = Vec::new();
+            let max_len = pair.iter().map(|t| t.len()).max().unwrap();
+            for tick in 0..max_len {
+                let events: Vec<_> = pair
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, t)| tick < t.len())
+                    .map(|(k, t)| (hs[k], t.segments[tick]))
+                    .collect();
+                engine.observe_batch(&events, &mut out);
+            }
+            for h in hs {
+                engine.close(h);
+            }
+        };
+        drive(&mut engine, first);
+        engine.swap_model(model);
+        drive(&mut engine, second);
+
+        let log = engine.epoch_stats().to_vec();
+        assert_eq!(log.len(), 2, "one row per epoch, retired rows kept");
+        let events =
+            |pair: &[traj::MappedTrajectory]| -> u64 { pair.iter().map(|t| t.len() as u64).sum() };
+        assert_eq!(log[0].decisions, events(first));
+        assert_eq!(log[1].decisions, events(second));
+        assert_eq!(
+            log[0].decisions + log[1].decisions,
+            engine.stats().observe_events
+        );
+        assert!(log.iter().all(|e| e.alerts <= e.decisions));
     }
 }

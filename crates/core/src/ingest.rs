@@ -21,7 +21,7 @@
 //! per shard at a flush boundary with per-session model epochs — see the
 //! trait docs and `docs/ARCHITECTURE.md`.
 
-use crate::engine::{EngineStats, StreamEngine};
+use crate::engine::{EngineStats, EpochStats, HibernationConfig, StreamEngine};
 use crate::train::TrainedModel;
 use rnet::RoadNetwork;
 use std::sync::Arc;
@@ -39,6 +39,9 @@ pub struct IngestReport {
     pub shard_stats: Vec<EngineStats>,
     /// `(RNEL short-circuits, policy invocations)` summed across shards.
     pub decision_counts: (usize, usize),
+    /// Per-epoch decision/alert counters summed across shards, indexed by
+    /// swap sequence number (0 = construction model).
+    pub epoch_stats: Vec<EpochStats>,
 }
 
 /// The asynchronous RL4OASD serving engine: a [`traj::IngestFrontDoor`]
@@ -65,11 +68,42 @@ impl IngestEngine {
         shards: usize,
         config: IngestConfig,
     ) -> Self {
+        Self::build(model, net, shards, config, None)
+    }
+
+    /// [`IngestEngine::new`] with idle-session hibernation enabled on
+    /// every shard engine. Each shard worker also forces a sweep at every
+    /// flush boundary (the [`traj::SessionEngine::maintain`] hook — the
+    /// same seam hot-swap control commands are applied at), so idle
+    /// sessions are evicted even when the worker's tick clock advances
+    /// slowly. Labels are unchanged by construction; see
+    /// `tests/hibernate.rs`.
+    pub fn with_hibernation(
+        model: Arc<TrainedModel>,
+        net: Arc<RoadNetwork>,
+        shards: usize,
+        config: IngestConfig,
+        hibernation: HibernationConfig,
+    ) -> Self {
+        Self::build(model, net, shards, config, Some(hibernation))
+    }
+
+    fn build(
+        model: Arc<TrainedModel>,
+        net: Arc<RoadNetwork>,
+        shards: usize,
+        config: IngestConfig,
+        hibernation: Option<HibernationConfig>,
+    ) -> Self {
         assert!(shards > 0, "need at least one shard");
         IngestEngine {
             door: IngestFrontDoor::build(
                 shards,
-                |_| StreamEngine::new(Arc::clone(&model), Arc::clone(&net)),
+                |_| {
+                    let mut engine = StreamEngine::new(Arc::clone(&model), Arc::clone(&net));
+                    engine.set_hibernation(hibernation);
+                    engine
+                },
                 config,
             ),
         }
@@ -97,11 +131,21 @@ impl IngestEngine {
             .iter()
             .map(|e| e.decision_counts())
             .fold((0, 0), |(r, p), (sr, sp)| (r + sr, p + sp));
+        let mut epoch_stats: Vec<EpochStats> = Vec::new();
+        for shard in &report.engines {
+            for (seq, &stats) in shard.epoch_stats().iter().enumerate() {
+                if seq == epoch_stats.len() {
+                    epoch_stats.push(EpochStats::default());
+                }
+                epoch_stats[seq] += stats;
+            }
+        }
         IngestReport {
             ingest: report.stats,
             engine,
             shard_stats,
             decision_counts,
+            epoch_stats,
         }
     }
 }

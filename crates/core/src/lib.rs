@@ -51,7 +51,7 @@ pub mod train;
 
 pub use config::Rl4oasdConfig;
 pub use detector::Rl4oasdDetector;
-pub use engine::{EngineStats, StreamEngine};
+pub use engine::{EngineStats, EpochStats, HibernationConfig, StreamEngine};
 pub use ingest::{IngestEngine, IngestReport, SwapModel};
 pub use packed::PackedModel;
 pub use pipeline::{load_model, save_model, train_from_gps, PipelineResult};

@@ -50,6 +50,20 @@ pub struct RsrStream {
     state: LstmState,
 }
 
+impl RsrStream {
+    /// The LSTM state vectors (session hibernation encodes these).
+    pub(crate) fn state(&self) -> &LstmState {
+        &self.state
+    }
+
+    /// Rebuilds a stream from explicit state vectors (session thaw). The
+    /// caller guarantees the vectors came from a stream of the same
+    /// `hidden_dim`.
+    pub(crate) fn from_state(state: LstmState) -> Self {
+        RsrStream { state }
+    }
+}
+
 /// Reusable scratch buffers for [`RsrNet::stream_step_batch`], so a serving
 /// engine allocates nothing per tick once warm.
 #[derive(Debug, Default)]

@@ -21,7 +21,7 @@
 //! labels, decisions and per-session outputs are **byte-identical for
 //! every shard count** (property-tested in `tests/sharded.rs`).
 
-use crate::engine::{EngineStats, StreamEngine};
+use crate::engine::{EngineStats, EpochStats, HibernationConfig, StreamEngine};
 use crate::train::TrainedModel;
 use rnet::{RoadNetwork, SegmentId};
 use std::sync::Arc;
@@ -80,6 +80,21 @@ impl ShardedEngine {
     pub fn with_threads(mut self, threads: usize) -> Self {
         self.inner = self.inner.with_threads(threads);
         self
+    }
+
+    /// Builder form of [`ShardedEngine::set_hibernation`].
+    pub fn with_hibernation(mut self, cfg: HibernationConfig) -> Self {
+        self.set_hibernation(Some(cfg));
+        self
+    }
+
+    /// Enables (or disables) idle-session hibernation on every shard —
+    /// same contract as [`StreamEngine::set_hibernation`]; each shard
+    /// sweeps its own slab at its own tick boundaries.
+    pub fn set_hibernation(&mut self, cfg: Option<HibernationConfig>) {
+        for shard in self.inner.shards_mut() {
+            shard.set_hibernation(cfg);
+        }
     }
 
     /// Number of shards.
@@ -159,6 +174,22 @@ impl ShardedEngine {
             .map(|s| s.decision_counts())
             .collect()
     }
+
+    /// Per-epoch decision/alert counters summed across shards, indexed by
+    /// swap sequence number. Swaps broadcast to every shard, so sequence
+    /// numbers line up shard-to-shard by construction.
+    pub fn epoch_stats(&self) -> Vec<EpochStats> {
+        let mut total: Vec<EpochStats> = Vec::new();
+        for shard in self.inner.shards() {
+            for (seq, &stats) in shard.epoch_stats().iter().enumerate() {
+                if seq == total.len() {
+                    total.push(EpochStats::default());
+                }
+                total[seq] += stats;
+            }
+        }
+        total
+    }
 }
 
 impl SessionEngine for ShardedEngine {
@@ -184,6 +215,10 @@ impl SessionEngine for ShardedEngine {
 
     fn active_sessions(&self) -> usize {
         self.inner.active_sessions()
+    }
+
+    fn maintain(&mut self) {
+        self.inner.maintain()
     }
 }
 

@@ -754,6 +754,11 @@ impl<E: SessionEngine + 'static> Worker<E> {
         }
         self.batch.clear();
         self.meta.clear();
+        // Flush boundary (the same seam control commands use): let the
+        // engine run its background maintenance — e.g. sweeping idle
+        // sessions into the hibernated cold tier — where it can never
+        // split a micro-batch.
+        self.engine.maintain();
     }
 
     fn handle(&mut self, cmd: Cmd, deadline: &mut Instant) -> Control {

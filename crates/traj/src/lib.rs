@@ -41,6 +41,7 @@ pub mod codec;
 pub mod dataset;
 pub mod detector;
 pub mod generator;
+pub mod hibernate;
 pub mod ingest;
 pub mod labels;
 pub mod session;
@@ -49,6 +50,7 @@ pub mod types;
 pub use dataset::{Dataset, DatasetStats};
 pub use detector::OnlineDetector;
 pub use generator::{DriftConfig, RouteKind, SdPairData, TrafficConfig, TrafficSimulator};
+pub use hibernate::{FrozenArena, FrozenRef, Hibernate};
 pub use ingest::{
     CloseTicket, FlushPolicy, IngestConfig, IngestFrontDoor, IngestHandle, IngestStats,
     LatencyHistogram, ShutdownReport, SubmitError, Subscription,

@@ -22,6 +22,7 @@
 //!   single-session view of the engine.
 
 use crate::detector::OnlineDetector;
+use crate::hibernate::{FrozenArena, FrozenRef, Hibernate};
 use crate::types::SdPair;
 use rnet::SegmentId;
 
@@ -105,6 +106,16 @@ pub trait SessionEngine {
         }
     }
 
+    /// Background-maintenance hook, invoked by drivers at batch
+    /// boundaries — the [`crate::IngestFrontDoor`] workers call it at
+    /// every flush boundary (the same seam that applies control
+    /// commands), and synchronous drivers may call it between ticks.
+    /// Engines use it for work that must never split a batch, e.g.
+    /// sweeping idle sessions into a hibernated cold tier
+    /// (`rl4oasd::StreamEngine`). Must not change any label a session
+    /// would otherwise emit. Default: no-op.
+    fn maintain(&mut self) {}
+
     /// Number of currently open sessions.
     fn active_sessions(&self) -> usize;
 }
@@ -125,29 +136,75 @@ impl<E: SessionEngine + ?Sized> SessionEngine for Box<E> {
     fn observe_batch(&mut self, events: &[(SessionId, SegmentId)], out: &mut Vec<u8>) {
         (**self).observe_batch(events, out)
     }
+    fn maintain(&mut self) {
+        (**self).maintain()
+    }
     fn active_sessions(&self) -> usize {
         (**self).active_sessions()
     }
 }
 
-/// Generational slot map backing session storage in engines.
+/// Which tier a slot's session currently lives in.
+#[derive(Debug, Clone)]
+enum Tier<T> {
+    /// No session (slot is on the free list, or about to be truncated).
+    Vacant,
+    /// Live session, resident in memory.
+    Hot(T),
+    /// Live session, hibernated: its frozen blob lives in the arena.
+    Cold(FrozenRef),
+    /// Live session temporarily moved out via [`SessionSlab::take`].
+    Taken,
+}
+
+/// Generational slot map backing session storage in engines — a
+/// **two-tier** store since the hibernation work.
 ///
 /// O(1) insert / lookup / remove with index reuse; generations catch stale
 /// handles. [`SessionSlab::take`] / [`SessionSlab::restore`] let an engine
 /// move several sessions out simultaneously for a batched pass without
 /// aliasing the slab.
+///
+/// **Cold tier.** [`SessionSlab::freeze_with`] (or the [`Hibernate`]-trait
+/// convenience [`SessionSlab::hibernate`]) converts a hot slot into a
+/// compact frozen blob stored in an internal [`FrozenArena`], keyed by the
+/// same generational [`SessionId`]; [`SessionSlab::thaw_with`] /
+/// [`SessionSlab::rehydrate`] restore it. Frozen sessions still count as
+/// live ([`SessionSlab::len`]) and keep their handle, but direct access
+/// (`get`/`get_mut`/`take`/`remove`) panics until they are thawed — the
+/// owner decides when to rehydrate (engines do it transparently on the
+/// session's next event).
+///
+/// **Capacity compaction.** `slots`/`free` historically only ever grew, so
+/// a burst of opens pinned peak capacity forever. The slab now shrinks its
+/// tail of vacant slots (live handles cannot be relocated, so only the
+/// tail is reclaimable) whenever live count falls far below capacity; a
+/// slab-wide generation floor guarantees handles into truncated slots can
+/// never alias later reincarnations of the same index.
 #[derive(Debug, Clone)]
 pub struct SessionSlab<T> {
     slots: Vec<Slot<T>>,
     free: Vec<u32>,
     active: usize,
+    /// Live sessions currently in the cold tier.
+    frozen: usize,
+    arena: FrozenArena,
+    /// Reused encode buffer for [`SessionSlab::freeze_with`].
+    scratch: Vec<u8>,
+    /// Generation assigned to freshly pushed slots. Raised past every
+    /// truncated slot's generation when the tail shrinks, so a stale
+    /// handle into a truncated-then-recreated index can never validate.
+    generation_floor: u32,
 }
 
 #[derive(Debug, Clone)]
 struct Slot<T> {
     generation: u32,
-    value: Option<T>,
+    value: Tier<T>,
 }
+
+/// Below this capacity the slab never bothers shrinking.
+const MIN_SHRINK_CAPACITY: usize = 1024;
 
 impl<T> Default for SessionSlab<T> {
     fn default() -> Self {
@@ -155,6 +212,10 @@ impl<T> Default for SessionSlab<T> {
             slots: Vec::new(),
             free: Vec::new(),
             active: 0,
+            frozen: 0,
+            arena: FrozenArena::new(),
+            scratch: Vec::new(),
+            generation_floor: 0,
         }
     }
 }
@@ -165,7 +226,7 @@ impl<T> SessionSlab<T> {
         Self::default()
     }
 
-    /// Number of live sessions (including temporarily taken ones).
+    /// Number of live sessions (hot, frozen and temporarily taken ones).
     pub fn len(&self) -> usize {
         self.active
     }
@@ -180,16 +241,17 @@ impl<T> SessionSlab<T> {
         self.active += 1;
         if let Some(index) = self.free.pop() {
             let slot = &mut self.slots[index as usize];
-            debug_assert!(slot.value.is_none());
-            slot.value = Some(value);
+            debug_assert!(matches!(slot.value, Tier::Vacant));
+            slot.value = Tier::Hot(value);
             SessionId::new(index, slot.generation)
         } else {
             let index = u32::try_from(self.slots.len()).expect("more than 2^32 sessions");
+            let generation = self.generation_floor;
             self.slots.push(Slot {
-                generation: 0,
-                value: Some(value),
+                generation,
+                value: Tier::Hot(value),
             });
-            SessionId::new(index, 0)
+            SessionId::new(index, generation)
         }
     }
 
@@ -222,53 +284,218 @@ impl<T> SessionSlab<T> {
     /// Shared access to a session's value.
     ///
     /// # Panics
-    /// Panics on unknown, closed or taken handles.
+    /// Panics on unknown, closed, taken or hibernated handles.
     pub fn get(&self, id: SessionId) -> &T {
-        self.slot(id)
-            .value
-            .as_ref()
-            .unwrap_or_else(|| panic!("session {id} is taken or closed"))
+        match &self.slot(id).value {
+            Tier::Hot(value) => value,
+            Tier::Cold(_) => panic!("session {id} is hibernated (thaw it first)"),
+            Tier::Vacant | Tier::Taken => panic!("session {id} is taken or closed"),
+        }
     }
 
     /// Mutable access to a session's value.
     ///
     /// # Panics
-    /// Panics on unknown, closed or taken handles.
+    /// Panics on unknown, closed, taken or hibernated handles.
     pub fn get_mut(&mut self, id: SessionId) -> &mut T {
-        self.slot_mut(id)
-            .value
-            .as_mut()
-            .unwrap_or_else(|| panic!("session {id} is taken or closed"))
+        match &mut self.slot_mut(id).value {
+            Tier::Hot(value) => value,
+            Tier::Cold(_) => panic!("session {id} is hibernated (thaw it first)"),
+            Tier::Vacant | Tier::Taken => panic!("session {id} is taken or closed"),
+        }
     }
 
     /// Moves a session's value out, keeping its slot reserved. Pair with
     /// [`SessionSlab::restore`].
+    ///
+    /// # Panics
+    /// Panics on unknown, closed, taken or hibernated handles (a frozen
+    /// session must be thawed before it can be taken).
     pub fn take(&mut self, id: SessionId) -> T {
-        self.slot_mut(id)
-            .value
-            .take()
-            .unwrap_or_else(|| panic!("session {id} is taken or closed"))
+        let slot = self.slot_mut(id);
+        match std::mem::replace(&mut slot.value, Tier::Taken) {
+            Tier::Hot(value) => value,
+            Tier::Cold(r) => {
+                slot.value = Tier::Cold(r);
+                panic!("session {id} is hibernated (thaw it first)")
+            }
+            Tier::Vacant | Tier::Taken => panic!("session {id} is taken or closed"),
+        }
     }
 
     /// Puts back a value previously [`SessionSlab::take`]n.
     pub fn restore(&mut self, id: SessionId, value: T) {
         let slot = self.slot_mut(id);
-        assert!(slot.value.is_none(), "session {id} was not taken");
-        slot.value = Some(value);
+        assert!(
+            matches!(slot.value, Tier::Taken),
+            "session {id} was not taken"
+        );
+        slot.value = Tier::Hot(value);
     }
 
-    /// Removes a session, invalidating its handle.
+    /// Removes a session, invalidating its handle (and shrinking the slot
+    /// tail when live count has fallen far below capacity).
+    ///
+    /// # Panics
+    /// Panics on unknown, closed, taken or hibernated handles (a frozen
+    /// session must be thawed before it can be removed).
     pub fn remove(&mut self, id: SessionId) -> T {
         let index = id.index();
-        let value = self
-            .slot_mut(id)
-            .value
-            .take()
-            .unwrap_or_else(|| panic!("session {id} is taken or closed"));
+        let slot = self.slot_mut(id);
+        let value = match std::mem::replace(&mut slot.value, Tier::Vacant) {
+            Tier::Hot(value) => value,
+            Tier::Cold(r) => {
+                slot.value = Tier::Cold(r);
+                panic!("session {id} is hibernated (thaw it first)")
+            }
+            Tier::Vacant | Tier::Taken => panic!("session {id} is taken or closed"),
+        };
         self.slots[index].generation = self.slots[index].generation.wrapping_add(1);
         self.free.push(index as u32);
         self.active -= 1;
+        self.maybe_shrink();
         value
+    }
+
+    /// Hibernates a hot session: `encode` serialises its value into the
+    /// provided buffer and the blob moves to the internal arena. The
+    /// handle stays valid; direct access panics until
+    /// [`SessionSlab::thaw_with`].
+    ///
+    /// # Panics
+    /// Panics on unknown, closed, taken or already-hibernated handles.
+    pub fn freeze_with(&mut self, id: SessionId, encode: impl FnOnce(&T, &mut Vec<u8>)) {
+        let slot = self.slot_mut(id);
+        let value = match std::mem::replace(&mut slot.value, Tier::Taken) {
+            Tier::Hot(value) => value,
+            Tier::Cold(r) => {
+                slot.value = Tier::Cold(r);
+                panic!("session {id} is already hibernated")
+            }
+            Tier::Vacant | Tier::Taken => panic!("session {id} is taken or closed"),
+        };
+        let mut buf = std::mem::take(&mut self.scratch);
+        buf.clear();
+        encode(&value, &mut buf);
+        let r = self.arena.alloc(&buf);
+        self.scratch = buf;
+        self.slot_mut(id).value = Tier::Cold(r);
+        self.frozen += 1;
+    }
+
+    /// Rehydrates a hibernated session: `decode` rebuilds the value from
+    /// the frozen blob, which is then freed from the arena.
+    ///
+    /// # Panics
+    /// Panics on unknown, closed handles, or handles that are not
+    /// currently hibernated.
+    pub fn thaw_with(&mut self, id: SessionId, decode: impl FnOnce(&[u8]) -> T) {
+        let r = match &self.slot(id).value {
+            Tier::Cold(r) => *r,
+            _ => panic!("session {id} is not hibernated"),
+        };
+        let value = decode(self.arena.get(r));
+        self.arena.free(r);
+        self.slot_mut(id).value = Tier::Hot(value);
+        self.frozen -= 1;
+    }
+
+    /// Hibernates a hot session through its [`Hibernate`] impl.
+    pub fn hibernate<C: ?Sized>(&mut self, id: SessionId, ctx: &C)
+    where
+        T: Hibernate<C>,
+    {
+        self.freeze_with(id, |value, out| value.freeze(ctx, out));
+    }
+
+    /// Rehydrates a hibernated session through its [`Hibernate`] impl.
+    pub fn rehydrate<C: ?Sized>(&mut self, id: SessionId, ctx: &C)
+    where
+        T: Hibernate<C>,
+    {
+        self.thaw_with(id, |bytes| T::thaw(ctx, bytes));
+    }
+
+    /// Whether the session is currently hibernated.
+    ///
+    /// # Panics
+    /// Panics on unknown or stale handles.
+    pub fn is_frozen(&self, id: SessionId) -> bool {
+        matches!(self.slot(id).value, Tier::Cold(_))
+    }
+
+    /// Number of live sessions currently in the cold tier.
+    pub fn frozen_len(&self) -> usize {
+        self.frozen
+    }
+
+    /// Number of live sessions currently resident (hot or taken).
+    pub fn resident_len(&self) -> usize {
+        self.active - self.frozen
+    }
+
+    /// Payload bytes of all frozen sessions (live arena bytes).
+    pub fn frozen_bytes(&self) -> usize {
+        self.arena.live_bytes()
+    }
+
+    /// Total allocated footprint of the cold tier (arena chunks + entry
+    /// table), ≥ [`SessionSlab::frozen_bytes`].
+    pub fn frozen_footprint_bytes(&self) -> usize {
+        self.arena.footprint_bytes()
+    }
+
+    /// Bookkeeping bytes of the slot map itself (slot and free-list
+    /// capacity), excluding the values.
+    pub fn slot_overhead_bytes(&self) -> usize {
+        self.slots.capacity() * std::mem::size_of::<Slot<T>>() + self.free.capacity() * 4
+    }
+
+    /// Allocated slot capacity (≥ [`SessionSlab::len`]); shrinks when
+    /// live count falls far below it.
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Iterates over the **hot** sessions (not frozen, not taken) with
+    /// their handles — the sweep surface for idle-session hibernation.
+    pub fn iter_hot(&self) -> impl Iterator<Item = (SessionId, &T)> {
+        self.slots.iter().enumerate().filter_map(|(index, slot)| {
+            if let Tier::Hot(value) = &slot.value {
+                Some((SessionId::new(index as u32, slot.generation), value))
+            } else {
+                None
+            }
+        })
+    }
+
+    /// Tail-truncates vacant slots once live count drops below a quarter
+    /// of capacity (down to twice the live count). Live handles pin their
+    /// slots, so interior vacancies stay; the generation floor makes sure
+    /// truncated indices can never resurrect an old handle.
+    fn maybe_shrink(&mut self) {
+        let cap = self.slots.len();
+        if cap < MIN_SHRINK_CAPACITY || self.active >= cap / 4 {
+            return;
+        }
+        let keep = (self.active * 2).max(MIN_SHRINK_CAPACITY / 2);
+        let mut new_len = cap;
+        while new_len > keep && matches!(self.slots[new_len - 1].value, Tier::Vacant) {
+            new_len -= 1;
+        }
+        if new_len == cap {
+            return;
+        }
+        for slot in &self.slots[new_len..] {
+            // `wrapping_add` mirrors the generation bump in `remove`; on
+            // the astronomically unlikely wrap the floor still moves past
+            // the last issued generation for these indices.
+            self.generation_floor = self.generation_floor.max(slot.generation.wrapping_add(1));
+        }
+        self.slots.truncate(new_len);
+        self.slots.shrink_to_fit();
+        self.free.retain(|&i| (i as usize) < new_len);
+        self.free.shrink_to_fit();
     }
 }
 
@@ -470,6 +697,14 @@ impl<E: SessionEngine + Send> SessionEngine for Sharded<E> {
     fn close(&mut self, session: SessionId) -> Vec<u8> {
         let route = self.routes.remove(session);
         self.shards[route.shard as usize].close(route.inner)
+    }
+
+    /// Broadcasts maintenance to every shard. Holding `&mut self` means
+    /// no tick is in flight, so this is always a tick boundary.
+    fn maintain(&mut self) {
+        for shard in &mut self.shards {
+            shard.maintain();
+        }
     }
 
     fn active_sessions(&self) -> usize {
@@ -727,6 +962,200 @@ mod tests {
     fn slab_get_on_never_issued_id_panics() {
         let slab: SessionSlab<i32> = SessionSlab::new();
         slab.get(SessionId::new(7, 0));
+    }
+
+    /// Trivial [`Hibernate`] impl for slab-level tests: the string's
+    /// bytes, no context.
+    impl Hibernate<()> for String {
+        fn freeze(&self, _ctx: &(), out: &mut Vec<u8>) {
+            out.extend_from_slice(self.as_bytes());
+        }
+        fn thaw(_ctx: &(), bytes: &[u8]) -> Self {
+            String::from_utf8(bytes.to_vec()).unwrap()
+        }
+    }
+
+    #[test]
+    fn slab_freeze_thaw_roundtrip() {
+        let mut slab = SessionSlab::new();
+        let a = slab.insert("alpha".to_string());
+        let b = slab.insert("beta".to_string());
+        assert_eq!(slab.frozen_len(), 0);
+        assert_eq!(slab.resident_len(), 2);
+
+        slab.hibernate(a, &());
+        assert!(slab.is_frozen(a));
+        assert!(!slab.is_frozen(b));
+        assert_eq!(slab.frozen_len(), 1);
+        assert_eq!(slab.resident_len(), 1);
+        assert_eq!(slab.len(), 2, "frozen sessions stay live");
+        assert_eq!(slab.frozen_bytes(), "alpha".len());
+
+        slab.rehydrate(a, &());
+        assert!(!slab.is_frozen(a));
+        assert_eq!(slab.frozen_len(), 0);
+        assert_eq!(slab.frozen_bytes(), 0);
+        assert_eq!(*slab.get(a), "alpha");
+        assert_eq!(slab.remove(a), "alpha");
+        assert_eq!(slab.remove(b), "beta");
+    }
+
+    #[test]
+    fn slab_iter_hot_skips_frozen_and_taken() {
+        let mut slab = SessionSlab::new();
+        let a = slab.insert("a".to_string());
+        let b = slab.insert("b".to_string());
+        let c = slab.insert("c".to_string());
+        slab.hibernate(b, &());
+        let taken = slab.take(c);
+        let hot: Vec<_> = slab.iter_hot().map(|(id, v)| (id, v.clone())).collect();
+        assert_eq!(hot, vec![(a, "a".to_string())]);
+        slab.restore(c, taken);
+        assert_eq!(slab.iter_hot().count(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "is hibernated")]
+    fn slab_take_while_frozen_panics() {
+        let mut slab = SessionSlab::new();
+        let a = slab.insert("a".to_string());
+        slab.hibernate(a, &());
+        slab.take(a);
+    }
+
+    #[test]
+    #[should_panic(expected = "is hibernated")]
+    fn slab_get_while_frozen_panics() {
+        let mut slab = SessionSlab::new();
+        let a = slab.insert("a".to_string());
+        slab.hibernate(a, &());
+        slab.get(a);
+    }
+
+    #[test]
+    #[should_panic(expected = "is hibernated")]
+    fn slab_remove_while_frozen_panics() {
+        let mut slab = SessionSlab::new();
+        let a = slab.insert("a".to_string());
+        slab.hibernate(a, &());
+        slab.remove(a);
+    }
+
+    #[test]
+    #[should_panic(expected = "is already hibernated")]
+    fn slab_double_freeze_panics() {
+        let mut slab = SessionSlab::new();
+        let a = slab.insert("a".to_string());
+        slab.hibernate(a, &());
+        slab.hibernate(a, &());
+    }
+
+    #[test]
+    #[should_panic(expected = "is taken or closed")]
+    fn slab_freeze_while_taken_panics() {
+        let mut slab = SessionSlab::new();
+        let a = slab.insert("a".to_string());
+        let _v = slab.take(a);
+        slab.hibernate(a, &());
+    }
+
+    #[test]
+    #[should_panic(expected = "is not hibernated")]
+    fn slab_thaw_of_hot_session_panics() {
+        let mut slab = SessionSlab::new();
+        let a = slab.insert("a".to_string());
+        slab.rehydrate(a, &());
+    }
+
+    #[test]
+    #[should_panic(expected = "stale session")]
+    fn slab_stale_generation_on_hibernated_slot_panics() {
+        let mut slab = SessionSlab::new();
+        let a = slab.insert("first".to_string());
+        slab.remove(a);
+        // Reincarnate the slot and hibernate the new tenant: the old
+        // handle must still die on the generation check, not reach the
+        // frozen blob.
+        let b = slab.insert("second".to_string());
+        assert_eq!(a.index(), b.index());
+        slab.hibernate(b, &());
+        slab.is_frozen(a);
+    }
+
+    #[test]
+    fn slab_frozen_sessions_survive_take_restore_of_others() {
+        let mut slab = SessionSlab::new();
+        let a = slab.insert("frozen".to_string());
+        let b = slab.insert("hot".to_string());
+        slab.hibernate(a, &());
+        let v = slab.take(b);
+        slab.restore(b, v);
+        slab.rehydrate(a, &());
+        assert_eq!(*slab.get(a), "frozen");
+        assert_eq!(*slab.get(b), "hot");
+    }
+
+    #[test]
+    fn slab_shrinks_capacity_after_burst() {
+        let mut slab = SessionSlab::new();
+        let ids: Vec<_> = (0..10_000).map(|k| slab.insert(k)).collect();
+        assert_eq!(slab.capacity(), 10_000);
+        for &id in &ids {
+            slab.remove(id);
+        }
+        assert!(slab.is_empty());
+        assert!(
+            slab.capacity() <= MIN_SHRINK_CAPACITY,
+            "burst capacity was pinned: {} slots",
+            slab.capacity()
+        );
+        // The slab keeps working after shrinking.
+        let id = slab.insert(42);
+        assert_eq!(*slab.get(id), 42);
+    }
+
+    #[test]
+    fn slab_shrink_keeps_live_tail_sessions() {
+        let mut slab = SessionSlab::new();
+        let ids: Vec<_> = (0..8192).map(|k| slab.insert(k)).collect();
+        // Keep a survivor near (but not at) the tail; everything else goes.
+        let survivor = ids[8000];
+        for &id in &ids {
+            if id != survivor {
+                slab.remove(id);
+            }
+        }
+        assert_eq!(slab.len(), 1);
+        assert_eq!(*slab.get(survivor), 8000);
+        // The tail beyond the survivor is reclaimed; the survivor pins
+        // everything at or below its index.
+        assert!(slab.capacity() > 8000 && slab.capacity() <= 8192);
+        slab.remove(survivor);
+        assert!(slab.capacity() <= MIN_SHRINK_CAPACITY);
+    }
+
+    #[test]
+    #[should_panic(expected = "stale session")]
+    fn slab_shrink_never_resurrects_old_handles() {
+        let mut slab = SessionSlab::new();
+        let ids: Vec<_> = (0..4096).map(|k| slab.insert(k)).collect();
+        let ghost = ids[4000]; // lives in the to-be-truncated tail
+        for &id in &ids {
+            slab.remove(id);
+        }
+        assert!(slab.capacity() < 4000, "tail was not truncated");
+        // Regrow past the ghost's index: its slot is reincarnated with a
+        // generation above the floor, so the ghost must read as stale —
+        // never as the new tenant.
+        let regrown: Vec<_> = (0..4096).map(|k| slab.insert(k + 10_000)).collect();
+        let reincarnated = regrown.iter().find(|id| id.index() == ghost.index());
+        assert!(reincarnated.is_some());
+        assert_ne!(
+            *reincarnated.unwrap(),
+            ghost,
+            "handle aliasing after shrink"
+        );
+        slab.get(ghost);
     }
 
     #[test]

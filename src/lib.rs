@@ -47,8 +47,8 @@ pub mod prelude {
     pub use eval::{evaluate, DetectionMetrics};
     pub use mapmatch::{MapMatcher, MatchConfig};
     pub use rl4oasd::{
-        EngineStats, IngestEngine, IngestReport, OnlineLearner, Rl4oasdConfig, Rl4oasdDetector,
-        ShardedEngine, StreamEngine, SwapModel, TrainedModel,
+        EngineStats, EpochStats, HibernationConfig, IngestEngine, IngestReport, OnlineLearner,
+        Rl4oasdConfig, Rl4oasdDetector, ShardedEngine, StreamEngine, SwapModel, TrainedModel,
     };
     pub use rnet::{CityBuilder, CityConfig, RoadNetwork, SegmentId};
     pub use traj::{
