@@ -1,0 +1,182 @@
+//! `scenarios` — the city-scale scenario soak, written to
+//! `BENCH_scenarios.json`.
+//!
+//! Runs the standard six-regime scenario battery
+//! ([`scenario::standard_suite`]) on **both** synthetic cities (the
+//! Chengdu-like grid and the Porto-like radial network), replaying every
+//! `(seed, spec)` trace through the async ingest front door at a fixed
+//! flush SLO and cross-checking the labels against the synchronous
+//! sharded path (the replay-determinism invariant, enforced here on every
+//! soak run, not just in tests). Reported per row: detection quality
+//! (segment-level precision/recall/F1 plus the paper's span-level F1)
+//! against the scenario's own ground truth, p50/p99 submit→label latency
+//! from the door's HDR histogram, shed counts and the trace digest.
+//!
+//! ```text
+//! cargo run --release -p bench_suite --bin scenarios [-- [--smoke] [out.json]]
+//! ```
+//!
+//! `--smoke` shrinks to the tiny worlds and short traces for CI; the full
+//! run uses the paper-scale city presets.
+
+use rl4oasd::Rl4oasdConfig;
+use scenario::{Backpressure, Driver, EventTrace, NetworkKind, ScenarioRunner, World};
+use serde::Serialize;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+use traj::FlushPolicy;
+
+#[derive(Serialize)]
+struct Row {
+    scenario: String,
+    network: String,
+    seed: u64,
+    digest: String,
+    sessions: usize,
+    events: u64,
+    rejected: u64,
+    precision: f64,
+    recall: f64,
+    f1: f64,
+    span_f1: f64,
+    p50_us: f64,
+    p99_us: f64,
+    mean_us: f64,
+    seconds: f64,
+}
+
+#[derive(Serialize)]
+struct Report {
+    bench: String,
+    mode: String,
+    ticks: u32,
+    arrivals_per_tick: f64,
+    shards: usize,
+    max_batch: usize,
+    max_delay_us: u64,
+    queue_capacity: usize,
+    host_cores: usize,
+    results: Vec<Row>,
+}
+
+fn main() {
+    let mut smoke = false;
+    let mut out_path = "BENCH_scenarios.json".to_string();
+    for arg in std::env::args().skip(1) {
+        if arg == "--smoke" {
+            smoke = true;
+        } else {
+            out_path = arg;
+        }
+    }
+
+    let (ticks, arrivals, shards, seed) = if smoke {
+        (48u32, 0.5f64, 2usize, 0x5CEA_2026u64)
+    } else {
+        (240u32, 1.5f64, 4usize, 0x5CEA_2026u64)
+    };
+    let flush = FlushPolicy::new(64, Duration::from_millis(1));
+    let queue_capacity = 512;
+
+    let host_cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let mut results = Vec::new();
+
+    for kind in [NetworkKind::ChengduGrid, NetworkKind::PortoRadial] {
+        eprintln!("[{}] building world + training model...", kind.label());
+        let world = if smoke {
+            World::tiny(kind, seed)
+        } else {
+            World::city(kind, seed)
+        };
+        let train_cfg = if smoke {
+            Rl4oasdConfig::tiny(seed)
+        } else {
+            Rl4oasdConfig {
+                joint_trajs: 200,
+                pretrain_trajs: 100,
+                ..Rl4oasdConfig::default()
+            }
+        };
+        let model = Arc::new(world.train(&train_cfg));
+        let runner = ScenarioRunner::new(Arc::clone(&model), Arc::clone(&world.net));
+
+        for spec in scenario::standard_suite(kind, ticks, arrivals) {
+            let trace = EventTrace::generate(&world, &spec, seed);
+            let t0 = Instant::now();
+            let out = runner.run(
+                &trace,
+                &Driver::Ingest {
+                    shards,
+                    flush,
+                    queue_capacity,
+                    backpressure: Backpressure::Retry,
+                },
+            );
+            let seconds = t0.elapsed().as_secs_f64();
+
+            // Replay-determinism cross-check: the sync sharded path must
+            // emit byte-identical labels for the same trace.
+            let sync = runner.run(&trace, &Driver::Sync { shards });
+            assert_eq!(
+                out.labels,
+                sync.labels,
+                "ingest/sync label divergence in `{}` on {}",
+                spec.name,
+                kind.label()
+            );
+
+            let conf = out.confusion();
+            let span = out.span_metrics();
+            let us = |q: f64| out.latency.percentile(q).as_secs_f64() * 1e6;
+            let row = Row {
+                scenario: spec.name.clone(),
+                network: kind.label().to_string(),
+                seed,
+                digest: format!("{:016x}", trace.digest()),
+                sessions: out.sessions,
+                events: out.events,
+                rejected: out.rejected,
+                precision: conf.precision(),
+                recall: conf.recall(),
+                f1: conf.f1(),
+                span_f1: span.f1,
+                p50_us: us(0.50),
+                p99_us: us(0.99),
+                mean_us: out.latency.mean().as_secs_f64() * 1e6,
+                seconds,
+            };
+            eprintln!(
+                "[{}] {:<22} {:>5} sessions {:>7} events | P {:.3} R {:.3} F1 {:.3} \
+                 (span {:.3}) | p50 {:>7.0}us p99 {:>7.0}us | {:.2}s",
+                row.network,
+                row.scenario,
+                row.sessions,
+                row.events,
+                row.precision,
+                row.recall,
+                row.f1,
+                row.span_f1,
+                row.p50_us,
+                row.p99_us,
+                row.seconds,
+            );
+            results.push(row);
+        }
+    }
+
+    let report = Report {
+        bench: "scenario_soak".to_string(),
+        mode: if smoke { "smoke" } else { "full" }.to_string(),
+        ticks,
+        arrivals_per_tick: arrivals,
+        shards,
+        max_batch: flush.max_batch,
+        max_delay_us: flush.max_delay.as_micros() as u64,
+        queue_capacity,
+        host_cores,
+        results,
+    };
+    let json = serde_json::to_string_pretty(&report).expect("report serialises");
+    std::fs::write(&out_path, json).expect("write BENCH_scenarios.json");
+    eprintln!("wrote {out_path}");
+}

@@ -196,6 +196,200 @@ impl CityBuilder {
     }
 }
 
+/// Configuration for the radial (ring + spoke) city generator.
+///
+/// European coastal cities like Porto grew outward from a historic core:
+/// concentric ring roads crossed by radial avenues, rather than the planned
+/// grid of the Chinese cities in the paper. This topology stresses the
+/// detectors differently — route families share long radial prefixes,
+/// detours hop between rings, and segment lengths grow with distance from
+/// the centre (inner ring arcs are short, outer ones long).
+#[derive(Debug, Clone, PartialEq)]
+pub struct RadialCityConfig {
+    /// Number of concentric rings around the centre node.
+    pub rings: usize,
+    /// Number of radial spokes (nodes per ring).
+    pub spokes: usize,
+    /// Distance between consecutive rings in metres.
+    pub ring_spacing: f64,
+    /// Max node position jitter as a fraction of `ring_spacing` (0.0–0.4).
+    pub jitter: f64,
+    /// Probability of removing a (two-way) non-arterial radial street.
+    /// Ring arcs and arterial spokes are never removed, so every build
+    /// stays strongly connected.
+    pub removal_prob: f64,
+    /// Every `arterial_every`-th spoke is a protected arterial avenue.
+    pub arterial_every: usize,
+    /// RNG seed; equal configs build identical cities.
+    pub seed: u64,
+}
+
+impl RadialCityConfig {
+    /// Porto-scale preset: ~2.5k directed segments — deliberately a
+    /// different scale *and* topology than [`CityConfig::chengdu_like`], so
+    /// cross-network scenarios exercise both.
+    pub fn porto_like() -> Self {
+        RadialCityConfig {
+            rings: 18,
+            spokes: 36,
+            ring_spacing: 130.0,
+            jitter: 0.15,
+            removal_prob: 0.12,
+            arterial_every: 6,
+            seed: 0x9027_0003,
+        }
+    }
+
+    /// Small radial city for unit tests (41 nodes, fast to build).
+    pub fn tiny(seed: u64) -> Self {
+        RadialCityConfig {
+            rings: 4,
+            spokes: 10,
+            ring_spacing: 120.0,
+            jitter: 0.1,
+            removal_prob: 0.1,
+            arterial_every: 3,
+            seed,
+        }
+    }
+}
+
+/// Builds radial (ring + spoke) cities from a [`RadialCityConfig`].
+#[derive(Debug, Clone)]
+pub struct RadialCityBuilder {
+    config: RadialCityConfig,
+}
+
+impl RadialCityBuilder {
+    /// Creates a builder for the given config.
+    pub fn new(config: RadialCityConfig) -> Self {
+        assert!(
+            config.rings >= 2 && config.spokes >= 3,
+            "radial city needs >= 2 rings and >= 3 spokes"
+        );
+        assert!(
+            (0.0..=0.4).contains(&config.jitter),
+            "jitter must be in [0, 0.4]"
+        );
+        assert!(
+            (0.0..1.0).contains(&config.removal_prob),
+            "removal_prob must be in [0, 1)"
+        );
+        assert!(config.arterial_every >= 1, "arterial_every must be >= 1");
+        RadialCityBuilder { config }
+    }
+
+    /// Generates the road network.
+    pub fn build(&self) -> RoadNetwork {
+        let cfg = &self.config;
+        let mut rng = StdRng::seed_from_u64(cfg.seed);
+        let mut b = RoadNetworkBuilder::new();
+
+        // 1. Nodes: historic core + jittered concentric rings.
+        let centre = b.add_node(Point::new(0.0, 0.0));
+        let mut ring_nodes = vec![vec![NodeId(0); cfg.spokes]; cfg.rings];
+        for (k, ring) in ring_nodes.iter_mut().enumerate() {
+            let radius = (k + 1) as f64 * cfg.ring_spacing;
+            for (s, slot) in ring.iter_mut().enumerate() {
+                let theta = std::f64::consts::TAU * s as f64 / cfg.spokes as f64;
+                let jr = rng.gen_range(-cfg.jitter..=cfg.jitter) * cfg.ring_spacing;
+                let jt =
+                    rng.gen_range(-cfg.jitter..=cfg.jitter) * cfg.ring_spacing / radius.max(1.0);
+                let r = radius + jr;
+                let t = theta + jt;
+                *slot = b.add_node(Point::new(r * t.cos(), r * t.sin()));
+            }
+        }
+
+        // 2. Candidate streets. Ring arcs and arterial spokes are protected
+        //    so the ring-cycles + arterial-radials backbone always keeps the
+        //    city strongly connected.
+        struct Street {
+            u: NodeId,
+            v: NodeId,
+            class: RoadClass,
+            protected: bool,
+        }
+        let ring_class = |k: usize| -> RoadClass {
+            if k == 0 || k == cfg.rings - 1 || (k + 1).is_multiple_of(cfg.arterial_every) {
+                RoadClass::Arterial
+            } else if k.is_multiple_of(2) {
+                RoadClass::Collector
+            } else {
+                RoadClass::Local
+            }
+        };
+        let spoke_class = |s: usize| -> (RoadClass, bool) {
+            if s.is_multiple_of(cfg.arterial_every) {
+                (RoadClass::Arterial, true)
+            } else if s.is_multiple_of(2) {
+                (RoadClass::Collector, false)
+            } else {
+                (RoadClass::Local, false)
+            }
+        };
+        let mut streets = Vec::new();
+        // Ring arcs between angular neighbours (always protected).
+        for (k, ring) in ring_nodes.iter().enumerate() {
+            let class = ring_class(k);
+            for s in 0..cfg.spokes {
+                streets.push(Street {
+                    u: ring[s],
+                    v: ring[(s + 1) % cfg.spokes],
+                    class,
+                    protected: true,
+                });
+            }
+        }
+        // Radial streets along each spoke: centre -> ring 0 -> ... -> rim.
+        for (s, &inner) in ring_nodes[0].iter().enumerate() {
+            let (class, protected) = spoke_class(s);
+            streets.push(Street {
+                u: centre,
+                v: inner,
+                class,
+                protected,
+            });
+            for rings in ring_nodes.windows(2) {
+                streets.push(Street {
+                    u: rings[0][s],
+                    v: rings[1][s],
+                    class,
+                    protected,
+                });
+            }
+        }
+
+        // 3. Randomly drop unprotected (non-arterial radial) streets.
+        let kept: Vec<&Street> = streets
+            .iter()
+            .filter(|s| s.protected || rng.gen::<f64>() >= cfg.removal_prob)
+            .collect();
+
+        // 4. Realise kept streets as two directed segments with a curved
+        //    3-point geometry (midpoint bowed sideways), like the grid.
+        for s in kept {
+            let pu = b.node_position(s.u);
+            let pv = b.node_position(s.v);
+            let mid = pu.lerp(&pv, 0.5);
+            let dx = pv.x - pu.x;
+            let dy = pv.y - pu.y;
+            let norm = (dx * dx + dy * dy).sqrt().max(1e-9);
+            let bow = rng.gen_range(-0.06..=0.06) * norm;
+            let mid = Point::new(mid.x - dy / norm * bow, mid.y + dx / norm * bow);
+            b.add_segment_with_geometry(s.u, s.v, s.class, vec![pu, mid, pv]);
+            b.add_segment_with_geometry(s.v, s.u, s.class, vec![pv, mid, pu]);
+        }
+
+        let net = b.build();
+        debug_assert!(
+            strongly_connected(&net),
+            "ring backbone must keep the radial city strongly connected"
+        );
+        net
+    }
+}
+
 /// Whether every node can reach and be reached from node 0.
 pub fn strongly_connected(net: &RoadNetwork) -> bool {
     if net.num_nodes() == 0 {
@@ -323,5 +517,85 @@ mod tests {
             assert!(s.length >= chord - 1e-9);
             assert!(s.length <= chord * 1.2);
         }
+    }
+
+    // ---- radial (Porto-style) city -------------------------------------
+
+    #[test]
+    fn tiny_radial_city_is_strongly_connected() {
+        let net = RadialCityBuilder::new(RadialCityConfig::tiny(3)).build();
+        assert!(strongly_connected(&net));
+        assert!(net.num_segments() > 50);
+        assert_eq!(net.num_nodes(), 1 + 4 * 10);
+    }
+
+    #[test]
+    fn radial_builds_are_deterministic() {
+        let a = RadialCityBuilder::new(RadialCityConfig::tiny(42)).build();
+        let b = RadialCityBuilder::new(RadialCityConfig::tiny(42)).build();
+        assert_eq!(a.num_segments(), b.num_segments());
+        for (sa, sb) in a.segments().iter().zip(b.segments().iter()) {
+            assert_eq!(sa.from, sb.from);
+            assert_eq!(sa.to, sb.to);
+            assert!((sa.length - sb.length).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn radial_different_seeds_differ() {
+        let a = RadialCityBuilder::new(RadialCityConfig::tiny(1)).build();
+        let b = RadialCityBuilder::new(RadialCityConfig::tiny(2)).build();
+        let differs = a
+            .segments()
+            .iter()
+            .zip(b.segments().iter())
+            .any(|(x, y)| (x.length - y.length).abs() > 1e-9)
+            || a.num_segments() != b.num_segments();
+        assert!(differs);
+    }
+
+    #[test]
+    fn porto_preset_is_a_different_scale_than_chengdu() {
+        let porto = RadialCityBuilder::new(RadialCityConfig::porto_like()).build();
+        assert!(strongly_connected(&porto));
+        let n = porto.num_segments();
+        assert!((2_000..3_200).contains(&n), "got {n}");
+        let chengdu = CityBuilder::new(CityConfig::chengdu_like()).build();
+        // Cross-network scenarios need genuinely different scales.
+        assert!((n as f64) < chengdu.num_segments() as f64 * 0.75);
+    }
+
+    #[test]
+    fn radial_road_classes_present() {
+        let net = RadialCityBuilder::new(RadialCityConfig::tiny(5)).build();
+        let mut classes = std::collections::HashSet::new();
+        for s in net.segments() {
+            classes.insert(s.class.code());
+        }
+        assert!(classes.contains(&0), "arterials exist");
+        assert!(classes.len() >= 2, "class hierarchy exists");
+    }
+
+    #[test]
+    fn radial_geometry_is_curved_but_bounded() {
+        let net = RadialCityBuilder::new(RadialCityConfig::tiny(11)).build();
+        for s in net.segments() {
+            assert_eq!(s.geometry.len(), 3);
+            let chord = s.geometry[0].dist(&s.geometry[2]);
+            assert!(s.length >= chord - 1e-9);
+            assert!(s.length <= chord * 1.2);
+        }
+    }
+
+    #[test]
+    fn radial_degree_heterogeneity_exists() {
+        let net = RadialCityBuilder::new(RadialCityConfig::tiny(9)).build();
+        let mut deg_many = 0usize;
+        for s in net.segment_ids() {
+            if net.out_degree(s) > 1 {
+                deg_many += 1;
+            }
+        }
+        assert!(deg_many > 0, "need choice intersections");
     }
 }

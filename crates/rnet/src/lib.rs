@@ -11,7 +11,9 @@
 //!   features);
 //! * a synthetic **city generator** ([`generator::CityBuilder`]) that builds
 //!   degree-heterogeneous, imperfect grid cities sized like the paper's
-//!   datasets (Table II: 4,885 / 5,052 segments);
+//!   datasets (Table II: 4,885 / 5,052 segments), plus a Porto-style
+//!   ring-and-spoke generator ([`generator::RadialCityBuilder`]) so the
+//!   scenario suite can run cross-network;
 //! * **shortest-path** machinery ([`path`]) used by the map matcher and by
 //!   the traffic simulator's route-family construction;
 //! * a **spatial index** ([`index::SegmentIndex`]) for GPS-point candidate
@@ -31,7 +33,7 @@ pub mod index;
 pub mod path;
 
 pub use astar::{alternative_routes, astar};
-pub use generator::{CityBuilder, CityConfig};
+pub use generator::{CityBuilder, CityConfig, RadialCityBuilder, RadialCityConfig};
 pub use geo::Point;
 pub use graph::{NodeId, RoadClass, RoadNetwork, RoadNetworkBuilder, Segment, SegmentId};
 pub use index::SegmentIndex;

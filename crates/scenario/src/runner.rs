@@ -1,0 +1,238 @@
+//! Drives one [`EventTrace`] through a serving engine and scores the
+//! result.
+//!
+//! The same trace can be replayed through the synchronous sharded path
+//! or the async ingest front door; because `SessionEngine` guarantees
+//! interleaving never changes labels, both drivers (at any shard count
+//! and flush policy) must emit byte-identical final labels — the
+//! cross-driver half of the replay-determinism property in
+//! `tests/scenarios.rs`.
+
+use crate::trace::EventTrace;
+use eval::{evaluate, Confusion, DetectionMetrics};
+use rl4oasd::{IngestEngine, ShardedEngine, TrainedModel};
+use rnet::RoadNetwork;
+use std::sync::Arc;
+use std::time::Instant;
+use traj::{
+    FlushPolicy, IngestConfig, LatencyHistogram, SessionEngine, SessionId, SubmitError,
+    Subscription,
+};
+
+/// What to do when the ingest door reports [`SubmitError::QueueFull`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Backpressure {
+    /// Spin (yielding) until the queue drains — no event is ever lost, so
+    /// the outcome is comparable to the sync driver.
+    Retry,
+    /// Shed the event: count it as rejected and drop its ground-truth
+    /// label too, so scoring stays aligned with what the engine saw.
+    Shed,
+}
+
+/// Which serving path replays the trace.
+#[derive(Debug, Clone)]
+pub enum Driver {
+    /// The synchronous [`ShardedEngine`]: one `observe_batch` per tick.
+    /// Latency samples are per-tick batch walltimes.
+    Sync {
+        /// Shard count.
+        shards: usize,
+    },
+    /// The async `IngestFrontDoor`: every point goes through `submit`,
+    /// micro-batched under the flush policy. Latency samples are the
+    /// door's own submit→label histogram.
+    Ingest {
+        /// Shard count.
+        shards: usize,
+        /// Micro-batching policy (the SLO under test).
+        flush: FlushPolicy,
+        /// Per-shard ingress queue capacity.
+        queue_capacity: usize,
+        /// Reaction to a full ingress queue.
+        backpressure: Backpressure,
+    },
+}
+
+/// Labels, aligned ground truth and operational counters of one replay.
+pub struct RunOutcome {
+    /// Final labels per scenario session (empty for zero-length sessions).
+    pub labels: Vec<Vec<u8>>,
+    /// Ground truth aligned with `labels`; under [`Backpressure::Shed`]
+    /// the labels of rejected events are removed here too.
+    pub truth: Vec<Vec<u8>>,
+    /// Sessions replayed.
+    pub sessions: usize,
+    /// Events delivered to the engine.
+    pub events: u64,
+    /// Events shed on `QueueFull` (always 0 for sync / retry runs).
+    pub rejected: u64,
+    /// Latency histogram (see [`Driver`] for what a sample means).
+    pub latency: LatencyHistogram,
+}
+
+impl RunOutcome {
+    /// Segment-level confusion over every (label, truth) pair.
+    pub fn confusion(&self) -> Confusion {
+        Confusion::of_corpus(&self.labels, &self.truth)
+    }
+
+    /// Span-level metrics (the paper's F1/TF1 protocol).
+    pub fn span_metrics(&self) -> DetectionMetrics {
+        evaluate(&self.labels, &self.truth)
+    }
+}
+
+/// Replays event traces through serving engines built from one model.
+pub struct ScenarioRunner {
+    model: Arc<TrainedModel>,
+    net: Arc<RoadNetwork>,
+}
+
+impl ScenarioRunner {
+    /// A runner serving `model` over `net` (the world's network).
+    pub fn new(model: Arc<TrainedModel>, net: Arc<RoadNetwork>) -> Self {
+        ScenarioRunner { model, net }
+    }
+
+    /// Replays `trace` through the chosen driver.
+    pub fn run(&self, trace: &EventTrace, driver: &Driver) -> RunOutcome {
+        match *driver {
+            Driver::Sync { shards } => self.run_sync(trace, shards),
+            Driver::Ingest {
+                shards,
+                flush,
+                queue_capacity,
+                backpressure,
+            } => self.run_ingest(trace, shards, flush, queue_capacity, backpressure),
+        }
+    }
+
+    fn run_sync(&self, trace: &EventTrace, shards: usize) -> RunOutcome {
+        let mut engine = ShardedEngine::new(Arc::clone(&self.model), Arc::clone(&self.net), shards);
+        let n = trace.sessions as usize;
+        let mut handles: Vec<Option<SessionId>> = (0..n).map(|_| None).collect();
+        let mut labels: Vec<Vec<u8>> = vec![Vec::new(); n];
+        let mut latency = LatencyHistogram::new();
+        let mut events: Vec<(SessionId, rnet::SegmentId)> = Vec::new();
+        let mut out = Vec::new();
+        for tick in &trace.ticks {
+            for &(id, sd, t0) in &tick.opens {
+                handles[id as usize] = Some(engine.open(sd, t0));
+            }
+            if !tick.points.is_empty() {
+                events.clear();
+                events.extend(tick.points.iter().map(|&(id, seg)| {
+                    (
+                        handles[id as usize].expect("point for unopened session"),
+                        seg,
+                    )
+                }));
+                let t = Instant::now();
+                engine.observe_batch(&events, &mut out);
+                latency.record(t.elapsed());
+                debug_assert_eq!(out.len(), events.len());
+            }
+            for &id in &tick.closes {
+                let h = handles[id as usize].take().expect("double close");
+                labels[id as usize] = engine.close(h);
+            }
+        }
+        RunOutcome {
+            labels,
+            truth: trace.truth.clone(),
+            sessions: n,
+            events: trace.events,
+            rejected: 0,
+            latency,
+        }
+    }
+
+    fn run_ingest(
+        &self,
+        trace: &EventTrace,
+        shards: usize,
+        flush: FlushPolicy,
+        queue_capacity: usize,
+        backpressure: Backpressure,
+    ) -> RunOutcome {
+        let engine = IngestEngine::new(
+            Arc::clone(&self.model),
+            Arc::clone(&self.net),
+            shards,
+            IngestConfig {
+                flush,
+                queue_capacity,
+                ..Default::default()
+            },
+        );
+        let handle = engine.handle();
+        let n = trace.sessions as usize;
+        let mut open: Vec<Option<(SessionId, Subscription)>> = (0..n).map(|_| None).collect();
+        let mut labels: Vec<Vec<u8>> = vec![Vec::new(); n];
+        let mut truth: Vec<Vec<u8>> = vec![Vec::new(); n];
+        let mut pos = vec![0usize; n];
+        let mut delivered = 0u64;
+        let mut rejected = 0u64;
+        for tick in &trace.ticks {
+            for &(id, sd, t0) in &tick.opens {
+                // Opens and closes are control commands: they ride the same
+                // bounded ingress queue as data points, but shedding one
+                // would corrupt the session ledger — so both backpressure
+                // modes retry them until the queue drains.
+                let opened = loop {
+                    match handle.open(sd, t0) {
+                        Ok(pair) => break pair,
+                        Err(SubmitError::QueueFull) => std::thread::yield_now(),
+                        Err(e) => panic!("open rejected: {e:?}"),
+                    }
+                };
+                open[id as usize] = Some(opened);
+            }
+            for &(id, seg) in &tick.points {
+                let k = id as usize;
+                let session = open[k].as_ref().expect("point for unopened session").0;
+                let t = trace.truth[k][pos[k]];
+                pos[k] += 1;
+                match backpressure {
+                    Backpressure::Retry => {
+                        while handle.submit(session, seg) == Err(SubmitError::QueueFull) {
+                            std::thread::yield_now();
+                        }
+                        truth[k].push(t);
+                        delivered += 1;
+                    }
+                    Backpressure::Shed => match handle.submit(session, seg) {
+                        Ok(()) => {
+                            truth[k].push(t);
+                            delivered += 1;
+                        }
+                        Err(SubmitError::QueueFull) => rejected += 1,
+                        Err(e) => panic!("unexpected submit error: {e:?}"),
+                    },
+                }
+            }
+            for &id in &tick.closes {
+                let (session, sub) = open[id as usize].take().expect("double close");
+                let ticket = loop {
+                    match handle.close(session) {
+                        Ok(ticket) => break ticket,
+                        Err(SubmitError::QueueFull) => std::thread::yield_now(),
+                        Err(e) => panic!("close rejected: {e:?}"),
+                    }
+                };
+                labels[id as usize] = ticket.wait();
+                drop(sub);
+            }
+        }
+        let report = engine.shutdown();
+        RunOutcome {
+            labels,
+            truth,
+            sessions: n,
+            events: delivered,
+            rejected,
+            latency: report.ingest.latency,
+        }
+    }
+}

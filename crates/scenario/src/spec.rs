@@ -1,0 +1,261 @@
+//! Scenario specifications: a named, serializable description of a
+//! workload. Together with a `u64` seed, a [`ScenarioSpec`] fully
+//! determines an event trace — see [`crate::EventTrace::generate`].
+
+use serde::{Deserialize, Serialize};
+
+/// Which synthetic city a scenario runs on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum NetworkKind {
+    /// The paper's Chengdu-like imperfect grid (`rnet::CityBuilder`).
+    ChengduGrid,
+    /// The Porto-like ring-and-spoke city (`rnet::RadialCityBuilder`) —
+    /// different topology *and* scale, so cross-network runs are a real
+    /// generalisation test, not a re-run.
+    PortoRadial,
+}
+
+impl NetworkKind {
+    /// Stable label used in bench reports and scenario names.
+    pub fn label(&self) -> &'static str {
+        match self {
+            NetworkKind::ChengduGrid => "chengdu_grid",
+            NetworkKind::PortoRadial => "porto_radial",
+        }
+    }
+}
+
+/// One workload regime layered onto a scenario. Regimes compose: a spec
+/// may stack a rush-hour wave on top of incident recurrence on top of
+/// dropout bursts; each consumes draws from the single scenario RNG, so
+/// the composition is still a pure function of `(seed, spec)`.
+///
+/// Serialised as a tagged map (`{"type": "arrival_wave", ...}`) — the
+/// vendored serde derive only covers unit-variant enums, so the impls are
+/// hand-written below.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Regime {
+    /// Rush-hour arrival waves: while `tick % period` falls in
+    /// `[offset, offset + len)`, the session arrival rate is raised to
+    /// `peak` sessions/tick (it never lowers the base rate).
+    ArrivalWave {
+        /// Wave period in ticks.
+        period: u32,
+        /// First tick (mod `period`) of the wave window.
+        offset: u32,
+        /// Wave window length in ticks.
+        len: u32,
+        /// Arrival rate during the wave, sessions per tick.
+        peak: f64,
+    },
+    /// Incident injection with MTTH-style recurrence, after the
+    /// `generate_anomaly`/`CarAccident` pattern of the classic traffic
+    /// simulators: once the previous incident is over and `cooldown` ticks
+    /// have passed, each tick starts a new incident with probability
+    /// `1 - 2^(-elapsed / mtth)` where `elapsed` counts ticks since the
+    /// cooldown expired. An active incident blocks one SD pair's normal
+    /// corridor for `duration` ticks: sessions opening on that pair take a
+    /// detour route with probability `detour_prob`.
+    Incidents {
+        /// Mean time to happen, in ticks (half-life of the geometric-ish
+        /// start distribution).
+        mtth: f64,
+        /// How long each incident lasts, in ticks.
+        duration: u32,
+        /// Minimum quiet gap after an incident ends, in ticks.
+        cooldown: u32,
+        /// Detour probability for sessions on the affected pair while the
+        /// incident is active.
+        detour_prob: f64,
+    },
+    /// A standing detour hotspot around a blocked edge: the first
+    /// `hot_pair_fraction` of the world's SD pairs route around their
+    /// blocked normal corridor with probability `detour_prob` for the
+    /// whole trace.
+    Hotspot {
+        /// Fraction of SD pairs (by index) that are hot, `0.0..=1.0`.
+        hot_pair_fraction: f64,
+        /// Detour probability for sessions on a hot pair.
+        detour_prob: f64,
+    },
+    /// Fleet-wide concept-drift switchpoint: sessions opened at or after
+    /// `at_tick` sample routes — and are ground-truth-labelled — under
+    /// regime 1 (the paper's §V-G role swap: the old detour becomes the
+    /// popular route). Sessions opened earlier keep regime 0 for their
+    /// whole life.
+    DriftSwitch {
+        /// Tick at which newly opened sessions switch to regime 1.
+        at_tick: u32,
+    },
+    /// GPS dropout bursts: while `tick % period` falls in
+    /// `[0, burst_len)`, each due point is *dropped* with probability
+    /// `drop_prob` — the vehicle still moves (route position advances) but
+    /// the engine never sees the point, and ground truth skips it too.
+    /// With `drop_prob == 1.0` a short session can close having emitted
+    /// nothing (a zero-length session).
+    Dropout {
+        /// Burst period in ticks.
+        period: u32,
+        /// Burst length in ticks (`<= period`).
+        burst_len: u32,
+        /// Per-point drop probability during a burst.
+        drop_prob: f64,
+    },
+}
+
+impl Serialize for Regime {
+    fn serialize(&self) -> serde::Value {
+        use serde::Value;
+        let map = |tag: &str, fields: Vec<(&str, Value)>| {
+            let mut m = vec![("type".to_string(), Value::Str(tag.to_string()))];
+            m.extend(fields.into_iter().map(|(k, v)| (k.to_string(), v)));
+            Value::Map(m)
+        };
+        match *self {
+            Regime::ArrivalWave {
+                period,
+                offset,
+                len,
+                peak,
+            } => map(
+                "arrival_wave",
+                vec![
+                    ("period", period.serialize()),
+                    ("offset", offset.serialize()),
+                    ("len", len.serialize()),
+                    ("peak", peak.serialize()),
+                ],
+            ),
+            Regime::Incidents {
+                mtth,
+                duration,
+                cooldown,
+                detour_prob,
+            } => map(
+                "incidents",
+                vec![
+                    ("mtth", mtth.serialize()),
+                    ("duration", duration.serialize()),
+                    ("cooldown", cooldown.serialize()),
+                    ("detour_prob", detour_prob.serialize()),
+                ],
+            ),
+            Regime::Hotspot {
+                hot_pair_fraction,
+                detour_prob,
+            } => map(
+                "hotspot",
+                vec![
+                    ("hot_pair_fraction", hot_pair_fraction.serialize()),
+                    ("detour_prob", detour_prob.serialize()),
+                ],
+            ),
+            Regime::DriftSwitch { at_tick } => {
+                map("drift_switch", vec![("at_tick", at_tick.serialize())])
+            }
+            Regime::Dropout {
+                period,
+                burst_len,
+                drop_prob,
+            } => map(
+                "dropout",
+                vec![
+                    ("period", period.serialize()),
+                    ("burst_len", burst_len.serialize()),
+                    ("drop_prob", drop_prob.serialize()),
+                ],
+            ),
+        }
+    }
+}
+
+impl Deserialize for Regime {
+    fn deserialize(v: &serde::Value) -> Result<Self, serde::Error> {
+        fn field<T: Deserialize>(v: &serde::Value, name: &str) -> Result<T, serde::Error> {
+            T::deserialize(
+                v.get(name)
+                    .ok_or_else(|| serde::Error::missing_field("Regime", name))?,
+            )
+        }
+        let tag = v
+            .get("type")
+            .and_then(|t| t.as_str())
+            .ok_or_else(|| serde::Error::expected("tagged map", "Regime"))?;
+        match tag {
+            "arrival_wave" => Ok(Regime::ArrivalWave {
+                period: field(v, "period")?,
+                offset: field(v, "offset")?,
+                len: field(v, "len")?,
+                peak: field(v, "peak")?,
+            }),
+            "incidents" => Ok(Regime::Incidents {
+                mtth: field(v, "mtth")?,
+                duration: field(v, "duration")?,
+                cooldown: field(v, "cooldown")?,
+                detour_prob: field(v, "detour_prob")?,
+            }),
+            "hotspot" => Ok(Regime::Hotspot {
+                hot_pair_fraction: field(v, "hot_pair_fraction")?,
+                detour_prob: field(v, "detour_prob")?,
+            }),
+            "drift_switch" => Ok(Regime::DriftSwitch {
+                at_tick: field(v, "at_tick")?,
+            }),
+            "dropout" => Ok(Regime::Dropout {
+                period: field(v, "period")?,
+                burst_len: field(v, "burst_len")?,
+                drop_prob: field(v, "drop_prob")?,
+            }),
+            other => Err(serde::Error::msg(format!("unknown regime type `{other}`"))),
+        }
+    }
+}
+
+/// A complete scenario: network, duration, base arrival rate and the
+/// regime stack. `(seed, spec)` fully determines the event trace.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ScenarioSpec {
+    /// Scenario name, used in reports (`BENCH_scenarios.json`).
+    pub name: String,
+    /// City the scenario runs on.
+    pub network: NetworkKind,
+    /// Trace length in ticks (sessions still open at the end are closed
+    /// in one final drain tick).
+    pub ticks: u32,
+    /// Base session arrival rate, sessions per tick (may be fractional;
+    /// arrivals accumulate deterministically).
+    pub arrivals_per_tick: f64,
+    /// Workload regimes layered onto the base arrival process.
+    pub regimes: Vec<Regime>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spec_json_round_trip() {
+        let spec = ScenarioSpec {
+            name: "rush_hour".into(),
+            network: NetworkKind::PortoRadial,
+            ticks: 120,
+            arrivals_per_tick: 0.8,
+            regimes: vec![
+                Regime::ArrivalWave {
+                    period: 60,
+                    offset: 10,
+                    len: 15,
+                    peak: 4.0,
+                },
+                Regime::Dropout {
+                    period: 40,
+                    burst_len: 8,
+                    drop_prob: 0.5,
+                },
+            ],
+        };
+        let json = serde_json::to_string(&spec).unwrap();
+        let back: ScenarioSpec = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, spec);
+    }
+}

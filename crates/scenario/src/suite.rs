@@ -1,0 +1,91 @@
+//! The standard scenario battery: six named regimes, instantiable on
+//! either city. The soak bin runs `standard_suite` on both networks and
+//! records the outcome to `BENCH_scenarios.json`; CI smoke-runs one
+//! scenario from it.
+
+use crate::spec::{NetworkKind, Regime, ScenarioSpec};
+
+/// The six standard scenarios on `network`, each `ticks` long with a base
+/// arrival rate of `arrivals_per_tick` sessions/tick.
+///
+/// 1. `steady_flow` — the base arrival process alone (quality baseline);
+/// 2. `rush_hour_waves` — periodic arrival bursts at 4× the base rate;
+/// 3. `incident_recurrence` — MTTH-recurrent incidents, each blocking one
+///    SD pair's corridor and forcing detours while active;
+/// 4. `blocked_edge_hotspot` — a standing detour hotspot around a blocked
+///    edge on half the SD pairs;
+/// 5. `fleet_drift` — a fleet-wide role-swap switchpoint at mid-trace
+///    (the paper's §V-G drift, served by a model trained pre-drift);
+/// 6. `gps_dropout_bursts` — periodic bursts dropping half the points,
+///    producing gappy (sometimes zero-length) sessions.
+pub fn standard_suite(
+    network: NetworkKind,
+    ticks: u32,
+    arrivals_per_tick: f64,
+) -> Vec<ScenarioSpec> {
+    let spec = |name: &str, regimes: Vec<Regime>| ScenarioSpec {
+        name: name.to_string(),
+        network,
+        ticks,
+        arrivals_per_tick,
+        regimes,
+    };
+    vec![
+        spec("steady_flow", vec![]),
+        spec(
+            "rush_hour_waves",
+            vec![Regime::ArrivalWave {
+                period: 60,
+                offset: 10,
+                len: 15,
+                peak: arrivals_per_tick * 4.0,
+            }],
+        ),
+        spec(
+            "incident_recurrence",
+            vec![Regime::Incidents {
+                mtth: 12.0,
+                duration: 20,
+                cooldown: 10,
+                detour_prob: 0.85,
+            }],
+        ),
+        spec(
+            "blocked_edge_hotspot",
+            vec![Regime::Hotspot {
+                hot_pair_fraction: 0.5,
+                detour_prob: 0.6,
+            }],
+        ),
+        spec(
+            "fleet_drift",
+            vec![Regime::DriftSwitch { at_tick: ticks / 2 }],
+        ),
+        spec(
+            "gps_dropout_bursts",
+            vec![Regime::Dropout {
+                period: 40,
+                burst_len: 8,
+                drop_prob: 0.5,
+            }],
+        ),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suite_has_six_distinct_scenarios() {
+        let suite = standard_suite(NetworkKind::ChengduGrid, 120, 1.0);
+        assert_eq!(suite.len(), 6);
+        let mut names: Vec<&str> = suite.iter().map(|s| s.name.as_str()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), 6, "scenario names must be unique");
+        // Five of the six carry a non-empty regime stack, all distinct.
+        let regimes: Vec<_> = suite.iter().filter(|s| !s.regimes.is_empty()).collect();
+        assert_eq!(regimes.len(), 5);
+    }
+}

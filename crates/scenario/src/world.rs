@@ -1,0 +1,117 @@
+//! A *world* is the static substrate scenarios run on: one road network
+//! plus its SD-pair route families, built deterministically from a
+//! [`NetworkKind`] and a seed.
+
+use crate::spec::NetworkKind;
+use rl4oasd::{Rl4oasdConfig, TrainedModel};
+use rnet::{CityBuilder, CityConfig, RadialCityBuilder, RadialCityConfig, RoadNetwork};
+use std::sync::Arc;
+use traj::{Dataset, SdPairData, TrafficConfig, TrafficSimulator};
+
+/// Road network + route families + the traffic config that produced them.
+///
+/// Worlds are pure functions of `(kind, scale, seed)`: the network build,
+/// the route-family construction and the training corpus all derive from
+/// seeded RNGs, so two processes that build the same world agree on every
+/// segment id and every route — the precondition for byte-identical
+/// scenario replay.
+pub struct World {
+    /// Which city generator built the network.
+    pub kind: NetworkKind,
+    /// The road network (shared with engines).
+    pub net: Arc<RoadNetwork>,
+    /// Per-SD-pair route families (normal routes + disjoint detours), as
+    /// built by `traj::TrafficSimulator::build_route_families`.
+    pub pairs: Vec<SdPairData>,
+    /// The traffic config the families were built with; also used to
+    /// generate the training corpus in [`World::train`].
+    pub traffic: TrafficConfig,
+}
+
+impl World {
+    /// Small world for unit/property tests: tiny city, 4 SD pairs.
+    pub fn tiny(kind: NetworkKind, seed: u64) -> World {
+        let net = match kind {
+            NetworkKind::ChengduGrid => CityBuilder::new(CityConfig::tiny(seed)).build(),
+            NetworkKind::PortoRadial => {
+                RadialCityBuilder::new(RadialCityConfig::tiny(seed)).build()
+            }
+        };
+        let traffic = TrafficConfig {
+            num_sd_pairs: 4,
+            trajs_per_pair: (50, 70),
+            anomaly_ratio: 0.15,
+            ..TrafficConfig::tiny(seed)
+        };
+        World::build(kind, net, traffic)
+    }
+
+    /// Full-size world for soak runs: the city preset at paper scale,
+    /// more SD pairs, longer routes.
+    pub fn city(kind: NetworkKind, seed: u64) -> World {
+        let net = match kind {
+            NetworkKind::ChengduGrid => CityBuilder::new(CityConfig::chengdu_like()).build(),
+            NetworkKind::PortoRadial => {
+                RadialCityBuilder::new(RadialCityConfig::porto_like()).build()
+            }
+        };
+        let traffic = TrafficConfig {
+            num_sd_pairs: 8,
+            trajs_per_pair: (50, 80),
+            anomaly_ratio: 0.12,
+            min_route_len: 8,
+            max_route_len: 40,
+            seed,
+            ..TrafficConfig::default()
+        };
+        World::build(kind, net, traffic)
+    }
+
+    fn build(kind: NetworkKind, net: RoadNetwork, traffic: TrafficConfig) -> World {
+        let sim = TrafficSimulator::new(&net, traffic.clone());
+        let pairs = sim.build_route_families();
+        World {
+            kind,
+            net: Arc::new(net),
+            pairs,
+            traffic,
+        }
+    }
+
+    /// Trains an RL4OASD model on this world's traffic. The training
+    /// corpus is `TrafficSimulator::generate()` with the world's own
+    /// config, whose route families are exactly [`World::pairs`] (same
+    /// seed, same draws) — so the model learns the same normal routes the
+    /// scenario traces are labelled against.
+    pub fn train(&self, cfg: &Rl4oasdConfig) -> TrainedModel {
+        let sim = TrafficSimulator::new(&self.net, self.traffic.clone());
+        let ds = Dataset::from_generated(&sim.generate());
+        rl4oasd::train(&self.net, &ds, cfg)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn worlds_are_deterministic() {
+        let a = World::tiny(NetworkKind::PortoRadial, 7);
+        let b = World::tiny(NetworkKind::PortoRadial, 7);
+        assert_eq!(a.net.num_segments(), b.net.num_segments());
+        assert_eq!(a.pairs.len(), b.pairs.len());
+        for (pa, pb) in a.pairs.iter().zip(&b.pairs) {
+            assert_eq!(pa.pair, pb.pair);
+            for (ra, rb) in pa.routes.iter().zip(&pb.routes) {
+                assert_eq!(ra.segments, rb.segments);
+            }
+        }
+    }
+
+    #[test]
+    fn kinds_build_different_networks() {
+        let grid = World::tiny(NetworkKind::ChengduGrid, 7);
+        let radial = World::tiny(NetworkKind::PortoRadial, 7);
+        assert_ne!(grid.net.num_nodes(), radial.net.num_nodes());
+    }
+}

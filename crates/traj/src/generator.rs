@@ -244,18 +244,7 @@ impl<'a> TrafficSimulator<'a> {
     /// Runs the simulation.
     pub fn generate(&self) -> GeneratedTraffic {
         let mut rng = StdRng::seed_from_u64(self.config.seed);
-        let mut pairs = Vec::with_capacity(self.config.num_sd_pairs);
-        let mut attempts = 0usize;
-        while pairs.len() < self.config.num_sd_pairs {
-            attempts += 1;
-            assert!(
-                attempts < self.config.num_sd_pairs * 200,
-                "could not build enough SD pairs; network too small for the requested route lengths"
-            );
-            if let Some(p) = self.build_pair(&mut rng) {
-                pairs.push(p);
-            }
-        }
+        let pairs = self.build_pairs(&mut rng);
 
         let mut trajectories = Vec::new();
         let mut ground_truth = Vec::new();
@@ -293,6 +282,32 @@ impl<'a> TrafficSimulator<'a> {
             route_of,
             raw,
         }
+    }
+
+    /// Builds just the per-pair **route families** — exactly the pairs
+    /// [`TrafficSimulator::generate`] would build (same seed, same RNG
+    /// draws), without sampling any trajectories. The scenario engine uses
+    /// this to own route families and derive its event traces as a pure
+    /// function of a `(seed, spec)` pair.
+    pub fn build_route_families(&self) -> Vec<SdPairData> {
+        let mut rng = StdRng::seed_from_u64(self.config.seed);
+        self.build_pairs(&mut rng)
+    }
+
+    fn build_pairs(&self, rng: &mut StdRng) -> Vec<SdPairData> {
+        let mut pairs = Vec::with_capacity(self.config.num_sd_pairs);
+        let mut attempts = 0usize;
+        while pairs.len() < self.config.num_sd_pairs {
+            attempts += 1;
+            assert!(
+                attempts < self.config.num_sd_pairs * 200,
+                "could not build enough SD pairs; network too small for the requested route lengths"
+            );
+            if let Some(p) = self.build_pair(rng) {
+                pairs.push(p);
+            }
+        }
+        pairs
     }
 
     /// Generates additional trajectories from *existing* route families —
@@ -822,6 +837,23 @@ mod tests {
             }
             assert_eq!(raw.id, mapped.id);
             assert!((raw.points[0].t - mapped.start_time).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn route_families_match_generate() {
+        let net = CityBuilder::new(CityConfig::tiny(23)).build();
+        let sim = TrafficSimulator::new(&net, TrafficConfig::tiny(23));
+        let families = sim.build_route_families();
+        let data = sim.generate();
+        assert_eq!(families.len(), data.pairs.len());
+        for (a, b) in families.iter().zip(&data.pairs) {
+            assert_eq!(a.pair, b.pair);
+            assert_eq!(a.routes.len(), b.routes.len());
+            for (ra, rb) in a.routes.iter().zip(&b.routes) {
+                assert_eq!(ra.segments, rb.segments);
+                assert_eq!(ra.kind, rb.kind);
+            }
         }
     }
 

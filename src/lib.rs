@@ -11,7 +11,9 @@
 //! * [`rl4oasd`] — the paper's contribution: preprocessing, RSRNet, ASDNet,
 //!   training and the online detector;
 //! * [`baselines`] — IBOAT, DBTOD, CTSS and the GM-VSAE family;
-//! * [`eval`] — NER-style F1/TF1 metrics and threshold tuning.
+//! * [`eval`] — NER-style F1/TF1 metrics and threshold tuning;
+//! * [`scenario`] — the city-scale scenario engine with deterministic
+//!   `(seed, spec)` replay, driving both serving paths cross-network.
 //!
 //! ## Quickstart
 //!
@@ -39,6 +41,7 @@ pub use mapmatch;
 pub use nn;
 pub use rl4oasd;
 pub use rnet;
+pub use scenario;
 pub use traj;
 
 /// Convenient glob-import surface for examples and tests.
@@ -50,7 +53,13 @@ pub mod prelude {
         EngineStats, EpochStats, HibernationConfig, IngestEngine, IngestReport, OnlineLearner,
         Rl4oasdConfig, Rl4oasdDetector, ShardedEngine, StreamEngine, SwapModel, TrainedModel,
     };
-    pub use rnet::{CityBuilder, CityConfig, RoadNetwork, SegmentId};
+    pub use rnet::{
+        CityBuilder, CityConfig, RadialCityBuilder, RadialCityConfig, RoadNetwork, SegmentId,
+    };
+    pub use scenario::{
+        standard_suite, Backpressure, Driver, EventTrace, NetworkKind, Regime, RunOutcome,
+        ScenarioRunner, ScenarioSpec, World,
+    };
     pub use traj::{
         Dataset, DriftConfig, FlushPolicy, IngestConfig, IngestFrontDoor, IngestHandle,
         IngestStats, LatencyHistogram, MappedTrajectory, OnlineDetector, SdPair, SessionEngine,

@@ -1,9 +1,78 @@
-//! Shared drivers for the session-engine integration tests: the same
-//! interleaving schedule must be replayable against different engines
-//! (single, muxed, sharded) so cross-file equivalence claims compare the
-//! exact same workload.
+//! Shared drivers and fixtures for the session-engine integration tests:
+//! the same interleaving schedule must be replayable against different
+//! engines (single, muxed, sharded) so cross-file equivalence claims
+//! compare the exact same workload — and the same fixture recipe must be
+//! buildable on either city generator so every suite can run
+//! cross-network.
+
+// Each integration-test binary compiles this module independently and
+// uses a different subset of it; what one binary leaves unused another
+// depends on.
+#![allow(dead_code)]
 
 use rl4oasd_repro::prelude::*;
+use std::sync::Arc;
+
+/// Which synthetic city a fixture is built on. Test suites default to the
+/// Chengdu-like grid; the scenario suite sweeps both.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CityKind {
+    /// The paper's Chengdu-like imperfect grid.
+    ChengduGrid,
+    /// The Porto-like ring-and-spoke radial city.
+    PortoRadial,
+}
+
+/// Builds the tiny test-scale network of the given kind.
+pub fn build_city(kind: CityKind, seed: u64) -> RoadNetwork {
+    match kind {
+        CityKind::ChengduGrid => CityBuilder::new(CityConfig::tiny(seed)).build(),
+        CityKind::PortoRadial => RadialCityBuilder::new(RadialCityConfig::tiny(seed)).build(),
+    }
+}
+
+/// A trained serving fixture: network, model and a pool of non-empty
+/// trajectories — the recipe every engine-equivalence suite shares,
+/// parameterised by the network handle so any suite can run on either
+/// city.
+pub struct EngineFixture {
+    pub net: Arc<RoadNetwork>,
+    pub model: Arc<TrainedModel>,
+    pub stats: Arc<RouteStats>,
+    /// The training corpus (kept so suites can train variant models or
+    /// fit baseline statistics on the exact same data).
+    pub ds: Dataset,
+    pub trajs: Vec<MappedTrajectory>,
+}
+
+/// Builds the standard trained fixture on `kind` with the given seed:
+/// 4 SD pairs × 50–70 trajectories at 15% anomaly ratio, trained with
+/// `Rl4oasdConfig::tiny(seed)`.
+pub fn trained_fixture(kind: CityKind, seed: u64) -> EngineFixture {
+    let net = build_city(kind, seed);
+    let cfg = TrafficConfig {
+        num_sd_pairs: 4,
+        trajs_per_pair: (50, 70),
+        anomaly_ratio: 0.15,
+        ..TrafficConfig::tiny(seed)
+    };
+    let ds = Dataset::from_generated(&TrafficSimulator::new(&net, cfg).generate());
+    let model = Arc::new(rl4oasd::train(&net, &ds, &Rl4oasdConfig::tiny(seed)));
+    let stats = Arc::new(RouteStats::fit(&ds));
+    let trajs: Vec<MappedTrajectory> = ds
+        .trajectories
+        .iter()
+        .filter(|t| !t.is_empty())
+        .cloned()
+        .collect();
+    EngineFixture {
+        net: Arc::new(net),
+        model,
+        stats,
+        ds,
+        trajs,
+    }
+}
 
 /// Drives the trajectories through an engine with a deterministic but
 /// irregular interleaving: each tick advances a seed-dependent subset of

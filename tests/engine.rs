@@ -8,47 +8,16 @@
 
 use proptest::prelude::*;
 use rl4oasd_repro::prelude::*;
-use rnet::{CityBuilder, CityConfig};
 use std::sync::{Arc, OnceLock};
 
 mod common;
-use common::interleaved;
-
-struct Fixture {
-    net: Arc<RoadNetwork>,
-    model: Arc<TrainedModel>,
-    stats: Arc<RouteStats>,
-    trajs: Vec<MappedTrajectory>,
-}
+use common::{interleaved, trained_fixture, CityKind, EngineFixture};
 
 /// One shared trained fixture for every test in this file (training is the
 /// expensive part; the properties only exercise serving).
-fn fixture() -> &'static Fixture {
-    static FIXTURE: OnceLock<Fixture> = OnceLock::new();
-    FIXTURE.get_or_init(|| {
-        let net = CityBuilder::new(CityConfig::tiny(0xF1EE7)).build();
-        let cfg = TrafficConfig {
-            num_sd_pairs: 4,
-            trajs_per_pair: (50, 70),
-            anomaly_ratio: 0.15,
-            ..TrafficConfig::tiny(0xF1EE7)
-        };
-        let ds = Dataset::from_generated(&TrafficSimulator::new(&net, cfg).generate());
-        let model = rl4oasd::train(&net, &ds, &Rl4oasdConfig::tiny(0xF1EE7));
-        let stats = Arc::new(RouteStats::fit(&ds));
-        let trajs = ds
-            .trajectories
-            .iter()
-            .filter(|t| !t.is_empty())
-            .cloned()
-            .collect();
-        Fixture {
-            net: Arc::new(net),
-            model: Arc::new(model),
-            stats,
-            trajs,
-        }
-    })
+fn fixture() -> &'static EngineFixture {
+    static FIXTURE: OnceLock<EngineFixture> = OnceLock::new();
+    FIXTURE.get_or_init(|| trained_fixture(CityKind::ChengduGrid, 0xF1EE7))
 }
 
 /// Labels every trajectory alone through the per-trajectory path.

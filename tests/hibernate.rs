@@ -18,45 +18,17 @@
 
 use proptest::prelude::*;
 use rl4oasd_repro::prelude::*;
-use rnet::{CityBuilder, CityConfig};
 use std::sync::{Arc, OnceLock};
 use std::time::Duration;
 
 mod common;
-use common::interleaved;
-
-struct Fixture {
-    net: Arc<RoadNetwork>,
-    model: Arc<TrainedModel>,
-    trajs: Vec<MappedTrajectory>,
-}
+use common::{interleaved, trained_fixture, CityKind, EngineFixture};
 
 /// One shared fixture for every test in this file (training is the
 /// expensive part; the properties only exercise serving + freeze/thaw).
-fn fixture() -> &'static Fixture {
-    static FIXTURE: OnceLock<Fixture> = OnceLock::new();
-    FIXTURE.get_or_init(|| {
-        let net = CityBuilder::new(CityConfig::tiny(0xC01D)).build();
-        let cfg = TrafficConfig {
-            num_sd_pairs: 4,
-            trajs_per_pair: (50, 70),
-            anomaly_ratio: 0.15,
-            ..TrafficConfig::tiny(0xC01D)
-        };
-        let ds = Dataset::from_generated(&TrafficSimulator::new(&net, cfg).generate());
-        let model = Arc::new(rl4oasd::train(&net, &ds, &Rl4oasdConfig::tiny(0xC01D)));
-        let trajs: Vec<MappedTrajectory> = ds
-            .trajectories
-            .iter()
-            .filter(|t| !t.is_empty())
-            .cloned()
-            .collect();
-        Fixture {
-            net: Arc::new(net),
-            model,
-            trajs,
-        }
-    })
+fn fixture() -> &'static EngineFixture {
+    static FIXTURE: OnceLock<EngineFixture> = OnceLock::new();
+    FIXTURE.get_or_init(|| trained_fixture(CityKind::ChengduGrid, 0xC01D))
 }
 
 /// The shard counts the hibernation properties sweep (acceptance: 1/2/8).

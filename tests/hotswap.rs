@@ -17,9 +17,11 @@
 use proptest::prelude::*;
 use rl4oasd::{IngestEngine, SwapModel};
 use rl4oasd_repro::prelude::*;
-use rnet::{CityBuilder, CityConfig};
 use std::sync::{Arc, OnceLock};
 use std::time::Duration;
+
+mod common;
+use common::{trained_fixture, CityKind};
 
 struct Fixture {
     net: Arc<RoadNetwork>,
@@ -32,32 +34,24 @@ struct Fixture {
 
 /// One shared two-model fixture for every test in this file (training is
 /// the expensive part; the properties only exercise serving + swapping).
+/// Built from the shared cross-network fixture recipe, plus a second
+/// model retrained on the same corpus with different seeds.
 fn fixture() -> &'static Fixture {
     static FIXTURE: OnceLock<Fixture> = OnceLock::new();
     FIXTURE.get_or_init(|| {
-        let net = CityBuilder::new(CityConfig::tiny(0x5A7)).build();
-        let cfg = TrafficConfig {
-            num_sd_pairs: 4,
-            trajs_per_pair: (50, 70),
-            anomaly_ratio: 0.15,
-            ..TrafficConfig::tiny(0x5A7)
-        };
-        let ds = Dataset::from_generated(&TrafficSimulator::new(&net, cfg).generate());
-        let v1 = Arc::new(rl4oasd::train(&net, &ds, &Rl4oasdConfig::tiny(0x5A7)));
-        let v2 = Arc::new(rl4oasd::train(&net, &ds, &Rl4oasdConfig::tiny(0xBEEF)));
-        let trajs: Vec<MappedTrajectory> = ds
-            .trajectories
-            .iter()
-            .filter(|t| !t.is_empty())
-            .cloned()
-            .collect();
+        let base = trained_fixture(CityKind::ChengduGrid, 0x5A7);
+        let v2 = Arc::new(rl4oasd::train(
+            &base.net,
+            &base.ds,
+            &Rl4oasdConfig::tiny(0xBEEF),
+        ));
         // Guard (deterministic): the two models must actually disagree
         // somewhere, or the swap assertions below would be vacuous.
         let fx = Fixture {
-            net: Arc::new(net),
-            v1,
+            net: base.net,
+            v1: base.model,
             v2,
-            trajs,
+            trajs: base.trajs,
         };
         let a = reference_labels(&fx.v1, &fx.net, &fx.trajs[..20]);
         let b = reference_labels(&fx.v2, &fx.net, &fx.trajs[..20]);
