@@ -14,6 +14,7 @@
 //! ```
 
 use bench_suite::throughput::drive_interleaved;
+use obs::{Obs, ObsConfig, Snapshot};
 use rl4oasd::{train, Rl4oasdConfig, ShardedEngine, StreamEngine};
 use rnet::{CityBuilder, CityConfig};
 use serde::Serialize;
@@ -43,6 +44,8 @@ struct Report {
     hidden_dim: usize,
     embed_dim: usize,
     host_cores: usize,
+    /// Final telemetry snapshot of the last (largest) row.
+    obs: Snapshot,
     results: Vec<Row>,
 }
 
@@ -74,20 +77,35 @@ fn main() {
     let model = Arc::new(model);
     let host_cores = std::thread::available_parallelism().map_or(1, |n| n.get());
 
+    // Small rings keep the embedded snapshot a readable size in the JSON.
+    let obs_rings = ObsConfig {
+        enabled: true,
+        event_capacity: 64,
+        span_capacity: 64,
+        sample_capacity: 64,
+    };
+
     let mut results = Vec::new();
+    let mut snapshot = Snapshot::default();
     for sessions in [1usize, 100, 10_000] {
         let min_points = (sessions as u64 * 20).max(100_000);
         for shards in [1usize, 2, 4, 8] {
+            // Fresh telemetry per row so shard-labelled series don't
+            // bleed across configurations; the sweep runs obs-on.
+            let obs = Obs::new(obs_rings.clone());
             let (sample, stats) = if shards == 1 {
                 // Baseline: the plain single-threaded engine.
-                let mut engine = StreamEngine::new(Arc::clone(&model), Arc::clone(&net));
+                let mut engine =
+                    StreamEngine::new(Arc::clone(&model), Arc::clone(&net)).with_obs(&obs, 0);
                 let sample = drive_interleaved(&mut engine, &trajs, sessions, min_points);
                 (sample, engine.stats())
             } else {
-                let mut engine = ShardedEngine::new(Arc::clone(&model), Arc::clone(&net), shards);
+                let mut engine =
+                    ShardedEngine::new(Arc::clone(&model), Arc::clone(&net), shards).with_obs(&obs);
                 let sample = drive_interleaved(&mut engine, &trajs, sessions, min_points);
                 (sample, engine.stats())
             };
+            snapshot = obs.snapshot();
             eprintln!(
                 "{:>6} sessions x {} shards: {:>9} points in {:>7.3}s = {:>12.0} points/sec \
                  (p50 {:.0}us / p99 {:.0}us; {} batched / {} scalar events)",
@@ -124,6 +142,7 @@ fn main() {
         hidden_dim: config.hidden_dim,
         embed_dim: config.embed_dim,
         host_cores,
+        obs: snapshot,
         results,
     };
     let json = serde_json::to_string_pretty(&report).expect("report serialises");

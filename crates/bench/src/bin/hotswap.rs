@@ -24,6 +24,7 @@
 //! cargo run --release -p bench_suite --bin hotswap [-- out.json]
 //! ```
 
+use obs::{Obs, ObsConfig, Snapshot};
 use rl4oasd::{
     train, IngestEngine, OnlineLearner, Rl4oasdConfig, StreamEngine, SwapModel, TrainedModel,
 };
@@ -60,6 +61,9 @@ struct Report {
     host_cores: usize,
     max_batch: usize,
     max_delay_us: u64,
+    /// Final telemetry snapshot of the last row (swap events + spans
+    /// included).
+    obs: Snapshot,
     results: Vec<Row>,
 }
 
@@ -179,7 +183,7 @@ fn measure(
     min_points: u64,
     config: IngestConfig,
     publisher: Publisher,
-) -> Row {
+) -> (Row, Snapshot) {
     let engine = IngestEngine::new(Arc::clone(v1), Arc::clone(net), shards, config);
     let producers = sessions.min(4);
     let per = sessions.div_ceil(producers);
@@ -242,7 +246,7 @@ fn measure(
     let points = report.ingest.submitted;
     let lat = &report.ingest.latency;
     let us = |q: f64| lat.percentile(q).as_secs_f64() * 1e6;
-    Row {
+    let row = Row {
         mode: mode.to_string(),
         sessions,
         shards,
@@ -254,7 +258,8 @@ fn measure(
         p99_us: us(0.99),
         swaps_per_shard: report.engine.model_swaps / shards as u64,
         queue_full_retries: retries,
-    }
+    };
+    (row, report.obs)
 }
 
 fn main() {
@@ -310,11 +315,20 @@ fn main() {
         flush: FlushPolicy::new(128, Duration::from_millis(1)),
         queue_capacity: 512,
         outbox_capacity: 256,
+        obs: Obs::disabled(),
+    };
+    // Small rings keep the embedded snapshot a readable size in the JSON.
+    let obs_rings = ObsConfig {
+        enabled: true,
+        event_capacity: 64,
+        span_capacity: 64,
+        sample_capacity: 64,
     };
 
     let sessions = 10_000usize;
     let min_points = 200_000u64;
     let mut results = Vec::new();
+    let mut snapshot = Snapshot::default();
     for shards in [1usize, 4] {
         for (mode, publisher) in [
             ("baseline", Publisher::None),
@@ -331,7 +345,9 @@ fn main() {
                 },
             ),
         ] {
-            let row = measure(
+            // Fresh telemetry per row so shard-labelled series don't
+            // bleed across configurations.
+            let (row, snap) = measure(
                 mode,
                 &v1,
                 &v2,
@@ -340,9 +356,13 @@ fn main() {
                 sessions,
                 shards,
                 min_points,
-                ingest_config.clone(),
+                IngestConfig {
+                    obs: Obs::new(obs_rings.clone()),
+                    ..ingest_config.clone()
+                },
                 publisher,
             );
+            snapshot = snap;
             eprintln!(
                 "{:>15} x {} shards: {:>8} points in {:>7.3}s = {:>9.0} points/sec | \
                  p50 {:>8.0}us p99 {:>8.0}us | {} swaps/shard, {} retries",
@@ -367,6 +387,7 @@ fn main() {
         host_cores,
         max_batch: ingest_config.flush.max_batch,
         max_delay_us: ingest_config.flush.max_delay.as_micros() as u64,
+        obs: snapshot,
         results,
     };
     let json = serde_json::to_string_pretty(&report).expect("report serialises");

@@ -25,6 +25,7 @@
 
 use nn::ops::kernels::{self, reference};
 use nn::PackedWeights;
+use obs::{names, Obs, ObsConfig, Snapshot};
 use serde::Serialize;
 use std::time::Instant;
 
@@ -46,6 +47,9 @@ struct Report {
     bench: String,
     host_cores: usize,
     lanes: usize,
+    /// The measured `ns_new` timings mirrored as `oasd_kernel_nanos`
+    /// histograms, labelled `{op, dims, batch}`.
+    obs: Snapshot,
     results: Vec<Row>,
 }
 
@@ -217,10 +221,29 @@ fn main() {
         }
     }
 
+    // Mirror the measured timings into the telemetry spine so this bin
+    // exports the same snapshot shape as the serving-stack bins.
+    let obs = Obs::new(ObsConfig {
+        enabled: true,
+        event_capacity: 16,
+        span_capacity: 16,
+        sample_capacity: 16,
+    });
+    for row in &results {
+        let dims = row.rows.to_string();
+        let batch = row.batch.to_string();
+        obs.histogram(
+            names::KERNEL_NANOS,
+            &[("op", row.op.as_str()), ("dims", &dims), ("batch", &batch)],
+        )
+        .record_nanos(row.ns_new as u64);
+    }
+
     let report = Report {
         bench: "micro_gemm_kernels".to_string(),
         host_cores,
         lanes: kernels::LANES,
+        obs: obs.snapshot(),
         results,
     };
     let json = serde_json::to_string_pretty(&report).expect("serialise report");

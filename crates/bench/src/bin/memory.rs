@@ -23,6 +23,7 @@
 //! cargo run --release -p bench_suite --bin memory [-- out.json]
 //! ```
 
+use obs::{Obs, ObsConfig, Snapshot};
 use rl4oasd::{train, HibernationConfig, Rl4oasdConfig, StreamEngine, TrainedModel};
 use rnet::{CityBuilder, CityConfig, RoadNetwork};
 use serde::Serialize;
@@ -58,6 +59,9 @@ struct Report {
     working_set: usize,
     throughput_ticks: usize,
     rehydrate_samples: usize,
+    /// Final telemetry snapshot of the last hibernate scenario
+    /// (sweep spans + tier gauges included).
+    obs: Snapshot,
     results: Vec<Row>,
 }
 
@@ -128,14 +132,22 @@ fn scenario(
     trajs: &[MappedTrajectory],
     hidden_dim: usize,
     sessions: usize,
-) -> Vec<Row> {
+) -> (Vec<Row>, Snapshot) {
     // Keep the populate phase affordable at a million sessions; smaller
     // fleets get a longer prefix so label RLE has real runs to encode.
     let events_per_session = if sessions >= 100_000 { 1 } else { 3 };
     let mut rows = Vec::new();
 
+    // One telemetry spine per scenario (small rings so the embedded
+    // snapshot stays a readable size in the JSON).
+    let obs = Obs::new(ObsConfig {
+        enabled: true,
+        event_capacity: 64,
+        span_capacity: 64,
+        sample_capacity: 64,
+    });
     for mode in ["resident", "hibernate"] {
-        let mut engine = StreamEngine::new(Arc::clone(model), Arc::clone(net));
+        let mut engine = StreamEngine::new(Arc::clone(model), Arc::clone(net)).with_obs(&obs, 0);
         let handles = populate(&mut engine, trajs, sessions, events_per_session);
 
         let (mut rehydrate_p50_us, mut rehydrate_p99_us) = (0.0, 0.0);
@@ -210,8 +222,11 @@ fn scenario(
             row.rehydrate_p99_us,
             row.throughput_points_per_sec,
         );
+        // Refresh the mirrored gauges so the snapshot describes the
+        // fleet as the throughput phase left it.
+        let _ = engine.stats();
     }
-    rows
+    (rows, obs.snapshot())
 }
 
 fn main() {
@@ -241,6 +256,7 @@ fn main() {
     let host_cores = std::thread::available_parallelism().map_or(1, |n| n.get());
 
     let mut results = Vec::new();
+    let mut snapshot = Snapshot::default();
     // Sweep the serving width: hidden 64 is the default serving config;
     // hidden 32 is the compact config the 1M-session headline quotes.
     for hidden_dim in [32usize, 64] {
@@ -254,7 +270,9 @@ fn main() {
         let model = Arc::new(train(&net, &train_set, &config));
         model.packed();
         for sessions in [10_000usize, 1_000_000] {
-            results.extend(scenario(&model, &net, &trajs, hidden_dim, sessions));
+            let (rows, snap) = scenario(&model, &net, &trajs, hidden_dim, sessions);
+            results.extend(rows);
+            snapshot = snap;
         }
     }
 
@@ -277,6 +295,7 @@ fn main() {
         working_set: WORKING_SET,
         throughput_ticks: THROUGHPUT_TICKS,
         rehydrate_samples: REHYDRATE_SAMPLES,
+        obs: snapshot,
         results,
     };
     let json = serde_json::to_string_pretty(&report).expect("report serialises");

@@ -19,6 +19,7 @@
 //! `--smoke` shrinks to the tiny worlds and short traces for CI; the full
 //! run uses the paper-scale city presets.
 
+use obs::{Obs, ObsConfig, Snapshot};
 use rl4oasd::Rl4oasdConfig;
 use scenario::{Backpressure, Driver, EventTrace, NetworkKind, ScenarioRunner, World};
 use serde::Serialize;
@@ -56,6 +57,14 @@ struct Report {
     max_delay_us: u64,
     queue_capacity: usize,
     host_cores: usize,
+    /// Events/sec of the first trace replayed with telemetry on vs the
+    /// same trace through an un-instrumented runner.
+    obs_on_events_per_sec: f64,
+    obs_off_events_per_sec: f64,
+    /// `(1 - on/off) · 100` — positive means telemetry cost throughput.
+    obs_overhead_pct: f64,
+    /// Cumulative telemetry snapshot over the whole soak (both cities).
+    obs: Snapshot,
     results: Vec<Row>,
 }
 
@@ -81,6 +90,17 @@ fn main() {
     let host_cores = std::thread::available_parallelism().map_or(1, |n| n.get());
     let mut results = Vec::new();
 
+    // One telemetry spine across the whole soak; small rings keep the
+    // snapshot embedded in the JSON a readable size.
+    let obs = Obs::new(ObsConfig {
+        enabled: true,
+        event_capacity: 64,
+        span_capacity: 64,
+        sample_capacity: 64,
+    });
+    let mut obs_on_events_per_sec = 0.0f64;
+    let mut obs_off_events_per_sec = 0.0f64;
+
     for kind in [NetworkKind::ChengduGrid, NetworkKind::PortoRadial] {
         eprintln!("[{}] building world + training model...", kind.label());
         let world = if smoke {
@@ -98,21 +118,57 @@ fn main() {
             }
         };
         let model = Arc::new(world.train(&train_cfg));
-        let runner = ScenarioRunner::new(Arc::clone(&model), Arc::clone(&world.net));
+        let runner = ScenarioRunner::new(Arc::clone(&model), Arc::clone(&world.net)).with_obs(&obs);
 
         for spec in scenario::standard_suite(kind, ticks, arrivals) {
             let trace = EventTrace::generate(&world, &spec, seed);
+            let driver = Driver::Ingest {
+                shards,
+                flush,
+                queue_capacity,
+                backpressure: Backpressure::Retry,
+            };
             let t0 = Instant::now();
-            let out = runner.run(
-                &trace,
-                &Driver::Ingest {
-                    shards,
-                    flush,
-                    queue_capacity,
-                    backpressure: Backpressure::Retry,
-                },
-            );
+            let out = runner.run(&trace, &driver);
             let seconds = t0.elapsed().as_secs_f64();
+
+            if results.is_empty() {
+                // Telemetry-overhead probe on the first trace: alternate
+                // un-instrumented and instrumented replays, best of 3
+                // each, so warm-up and scheduler noise cancel out of the
+                // recorded number. The instrumented replays record into
+                // their own throwaway spine so the soak snapshot below
+                // only covers the actual soak rows.
+                let plain = ScenarioRunner::new(Arc::clone(&model), Arc::clone(&world.net));
+                let probe_obs = Obs::new(ObsConfig {
+                    enabled: true,
+                    event_capacity: 64,
+                    span_capacity: 64,
+                    sample_capacity: 64,
+                });
+                let wired = ScenarioRunner::new(Arc::clone(&model), Arc::clone(&world.net))
+                    .with_obs(&probe_obs);
+                for _ in 0..3 {
+                    let t = Instant::now();
+                    let off = plain.run(&trace, &driver);
+                    let off_rate = off.events as f64 / t.elapsed().as_secs_f64().max(1e-12);
+                    obs_off_events_per_sec = obs_off_events_per_sec.max(off_rate);
+                    let t = Instant::now();
+                    let on = wired.run(&trace, &driver);
+                    let on_rate = on.events as f64 / t.elapsed().as_secs_f64().max(1e-12);
+                    obs_on_events_per_sec = obs_on_events_per_sec.max(on_rate);
+                    assert_eq!(
+                        out.labels, off.labels,
+                        "un-instrumented replay diverged in `{}`",
+                        spec.name
+                    );
+                    assert_eq!(
+                        out.labels, on.labels,
+                        "telemetry changed labels in `{}`",
+                        spec.name
+                    );
+                }
+            }
 
             // Replay-determinism cross-check: the sync sharded path must
             // emit byte-identical labels for the same trace.
@@ -164,6 +220,20 @@ fn main() {
         }
     }
 
+    // Every replay records through the shared spine, so an empty
+    // snapshot after a soak means the telemetry wiring came apart.
+    let snapshot = obs.snapshot();
+    assert!(
+        !snapshot.is_empty(),
+        "telemetry snapshot is empty after the soak"
+    );
+    let obs_overhead_pct =
+        (1.0 - obs_on_events_per_sec / obs_off_events_per_sec.max(1e-12)) * 100.0;
+    eprintln!(
+        "telemetry overhead: {obs_on_events_per_sec:.0} (on) vs {obs_off_events_per_sec:.0} (off) \
+         events/sec = {obs_overhead_pct:+.2}%",
+    );
+
     let report = Report {
         bench: "scenario_soak".to_string(),
         mode: if smoke { "smoke" } else { "full" }.to_string(),
@@ -174,6 +244,10 @@ fn main() {
         max_delay_us: flush.max_delay.as_micros() as u64,
         queue_capacity,
         host_cores,
+        obs_on_events_per_sec,
+        obs_off_events_per_sec,
+        obs_overhead_pct,
+        obs: snapshot,
         results,
     };
     let json = serde_json::to_string_pretty(&report).expect("report serialises");

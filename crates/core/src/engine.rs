@@ -34,6 +34,7 @@
 use crate::detector::{DecisionCounters, ModelView, Pending, SessionState, StepScratch};
 use crate::rsrnet::RsrBatch;
 use crate::train::TrainedModel;
+use obs::{names, Counter, Gauge, Obs, OpsEvent, Span, Stage, StageHandle};
 use rnet::{RoadNetwork, SegmentId};
 use std::collections::HashSet;
 use std::sync::Arc;
@@ -224,6 +225,66 @@ struct ModelEpoch {
     seq: u32,
 }
 
+/// Pre-resolved telemetry handles for one engine (= one shard). Built
+/// once by [`StreamEngine::set_obs`], so serving never takes the registry
+/// mutex — gauge mirroring and span recording go straight to relaxed
+/// atomics. Engines without telemetry store `None` and pay one branch.
+struct EngineObs {
+    obs: Obs,
+    shard: u32,
+    shard_label: String,
+    sweep: StageHandle,
+    swap: StageHandle,
+    hot_sessions: Gauge,
+    frozen_sessions: Gauge,
+    arena_bytes: Gauge,
+    decisions: Counter,
+    alerts: Counter,
+    swaps: Counter,
+    /// Arena compaction count at the last mirror; a higher value now
+    /// means the cold tier compacted since (one `ArenaCompaction` event
+    /// per observed step).
+    last_compactions: u64,
+}
+
+impl EngineObs {
+    fn resolve(obs: &Obs, shard: usize) -> Self {
+        let shard_label = shard.to_string();
+        let labels: &[(&str, &str)] = &[("shard", &shard_label)];
+        EngineObs {
+            obs: obs.clone(),
+            shard: shard as u32,
+            sweep: obs.stage(Stage::HibernateSweep, shard as u32),
+            swap: obs.stage(Stage::SwapApply, shard as u32),
+            hot_sessions: obs.gauge(
+                names::ENGINE_SESSIONS,
+                &[("shard", &shard_label), ("tier", "hot")],
+            ),
+            frozen_sessions: obs.gauge(
+                names::ENGINE_SESSIONS,
+                &[("shard", &shard_label), ("tier", "frozen")],
+            ),
+            arena_bytes: obs.gauge(names::ENGINE_ARENA_BYTES, labels),
+            decisions: obs.counter(names::ENGINE_DECISIONS, labels),
+            alerts: obs.counter(names::ENGINE_ALERTS, labels),
+            swaps: obs.counter(names::ENGINE_SWAPS, labels),
+            last_compactions: 0,
+            shard_label,
+        }
+    }
+
+    /// Resolves the per-epoch live-session gauge for swap sequence `seq`.
+    /// Takes the registry mutex, so callers keep this off the per-flush
+    /// path (epochs appear at swaps and disappear at retirement — rare).
+    fn epoch_gauge(&self, seq: u32) -> Gauge {
+        let seq = seq.to_string();
+        self.obs.gauge(
+            names::EPOCH_SESSIONS,
+            &[("shard", &self.shard_label), ("epoch", &seq)],
+        )
+    }
+}
+
 /// One open session: the algorithmic state plus the id of the model epoch
 /// it was opened under (and will run on until it closes).
 struct SessionEntry {
@@ -257,6 +318,9 @@ pub struct StreamEngine {
     /// Per-epoch serving counters by swap sequence number (grows by one
     /// per swap, entries are never removed).
     epoch_log: Vec<EpochStats>,
+    /// Pre-resolved telemetry handles; `None` (the default) keeps the
+    /// serving path telemetry-free. See [`StreamEngine::set_obs`].
+    obs: Option<EngineObs>,
 }
 
 impl StreamEngine {
@@ -277,7 +341,23 @@ impl StreamEngine {
             hibernation: None,
             tick: 0,
             epoch_log: vec![EpochStats::default()],
+            obs: None,
         }
+    }
+
+    /// Builder form of [`StreamEngine::set_obs`].
+    pub fn with_obs(mut self, obs: &Obs, shard: usize) -> Self {
+        self.set_obs(obs, shard);
+        self
+    }
+
+    /// Wires telemetry: resolves this engine's counter/gauge/stage
+    /// handles from `obs` under the shard label `shard`. Passing a
+    /// disabled handle clears the wiring, restoring the zero-cost
+    /// default. Labels are never affected either way (property-tested in
+    /// `tests/obs.rs`).
+    pub fn set_obs(&mut self, obs: &Obs, shard: usize) {
+        self.obs = obs.enabled().then(|| EngineObs::resolve(obs, shard));
     }
 
     /// Builder form of [`StreamEngine::set_hibernation`].
@@ -317,11 +397,16 @@ impl StreamEngine {
     /// Swapping while the *current* epoch has no open sessions retires it
     /// immediately.
     pub fn swap_model(&mut self, model: Arc<TrainedModel>) {
+        let span = match &self.obs {
+            Some(o) => o.swap.start(),
+            None => Span::none(),
+        };
         let outgoing = self.current as usize;
-        if self.epochs[outgoing]
+        let retired_seq = self.epochs[outgoing]
             .as_ref()
-            .is_some_and(|e| e.live_sessions == 0)
-        {
+            .filter(|e| e.live_sessions == 0)
+            .map(|e| e.seq);
+        if retired_seq.is_some() {
             self.epochs[outgoing] = None;
         }
         let seq = u32::try_from(self.epoch_log.len()).expect("more than 2^32 model swaps");
@@ -343,6 +428,22 @@ impl StreamEngine {
         };
         self.current = u32::try_from(id).expect("more than 2^32 live model epochs");
         self.stats.model_swaps += 1;
+        if let Some(o) = &self.obs {
+            o.swaps.set(self.stats.model_swaps);
+            o.obs.event(OpsEvent::ModelSwapApplied {
+                shard: o.shard,
+                seq: u64::from(seq),
+                retired: u64::from(retired_seq.is_some()),
+            });
+            if let Some(seq) = retired_seq {
+                o.epoch_gauge(seq).set(0);
+                o.obs.event(OpsEvent::EpochRetired {
+                    shard: o.shard,
+                    seq: u64::from(seq),
+                });
+            }
+            o.swap.finish(span);
+        }
     }
 
     /// Number of model generations currently alive in this engine: the
@@ -367,7 +468,18 @@ impl StreamEngine {
             .expect("model epoch retired while referenced");
         e.live_sessions -= 1;
         if e.live_sessions == 0 && id != self.current {
+            let seq = e.seq;
             self.epochs[id as usize] = None;
+            if let Some(o) = &self.obs {
+                // Retirement is rare, so resolving the gauge (registry
+                // lock) here is fine; zeroing it keeps the export from
+                // showing sessions pinned to a model that is gone.
+                o.epoch_gauge(seq).set(0);
+                o.obs.event(OpsEvent::EpochRetired {
+                    shard: o.shard,
+                    seq: u64::from(seq),
+                });
+            }
         }
     }
 
@@ -390,7 +502,52 @@ impl StreamEngine {
         stats.resident_bytes = (hot_heap + self.sessions.slot_overhead_bytes()) as u64;
         stats.frozen_bytes = self.sessions.frozen_bytes() as u64;
         stats.frozen_footprint_bytes = self.sessions.frozen_footprint_bytes() as u64;
+        if let Some(o) = &self.obs {
+            // Full mirror: the cheap per-flush set, plus the per-epoch
+            // live-session gauges (resolved on demand — epochs come and
+            // go, and stats() is never on the flush path).
+            self.mirror_cheap_gauges(o);
+            for e in self.epochs.iter().flatten() {
+                o.epoch_gauge(e.seq).set(u64::from(e.live_sessions));
+            }
+        }
         stats
+    }
+
+    /// Mirrors the O(1) serving gauges and cumulative counters into the
+    /// telemetry registry through pre-resolved handles — no locks, no
+    /// session walk, safe at every flush boundary.
+    fn mirror_cheap_gauges(&self, o: &EngineObs) {
+        o.hot_sessions.set(self.sessions.resident_len() as u64);
+        o.frozen_sessions.set(self.sessions.frozen_len() as u64);
+        o.arena_bytes
+            .set(self.sessions.frozen_footprint_bytes() as u64);
+        let (decisions, alerts) = self
+            .epoch_log
+            .iter()
+            .fold((0, 0), |(d, a), e| (d + e.decisions, a + e.alerts));
+        o.decisions.set(decisions);
+        o.alerts.set(alerts);
+        o.swaps.set(self.stats.model_swaps);
+    }
+
+    /// Flush-boundary telemetry hook: mirrors the cheap gauges and emits
+    /// an [`OpsEvent::ArenaCompaction`] when the cold-tier arena
+    /// compacted since the last mirror.
+    fn mirror_obs(&mut self) {
+        let compactions = self.sessions.compactions();
+        if let Some(o) = &mut self.obs {
+            if compactions > o.last_compactions {
+                o.last_compactions = compactions;
+                o.obs.event(OpsEvent::ArenaCompaction {
+                    shard: o.shard,
+                    compactions,
+                });
+            }
+        }
+        if let Some(o) = &self.obs {
+            self.mirror_cheap_gauges(o);
+        }
     }
 
     /// Per-epoch decision/alert counters by swap sequence number: entry 0
@@ -453,6 +610,10 @@ impl StreamEngine {
     /// without a hibernation policy.
     fn sweep_idle(&mut self) {
         let Some(cfg) = self.hibernation else { return };
+        let span = match &self.obs {
+            Some(o) => o.sweep.start(),
+            None => Span::none(),
+        };
         let tick = self.tick;
         let mut sweep = std::mem::take(&mut self.scratch.sweep);
         sweep.clear();
@@ -465,7 +626,18 @@ impl StreamEngine {
         for &id in &sweep {
             self.hibernate_session(id);
         }
+        let swept = sweep.len() as u64;
         self.scratch.sweep = sweep;
+        if let Some(o) = &self.obs {
+            o.sweep.finish(span);
+            if swept > 0 {
+                o.obs.event(OpsEvent::SweepStats {
+                    shard: o.shard,
+                    tick,
+                    swept,
+                });
+            }
+        }
     }
 
     /// Advances the tick clock and runs the idle sweep on `sweep_every`
@@ -786,6 +958,7 @@ impl SessionEngine for StreamEngine {
     /// disabled; never changes labels.
     fn maintain(&mut self) {
         self.sweep_idle();
+        self.mirror_obs();
     }
 }
 

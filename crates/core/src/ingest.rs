@@ -23,6 +23,7 @@
 
 use crate::engine::{EngineStats, EpochStats, HibernationConfig, StreamEngine};
 use crate::train::TrainedModel;
+use obs::{Obs, Snapshot};
 use rnet::RoadNetwork;
 use std::sync::Arc;
 use traj::{IngestConfig, IngestFrontDoor, IngestHandle, IngestStats, SubmitError};
@@ -42,6 +43,10 @@ pub struct IngestReport {
     /// Per-epoch decision/alert counters summed across shards, indexed by
     /// swap sequence number (0 = construction model).
     pub epoch_stats: Vec<EpochStats>,
+    /// Final telemetry snapshot, taken after the last worker joined (so
+    /// every flush, sweep and swap is in). Empty when the engine ran with
+    /// telemetry disabled ([`IngestConfig::obs`]).
+    pub obs: Snapshot,
 }
 
 /// The asynchronous RL4OASD serving engine: a [`traj::IngestFrontDoor`]
@@ -53,6 +58,9 @@ pub struct IngestReport {
 /// on persistent per-shard workers. See [`crate::ingest`] module docs.
 pub struct IngestEngine {
     door: IngestFrontDoor<StreamEngine>,
+    /// The telemetry handle the engine was built with
+    /// ([`IngestConfig::obs`]); disabled by default.
+    obs: Obs,
 }
 
 impl IngestEngine {
@@ -96,17 +104,28 @@ impl IngestEngine {
         hibernation: Option<HibernationConfig>,
     ) -> Self {
         assert!(shards > 0, "need at least one shard");
+        let obs = config.obs.clone();
         IngestEngine {
             door: IngestFrontDoor::build(
                 shards,
-                |_| {
+                |i| {
                     let mut engine = StreamEngine::new(Arc::clone(&model), Arc::clone(&net));
                     engine.set_hibernation(hibernation);
+                    engine.set_obs(&obs, i);
                     engine
                 },
                 config,
             ),
+            obs,
         }
+    }
+
+    /// The engine's telemetry handle — snapshot it any time for a live
+    /// ops view ([`Obs::snapshot`] is safe concurrently with serving).
+    /// Disabled unless the engine was built with an enabled
+    /// [`IngestConfig::obs`].
+    pub fn obs(&self) -> &Obs {
+        &self.obs
     }
 
     /// A cheap, cloneable producer handle (open/submit/close, plus the
@@ -123,7 +142,8 @@ impl IngestEngine {
     /// Gracefully shuts down: drains every accepted event, joins the
     /// workers and aggregates serving + ingestion statistics.
     pub fn shutdown(self) -> IngestReport {
-        let report = self.door.shutdown();
+        let IngestEngine { door, obs } = self;
+        let report = door.shutdown();
         let shard_stats: Vec<EngineStats> = report.engines.iter().map(|e| e.stats()).collect();
         let engine: EngineStats = shard_stats.iter().copied().sum();
         let decision_counts = report
@@ -146,6 +166,7 @@ impl IngestEngine {
             shard_stats,
             decision_counts,
             epoch_stats,
+            obs: obs.snapshot(),
         }
     }
 }

@@ -23,6 +23,7 @@
 
 use crate::engine::{EngineStats, EpochStats, HibernationConfig, StreamEngine};
 use crate::train::TrainedModel;
+use obs::Obs;
 use rnet::{RoadNetwork, SegmentId};
 use std::sync::Arc;
 use traj::{SdPair, SessionEngine, SessionId, Sharded};
@@ -86,6 +87,22 @@ impl ShardedEngine {
     pub fn with_hibernation(mut self, cfg: HibernationConfig) -> Self {
         self.set_hibernation(Some(cfg));
         self
+    }
+
+    /// Builder form of [`ShardedEngine::set_obs`].
+    pub fn with_obs(mut self, obs: &Obs) -> Self {
+        self.set_obs(obs);
+        self
+    }
+
+    /// Wires telemetry through every shard: shard `i` records under the
+    /// label `shard="i"` — same contract as [`StreamEngine::set_obs`].
+    /// All shards feed one shared registry, span ring and event log, so
+    /// one [`Obs::snapshot`] covers the whole fleet.
+    pub fn set_obs(&mut self, obs: &Obs) {
+        for (i, shard) in self.inner.shards_mut().iter_mut().enumerate() {
+            shard.set_obs(obs, i);
+        }
     }
 
     /// Enables (or disables) idle-session hibernation on every shard —

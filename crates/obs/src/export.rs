@@ -1,0 +1,264 @@
+//! Snapshot export: the JSON payload and Prometheus text exposition the
+//! future `oasd-serve` ops endpoints will return.
+//!
+//! A [`Snapshot`] is a point-in-time copy of everything an
+//! [`Obs`](crate::Obs) holds — counters, gauges, per-stage histograms
+//! (reduced to quantiles), the retained event/span rings and any sampler
+//! rows. It serialises to JSON through the vendored serde subset and to
+//! the Prometheus text format (version 0.0.4: `# TYPE` comments,
+//! `name{label="value"} value` lines, summary quantiles).
+
+use crate::events::SeqEvent;
+use crate::span::SpanRecord;
+use crate::LatencyHistogram;
+use serde::Serialize;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// One counter or gauge reading.
+#[derive(Debug, Clone, Serialize)]
+pub struct MetricValue {
+    /// Metric name (already carries the `oasd_` prefix).
+    pub name: String,
+    /// Canonically sorted label pairs.
+    pub labels: Vec<(String, String)>,
+    /// Current value.
+    pub value: u64,
+}
+
+/// One histogram reduced to its summary statistics (nanoseconds).
+#[derive(Debug, Clone, Serialize)]
+pub struct HistogramSnapshot {
+    /// Metric name.
+    pub name: String,
+    /// Canonically sorted label pairs.
+    pub labels: Vec<(String, String)>,
+    /// Samples recorded.
+    pub count: u64,
+    /// Sum of all samples (saturating at `u64::MAX`).
+    pub sum_nanos: u64,
+    /// Median.
+    pub p50_nanos: u64,
+    /// 90th percentile.
+    pub p90_nanos: u64,
+    /// 99th percentile.
+    pub p99_nanos: u64,
+    /// Mean.
+    pub mean_nanos: u64,
+    /// Exact maximum.
+    pub max_nanos: u64,
+}
+
+impl HistogramSnapshot {
+    /// Reduces a loaded histogram under a metric identity.
+    pub(crate) fn from_hist(
+        name: String,
+        labels: Vec<(String, String)>,
+        h: &LatencyHistogram,
+    ) -> Self {
+        HistogramSnapshot {
+            name,
+            labels,
+            count: h.count(),
+            sum_nanos: u64::try_from(h.sum_nanos()).unwrap_or(u64::MAX),
+            p50_nanos: h.percentile(0.50).as_nanos() as u64,
+            p90_nanos: h.percentile(0.90).as_nanos() as u64,
+            p99_nanos: h.percentile(0.99).as_nanos() as u64,
+            mean_nanos: h.mean().as_nanos() as u64,
+            max_nanos: h.max().as_nanos() as u64,
+        }
+    }
+}
+
+/// One background-sampler gauge reading.
+#[derive(Debug, Clone, Serialize)]
+pub struct GaugeSample {
+    /// Monotonic capture time, nanoseconds since the owning
+    /// [`Obs`](crate::Obs) was created.
+    pub at_nanos: u64,
+    /// Rendered metric identity (`name{label="value",...}`).
+    pub name: String,
+    /// Gauge value at capture time.
+    pub value: u64,
+}
+
+/// Point-in-time export of one [`Obs`](crate::Obs).
+#[derive(Debug, Clone, Default, Serialize)]
+pub struct Snapshot {
+    /// Monotone counters, name-sorted.
+    pub counters: Vec<MetricValue>,
+    /// Gauges, name-sorted.
+    pub gauges: Vec<MetricValue>,
+    /// Histograms reduced to quantiles, name-sorted.
+    pub histograms: Vec<HistogramSnapshot>,
+    /// Retained ops events, oldest first.
+    pub events: Vec<SeqEvent>,
+    /// Events ever logged (`events_total - events.len()` were evicted).
+    pub events_total: u64,
+    /// Retained span records, oldest first.
+    pub spans: Vec<SpanRecord>,
+    /// Span records evicted from the ring so far.
+    pub spans_dropped: u64,
+    /// Background-sampler gauge history, oldest first.
+    pub samples: Vec<GaugeSample>,
+}
+
+impl Snapshot {
+    /// `true` when nothing was ever recorded (also the permanent state
+    /// of a disabled [`Obs`](crate::Obs)).
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty()
+            && self.gauges.is_empty()
+            && self.histograms.is_empty()
+            && self.events.is_empty()
+            && self.spans.is_empty()
+            && self.samples.is_empty()
+    }
+
+    /// Compact JSON rendering (the ops-endpoint payload).
+    pub fn to_json(&self) -> String {
+        serde_json::to_string(self).expect("snapshot serialisation is infallible")
+    }
+
+    /// Human-indented JSON rendering.
+    pub fn to_json_pretty(&self) -> String {
+        serde_json::to_string_pretty(self).expect("snapshot serialisation is infallible")
+    }
+
+    /// Prometheus text exposition (format 0.0.4).
+    ///
+    /// Counters and gauges export verbatim; each histogram exports as a
+    /// `summary` — `quantile`-labelled lines plus `_sum`/`_count` — so a
+    /// scrape stays a few lines per metric instead of 1024 buckets.
+    pub fn to_prometheus(&self) -> String {
+        let mut out = String::new();
+        write_section(&mut out, "counter", &self.counters);
+        write_section(&mut out, "gauge", &self.gauges);
+        let mut by_name: BTreeMap<&str, Vec<&HistogramSnapshot>> = BTreeMap::new();
+        for h in &self.histograms {
+            by_name.entry(&h.name).or_default().push(h);
+        }
+        for (name, hists) in by_name {
+            let _ = writeln!(out, "# TYPE {name} summary");
+            for h in hists {
+                for (q, v) in [
+                    ("0.5", h.p50_nanos),
+                    ("0.9", h.p90_nanos),
+                    ("0.99", h.p99_nanos),
+                ] {
+                    let mut labels = h.labels.clone();
+                    labels.push(("quantile".to_string(), q.to_string()));
+                    let _ = writeln!(out, "{}{} {}", name, render_labels(&labels), v);
+                }
+                let rendered = render_labels(&h.labels);
+                let _ = writeln!(out, "{}_sum{} {}", name, rendered, h.sum_nanos);
+                let _ = writeln!(out, "{}_count{} {}", name, rendered, h.count);
+            }
+        }
+        out
+    }
+}
+
+fn write_section(out: &mut String, kind: &str, metrics: &[MetricValue]) {
+    let mut by_name: BTreeMap<&str, Vec<&MetricValue>> = BTreeMap::new();
+    for m in metrics {
+        by_name.entry(&m.name).or_default().push(m);
+    }
+    for (name, rows) in by_name {
+        let _ = writeln!(out, "# TYPE {name} {kind}");
+        for m in rows {
+            let _ = writeln!(out, "{}{} {}", name, render_labels(&m.labels), m.value);
+        }
+    }
+}
+
+fn render_labels(labels: &[(String, String)]) -> String {
+    if labels.is_empty() {
+        return String::new();
+    }
+    let mut out = String::from("{");
+    for (i, (k, v)) in labels.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "{k}=\"{}\"", escape_label(v));
+    }
+    out.push('}');
+    out
+}
+
+/// Prometheus label-value escaping: backslash, double quote, newline.
+fn escape_label(v: &str) -> String {
+    let mut out = String::with_capacity(v.len());
+    for c in v.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn empty_snapshot_is_empty() {
+        let s = Snapshot::default();
+        assert!(s.is_empty());
+        assert_eq!(s.to_prometheus(), "");
+        assert!(s.to_json().starts_with('{'));
+    }
+
+    #[test]
+    fn same_name_metrics_group_under_one_type_line() {
+        let s = Snapshot {
+            counters: vec![
+                MetricValue {
+                    name: "oasd_x_total".into(),
+                    labels: vec![("shard".into(), "0".into())],
+                    value: 1,
+                },
+                MetricValue {
+                    name: "oasd_x_total".into(),
+                    labels: vec![("shard".into(), "1".into())],
+                    value: 2,
+                },
+            ],
+            ..Snapshot::default()
+        };
+        let text = s.to_prometheus();
+        assert_eq!(text.matches("# TYPE oasd_x_total counter").count(), 1);
+        assert!(text.contains("oasd_x_total{shard=\"0\"} 1\n"));
+        assert!(text.contains("oasd_x_total{shard=\"1\"} 2\n"));
+    }
+
+    #[test]
+    fn histogram_exports_as_summary() {
+        let mut h = LatencyHistogram::new();
+        h.record(Duration::from_micros(5));
+        h.record(Duration::from_micros(15));
+        let s = Snapshot {
+            histograms: vec![HistogramSnapshot::from_hist(
+                "oasd_stage_nanos".into(),
+                vec![("stage".into(), "flush".into())],
+                &h,
+            )],
+            ..Snapshot::default()
+        };
+        let text = s.to_prometheus();
+        assert!(text.contains("# TYPE oasd_stage_nanos summary"));
+        assert!(text.contains("oasd_stage_nanos{stage=\"flush\",quantile=\"0.5\"}"));
+        assert!(text.contains("oasd_stage_nanos_sum{stage=\"flush\"} 20000"));
+        assert!(text.contains("oasd_stage_nanos_count{stage=\"flush\"} 2"));
+    }
+
+    #[test]
+    fn label_escaping() {
+        assert_eq!(escape_label("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+    }
+}

@@ -1,0 +1,326 @@
+//! HDR-style latency histograms: the single-writer [`LatencyHistogram`]
+//! (moved here from `traj::ingest` so every layer can share it) and its
+//! lock-free multi-writer sibling [`AtomicHist`] used by the registry.
+//!
+//! # Bucket layout
+//!
+//! Power-of-two octaves with 16 linear sub-buckets each, so recorded
+//! values keep ~4 significant bits (quantile error ≤ 1/16 ≈ 6%) in 8 KiB
+//! of counters, whatever the range. Nanosecond values 0..16 get one
+//! bucket each; from there, octave `e` (values `2^e..2^(e+1)`) splits
+//! into 16 linear sub-buckets. The largest index `index()` can produce
+//! is 975 (the top sub-bucket of the `2^63` octave); buckets 976..1023
+//! exist only as slack so the array length stays a power of two.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+pub(crate) const HIST_BUCKETS: usize = 1024;
+
+/// Bucket index for a nanosecond value (shared by both histogram kinds).
+pub(crate) fn bucket_index(nanos: u64) -> usize {
+    if nanos < 16 {
+        nanos as usize
+    } else {
+        let exp = 63 - nanos.leading_zeros() as u64; // >= 4
+        let sub = (nanos >> (exp - 4)) & 0xF;
+        (((exp - 3) << 4) | sub) as usize
+    }
+}
+
+/// Representative value (nanoseconds) of a bucket: its midpoint.
+pub(crate) fn bucket_value(index: usize) -> u64 {
+    if index < 16 {
+        index as u64
+    } else {
+        let exp = (index >> 4) as u64 + 3;
+        let sub = (index & 0xF) as u64;
+        let lo = (16 + sub) << (exp - 4);
+        lo + (1u64 << (exp - 4)) / 2
+    }
+}
+
+/// Clamps a [`Duration`] to the histogram's nanosecond domain.
+///
+/// Durations longer than `u64::MAX` nanoseconds (~584 years) saturate to
+/// `u64::MAX` — the sample is still counted, lands in the top occupied
+/// bucket, and `max()` reports the clamped value. This is the documented
+/// top-end sentinel: no sample is ever dropped or panics, it just loses
+/// resolution beyond the representable range.
+#[inline]
+pub(crate) fn clamp_nanos(latency: Duration) -> u64 {
+    u64::try_from(latency.as_nanos()).unwrap_or(u64::MAX)
+}
+
+/// HDR-style latency histogram (single-writer; see the module docs for
+/// the bucket layout).
+///
+/// # Edge semantics (explicit, unit-tested)
+///
+/// * **Empty histogram**: [`count`](Self::count) is 0,
+///   [`is_empty`](Self::is_empty) is `true`, and
+///   [`percentile`](Self::percentile), [`mean`](Self::mean) and
+///   [`max`](Self::max) all return the sentinel [`Duration::ZERO`] —
+///   callers that need to distinguish "no samples" from "all samples were
+///   zero" must check `is_empty()` first.
+/// * **Top-bucket saturation**: samples above `u64::MAX` nanoseconds are
+///   clamped (see [`clamp_nanos`]); quantiles of the top bucket are
+///   additionally capped at the exact recorded maximum, so
+///   `percentile(q) <= max()` always holds.
+#[derive(Debug, Clone)]
+pub struct LatencyHistogram {
+    counts: Vec<u64>,
+    total: u64,
+    sum_nanos: u128,
+    max_nanos: u64,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl LatencyHistogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        LatencyHistogram {
+            counts: vec![0; HIST_BUCKETS],
+            total: 0,
+            sum_nanos: 0,
+            max_nanos: 0,
+        }
+    }
+
+    /// Records one sample (saturating above `u64::MAX` nanoseconds).
+    pub fn record(&mut self, latency: Duration) {
+        self.record_nanos(clamp_nanos(latency));
+    }
+
+    /// Records one pre-measured nanosecond sample.
+    pub fn record_nanos(&mut self, nanos: u64) {
+        self.counts[bucket_index(nanos).min(HIST_BUCKETS - 1)] += 1;
+        self.total += 1;
+        self.sum_nanos += nanos as u128;
+        self.max_nanos = self.max_nanos.max(nanos);
+    }
+
+    /// Merges another histogram into this one.
+    pub fn merge(&mut self, other: &LatencyHistogram) {
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+        self.total += other.total;
+        self.sum_nanos += other.sum_nanos;
+        self.max_nanos = self.max_nanos.max(other.max_nanos);
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.total
+    }
+
+    /// `true` when no sample has been recorded; the quantile/mean/max
+    /// accessors all return the [`Duration::ZERO`] sentinel in that case.
+    pub fn is_empty(&self) -> bool {
+        self.total == 0
+    }
+
+    /// Sum of every recorded sample, in nanoseconds (exact — kept in a
+    /// `u128` so it cannot overflow).
+    pub fn sum_nanos(&self) -> u128 {
+        self.sum_nanos
+    }
+
+    /// Mean latency ([`Duration::ZERO`] if empty — see the type docs).
+    pub fn mean(&self) -> Duration {
+        if self.total == 0 {
+            return Duration::ZERO;
+        }
+        Duration::from_nanos((self.sum_nanos / self.total as u128) as u64)
+    }
+
+    /// Largest recorded latency, exact, not quantised
+    /// ([`Duration::ZERO`] if empty — see the type docs).
+    pub fn max(&self) -> Duration {
+        Duration::from_nanos(self.max_nanos)
+    }
+
+    /// The `q`-quantile (`0.0..=1.0`), accurate to the bucket resolution
+    /// (~6%) and capped at [`max`](Self::max).
+    ///
+    /// Returns the [`Duration::ZERO`] sentinel when the histogram is
+    /// empty (check [`is_empty`](Self::is_empty) to disambiguate from a
+    /// genuine all-zero distribution).
+    pub fn percentile(&self, q: f64) -> Duration {
+        if self.total == 0 {
+            return Duration::ZERO;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * self.total as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return Duration::from_nanos(bucket_value(i).min(self.max_nanos));
+            }
+        }
+        self.max()
+    }
+}
+
+/// Lock-free multi-writer histogram backing registered latency metrics.
+///
+/// Same bucket layout as [`LatencyHistogram`]; every counter is a relaxed
+/// atomic so concurrent shard workers can record without coordination.
+/// [`load`](Self::load) folds the counters into an owned
+/// [`LatencyHistogram`] — the read is *weakly consistent* (buckets are
+/// loaded one by one while writers may still be recording), which is fine
+/// for monitoring but means `count()` can briefly disagree with the sum
+/// of bucket counts by in-flight samples.
+#[derive(Debug)]
+pub(crate) struct AtomicHist {
+    counts: Vec<AtomicU64>,
+    total: AtomicU64,
+    // Wrapping u64 nanosecond sum: overflows only after ~584 years of
+    // accumulated latency, acceptable for a monitoring metric.
+    sum_nanos: AtomicU64,
+    max_nanos: AtomicU64,
+}
+
+impl AtomicHist {
+    pub(crate) fn new() -> Self {
+        AtomicHist {
+            counts: (0..HIST_BUCKETS).map(|_| AtomicU64::new(0)).collect(),
+            total: AtomicU64::new(0),
+            sum_nanos: AtomicU64::new(0),
+            max_nanos: AtomicU64::new(0),
+        }
+    }
+
+    pub(crate) fn record_nanos(&self, nanos: u64) {
+        self.counts[bucket_index(nanos).min(HIST_BUCKETS - 1)].fetch_add(1, Ordering::Relaxed);
+        self.total.fetch_add(1, Ordering::Relaxed);
+        self.sum_nanos.fetch_add(nanos, Ordering::Relaxed);
+        self.max_nanos.fetch_max(nanos, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record(&self, latency: Duration) {
+        self.record_nanos(clamp_nanos(latency));
+    }
+
+    /// Folds the atomic counters into an owned snapshot (weakly
+    /// consistent — see the type docs).
+    pub(crate) fn load(&self) -> LatencyHistogram {
+        LatencyHistogram {
+            counts: self
+                .counts
+                .iter()
+                .map(|c| c.load(Ordering::Relaxed))
+                .collect(),
+            total: self.total.load(Ordering::Relaxed),
+            sum_nanos: self.sum_nanos.load(Ordering::Relaxed) as u128,
+            max_nanos: self.max_nanos.load(Ordering::Relaxed),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_histogram_sentinels() {
+        let h = LatencyHistogram::new();
+        assert!(h.is_empty());
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.percentile(0.0), Duration::ZERO);
+        assert_eq!(h.percentile(0.5), Duration::ZERO);
+        assert_eq!(h.percentile(1.0), Duration::ZERO);
+        assert_eq!(h.mean(), Duration::ZERO);
+        assert_eq!(h.max(), Duration::ZERO);
+        assert_eq!(h.sum_nanos(), 0);
+    }
+
+    #[test]
+    fn zero_sample_differs_from_empty() {
+        let mut h = LatencyHistogram::new();
+        h.record(Duration::ZERO);
+        assert!(!h.is_empty());
+        assert_eq!(h.count(), 1);
+        assert_eq!(h.percentile(1.0), Duration::ZERO);
+    }
+
+    #[test]
+    fn top_bucket_saturates_without_panicking() {
+        let mut h = LatencyHistogram::new();
+        // Duration::MAX holds ~5.8e28 nanoseconds — far beyond u64. The
+        // documented semantics: clamp to u64::MAX, count the sample.
+        h.record(Duration::MAX);
+        assert_eq!(h.count(), 1);
+        assert_eq!(h.max(), Duration::from_nanos(u64::MAX));
+        // The quantile lands in the top occupied bucket and never
+        // exceeds the exact max.
+        let p = h.percentile(1.0);
+        assert!(p <= h.max());
+        assert!(p >= Duration::from_nanos(u64::MAX / 32 * 31));
+        // Mean is exact (u128 accumulator): one clamped sample.
+        assert_eq!(h.mean(), Duration::from_nanos(u64::MAX));
+    }
+
+    #[test]
+    fn top_bucket_index_is_in_range() {
+        // The largest reachable index must stay within the array and its
+        // midpoint must not overflow u64.
+        let i = bucket_index(u64::MAX);
+        assert_eq!(i, 975);
+        assert!(i < HIST_BUCKETS);
+        let mid = bucket_value(i);
+        assert!(mid > u64::MAX / 32 * 31 && mid < u64::MAX);
+    }
+
+    #[test]
+    fn percentile_capped_at_exact_max() {
+        let mut h = LatencyHistogram::new();
+        h.record(Duration::from_nanos(1_000));
+        // Bucket midpoint for 1000ns is above 1000; the cap keeps the
+        // reported quantile at the recorded max.
+        assert!(h.percentile(1.0) <= h.max());
+    }
+
+    #[test]
+    fn quantile_resolution_within_one_sixteenth() {
+        let mut h = LatencyHistogram::new();
+        for n in 1..=10_000u64 {
+            h.record(Duration::from_nanos(n * 100));
+        }
+        let p50 = h.percentile(0.5).as_nanos() as f64;
+        let exact = 500_000.0f64;
+        assert!((p50 - exact).abs() / exact < 1.0 / 16.0 + 0.01);
+    }
+
+    #[test]
+    fn atomic_hist_matches_single_writer() {
+        let a = AtomicHist::new();
+        let mut m = LatencyHistogram::new();
+        for n in [0u64, 5, 17, 999, 123_456, u64::MAX] {
+            a.record_nanos(n);
+            m.record_nanos(n);
+        }
+        let loaded = a.load();
+        assert_eq!(loaded.count(), m.count());
+        assert_eq!(loaded.max(), m.max());
+        assert_eq!(loaded.percentile(0.5), m.percentile(0.5));
+        assert_eq!(loaded.percentile(0.99), m.percentile(0.99));
+    }
+
+    #[test]
+    fn merge_accumulates() {
+        let mut a = LatencyHistogram::new();
+        let mut b = LatencyHistogram::new();
+        a.record(Duration::from_micros(10));
+        b.record(Duration::from_micros(30));
+        a.merge(&b);
+        assert_eq!(a.count(), 2);
+        assert_eq!(a.max(), Duration::from_micros(30));
+    }
+}

@@ -1,0 +1,293 @@
+//! Lock-light metrics registry.
+//!
+//! Metrics are addressed by **name + static label set** (e.g.
+//! `oasd_stage_nanos{shard="0", stage="batch_compute"}`). Resolution
+//! takes the registry mutex once, at wiring time, and hands back a cheap
+//! pre-resolved handle ([`Counter`], [`Gauge`], [`Histo`]) that is just an
+//! `Arc` around the atomic cell — the hot path never locks. Handles from
+//! a disabled [`Obs`](crate::Obs) carry no cell and compile down to
+//! no-ops.
+
+use crate::hist::AtomicHist;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+/// A metric's identity: name plus its canonically sorted label pairs.
+#[derive(Debug, Clone)]
+pub(crate) struct MetricKey {
+    pub(crate) name: String,
+    pub(crate) labels: Vec<(String, String)>,
+}
+
+impl MetricKey {
+    fn new(name: &str, labels: &[(&str, &str)]) -> Self {
+        let mut labels: Vec<(String, String)> = labels
+            .iter()
+            .map(|&(k, v)| (k.to_string(), v.to_string()))
+            .collect();
+        labels.sort();
+        MetricKey {
+            name: name.to_string(),
+            labels,
+        }
+    }
+
+    /// Canonical rendering, used as the registry key so the same
+    /// name+labels always resolves to the same cell regardless of the
+    /// label order the caller wrote.
+    pub(crate) fn render(&self) -> String {
+        let mut out = self.name.clone();
+        if !self.labels.is_empty() {
+            out.push('{');
+            for (i, (k, v)) in self.labels.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                out.push_str(k);
+                out.push_str("=\"");
+                out.push_str(v);
+                out.push('"');
+            }
+            out.push('}');
+        }
+        out
+    }
+}
+
+#[derive(Default)]
+struct RegistryInner {
+    counters: BTreeMap<String, (MetricKey, Arc<AtomicU64>)>,
+    gauges: BTreeMap<String, (MetricKey, Arc<AtomicU64>)>,
+    hists: BTreeMap<String, (MetricKey, Arc<AtomicHist>)>,
+}
+
+/// The metric store behind an enabled [`Obs`](crate::Obs): three
+/// name-keyed maps guarded by one mutex that is only taken at
+/// registration and snapshot time.
+pub(crate) struct Registry {
+    inner: Mutex<RegistryInner>,
+}
+
+impl Registry {
+    pub(crate) fn new() -> Self {
+        Registry {
+            inner: Mutex::new(RegistryInner::default()),
+        }
+    }
+
+    pub(crate) fn counter(&self, name: &str, labels: &[(&str, &str)]) -> Arc<AtomicU64> {
+        let key = MetricKey::new(name, labels);
+        let mut inner = self.inner.lock().unwrap();
+        Arc::clone(
+            &inner
+                .counters
+                .entry(key.render())
+                .or_insert_with(|| (key, Arc::new(AtomicU64::new(0))))
+                .1,
+        )
+    }
+
+    pub(crate) fn gauge(&self, name: &str, labels: &[(&str, &str)]) -> Arc<AtomicU64> {
+        let key = MetricKey::new(name, labels);
+        let mut inner = self.inner.lock().unwrap();
+        Arc::clone(
+            &inner
+                .gauges
+                .entry(key.render())
+                .or_insert_with(|| (key, Arc::new(AtomicU64::new(0))))
+                .1,
+        )
+    }
+
+    pub(crate) fn histogram(&self, name: &str, labels: &[(&str, &str)]) -> Arc<AtomicHist> {
+        let key = MetricKey::new(name, labels);
+        let mut inner = self.inner.lock().unwrap();
+        Arc::clone(
+            &inner
+                .hists
+                .entry(key.render())
+                .or_insert_with(|| (key, Arc::new(AtomicHist::new())))
+                .1,
+        )
+    }
+
+    /// Visits every metric in deterministic (name-sorted) order.
+    pub(crate) fn visit(
+        &self,
+        mut counter: impl FnMut(&MetricKey, u64),
+        mut gauge: impl FnMut(&MetricKey, u64),
+        mut hist: impl FnMut(&MetricKey, crate::LatencyHistogram),
+    ) {
+        let inner = self.inner.lock().unwrap();
+        for (key, cell) in inner.counters.values() {
+            counter(key, cell.load(Ordering::Relaxed));
+        }
+        for (key, cell) in inner.gauges.values() {
+            gauge(key, cell.load(Ordering::Relaxed));
+        }
+        for (key, cell) in inner.hists.values() {
+            hist(key, cell.load());
+        }
+    }
+}
+
+/// Pre-resolved handle to a monotone counter; a no-op when telemetry is
+/// disabled. Cloning shares the underlying cell.
+#[derive(Debug, Clone, Default)]
+pub struct Counter {
+    cell: Option<Arc<AtomicU64>>,
+}
+
+impl Counter {
+    /// A handle that records nothing (what a disabled
+    /// [`Obs`](crate::Obs) hands out).
+    pub fn disabled() -> Self {
+        Counter { cell: None }
+    }
+
+    pub(crate) fn live(cell: Arc<AtomicU64>) -> Self {
+        Counter { cell: Some(cell) }
+    }
+
+    /// Adds 1.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        if let Some(cell) = &self.cell {
+            cell.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    /// Overwrites the absolute value — used to mirror an externally
+    /// accumulated cumulative counter (e.g. `EngineStats` fields) into
+    /// the registry at a sync point.
+    #[inline]
+    pub fn set(&self, n: u64) {
+        if let Some(cell) = &self.cell {
+            cell.store(n, Ordering::Relaxed);
+        }
+    }
+
+    /// Current value (0 when disabled).
+    pub fn get(&self) -> u64 {
+        self.cell
+            .as_ref()
+            .map_or(0, |cell| cell.load(Ordering::Relaxed))
+    }
+}
+
+/// Pre-resolved handle to a gauge (a value that goes up and down); a
+/// no-op when telemetry is disabled.
+#[derive(Debug, Clone, Default)]
+pub struct Gauge {
+    cell: Option<Arc<AtomicU64>>,
+}
+
+impl Gauge {
+    /// A handle that records nothing.
+    pub fn disabled() -> Self {
+        Gauge { cell: None }
+    }
+
+    pub(crate) fn live(cell: Arc<AtomicU64>) -> Self {
+        Gauge { cell: Some(cell) }
+    }
+
+    /// Sets the gauge.
+    #[inline]
+    pub fn set(&self, n: u64) {
+        if let Some(cell) = &self.cell {
+            cell.store(n, Ordering::Relaxed);
+        }
+    }
+
+    /// Current value (0 when disabled).
+    pub fn get(&self) -> u64 {
+        self.cell
+            .as_ref()
+            .map_or(0, |cell| cell.load(Ordering::Relaxed))
+    }
+}
+
+/// Pre-resolved handle to a registered latency histogram; a no-op when
+/// telemetry is disabled.
+#[derive(Debug, Clone, Default)]
+pub struct Histo {
+    cell: Option<Arc<AtomicHist>>,
+}
+
+impl Histo {
+    /// A handle that records nothing.
+    pub fn disabled() -> Self {
+        Histo { cell: None }
+    }
+
+    pub(crate) fn live(cell: Arc<AtomicHist>) -> Self {
+        Histo { cell: Some(cell) }
+    }
+
+    /// `true` when this handle actually records (telemetry enabled).
+    #[inline]
+    pub fn is_live(&self) -> bool {
+        self.cell.is_some()
+    }
+
+    /// Records one sample (saturating above `u64::MAX` nanoseconds).
+    #[inline]
+    pub fn record(&self, latency: Duration) {
+        if let Some(cell) = &self.cell {
+            cell.record(latency);
+        }
+    }
+
+    /// Records one pre-measured nanosecond sample.
+    #[inline]
+    pub fn record_nanos(&self, nanos: u64) {
+        if let Some(cell) = &self.cell {
+            cell.record_nanos(nanos);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_labels_any_order_resolve_to_one_cell() {
+        let r = Registry::new();
+        let a = r.counter("x_total", &[("shard", "0"), ("tier", "hot")]);
+        let b = r.counter("x_total", &[("tier", "hot"), ("shard", "0")]);
+        a.fetch_add(3, Ordering::Relaxed);
+        assert_eq!(b.load(Ordering::Relaxed), 3);
+    }
+
+    #[test]
+    fn disabled_handles_are_inert() {
+        let c = Counter::disabled();
+        c.inc();
+        c.add(5);
+        assert_eq!(c.get(), 0);
+        let g = Gauge::disabled();
+        g.set(9);
+        assert_eq!(g.get(), 0);
+        let h = Histo::disabled();
+        h.record(Duration::from_millis(1));
+        assert!(!h.is_live());
+    }
+
+    #[test]
+    fn render_is_canonical() {
+        let key = MetricKey::new("m", &[("b", "2"), ("a", "1")]);
+        assert_eq!(key.render(), "m{a=\"1\",b=\"2\"}");
+        let bare = MetricKey::new("m", &[]);
+        assert_eq!(bare.render(), "m");
+    }
+}

@@ -1,0 +1,110 @@
+//! Background gauge sampler.
+//!
+//! [`Obs::start_sampler`](crate::Obs::start_sampler) spawns one thread
+//! that periodically copies every registered gauge into a bounded ring
+//! of [`GaugeSample`](crate::GaugeSample) rows (timestamped with
+//! monotonic nanoseconds since the `Obs` was built). The thread holds
+//! only a `Weak` reference, so dropping the last `Obs` ends it; the
+//! returned [`Sampler`] guard stops it eagerly on drop.
+
+use crate::export::GaugeSample;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex, Weak};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+pub(crate) struct SampleRing {
+    buf: VecDeque<GaugeSample>,
+    cap: usize,
+}
+
+impl SampleRing {
+    pub(crate) fn new(cap: usize) -> Self {
+        SampleRing {
+            buf: VecDeque::with_capacity(cap.min(4096)),
+            cap: cap.max(1),
+        }
+    }
+
+    pub(crate) fn push(&mut self, sample: GaugeSample) {
+        if self.buf.len() == self.cap {
+            self.buf.pop_front();
+        }
+        self.buf.push_back(sample);
+    }
+
+    pub(crate) fn rows(&self) -> Vec<GaugeSample> {
+        self.buf.iter().cloned().collect()
+    }
+}
+
+/// Guard for a running background sampler thread. Stopping (or dropping)
+/// it signals the thread and joins it; the sampled rows stay in the
+/// owning [`Obs`](crate::Obs) and appear in subsequent snapshots.
+pub struct Sampler {
+    stop: Option<Arc<AtomicBool>>,
+    join: Option<JoinHandle<()>>,
+}
+
+impl Sampler {
+    /// A guard over nothing — what a disabled [`Obs`](crate::Obs)
+    /// returns.
+    pub(crate) fn inert() -> Self {
+        Sampler {
+            stop: None,
+            join: None,
+        }
+    }
+
+    pub(crate) fn spawn(inner: Weak<crate::Inner>, every: Duration) -> Self {
+        let stop = Arc::new(AtomicBool::new(false));
+        let flag = Arc::clone(&stop);
+        let join = std::thread::Builder::new()
+            .name("obs-sampler".into())
+            .spawn(move || {
+                while !flag.load(Ordering::Relaxed) {
+                    // Sleep in short slices so stop() returns promptly
+                    // even with long sampling intervals.
+                    let wake = Instant::now() + every;
+                    while Instant::now() < wake {
+                        if flag.load(Ordering::Relaxed) {
+                            return;
+                        }
+                        std::thread::sleep(Duration::from_millis(5).min(every));
+                    }
+                    match inner.upgrade() {
+                        Some(inner) => inner.sample(),
+                        None => return,
+                    }
+                }
+            })
+            .expect("spawn obs-sampler thread");
+        Sampler {
+            stop: Some(stop),
+            join: Some(join),
+        }
+    }
+
+    /// Signals the thread and waits for it to exit.
+    pub fn stop(mut self) {
+        self.shutdown();
+    }
+
+    fn shutdown(&mut self) {
+        if let Some(stop) = self.stop.take() {
+            stop.store(true, Ordering::Relaxed);
+        }
+        if let Some(join) = self.join.take() {
+            let _ = join.join();
+        }
+    }
+}
+
+impl Drop for Sampler {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+pub(crate) type Samples = Mutex<SampleRing>;

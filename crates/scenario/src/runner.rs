@@ -10,6 +10,7 @@
 
 use crate::trace::EventTrace;
 use eval::{evaluate, Confusion, DetectionMetrics};
+use obs::{names, Obs, OpsEvent, Snapshot};
 use rl4oasd::{IngestEngine, ShardedEngine, TrainedModel};
 use rnet::RoadNetwork;
 use std::sync::Arc;
@@ -69,6 +70,9 @@ pub struct RunOutcome {
     pub rejected: u64,
     /// Latency histogram (see [`Driver`] for what a sample means).
     pub latency: LatencyHistogram,
+    /// Telemetry snapshot taken at the end of the replay. Empty unless
+    /// the runner was built with [`ScenarioRunner::with_obs`].
+    pub obs: Snapshot,
 }
 
 impl RunOutcome {
@@ -87,12 +91,28 @@ impl RunOutcome {
 pub struct ScenarioRunner {
     model: Arc<TrainedModel>,
     net: Arc<RoadNetwork>,
+    obs: Obs,
 }
 
 impl ScenarioRunner {
     /// A runner serving `model` over `net` (the world's network).
     pub fn new(model: Arc<TrainedModel>, net: Arc<RoadNetwork>) -> Self {
-        ScenarioRunner { model, net }
+        ScenarioRunner {
+            model,
+            net,
+            obs: Obs::disabled(),
+        }
+    }
+
+    /// Wires telemetry through every replay: the engines built by
+    /// [`ScenarioRunner::run`] record under `obs`, replays count
+    /// delivered/shed events (`oasd_scenario_*`, labelled
+    /// `regime="sync"|"ingest"` by driver), and each [`RunOutcome`]
+    /// carries a final [`Snapshot`]. Labels are unchanged either way
+    /// (the replay-determinism property holds with telemetry on).
+    pub fn with_obs(mut self, obs: &Obs) -> Self {
+        self.obs = obs.clone();
+        self
     }
 
     /// Replays `trace` through the chosen driver.
@@ -109,7 +129,8 @@ impl ScenarioRunner {
     }
 
     fn run_sync(&self, trace: &EventTrace, shards: usize) -> RunOutcome {
-        let mut engine = ShardedEngine::new(Arc::clone(&self.model), Arc::clone(&self.net), shards);
+        let mut engine = ShardedEngine::new(Arc::clone(&self.model), Arc::clone(&self.net), shards)
+            .with_obs(&self.obs);
         let n = trace.sessions as usize;
         let mut handles: Vec<Option<SessionId>> = (0..n).map(|_| None).collect();
         let mut labels: Vec<Vec<u8>> = vec![Vec::new(); n];
@@ -138,6 +159,14 @@ impl ScenarioRunner {
                 labels[id as usize] = engine.close(h);
             }
         }
+        self.obs
+            .counter(names::SCENARIO_EVENTS, &[("regime", "sync")])
+            .add(trace.events);
+        if self.obs.enabled() {
+            // stats() runs the full gauge mirror, so the snapshot shows
+            // the end-of-replay fleet state, not the last flush's.
+            let _ = engine.stats();
+        }
         RunOutcome {
             labels,
             truth: trace.truth.clone(),
@@ -145,6 +174,7 @@ impl ScenarioRunner {
             events: trace.events,
             rejected: 0,
             latency,
+            obs: self.obs.snapshot(),
         }
     }
 
@@ -163,6 +193,7 @@ impl ScenarioRunner {
             IngestConfig {
                 flush,
                 queue_capacity,
+                obs: self.obs.clone(),
                 ..Default::default()
             },
         );
@@ -225,6 +256,17 @@ impl ScenarioRunner {
                 drop(sub);
             }
         }
+        self.obs
+            .counter(names::SCENARIO_EVENTS, &[("regime", "ingest")])
+            .add(delivered);
+        self.obs
+            .counter(names::SCENARIO_SHED, &[("regime", "ingest")])
+            .add(rejected);
+        if rejected > 0 {
+            self.obs
+                .event(OpsEvent::BackpressureShed { shed: rejected });
+        }
+        // Counters land before shutdown's final snapshot picks them up.
         let report = engine.shutdown();
         RunOutcome {
             labels,
@@ -233,6 +275,7 @@ impl ScenarioRunner {
             events: delivered,
             rejected,
             latency: report.ingest.latency,
+            obs: report.obs,
         }
     }
 }

@@ -52,6 +52,7 @@
 
 use crate::session::{SessionEngine, SessionId};
 use crate::types::SdPair;
+use obs::{names, Counter, Histo, Obs, Stage, StageHandle};
 use rnet::SegmentId;
 use std::any::Any;
 use std::collections::HashMap;
@@ -128,6 +129,13 @@ pub struct IngestConfig {
     /// eventually blocks its shard's flush (backpressure toward the
     /// consumer), so size it for the consumer's polling cadence.
     pub outbox_capacity: usize,
+    /// Telemetry handle. [`obs::Obs::disabled`] (the default) keeps the
+    /// door's hot path free of any telemetry work; an enabled handle gets
+    /// per-shard ingress counters, per-stage latency histograms
+    /// (enqueue-wait / batch-compute / label-delivery) and the
+    /// submit→label histogram registered under the `oasd_ingest_*` /
+    /// `oasd_stage_nanos` names.
+    pub obs: Obs,
 }
 
 impl Default for IngestConfig {
@@ -136,6 +144,7 @@ impl Default for IngestConfig {
             flush: FlushPolicy::default(),
             queue_capacity: 1024,
             outbox_capacity: 256,
+            obs: Obs::disabled(),
         }
     }
 }
@@ -228,112 +237,10 @@ impl CloseTicket {
     }
 }
 
-/// HDR-style latency histogram: power-of-two octaves with 16 linear
-/// sub-buckets each, so recorded values keep ~4 significant bits
-/// (quantile error ≤ 1/16 ≈ 6%) in 8 KiB of counters, whatever the range.
-#[derive(Debug, Clone)]
-pub struct LatencyHistogram {
-    counts: Vec<u64>,
-    total: u64,
-    sum_nanos: u128,
-    max_nanos: u64,
-}
-
-const HIST_BUCKETS: usize = 1024;
-
-impl Default for LatencyHistogram {
-    fn default() -> Self {
-        Self::new()
-    }
-}
-
-impl LatencyHistogram {
-    /// An empty histogram.
-    pub fn new() -> Self {
-        LatencyHistogram {
-            counts: vec![0; HIST_BUCKETS],
-            total: 0,
-            sum_nanos: 0,
-            max_nanos: 0,
-        }
-    }
-
-    fn index(nanos: u64) -> usize {
-        if nanos < 16 {
-            nanos as usize
-        } else {
-            let exp = 63 - nanos.leading_zeros() as u64; // >= 4
-            let sub = (nanos >> (exp - 4)) & 0xF;
-            (((exp - 3) << 4) | sub) as usize
-        }
-    }
-
-    /// Representative value (nanoseconds) of a bucket: its midpoint.
-    fn value_of(index: usize) -> u64 {
-        if index < 16 {
-            index as u64
-        } else {
-            let exp = (index >> 4) as u64 + 3;
-            let sub = (index & 0xF) as u64;
-            let lo = (16 + sub) << (exp - 4);
-            lo + (1u64 << (exp - 4)) / 2
-        }
-    }
-
-    /// Records one sample.
-    pub fn record(&mut self, latency: Duration) {
-        let nanos = u64::try_from(latency.as_nanos()).unwrap_or(u64::MAX);
-        self.counts[Self::index(nanos).min(HIST_BUCKETS - 1)] += 1;
-        self.total += 1;
-        self.sum_nanos += nanos as u128;
-        self.max_nanos = self.max_nanos.max(nanos);
-    }
-
-    /// Merges another histogram into this one.
-    pub fn merge(&mut self, other: &LatencyHistogram) {
-        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
-            *a += b;
-        }
-        self.total += other.total;
-        self.sum_nanos += other.sum_nanos;
-        self.max_nanos = self.max_nanos.max(other.max_nanos);
-    }
-
-    /// Number of recorded samples.
-    pub fn count(&self) -> u64 {
-        self.total
-    }
-
-    /// Mean latency (zero if empty).
-    pub fn mean(&self) -> Duration {
-        if self.total == 0 {
-            return Duration::ZERO;
-        }
-        Duration::from_nanos((self.sum_nanos / self.total as u128) as u64)
-    }
-
-    /// Largest recorded latency (exact, not quantised).
-    pub fn max(&self) -> Duration {
-        Duration::from_nanos(self.max_nanos)
-    }
-
-    /// The `q`-quantile (`0.0..=1.0`), accurate to the bucket resolution
-    /// (~6%). Zero if empty.
-    pub fn percentile(&self, q: f64) -> Duration {
-        if self.total == 0 {
-            return Duration::ZERO;
-        }
-        let rank = ((q.clamp(0.0, 1.0) * self.total as f64).ceil() as u64).max(1);
-        let mut seen = 0u64;
-        for (i, &c) in self.counts.iter().enumerate() {
-            seen += c;
-            if seen >= rank {
-                return Duration::from_nanos(Self::value_of(i).min(self.max_nanos));
-            }
-        }
-        self.max()
-    }
-}
+// The HDR histogram grew into the telemetry crate (where the registry
+// shares its bucket math); re-exported here so `traj::LatencyHistogram`
+// keeps working for every existing caller.
+pub use obs::LatencyHistogram;
 
 /// Aggregate counters of one front door's lifetime, returned by
 /// [`IngestFrontDoor::shutdown`] (live counters are also visible through
@@ -406,6 +313,10 @@ struct Shared {
     accepted: AtomicU64,
     rejected: AtomicU64,
     outbox_capacity: usize,
+    /// Pre-resolved per-shard telemetry counters (index = shard); inert
+    /// no-op handles when the door was built without telemetry.
+    obs_submitted: Vec<Counter>,
+    obs_rejected: Vec<Counter>,
 }
 
 impl Shared {
@@ -507,9 +418,11 @@ impl<E> IngestHandle<E> {
                 match result {
                     Ok(()) => {
                         self.shared.accepted.fetch_add(1, Ordering::Relaxed);
+                        self.shared.obs_submitted[shard].inc();
                     }
                     Err(SubmitError::QueueFull) => {
                         self.shared.rejected.fetch_add(1, Ordering::Relaxed);
+                        self.shared.obs_rejected[shard].inc();
                     }
                     Err(SubmitError::ShutDown) => {}
                 }
@@ -572,8 +485,9 @@ impl<E> IngestHandle<E> {
         segment: SegmentId,
     ) -> Result<(), SubmitError> {
         let raw = session.raw();
+        let shard = self.shared.shard_of(raw);
         self.with_inflight(|| {
-            self.shared.queues[self.shared.shard_of(raw)]
+            self.shared.queues[shard]
                 .send(Cmd::Observe {
                     outer: raw,
                     segment,
@@ -582,6 +496,7 @@ impl<E> IngestHandle<E> {
                 .map_err(|_| SubmitError::ShutDown)
                 .map(|()| {
                     self.shared.accepted.fetch_add(1, Ordering::Relaxed);
+                    self.shared.obs_submitted[shard].inc();
                 })
         })
     }
@@ -685,6 +600,45 @@ struct Worker<E> {
     /// Label output of the last flush (reused allocation).
     out: Vec<u8>,
     report: WorkerReportCounters,
+    /// Pre-resolved telemetry handles for this shard; all inert no-ops
+    /// when the door was built without telemetry, so the flush path does
+    /// no extra clock reads or atomics in that case.
+    tele: WorkerTelemetry,
+}
+
+/// Per-shard telemetry handles, resolved once at worker construction.
+struct WorkerTelemetry {
+    /// submit → flush-start wait per event (histogram only, no span
+    /// record: millions of events would flood the span ring).
+    enqueue_wait: StageHandle,
+    /// Whole micro-batch flush (drain + compute + deliver + maintain).
+    flush: StageHandle,
+    /// The `observe_batch` call.
+    batch_compute: StageHandle,
+    /// Outbox fan-out of fresh labels.
+    label_delivery: StageHandle,
+    /// submit→label end-to-end latency (mirror of the per-worker
+    /// [`LatencyHistogram`] so snapshots and Prometheus scrapes see it).
+    latency: Histo,
+    flushed_events: Counter,
+    flushes: Counter,
+}
+
+impl WorkerTelemetry {
+    fn resolve(obs: &Obs, shard: usize) -> Self {
+        let shard_label = shard.to_string();
+        let labels: &[(&str, &str)] = &[("shard", &shard_label)];
+        let shard = shard as u32;
+        WorkerTelemetry {
+            enqueue_wait: obs.stage(Stage::EnqueueWait, shard),
+            flush: obs.stage(Stage::Flush, shard),
+            batch_compute: obs.stage(Stage::BatchCompute, shard),
+            label_delivery: obs.stage(Stage::LabelDelivery, shard),
+            latency: obs.histogram(names::INGEST_LATENCY, labels),
+            flushed_events: obs.counter(names::INGEST_FLUSHED, labels),
+            flushes: obs.counter(names::INGEST_FLUSHES, labels),
+        }
+    }
 }
 
 #[derive(Default)]
@@ -701,7 +655,7 @@ enum Control {
 }
 
 impl<E: SessionEngine + 'static> Worker<E> {
-    fn new(engine: E, rx: Receiver<Cmd>, policy: FlushPolicy) -> Self {
+    fn new(engine: E, rx: Receiver<Cmd>, policy: FlushPolicy, obs: &Obs, shard: usize) -> Self {
         let max_batch = policy.max_batch.max(1);
         Worker {
             engine,
@@ -715,6 +669,7 @@ impl<E: SessionEngine + 'static> Worker<E> {
             meta: Vec::with_capacity(max_batch),
             out: Vec::new(),
             report: WorkerReportCounters::default(),
+            tele: WorkerTelemetry::resolve(obs, shard),
         }
     }
 
@@ -734,16 +689,42 @@ impl<E: SessionEngine + 'static> Worker<E> {
         if self.batch.is_empty() {
             return;
         }
+        // Stage tracing is resolved per shard at construction; with
+        // telemetry disabled `t_start` is never read and no extra clock
+        // read or atomic happens on this path. With telemetry on the
+        // adjacent stages share timestamps (`t_start`, the `done` stamp
+        // the latency loop needs anyway, and one read per remaining
+        // boundary) — micro-batches are often just a few events, so
+        // per-flush clock reads are the dominant telemetry cost.
+        let t_start = if self.tele.flush.is_live() {
+            Some(Instant::now())
+        } else {
+            None
+        };
+        if let Some(t0) = t_start {
+            for &(_, submitted) in &self.meta {
+                self.tele
+                    .enqueue_wait
+                    .record_nanos(t0.saturating_duration_since(submitted).as_nanos() as u64);
+            }
+        }
         self.engine.observe_batch(&self.batch, &mut self.out);
         debug_assert_eq!(self.out.len(), self.batch.len());
         let done = Instant::now();
+        if let Some(t0) = t_start {
+            // Includes the enqueue-wait bookkeeping above — a handful of
+            // atomic adds, noise next to the batched forward pass.
+            self.tele.batch_compute.record_span(t0, done);
+        }
         self.report.flushes += 1;
         self.report.flushed_events += self.batch.len() as u64;
         self.report.max_flush_batch = self.report.max_flush_batch.max(self.batch.len());
+        self.tele.flushes.inc();
+        self.tele.flushed_events.add(self.batch.len() as u64);
         for (k, &(outer, submitted)) in self.meta.iter().enumerate() {
-            self.report
-                .latency
-                .record(done.saturating_duration_since(submitted));
+            let latency = done.saturating_duration_since(submitted);
+            self.report.latency.record(latency);
+            self.tele.latency.record(latency);
             if let Some((_, outbox)) = self.routes.get(&outer) {
                 if closing == Some(outer) {
                     let _ = outbox.try_send(self.out[k]);
@@ -752,6 +733,9 @@ impl<E: SessionEngine + 'static> Worker<E> {
                 }
             }
         }
+        if self.tele.label_delivery.is_live() {
+            self.tele.label_delivery.record_span(done, Instant::now());
+        }
         self.batch.clear();
         self.meta.clear();
         // Flush boundary (the same seam control commands use): let the
@@ -759,6 +743,9 @@ impl<E: SessionEngine + 'static> Worker<E> {
         // sessions into the hibernated cold tier — where it can never
         // split a micro-batch.
         self.engine.maintain();
+        if let Some(t0) = t_start {
+            self.tele.flush.record_span(t0, Instant::now());
+        }
     }
 
     fn handle(&mut self, cmd: Cmd, deadline: &mut Instant) -> Control {
@@ -883,12 +870,13 @@ impl<E: SessionEngine + Send + 'static> IngestFrontDoor<E> {
     pub fn new(shards: Vec<E>, config: IngestConfig) -> Self {
         assert!(!shards.is_empty(), "need at least one shard");
         assert!(config.queue_capacity > 0, "queue capacity must be positive");
-        let mut queues = Vec::with_capacity(shards.len());
-        let mut workers = Vec::with_capacity(shards.len());
+        let num_shards = shards.len();
+        let mut queues = Vec::with_capacity(num_shards);
+        let mut workers = Vec::with_capacity(num_shards);
         for (i, engine) in shards.into_iter().enumerate() {
             let (tx, rx) = sync_channel(config.queue_capacity);
             queues.push(tx);
-            let worker = Worker::new(engine, rx, config.flush);
+            let worker = Worker::new(engine, rx, config.flush, &config.obs, i);
             workers.push(
                 std::thread::Builder::new()
                     .name(format!("ingest-shard-{i}"))
@@ -896,6 +884,11 @@ impl<E: SessionEngine + Send + 'static> IngestFrontDoor<E> {
                     .expect("spawn ingest worker"),
             );
         }
+        let shard_counter = |name: &str| -> Vec<Counter> {
+            (0..num_shards)
+                .map(|i| config.obs.counter(name, &[("shard", &i.to_string())]))
+                .collect()
+        };
         IngestFrontDoor {
             shared: Arc::new(Shared {
                 queues,
@@ -905,6 +898,8 @@ impl<E: SessionEngine + Send + 'static> IngestFrontDoor<E> {
                 accepted: AtomicU64::new(0),
                 rejected: AtomicU64::new(0),
                 outbox_capacity: config.outbox_capacity.max(1),
+                obs_submitted: shard_counter(names::INGEST_SUBMITTED),
+                obs_rejected: shard_counter(names::INGEST_REJECTED),
             }),
             workers,
         }

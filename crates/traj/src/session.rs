@@ -445,6 +445,13 @@ impl<T> SessionSlab<T> {
         self.arena.footprint_bytes()
     }
 
+    /// Cumulative compactions the cold-tier arena has run so far (edge
+    /// detection for telemetry: a delta since the last observation means
+    /// the arena compacted in between).
+    pub fn compactions(&self) -> u64 {
+        self.arena.compactions()
+    }
+
     /// Bookkeeping bytes of the slot map itself (slot and free-list
     /// capacity), excluding the values.
     pub fn slot_overhead_bytes(&self) -> usize {

@@ -13,7 +13,9 @@
 //! * [`baselines`] — IBOAT, DBTOD, CTSS and the GM-VSAE family;
 //! * [`eval`] — NER-style F1/TF1 metrics and threshold tuning;
 //! * [`scenario`] — the city-scale scenario engine with deterministic
-//!   `(seed, spec)` replay, driving both serving paths cross-network.
+//!   `(seed, spec)` replay, driving both serving paths cross-network;
+//! * [`obs`] — the zero-dependency telemetry spine: metrics registry,
+//!   stage-level tracing, ops event log, JSON/Prometheus export.
 //!
 //! ## Quickstart
 //!
@@ -39,6 +41,7 @@ pub use baselines;
 pub use eval;
 pub use mapmatch;
 pub use nn;
+pub use obs;
 pub use rl4oasd;
 pub use rnet;
 pub use scenario;
@@ -49,6 +52,7 @@ pub mod prelude {
     pub use baselines::{Ctss, Dbtod, Iboat, RouteStats, ScoringDetector, Thresholded};
     pub use eval::{evaluate, DetectionMetrics};
     pub use mapmatch::{MapMatcher, MatchConfig};
+    pub use obs::{Obs, ObsConfig, OpsEvent, Snapshot, Stage};
     pub use rl4oasd::{
         EngineStats, EpochStats, HibernationConfig, IngestEngine, IngestReport, OnlineLearner,
         Rl4oasdConfig, Rl4oasdDetector, ShardedEngine, StreamEngine, SwapModel, TrainedModel,
