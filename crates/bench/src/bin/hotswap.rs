@@ -89,6 +89,7 @@ fn open_lane(
             Ok(opened) => break opened,
             Err(SubmitError::QueueFull) => std::thread::yield_now(),
             Err(SubmitError::ShutDown) => panic!("front door closed mid-benchmark"),
+            Err(e) => panic!("unexpected open error: {e}"),
         }
     };
     Lane {
@@ -130,6 +131,7 @@ fn produce(
                         std::thread::yield_now();
                     }
                     Err(SubmitError::ShutDown) => return retries,
+                    Err(e) => panic!("unexpected submit error: {e}"),
                 }
             }
             total.fetch_add(1, Ordering::Relaxed);
@@ -152,9 +154,10 @@ fn wait_close(handle: &IngestHandle<StreamEngine>, lane: Lane) {
             Ok(ticket) => break ticket,
             Err(SubmitError::QueueFull) => std::thread::yield_now(),
             Err(SubmitError::ShutDown) => return,
+            Err(e) => panic!("unexpected close error: {e}"),
         }
     };
-    ticket.wait();
+    ticket.wait().unwrap();
 }
 
 /// What the publisher thread does while the producers hammer the engine.

@@ -38,7 +38,7 @@ use obs::{names, Counter, Gauge, Obs, OpsEvent, Span, Stage, StageHandle};
 use rnet::{RoadNetwork, SegmentId};
 use std::collections::HashSet;
 use std::sync::Arc;
-use traj::{Hibernate, SdPair, SessionEngine, SessionId, SessionSlab};
+use traj::{Hibernate, SdPair, SessionEngine, SessionId, SessionSlab, SupervisedEngine};
 
 /// Serving statistics (cumulative counters since construction, plus
 /// point-in-time memory-tier gauges sampled at [`StreamEngine::stats`]).
@@ -825,6 +825,15 @@ impl SessionEngine for StreamEngine {
         "RL4OASD"
     }
 
+    /// Poison pre-screen: a segment id at or beyond the road network's
+    /// segment count would index out of range inside the embedding lookup
+    /// (an `observe` panic, not a label). Rejecting it here lets the
+    /// ingest supervisor quarantine the one offending session instead of
+    /// crash-restarting the whole shard.
+    fn admit(&self, segment: SegmentId) -> bool {
+        segment.idx() < self.net.num_segments()
+    }
+
     /// Opens a session pinned to the engine's **current** model epoch; a
     /// later [`StreamEngine::swap_model`] does not affect it.
     fn open(&mut self, sd: SdPair, start_time: f64) -> SessionId {
@@ -959,6 +968,77 @@ impl SessionEngine for StreamEngine {
     fn maintain(&mut self) {
         self.sweep_idle();
         self.mirror_obs();
+    }
+}
+
+/// Crash salvage for supervised ingest shards.
+///
+/// After a worker panic, the supervisor builds a **fresh** engine from
+/// its factory and moves every survivable session across via these two
+/// hooks. The wire format is the hibernation blob with one twist: the
+/// 4-byte prefix is rewritten from the epoch *slot* id (reused across
+/// swaps, meaningless in another engine) to the epoch's monotone swap
+/// **sequence** number, which both engines agree on as long as they saw
+/// the same swap history. `import_session` only accepts blobs whose
+/// sequence matches the current epoch — sessions still pinned to an
+/// older, drained epoch cannot be rebuilt against the wrong weights and
+/// are quarantined by the supervisor instead of silently relabelled.
+impl SupervisedEngine for StreamEngine {
+    fn export_sessions(&mut self) -> Vec<(SessionId, Vec<u8>)> {
+        use std::panic::{catch_unwind, AssertUnwindSafe};
+        // Freeze every hot session through the delta codec. The engine
+        // just survived a panic, so any single session's state may be
+        // torn — a freeze that panics forfeits only that session.
+        let hot: Vec<SessionId> = self.sessions.iter_hot().map(|(id, _)| id).collect();
+        for id in hot {
+            let _ = catch_unwind(AssertUnwindSafe(|| self.hibernate_session(id)));
+        }
+        // Everything salvageable is now in the cold tier (including
+        // sessions that were already hibernated before the crash).
+        let frozen: Vec<SessionId> = self.sessions.frozen_ids().collect();
+        let mut out = Vec::with_capacity(frozen.len());
+        for id in frozen {
+            let mut blob = self.sessions.take_frozen(id);
+            if blob.len() < 4 {
+                continue;
+            }
+            let slot = u32::from_le_bytes(blob[..4].try_into().expect("4-byte epoch prefix"));
+            let Some(epoch) = self.epochs.get(slot as usize).and_then(Option::as_ref) else {
+                continue;
+            };
+            blob[..4].copy_from_slice(&epoch.seq.to_le_bytes());
+            out.push((id, blob));
+        }
+        out
+    }
+
+    fn import_session(&mut self, blob: &[u8]) -> Option<SessionId> {
+        use std::panic::{catch_unwind, AssertUnwindSafe};
+        if blob.len() < 4 {
+            return None;
+        }
+        let (head, rest) = blob.split_at(4);
+        let seq = u32::from_le_bytes(head.try_into().ok()?);
+        let current = self.current as usize;
+        let state = {
+            let e = self.epochs[current].as_ref()?;
+            if e.seq != seq {
+                return None;
+            }
+            let view = ModelView::of(&e.model, &self.net);
+            catch_unwind(AssertUnwindSafe(|| SessionState::thaw(&view, rest))).ok()?
+        };
+        self.epochs[current]
+            .as_mut()
+            .expect("current model epoch is always live")
+            .live_sessions += 1;
+        self.stats.sessions_opened += 1;
+        let last_tick = self.tick;
+        Some(self.sessions.insert(SessionEntry {
+            epoch: self.current,
+            last_tick,
+            state,
+        }))
     }
 }
 

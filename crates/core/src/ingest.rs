@@ -96,6 +96,44 @@ impl IngestEngine {
         Self::build(model, net, shards, config, Some(hibernation))
     }
 
+    /// [`IngestEngine::new`] with **supervised** shard workers: each
+    /// worker runs its batch loop under a panic boundary. A panicking
+    /// shard (torn state, poisoned event, injected fault) is restarted in
+    /// place — the supervisor quarantines only the sessions implicated in
+    /// the aborted batch with an explicit [`traj::SessionFault`], rebuilds
+    /// the shard's [`StreamEngine`] from this constructor's factory, and
+    /// salvages every other session across via the hibernation codec
+    /// (byte-identical labels for unaffected sessions; property-tested in
+    /// `tests/faults.rs`). Pass `hibernation` to also enable the idle
+    /// sweep, exactly as [`IngestEngine::with_hibernation`] does.
+    ///
+    /// # Panics
+    /// Panics if `shards == 0`.
+    pub fn supervised(
+        model: Arc<TrainedModel>,
+        net: Arc<RoadNetwork>,
+        shards: usize,
+        config: IngestConfig,
+        hibernation: Option<HibernationConfig>,
+    ) -> Self {
+        assert!(shards > 0, "need at least one shard");
+        let obs = config.obs.clone();
+        let factory_obs = obs.clone();
+        IngestEngine {
+            door: IngestFrontDoor::build_supervised(
+                shards,
+                move |i| {
+                    let mut engine = StreamEngine::new(Arc::clone(&model), Arc::clone(&net));
+                    engine.set_hibernation(hibernation);
+                    engine.set_obs(&factory_obs, i);
+                    engine
+                },
+                config,
+            ),
+            obs,
+        }
+    }
+
     fn build(
         model: Arc<TrainedModel>,
         net: Arc<RoadNetwork>,
@@ -217,8 +255,8 @@ pub trait SwapModel {
     ///     handle.submit_blocking(old_session, segment).unwrap();
     ///     handle.submit_blocking(new_session, segment).unwrap();
     /// }
-    /// assert_eq!(handle.close(old_session).unwrap().wait().len(), trip.len());
-    /// assert_eq!(handle.close(new_session).unwrap().wait().len(), trip.len());
+    /// assert_eq!(handle.close(old_session).unwrap().wait().unwrap().len(), trip.len());
+    /// assert_eq!(handle.close(new_session).unwrap().wait().unwrap().len(), trip.len());
     /// let report = engine.shutdown();
     /// assert_eq!(report.engine.model_swaps, 2); // one per shard
     /// ```
@@ -309,7 +347,7 @@ mod tests {
         }
         let got: Vec<Vec<u8>> = opened
             .iter()
-            .map(|(id, _)| handle.close(*id).unwrap().wait())
+            .map(|(id, _)| handle.close(*id).unwrap().wait().unwrap())
             .collect();
         assert_eq!(got, expected);
 

@@ -54,6 +54,30 @@ pub enum OpsEvent {
         /// Sessions frozen by this sweep.
         swept: u64,
     },
+    /// A supervised shard worker panicked and was restarted in place.
+    WorkerRestart {
+        /// Shard whose worker restarted.
+        shard: u32,
+        /// Sessions quarantined by this restart (poisoned or unsalvageable).
+        quarantined: u64,
+        /// Sessions salvaged into the rebuilt engine.
+        salvaged: u64,
+    },
+    /// One session was quarantined (terminal `SessionFault`).
+    SessionQuarantined {
+        /// Shard the session lived on.
+        shard: u32,
+    },
+    /// A shard entered degraded-mode admission control.
+    DegradedEnter {
+        /// Shard that degraded.
+        shard: u32,
+    },
+    /// A shard left degraded mode.
+    DegradedExit {
+        /// Shard that recovered.
+        shard: u32,
+    },
 }
 
 impl Serialize for OpsEvent {
@@ -98,6 +122,27 @@ impl Serialize for OpsEvent {
                     ("swept", swept.serialize()),
                 ],
             ),
+            OpsEvent::WorkerRestart {
+                shard,
+                quarantined,
+                salvaged,
+            } => map(
+                "worker_restart",
+                vec![
+                    ("shard", shard.serialize()),
+                    ("quarantined", quarantined.serialize()),
+                    ("salvaged", salvaged.serialize()),
+                ],
+            ),
+            OpsEvent::SessionQuarantined { shard } => {
+                map("session_quarantined", vec![("shard", shard.serialize())])
+            }
+            OpsEvent::DegradedEnter { shard } => {
+                map("degraded_enter", vec![("shard", shard.serialize())])
+            }
+            OpsEvent::DegradedExit { shard } => {
+                map("degraded_exit", vec![("shard", shard.serialize())])
+            }
         }
     }
 }

@@ -64,7 +64,7 @@ pub(crate) fn clamp_nanos(latency: Duration) -> u64 {
 ///   callers that need to distinguish "no samples" from "all samples were
 ///   zero" must check `is_empty()` first.
 /// * **Top-bucket saturation**: samples above `u64::MAX` nanoseconds are
-///   clamped (see [`clamp_nanos`]); quantiles of the top bucket are
+///   clamped (see `clamp_nanos`); quantiles of the top bucket are
 ///   additionally capped at the exact recorded maximum, so
 ///   `percentile(q) <= max()` always holds.
 #[derive(Debug, Clone)]

@@ -88,6 +88,19 @@ pub mod names {
     pub const INGEST_FLUSHES: &str = "oasd_ingest_flushes_total";
     /// Submit→label latency histogram, per shard.
     pub const INGEST_LATENCY: &str = "oasd_ingest_latency_nanos";
+    /// Supervised worker restarts after a panic, per shard.
+    pub const INGEST_WORKER_RESTARTS: &str = "oasd_ingest_worker_restarts_total";
+    /// Sessions quarantined with a terminal `SessionFault`, per shard.
+    pub const INGEST_QUARANTINED_SESSIONS: &str = "oasd_ingest_quarantined_sessions_total";
+    /// Events charged to quarantined sessions (counted, never delivered),
+    /// per shard.
+    pub const INGEST_QUARANTINED_EVENTS: &str = "oasd_ingest_quarantined_events_total";
+    /// Events shed inside a worker (stray or undeliverable), per shard.
+    pub const INGEST_SHED_EVENTS: &str = "oasd_ingest_shed_events_total";
+    /// Submits rejected because their deadline expired, per shard.
+    pub const INGEST_DEADLINE_EXCEEDED: &str = "oasd_ingest_deadline_exceeded_total";
+    /// Degraded-mode admission gauge, per shard (1 while degraded).
+    pub const INGEST_DEGRADED: &str = "oasd_ingest_degraded";
     /// Sessions currently held, labelled `{shard, tier}` with
     /// `tier="hot"` (resident) or `tier="frozen"` (hibernated).
     pub const ENGINE_SESSIONS: &str = "oasd_engine_sessions";

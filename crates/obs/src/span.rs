@@ -31,6 +31,9 @@ pub enum Stage {
     HibernateSweep,
     /// One `swap_model` application (epoch publish + retire scan).
     SwapApply,
+    /// One supervised-worker recovery: salvage the panicked shard's
+    /// sessions, rebuild the engine, re-import survivors.
+    RestartSweep,
 }
 
 impl Stage {
@@ -43,6 +46,7 @@ impl Stage {
             Stage::LabelDelivery => "label_delivery",
             Stage::HibernateSweep => "hibernate_sweep",
             Stage::SwapApply => "swap_apply",
+            Stage::RestartSweep => "restart_sweep",
         }
     }
 }

@@ -1,0 +1,251 @@
+//! Deterministic fault injection: serializable fault plans replayed over
+//! scenario traces.
+//!
+//! A [`FaultPlan`] is a list of [`Fault`]s pinned to trace ticks. Like a
+//! workload spec, a plan is plain data — `(seed, spec, plan)` fully
+//! determines *what* is injected and *when*, so a fault drill replays
+//! exactly ([`FaultPlan::seeded`] derives a plan from a seed the same way
+//! traces are derived from theirs). The runner half lives in
+//! [`crate::ScenarioRunner::run_supervised`]: poison events ride the data
+//! path as out-of-range segment ids, while worker panics and stalls ride
+//! the control path as injected closures applied at flush boundaries.
+//!
+//! The injected panic message carries [`traj::FAULT_INJECTION_MARKER`] so
+//! the default panic hook can be silenced for exactly these panics and no
+//! others ([`traj::silence_injected_panic_output`]).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rnet::SegmentId;
+use serde::{Deserialize, Serialize};
+
+/// The out-of-range segment id used as a poison event: no road network
+/// has `u32::MAX` segments, so the engine's admission pre-screen
+/// ([`traj::SessionEngine::admit`]) rejects it and the supervisor
+/// quarantines the submitting session instead of panicking the shard.
+pub const POISON_SEGMENT: SegmentId = SegmentId(u32::MAX);
+
+/// One injected fault, pinned to the scenario tick clock.
+///
+/// Serialised as a tagged map (`{"type": "worker_panic", ...}`) — the
+/// vendored serde derive only covers unit-variant enums, so the impls are
+/// hand-written below, mirroring [`crate::Regime`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Fault {
+    /// Starting at `at_tick`, the next `victims` points (at most one per
+    /// session) are replaced with [`POISON_SEGMENT`]. Each victim session
+    /// is quarantined with [`traj::SessionFault::PoisonEvent`]; every
+    /// other session must be unaffected.
+    Poison {
+        /// First tick at which points are poisoned.
+        at_tick: u32,
+        /// Number of distinct sessions to poison.
+        victims: u32,
+    },
+    /// At `at_tick`, a control command that panics (with
+    /// [`traj::FAULT_INJECTION_MARKER`]) is broadcast to every shard
+    /// worker. Control commands apply at flush boundaries — the pending
+    /// micro-batch lands first — so a supervised restart must salvage
+    /// every session with byte-identical labels.
+    WorkerPanic {
+        /// Tick at which the panic command is injected.
+        at_tick: u32,
+    },
+    /// At `at_tick`, every shard worker sleeps `millis` ms (one injected
+    /// control command). The ingress queues back up behind the stall,
+    /// exercising producer backoff and — if the stall outlasts the
+    /// degraded-mode watermark — admission control.
+    QueueStall {
+        /// Tick at which the stall command is injected.
+        at_tick: u32,
+        /// Stall duration in milliseconds.
+        millis: u64,
+    },
+    /// From `from_tick` on, every `every` ticks each shard worker sleeps
+    /// `micros` µs — a persistently slow shard rather than one long
+    /// outage.
+    SlowShard {
+        /// First slowed tick.
+        from_tick: u32,
+        /// Injection period in ticks (`0` is treated as `1`).
+        every: u32,
+        /// Per-injection sleep in microseconds.
+        micros: u64,
+    },
+}
+
+impl Serialize for Fault {
+    fn serialize(&self) -> serde::Value {
+        use serde::Value;
+        let map = |tag: &str, fields: Vec<(&str, Value)>| {
+            let mut m = vec![("type".to_string(), Value::Str(tag.to_string()))];
+            m.extend(fields.into_iter().map(|(k, v)| (k.to_string(), v)));
+            Value::Map(m)
+        };
+        match *self {
+            Fault::Poison { at_tick, victims } => map(
+                "poison",
+                vec![
+                    ("at_tick", at_tick.serialize()),
+                    ("victims", victims.serialize()),
+                ],
+            ),
+            Fault::WorkerPanic { at_tick } => {
+                map("worker_panic", vec![("at_tick", at_tick.serialize())])
+            }
+            Fault::QueueStall { at_tick, millis } => map(
+                "queue_stall",
+                vec![
+                    ("at_tick", at_tick.serialize()),
+                    ("millis", millis.serialize()),
+                ],
+            ),
+            Fault::SlowShard {
+                from_tick,
+                every,
+                micros,
+            } => map(
+                "slow_shard",
+                vec![
+                    ("from_tick", from_tick.serialize()),
+                    ("every", every.serialize()),
+                    ("micros", micros.serialize()),
+                ],
+            ),
+        }
+    }
+}
+
+impl Deserialize for Fault {
+    fn deserialize(v: &serde::Value) -> Result<Self, serde::Error> {
+        fn field<T: Deserialize>(v: &serde::Value, name: &str) -> Result<T, serde::Error> {
+            T::deserialize(
+                v.get(name)
+                    .ok_or_else(|| serde::Error::missing_field("Fault", name))?,
+            )
+        }
+        let tag = v
+            .get("type")
+            .and_then(|t| t.as_str())
+            .ok_or_else(|| serde::Error::expected("tagged map", "Fault"))?;
+        match tag {
+            "poison" => Ok(Fault::Poison {
+                at_tick: field(v, "at_tick")?,
+                victims: field(v, "victims")?,
+            }),
+            "worker_panic" => Ok(Fault::WorkerPanic {
+                at_tick: field(v, "at_tick")?,
+            }),
+            "queue_stall" => Ok(Fault::QueueStall {
+                at_tick: field(v, "at_tick")?,
+                millis: field(v, "millis")?,
+            }),
+            "slow_shard" => Ok(Fault::SlowShard {
+                from_tick: field(v, "from_tick")?,
+                every: field(v, "every")?,
+                micros: field(v, "micros")?,
+            }),
+            other => Err(serde::Error::msg(format!("unknown fault type `{other}`"))),
+        }
+    }
+}
+
+/// A composed fault drill: every fault fires on its own tick schedule
+/// over one replay. An empty plan is a fault-free run.
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct FaultPlan {
+    /// The injected faults, in declaration order (ties on the same tick
+    /// fire in declaration order).
+    pub faults: Vec<Fault>,
+}
+
+impl FaultPlan {
+    /// A plan with no faults (the baseline drill).
+    pub fn none() -> FaultPlan {
+        FaultPlan::default()
+    }
+
+    /// Derives a random-but-replayable plan from `seed` for a trace of
+    /// `horizon` ticks: 1–3 faults of mixed classes with tick offsets,
+    /// victim counts and stall lengths drawn from one seeded RNG. Equal
+    /// arguments produce equal plans.
+    pub fn seeded(seed: u64, horizon: u32) -> FaultPlan {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let horizon = horizon.max(4);
+        let count = rng.gen_range(1..=3);
+        let faults = (0..count)
+            .map(|_| {
+                let at_tick = rng.gen_range(1..horizon);
+                match rng.gen_range(0..4u32) {
+                    0 => Fault::Poison {
+                        at_tick,
+                        victims: rng.gen_range(1..=3),
+                    },
+                    1 => Fault::WorkerPanic { at_tick },
+                    2 => Fault::QueueStall {
+                        at_tick,
+                        millis: rng.gen_range(1..=5),
+                    },
+                    _ => Fault::SlowShard {
+                        from_tick: at_tick,
+                        every: rng.gen_range(1..=8),
+                        micros: rng.gen_range(50..=500),
+                    },
+                }
+            })
+            .collect();
+        FaultPlan { faults }
+    }
+
+    /// Whether the plan injects nothing.
+    pub fn is_empty(&self) -> bool {
+        self.faults.is_empty()
+    }
+
+    /// Whether any fault in the plan is a [`Fault::WorkerPanic`].
+    pub fn panics_workers(&self) -> bool {
+        self.faults
+            .iter()
+            .any(|f| matches!(f, Fault::WorkerPanic { .. }))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plan_json_round_trip() {
+        let plan = FaultPlan {
+            faults: vec![
+                Fault::Poison {
+                    at_tick: 3,
+                    victims: 2,
+                },
+                Fault::WorkerPanic { at_tick: 7 },
+                Fault::QueueStall {
+                    at_tick: 11,
+                    millis: 4,
+                },
+                Fault::SlowShard {
+                    from_tick: 2,
+                    every: 5,
+                    micros: 250,
+                },
+            ],
+        };
+        let json = serde_json::to_string(&plan).unwrap();
+        let back: FaultPlan = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, plan);
+    }
+
+    #[test]
+    fn seeded_plans_replay() {
+        let a = FaultPlan::seeded(0xDEAD, 64);
+        let b = FaultPlan::seeded(0xDEAD, 64);
+        assert_eq!(a, b);
+        assert!(!a.is_empty());
+        // Different seeds eventually differ (spot check a few).
+        assert!((0..16u64).any(|s| FaultPlan::seeded(s, 64) != a));
+    }
+}

@@ -22,7 +22,13 @@
 //!   span-level metrics), plus latency percentiles;
 //! * [`standard_suite`] is the fixed scenario battery the soak bin
 //!   (`crates/bench/src/bin/scenarios.rs`) records to
-//!   `BENCH_scenarios.json`.
+//!   `BENCH_scenarios.json`;
+//! * a [`FaultPlan`] layers **deterministic fault injection** (poison
+//!   events, worker panics, queue stalls, slow shards) over any trace:
+//!   [`ScenarioRunner::run_supervised`] replays it through supervised
+//!   ingest shards and reports recovery metrics (labels lost, restarts,
+//!   MTTR in ticks) next to the usual scores — the drill the chaos bin
+//!   (`crates/bench/src/bin/faults.rs`) records to `BENCH_faults.json`.
 //!
 //! Every future detector (ensemble, CroTad-style contrastive, graph
 //! enhanced) is benchmarked on this harness.
@@ -30,13 +36,15 @@
 #![deny(missing_docs)]
 #![warn(clippy::all)]
 
+pub mod faults;
 pub mod runner;
 pub mod spec;
 pub mod suite;
 pub mod trace;
 pub mod world;
 
-pub use runner::{Backpressure, Driver, RunOutcome, ScenarioRunner};
+pub use faults::{Fault, FaultPlan, POISON_SEGMENT};
+pub use runner::{Backpressure, Driver, FaultOutcome, RunOutcome, ScenarioRunner};
 pub use spec::{NetworkKind, Regime, ScenarioSpec};
 pub use suite::standard_suite;
 pub use trace::{EventTrace, TickEvents};

@@ -8,17 +8,23 @@
 //! cross-driver half of the replay-determinism property in
 //! `tests/scenarios.rs`.
 
+use crate::faults::{Fault, FaultPlan, POISON_SEGMENT};
 use crate::trace::EventTrace;
 use eval::{evaluate, Confusion, DetectionMetrics};
 use obs::{names, Obs, OpsEvent, Snapshot};
-use rl4oasd::{IngestEngine, ShardedEngine, TrainedModel};
+use rl4oasd::{IngestEngine, ShardedEngine, StreamEngine, TrainedModel};
 use rnet::RoadNetwork;
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 use traj::{
-    FlushPolicy, IngestConfig, LatencyHistogram, SessionEngine, SessionId, SubmitError,
-    Subscription,
+    FlushPolicy, IngestConfig, IngestStats, LatencyHistogram, RetryPolicy, SessionEngine,
+    SessionFault, SessionId, SubmitError, Subscription,
 };
+
+/// Jitter seed for the runner's producer-side backoff policy. Backoff
+/// timing never reaches the engines, so labels are independent of it;
+/// fixing the seed just makes replays' retry schedules reproducible too.
+const BACKOFF_SEED: u64 = 0x0A5D_BAC0FF;
 
 /// What to do when the ingest door reports [`SubmitError::QueueFull`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -84,6 +90,71 @@ impl RunOutcome {
     /// Span-level metrics (the paper's F1/TF1 protocol).
     pub fn span_metrics(&self) -> DetectionMetrics {
         evaluate(&self.labels, &self.truth)
+    }
+}
+
+/// Outcome of a fault-injection replay ([`ScenarioRunner::run_supervised`]).
+///
+/// Sessions that terminated with an explicit [`SessionFault`] have empty
+/// `labels`/`truth` rows and their fault recorded in `faults`; every
+/// other row is scored exactly like a [`RunOutcome`].
+pub struct FaultOutcome {
+    /// Final labels per scenario session (empty for faulted sessions).
+    pub labels: Vec<Vec<u8>>,
+    /// Ground truth aligned with `labels` (cleared for faulted sessions).
+    pub truth: Vec<Vec<u8>>,
+    /// Terminal fault per session; `None` for sessions that closed clean.
+    pub faults: Vec<Option<SessionFault>>,
+    /// Sessions replayed.
+    pub sessions: usize,
+    /// Events accepted by `submit` (poison events included).
+    pub delivered: u64,
+    /// Poison events injected by the plan.
+    pub poisons_injected: u64,
+    /// Supervised worker restarts observed over the whole replay.
+    pub worker_restarts: u64,
+    /// Mean-time-to-recover proxy: the largest number of scenario ticks
+    /// between injecting a [`Fault::WorkerPanic`] and observing every
+    /// shard's restart counter tick over. `None` when the plan injected
+    /// no panic (or the replay ended first — shutdown still drains).
+    pub mttr_ticks: Option<u64>,
+    /// Whether any shard entered degraded-mode admission control at any
+    /// polled tick boundary.
+    pub degraded_entered: bool,
+    /// Final front-door counters (shed/quarantine accounting included).
+    pub ingest: IngestStats,
+    /// Telemetry snapshot taken after shutdown. Empty unless the runner
+    /// was built with [`ScenarioRunner::with_obs`].
+    pub obs: Snapshot,
+}
+
+impl FaultOutcome {
+    /// Scenario session ids that terminated with a fault.
+    pub fn faulted_sessions(&self) -> Vec<u32> {
+        self.faults
+            .iter()
+            .enumerate()
+            .filter_map(|(id, f)| f.map(|_| id as u32))
+            .collect()
+    }
+
+    /// Sessions whose final labels were lost to a fault (the recovery
+    /// metric: a clean drill loses only the sessions the plan poisoned).
+    pub fn labels_lost(&self) -> u64 {
+        self.faults.iter().filter(|f| f.is_some()).count() as u64
+    }
+
+    /// The exact-accounting invariant: every accepted event was either
+    /// flushed into a shard engine, shed as a stray, or charged to a
+    /// quarantined session — nothing vanished.
+    pub fn accounting_exact(&self) -> bool {
+        self.ingest.submitted
+            == self.ingest.flushed_events + self.ingest.shed_events + self.ingest.quarantined_events
+    }
+
+    /// Segment-level confusion over the surviving sessions.
+    pub fn confusion(&self) -> Confusion {
+        Confusion::of_corpus(&self.labels, &self.truth)
     }
 }
 
@@ -198,6 +269,10 @@ impl ScenarioRunner {
             },
         );
         let handle = engine.handle();
+        // Bounded exponential backoff with unlimited retries: no event is
+        // ever lost under `Backpressure::Retry`, but a congested queue is
+        // polled with doubling sleeps instead of a hot spin.
+        let retry = RetryPolicy::unbounded(BACKOFF_SEED);
         let n = trace.sessions as usize;
         let mut open: Vec<Option<(SessionId, Subscription)>> = (0..n).map(|_| None).collect();
         let mut labels: Vec<Vec<u8>> = vec![Vec::new(); n];
@@ -211,13 +286,9 @@ impl ScenarioRunner {
                 // bounded ingress queue as data points, but shedding one
                 // would corrupt the session ledger — so both backpressure
                 // modes retry them until the queue drains.
-                let opened = loop {
-                    match handle.open(sd, t0) {
-                        Ok(pair) => break pair,
-                        Err(SubmitError::QueueFull) => std::thread::yield_now(),
-                        Err(e) => panic!("open rejected: {e:?}"),
-                    }
-                };
+                let opened = retry
+                    .run(u64::from(id), || handle.open(sd, t0))
+                    .unwrap_or_else(|e| panic!("open rejected: {e:?}"));
                 open[id as usize] = Some(opened);
             }
             for &(id, seg) in &tick.points {
@@ -227,9 +298,9 @@ impl ScenarioRunner {
                 pos[k] += 1;
                 match backpressure {
                     Backpressure::Retry => {
-                        while handle.submit(session, seg) == Err(SubmitError::QueueFull) {
-                            std::thread::yield_now();
-                        }
+                        retry
+                            .run(u64::from(id), || handle.submit(session, seg))
+                            .unwrap_or_else(|e| panic!("unexpected submit error: {e:?}"));
                         truth[k].push(t);
                         delivered += 1;
                     }
@@ -245,14 +316,10 @@ impl ScenarioRunner {
             }
             for &id in &tick.closes {
                 let (session, sub) = open[id as usize].take().expect("double close");
-                let ticket = loop {
-                    match handle.close(session) {
-                        Ok(ticket) => break ticket,
-                        Err(SubmitError::QueueFull) => std::thread::yield_now(),
-                        Err(e) => panic!("close rejected: {e:?}"),
-                    }
-                };
-                labels[id as usize] = ticket.wait();
+                let ticket = retry
+                    .run(u64::from(id), || handle.close(session))
+                    .unwrap_or_else(|e| panic!("close rejected: {e:?}"));
+                labels[id as usize] = ticket.wait().expect("unsupervised run never faults");
                 drop(sub);
             }
         }
@@ -275,6 +342,190 @@ impl ScenarioRunner {
             events: delivered,
             rejected,
             latency: report.ingest.latency,
+            obs: report.obs,
+        }
+    }
+
+    /// Replays `trace` through **supervised** ingest shards while
+    /// injecting `plan`'s faults, and reports recovery metrics next to
+    /// the usual labels.
+    ///
+    /// Poison faults ride the data path (an out-of-range segment id for
+    /// the victim session); panics and stalls ride the control path as
+    /// injected closures applied at flush boundaries. Every open, data
+    /// point and close is delivered under an unbounded bounded-backoff
+    /// retry, so the only sessions that lose labels are the ones the
+    /// supervisor explicitly quarantined — the fault-isolation invariant
+    /// checked in `tests/faults.rs`.
+    pub fn run_supervised(
+        &self,
+        trace: &EventTrace,
+        shards: usize,
+        flush: FlushPolicy,
+        queue_capacity: usize,
+        plan: &FaultPlan,
+    ) -> FaultOutcome {
+        traj::silence_injected_panic_output();
+        let engine = IngestEngine::supervised(
+            Arc::clone(&self.model),
+            Arc::clone(&self.net),
+            shards,
+            IngestConfig {
+                flush,
+                queue_capacity,
+                obs: self.obs.clone(),
+                ..Default::default()
+            },
+            None,
+        );
+        let handle = engine.handle();
+        let retry = RetryPolicy::unbounded(BACKOFF_SEED);
+        let n = trace.sessions as usize;
+        let mut open: Vec<Option<(SessionId, Subscription)>> = (0..n).map(|_| None).collect();
+        let mut labels: Vec<Vec<u8>> = vec![Vec::new(); n];
+        let mut truth: Vec<Vec<u8>> = vec![Vec::new(); n];
+        let mut faults: Vec<Option<SessionFault>> = vec![None; n];
+        let mut poisoned = vec![false; n];
+        let mut pos = vec![0usize; n];
+        let mut delivered = 0u64;
+        let mut poisons_injected = 0u64;
+        let mut poison_budget = 0u32;
+        let mut degraded_entered = false;
+        // `(injection tick, restart-counter target)` of the most recent
+        // panic injection still awaiting full recovery.
+        let mut pending_recovery: Option<(u64, u64)> = None;
+        let mut mttr_ticks: Option<u64> = None;
+        for (t, tick) in trace.ticks.iter().enumerate() {
+            let t = t as u32;
+            for fault in &plan.faults {
+                match *fault {
+                    Fault::Poison { at_tick, victims } if at_tick == t => {
+                        poison_budget += victims;
+                    }
+                    Fault::WorkerPanic { at_tick } if at_tick == t => {
+                        let target = handle.worker_restarts() + shards as u64;
+                        retry
+                            .run(u64::from(t), || {
+                                handle.control(|_: &mut StreamEngine| {
+                                    panic!(
+                                        "{}: injected worker panic",
+                                        traj::FAULT_INJECTION_MARKER
+                                    )
+                                })
+                            })
+                            .expect("panic injection accepted");
+                        // Overlapping panics extend the pending window to
+                        // the new target but keep the first injection tick
+                        // (MTTR measures the whole outage).
+                        pending_recovery =
+                            Some((pending_recovery.map_or(u64::from(t), |(t0, _)| t0), target));
+                    }
+                    Fault::QueueStall { at_tick, millis } if at_tick == t => {
+                        retry
+                            .run(u64::from(t), || {
+                                handle.control(move |_: &mut StreamEngine| {
+                                    std::thread::sleep(Duration::from_millis(millis));
+                                })
+                            })
+                            .expect("stall injection accepted");
+                    }
+                    Fault::SlowShard {
+                        from_tick,
+                        every,
+                        micros,
+                    } if t >= from_tick && (t - from_tick).is_multiple_of(every.max(1)) => {
+                        retry
+                            .run(u64::from(t), || {
+                                handle.control(move |_: &mut StreamEngine| {
+                                    std::thread::sleep(Duration::from_micros(micros));
+                                })
+                            })
+                            .expect("slowdown injection accepted");
+                    }
+                    _ => {}
+                }
+            }
+            for &(id, sd, t0) in &tick.opens {
+                let opened = retry
+                    .run(u64::from(id), || handle.open(sd, t0))
+                    .unwrap_or_else(|e| panic!("open rejected: {e:?}"));
+                open[id as usize] = Some(opened);
+            }
+            for &(id, seg) in &tick.points {
+                let k = id as usize;
+                let session = open[k].as_ref().expect("point for unopened session").0;
+                let truth_label = trace.truth[k][pos[k]];
+                pos[k] += 1;
+                let seg = if poison_budget > 0 && !poisoned[k] {
+                    poison_budget -= 1;
+                    poisons_injected += 1;
+                    poisoned[k] = true;
+                    POISON_SEGMENT
+                } else {
+                    seg
+                };
+                retry
+                    .run(u64::from(id), || {
+                        let r = handle.submit(session, seg);
+                        // Sample degraded-mode entry while the rejection
+                        // streak is hot — a per-tick probe would miss it
+                        // once the backlog drains and the shard recovers.
+                        if r.is_err() {
+                            degraded_entered |= handle.any_degraded();
+                        }
+                        r
+                    })
+                    .unwrap_or_else(|e| panic!("unexpected submit error: {e:?}"));
+                delivered += 1;
+                if !poisoned[k] {
+                    truth[k].push(truth_label);
+                }
+            }
+            for &id in &tick.closes {
+                let (session, sub) = open[id as usize].take().expect("double close");
+                let ticket = retry
+                    .run(u64::from(id), || handle.close(session))
+                    .unwrap_or_else(|e| panic!("close rejected: {e:?}"));
+                match ticket.wait() {
+                    Ok(finals) => labels[id as usize] = finals,
+                    Err(fault) => {
+                        faults[id as usize] = Some(fault);
+                        truth[id as usize].clear();
+                    }
+                }
+                drop(sub);
+            }
+            degraded_entered |= handle.any_degraded();
+            if let Some((t0, target)) = pending_recovery {
+                if handle.worker_restarts() >= target {
+                    let span = u64::from(t) - t0;
+                    mttr_ticks = Some(mttr_ticks.map_or(span, |m| m.max(span)));
+                    pending_recovery = None;
+                }
+            }
+        }
+        if let Some((t0, target)) = pending_recovery {
+            // The panic command is already queued, so the restart is
+            // guaranteed; wait it out and charge the remaining trace as
+            // the outage so the drill always reports an MTTR.
+            while handle.worker_restarts() < target {
+                std::thread::yield_now();
+            }
+            let span = (trace.ticks.len() as u64).saturating_sub(t0);
+            mttr_ticks = Some(mttr_ticks.map_or(span, |m| m.max(span)));
+        }
+        let report = engine.shutdown();
+        FaultOutcome {
+            labels,
+            truth,
+            faults,
+            sessions: n,
+            delivered,
+            poisons_injected,
+            worker_restarts: report.ingest.worker_restarts,
+            mttr_ticks,
+            degraded_entered,
+            ingest: report.ingest,
             obs: report.obs,
         }
     }

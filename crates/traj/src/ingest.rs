@@ -42,7 +42,23 @@
 //!   submitted before the broadcast is processed under the pre-command
 //!   engine state. The handle is typed by its engine (`IngestHandle<E>`),
 //!   so commands for the wrong engine type are a compile error, not a
-//!   runtime surprise.
+//!   runtime surprise;
+//! * **fault tolerance** (opt-in via [`IngestFrontDoor::build_supervised`])
+//!   — each shard worker runs under a supervisor: a panic in batch
+//!   processing quarantines only the sessions implicated in the aborted
+//!   micro-batch (their subscriptions terminate with an explicit
+//!   [`SessionFault`], never a hang), salvages every other session on the
+//!   shard through the hibernate freeze/thaw path, rebuilds the engine
+//!   from the construction factory and resumes — unaffected sessions keep
+//!   byte-identical labels. Events the engine rejects as unprocessable
+//!   ([`SessionEngine::admit`]) are *poison*: they quarantine their
+//!   session before ever reaching the engine, so one malformed trip can
+//!   never crash a shard. Producers get policy tools on the handle —
+//!   bounded [`RetryPolicy`] backoff, [`IngestHandle::submit_with_deadline`],
+//!   and degraded-mode admission control that sheds [`Priority::Low`]
+//!   opens while a shard is restarting or persistently full. Accounting
+//!   stays exact across faults:
+//!   `flushed + shed + quarantined == submitted`.
 //!
 //! Because a session's events reach its shard in submit order and
 //! [`SessionEngine`] guarantees interleaving never changes labels, the
@@ -50,16 +66,17 @@
 //! `observe_batch` synchronously — for any [`FlushPolicy`] and any shard
 //! count (property-tested in `tests/ingest.rs`).
 
-use crate::session::{SessionEngine, SessionId};
+use crate::session::{SessionEngine, SessionId, SupervisedEngine};
 use crate::types::SdPair;
-use obs::{names, Counter, Histo, Obs, Stage, StageHandle};
+use obs::{names, Counter, Gauge, Histo, Obs, OpsEvent, Stage, StageHandle};
 use rnet::SegmentId;
 use std::any::Any;
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::marker::PhantomData;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc::{sync_channel, Receiver, RecvTimeoutError, SyncSender, TrySendError};
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
@@ -158,6 +175,13 @@ pub enum SubmitError {
     /// The front door is shutting down (or already shut down); no further
     /// events are accepted.
     ShutDown,
+    /// [`IngestHandle::submit_with_deadline`] ran out of budget while the
+    /// shard queue stayed full. The event was **not** accepted.
+    DeadlineExceeded,
+    /// Degraded-mode admission control shed this [`Priority::Low`] open:
+    /// the target shard is restarting after a fault or its queue has been
+    /// full past the watermark. Nothing was enqueued.
+    Degraded,
 }
 
 impl std::fmt::Display for SubmitError {
@@ -165,11 +189,208 @@ impl std::fmt::Display for SubmitError {
         match self {
             SubmitError::QueueFull => write!(f, "shard ingress queue is full"),
             SubmitError::ShutDown => write!(f, "ingest front door is shut down"),
+            SubmitError::DeadlineExceeded => {
+                write!(f, "submit deadline elapsed while the shard queue was full")
+            }
+            SubmitError::Degraded => {
+                write!(
+                    f,
+                    "low-priority open shed by degraded-mode admission control"
+                )
+            }
         }
     }
 }
 
 impl std::error::Error for SubmitError {}
+
+/// Why a session was quarantined (or a close rejected): the terminal
+/// status a faulted session's [`CloseTicket`] resolves with and its
+/// [`Subscription::fault`] reports. Every fault is explicit — a faulted
+/// session's consumer always observes a disconnect plus one of these,
+/// never a hang.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SessionFault {
+    /// The session submitted an event its engine rejected as
+    /// unprocessable ([`SessionEngine::admit`]). Events labelled before
+    /// the poison event were delivered normally; the poison event and
+    /// everything after it were quarantined.
+    PoisonEvent,
+    /// The session's events were in the micro-batch a shard worker
+    /// panicked on; its engine state could not be trusted afterwards.
+    WorkerCrash,
+    /// The session survived the panic but its state could not be
+    /// exported from the wrecked engine or re-imported into the rebuilt
+    /// one.
+    Unsalvageable,
+    /// The close targeted a session its shard does not know — a double
+    /// close, or a session that was never opened.
+    UnknownSession,
+}
+
+impl std::fmt::Display for SessionFault {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SessionFault::PoisonEvent => write!(f, "session quarantined: poison event"),
+            SessionFault::WorkerCrash => {
+                write!(f, "session quarantined: implicated in a shard-worker panic")
+            }
+            SessionFault::Unsalvageable => {
+                write!(
+                    f,
+                    "session quarantined: state not salvageable across restart"
+                )
+            }
+            SessionFault::UnknownSession => write!(f, "close of an unknown or closed session"),
+        }
+    }
+}
+
+impl std::error::Error for SessionFault {}
+
+/// Marker every *injected* panic message carries (fault-injection
+/// harnesses panic with it) so [`silence_injected_panic_output`] can
+/// suppress exactly that noise and nothing else.
+pub const FAULT_INJECTION_MARKER: &str = "oasd-fault-injection";
+
+/// Installs (once per process) a chained panic hook that swallows the
+/// default "thread panicked" stderr report for panics whose message
+/// contains [`FAULT_INJECTION_MARKER`]. Genuine panics still print
+/// through the previously installed hook. Supervised workers *recover*
+/// from injected panics by design, so their unwind reports are pure
+/// noise in chaos tests and benches.
+pub fn silence_injected_panic_output() {
+    static INSTALLED: OnceLock<()> = OnceLock::new();
+    INSTALLED.get_or_init(|| {
+        let previous = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            let message = info
+                .payload()
+                .downcast_ref::<String>()
+                .map(String::as_str)
+                .or_else(|| info.payload().downcast_ref::<&str>().copied())
+                .unwrap_or("");
+            if !message.contains(FAULT_INJECTION_MARKER) {
+                previous(info);
+            }
+        }));
+    });
+}
+
+/// SplitMix64 — the same tiny generator the scenario traces use; here it
+/// de-correlates retry jitter across producers deterministically.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = x;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Bounded exponential backoff with seeded, deterministic jitter for
+/// `QueueFull` retries — the replacement for hot-spin retry loops.
+///
+/// The delay for attempt `k` doubles from [`base`](RetryPolicy::base) up
+/// to the [`max_backoff`](RetryPolicy::max_backoff) cap, then a jitter
+/// drawn from SplitMix64 over `(jitter_seed, salt, k)` scatters it into
+/// `[delay/2, delay]` so colliding producers de-synchronise the same way
+/// on every run — chaos runs stay replayable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Retries after the first attempt; `u32::MAX` means retry until the
+    /// call stops reporting `QueueFull` (use for lossless producers).
+    pub max_retries: u32,
+    /// Backoff before the first retry.
+    pub base: Duration,
+    /// Backoff cap; doubling stops here.
+    pub max_backoff: Duration,
+    /// Seed for the deterministic jitter stream.
+    pub jitter_seed: u64,
+}
+
+impl Default for RetryPolicy {
+    /// 10 retries, 20 µs doubling to a 2 ms cap.
+    fn default() -> Self {
+        RetryPolicy {
+            max_retries: 10,
+            base: Duration::from_micros(20),
+            max_backoff: Duration::from_millis(2),
+            jitter_seed: 0x0A5D_FA17,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// Retries forever (bounded *backoff*, unbounded *attempts*) — for
+    /// producers that must not lose events, replacing unbounded hot
+    /// spins with capped sleeps.
+    pub fn unbounded(jitter_seed: u64) -> Self {
+        RetryPolicy {
+            max_retries: u32::MAX,
+            jitter_seed,
+            ..RetryPolicy::default()
+        }
+    }
+
+    /// The jittered delay before retry `attempt` (0-based). Deterministic
+    /// in `(jitter_seed, salt, attempt)`.
+    pub fn backoff(&self, attempt: u32, salt: u64) -> Duration {
+        if self.base.is_zero() {
+            return Duration::ZERO;
+        }
+        let doubled = self
+            .base
+            .saturating_mul(1u32 << attempt.min(16))
+            .min(self.max_backoff)
+            .max(self.base);
+        let nanos = doubled.as_nanos().min(u128::from(u64::MAX)) as u64;
+        let half = nanos / 2;
+        let mix = splitmix64(
+            self.jitter_seed
+                .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                .wrapping_add(salt)
+                .wrapping_add(u64::from(attempt)),
+        );
+        Duration::from_nanos(half + mix % (half + 1))
+    }
+
+    /// Runs `op`, retrying `QueueFull` under this policy (sleeping the
+    /// jittered backoff between attempts; `salt` de-correlates concurrent
+    /// callers). Any other outcome — success, `ShutDown`, … — returns
+    /// immediately; exhausted retries return the last `QueueFull`.
+    pub fn run<T>(
+        &self,
+        salt: u64,
+        mut op: impl FnMut() -> Result<T, SubmitError>,
+    ) -> Result<T, SubmitError> {
+        let mut attempt = 0u32;
+        loop {
+            match op() {
+                Err(SubmitError::QueueFull) if attempt < self.max_retries => {
+                    let delay = self.backoff(attempt, salt);
+                    if delay.is_zero() {
+                        std::thread::yield_now();
+                    } else {
+                        std::thread::sleep(delay);
+                    }
+                    attempt = attempt.saturating_add(1);
+                }
+                other => return other,
+            }
+        }
+    }
+}
+
+/// Admission class of an open under degraded-mode admission control.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Priority {
+    /// Admitted whenever the queue has room, degraded or not. Plain
+    /// [`IngestHandle::open`] uses this.
+    High,
+    /// Shed with [`SubmitError::Degraded`] while the target shard is
+    /// restarting or its queue has been full past the watermark.
+    Low,
+}
 
 /// The per-session label outbox: accepted events yield provisional labels
 /// here, in submit order. Disconnects (all further receives return `None`)
@@ -185,6 +406,7 @@ impl std::error::Error for SubmitError {}
 /// whose final labels cover every accepted event regardless).
 pub struct Subscription {
     rx: Receiver<u8>,
+    fault: Arc<OnceLock<SessionFault>>,
 }
 
 impl Subscription {
@@ -192,6 +414,14 @@ impl Subscription {
     /// (including after the session closed and the outbox drained).
     pub fn try_recv(&self) -> Option<u8> {
         self.rx.try_recv().ok()
+    }
+
+    /// The session's terminal fault, if it was quarantined. A faulted
+    /// session's stream disconnects (receives return `None`) and this
+    /// reports why; `None` here means the session is healthy (or closed
+    /// normally).
+    pub fn fault(&self) -> Option<SessionFault> {
+        self.fault.get().copied()
     }
 
     /// Blocks for the next label; `None` once the session is closed and
@@ -215,24 +445,26 @@ impl Subscription {
 /// labels arrive once its shard worker has flushed the session's pending
 /// events and closed it in the engine.
 pub struct CloseTicket {
-    rx: Receiver<Vec<u8>>,
+    rx: Receiver<Result<Vec<u8>, SessionFault>>,
 }
 
 impl CloseTicket {
-    /// Blocks until the close completes, returning the session's final
-    /// labels (engines with delayed decisions may have revised them).
-    ///
-    /// # Panics
-    /// Panics if the shard worker died before completing the close (e.g.
-    /// it panicked on a stale handle).
-    pub fn wait(self) -> Vec<u8> {
-        self.rx
-            .recv()
-            .expect("shard worker died before completing close")
+    /// Blocks until the close completes. `Ok` carries the session's final
+    /// labels (engines with delayed decisions may have revised them);
+    /// `Err` is the session's terminal [`SessionFault`] — a quarantined
+    /// session, a double close, or (as [`SessionFault::WorkerCrash`]) an
+    /// unsupervised worker that died before replying. Never panics, never
+    /// hangs.
+    pub fn wait(self) -> Result<Vec<u8>, SessionFault> {
+        match self.rx.recv() {
+            Ok(reply) => reply,
+            Err(_) => Err(SessionFault::WorkerCrash),
+        }
     }
 
-    /// Non-blocking probe; `Some(labels)` once the close has completed.
-    pub fn try_wait(&self) -> Option<Vec<u8>> {
+    /// Non-blocking probe; `Some` once the close has completed (same
+    /// payload as [`wait`](Self::wait)).
+    pub fn try_wait(&self) -> Option<Result<Vec<u8>, SessionFault>> {
         self.rx.try_recv().ok()
     }
 }
@@ -258,6 +490,19 @@ pub struct IngestStats {
     pub flushes: u64,
     /// Largest single flush.
     pub max_flush_batch: usize,
+    /// Accepted events dropped as stray (their session was unknown to the
+    /// shard — e.g. submitted after close). Zero in a fault-free run.
+    pub shed_events: u64,
+    /// Accepted events charged to quarantined sessions (the poison event
+    /// itself, events in a panic-aborted batch, and later arrivals for an
+    /// already-quarantined session). Zero in a fault-free run.
+    pub quarantined_events: u64,
+    /// Sessions quarantined with a terminal [`SessionFault`].
+    pub quarantined_sessions: u64,
+    /// Supervised-worker restarts performed.
+    pub worker_restarts: u64,
+    /// `submit_with_deadline` calls that gave up at their deadline.
+    pub deadline_exceeded: u64,
     /// Submit→label latency of every flushed event.
     pub latency: LatencyHistogram,
 }
@@ -272,6 +517,11 @@ pub struct ShutdownReport<E> {
     pub stats: IngestStats,
 }
 
+/// Consecutive producer-side `QueueFull` rejections on one shard that
+/// flip it into queue-degraded admission control (any accepted submit
+/// resets the streak and lifts it).
+const DEGRADED_WATERMARK: u64 = 256;
+
 /// A type-erased control command. The queues carry the erased form so
 /// [`Shared`] stays untyped; the typed [`IngestHandle::control`] builds the
 /// closure from a concrete `FnOnce(&mut E)`, and the worker hands it
@@ -285,6 +535,7 @@ enum Cmd {
         sd: SdPair,
         start_time: f64,
         outbox: SyncSender<u8>,
+        fault: Arc<OnceLock<SessionFault>>,
     },
     Observe {
         outer: u64,
@@ -293,11 +544,38 @@ enum Cmd {
     },
     Close {
         outer: u64,
-        reply: SyncSender<Vec<u8>>,
+        reply: SyncSender<Result<Vec<u8>, SessionFault>>,
     },
     /// Engine mutation applied at the worker's next flush boundary.
     Control(ControlFn),
     Shutdown,
+}
+
+/// Per-shard fault/degradation state shared between the shard's worker
+/// and every producer handle. All plain atomics — readable live, exact
+/// after shutdown.
+#[derive(Default)]
+struct ShardHealth {
+    /// The worker is mid-recovery (between catching a panic and resuming
+    /// its serve loop).
+    restarting: AtomicBool,
+    /// Degraded because the ingress queue stayed full past the watermark.
+    queue_degraded: AtomicBool,
+    /// Consecutive `QueueFull` rejections observed by producers; any
+    /// accepted submit resets it.
+    full_streak: AtomicU64,
+    restarts: AtomicU64,
+    quarantined_sessions: AtomicU64,
+    quarantined_events: AtomicU64,
+    shed_events: AtomicU64,
+    /// Low-priority opens shed while degraded ("count everything").
+    shed_opens: AtomicU64,
+}
+
+impl ShardHealth {
+    fn degraded(&self) -> bool {
+        self.restarting.load(Ordering::SeqCst) || self.queue_degraded.load(Ordering::SeqCst)
+    }
 }
 
 struct Shared {
@@ -312,11 +590,21 @@ struct Shared {
     inflight: AtomicU64,
     accepted: AtomicU64,
     rejected: AtomicU64,
+    deadline_exceeded: AtomicU64,
     outbox_capacity: usize,
+    /// Consecutive `QueueFull` rejections on one shard that flip it into
+    /// queue-degraded mode.
+    degraded_watermark: u64,
+    /// Per-shard fault/degradation state (index = shard), shared with the
+    /// shard workers.
+    health: Vec<Arc<ShardHealth>>,
     /// Pre-resolved per-shard telemetry counters (index = shard); inert
     /// no-op handles when the door was built without telemetry.
     obs_submitted: Vec<Counter>,
     obs_rejected: Vec<Counter>,
+    obs_deadline: Vec<Counter>,
+    obs_degraded: Vec<Gauge>,
+    obs: Obs,
 }
 
 impl Shared {
@@ -325,6 +613,35 @@ impl Shared {
     fn shard_of(&self, raw: u64) -> usize {
         let h = raw.wrapping_mul(0x9E37_79B9_7F4A_7C15);
         ((h >> 32) % self.queues.len() as u64) as usize
+    }
+
+    /// Producer-side degraded bookkeeping on an accepted submit: any
+    /// success proves the queue is accepting again, so the streak resets
+    /// and queue-degradation (if set) lifts.
+    fn note_accept(&self, shard: usize) {
+        let health = &self.health[shard];
+        if health.full_streak.swap(0, Ordering::Relaxed) > 0
+            && health.queue_degraded.swap(false, Ordering::SeqCst)
+        {
+            self.obs_degraded[shard].set(u64::from(health.degraded()));
+            self.obs.event(OpsEvent::DegradedExit {
+                shard: shard as u32,
+            });
+        }
+    }
+
+    /// Producer-side degraded bookkeeping on a `QueueFull` rejection:
+    /// crossing the watermark flips the shard into queue-degraded mode.
+    fn note_full(&self, shard: usize) {
+        let health = &self.health[shard];
+        let streak = health.full_streak.fetch_add(1, Ordering::Relaxed) + 1;
+        if streak >= self.degraded_watermark && !health.queue_degraded.swap(true, Ordering::SeqCst)
+        {
+            self.obs_degraded[shard].set(1);
+            self.obs.event(OpsEvent::DegradedEnter {
+                shard: shard as u32,
+            });
+        }
     }
 }
 
@@ -354,7 +671,7 @@ impl Shared {
 /// let sd = SdPair { source: SegmentId(0), dest: SegmentId(9) };
 /// let (session, labels) = handle.open(sd, 0.0).unwrap();
 /// handle.submit(session, SegmentId(3)).unwrap(); // never blocks
-/// let finals = handle.close(session).unwrap().wait();
+/// let finals = handle.close(session).unwrap().wait().unwrap();
 /// assert_eq!(finals, vec![0]);
 /// assert_eq!(labels.recv(), Some(0));
 /// let report = door.shutdown();
@@ -414,18 +731,22 @@ impl<E> IngestHandle<E> {
                 Err(TrySendError::Full(_)) => Err(SubmitError::QueueFull),
                 Err(TrySendError::Disconnected(_)) => Err(SubmitError::ShutDown),
             };
-            if tally == Tally::Observe {
-                match result {
-                    Ok(()) => {
+            match result {
+                Ok(()) => {
+                    if tally == Tally::Observe {
                         self.shared.accepted.fetch_add(1, Ordering::Relaxed);
                         self.shared.obs_submitted[shard].inc();
                     }
-                    Err(SubmitError::QueueFull) => {
+                    self.shared.note_accept(shard);
+                }
+                Err(SubmitError::QueueFull) => {
+                    if tally == Tally::Observe {
                         self.shared.rejected.fetch_add(1, Ordering::Relaxed);
                         self.shared.obs_rejected[shard].inc();
                     }
-                    Err(SubmitError::ShutDown) => {}
+                    self.shared.note_full(shard);
                 }
+                Err(_) => {}
             }
             result
         })
@@ -442,19 +763,43 @@ impl<E> IngestHandle<E> {
         sd: SdPair,
         start_time: f64,
     ) -> Result<(SessionId, Subscription), SubmitError> {
+        self.open_with_priority(sd, start_time, Priority::High)
+    }
+
+    /// Like [`open`](Self::open), but subject to degraded-mode admission
+    /// control: a [`Priority::Low`] open is shed with
+    /// [`SubmitError::Degraded`] (nothing enqueued, the shed counted)
+    /// while its target shard is restarting after a fault or its queue
+    /// has stayed full past the watermark. [`Priority::High`] opens are
+    /// never shed by degradation — only by a genuinely full queue.
+    pub fn open_with_priority(
+        &self,
+        sd: SdPair,
+        start_time: f64,
+        priority: Priority,
+    ) -> Result<(SessionId, Subscription), SubmitError> {
         let raw = self.shared.next_session.fetch_add(1, Ordering::Relaxed);
+        let shard = self.shared.shard_of(raw);
+        if priority == Priority::Low && self.shared.health[shard].degraded() {
+            self.shared.health[shard]
+                .shed_opens
+                .fetch_add(1, Ordering::Relaxed);
+            return Err(SubmitError::Degraded);
+        }
         let (tx, rx) = sync_channel(self.shared.outbox_capacity);
+        let fault = Arc::new(OnceLock::new());
         self.push(
-            self.shared.shard_of(raw),
+            shard,
             Cmd::Open {
                 outer: raw,
                 sd,
                 start_time,
                 outbox: tx,
+                fault: Arc::clone(&fault),
             },
             Tally::Control,
         )?;
-        Ok((SessionId::from_raw(raw), Subscription { rx }))
+        Ok((SessionId::from_raw(raw), Subscription { rx, fault }))
     }
 
     /// Submits the next road segment of an open session. Never blocks: a
@@ -462,7 +807,9 @@ impl<E> IngestHandle<E> {
     /// event is **not** accepted.
     ///
     /// Submitting to a session that was never opened (or already closed)
-    /// is a contract violation and panics the session's shard worker.
+    /// is a contract violation, but a tolerated one: the shard worker
+    /// sheds the stray event (counted in
+    /// [`IngestStats::shed_events`]) instead of panicking.
     pub fn submit(&self, session: SessionId, segment: SegmentId) -> Result<(), SubmitError> {
         let raw = session.raw();
         self.push(
@@ -474,6 +821,49 @@ impl<E> IngestHandle<E> {
             },
             Tally::Observe,
         )
+    }
+
+    /// Like [`submit`](Self::submit), but retries `QueueFull` under
+    /// `policy`'s bounded, jittered backoff (salted by the session id so
+    /// concurrent producers de-synchronise deterministically). Exhausted
+    /// retries return the last `QueueFull`.
+    pub fn submit_with_retry(
+        &self,
+        session: SessionId,
+        segment: SegmentId,
+        policy: &RetryPolicy,
+    ) -> Result<(), SubmitError> {
+        policy.run(session.raw(), || self.submit(session, segment))
+    }
+
+    /// Like [`submit`](Self::submit), but keeps retrying a full queue
+    /// until `deadline`; past it the call gives up with
+    /// [`SubmitError::DeadlineExceeded`] (counted in
+    /// [`IngestStats::deadline_exceeded`] and per shard under
+    /// `oasd_ingest_deadline_exceeded_total`). The event is **not**
+    /// accepted on the error path.
+    pub fn submit_with_deadline(
+        &self,
+        session: SessionId,
+        segment: SegmentId,
+        deadline: Instant,
+    ) -> Result<(), SubmitError> {
+        loop {
+            match self.submit(session, segment) {
+                Err(SubmitError::QueueFull) => {
+                    if Instant::now() >= deadline {
+                        let shard = self.shared.shard_of(session.raw());
+                        self.shared
+                            .deadline_exceeded
+                            .fetch_add(1, Ordering::Relaxed);
+                        self.shared.obs_deadline[shard].inc();
+                        return Err(SubmitError::DeadlineExceeded);
+                    }
+                    std::thread::yield_now();
+                }
+                other => return other,
+            }
+        }
     }
 
     /// Like [`IngestHandle::submit`], but waits for queue space instead of
@@ -532,6 +922,51 @@ impl<E> IngestHandle<E> {
     pub fn rejected_events(&self) -> u64 {
         self.shared.rejected.load(Ordering::Relaxed)
     }
+
+    /// Live count of supervised-worker restarts across all shards.
+    pub fn worker_restarts(&self) -> u64 {
+        self.sum_health(|h| h.restarts.load(Ordering::Relaxed))
+    }
+
+    /// Live count of sessions quarantined with a terminal fault.
+    pub fn quarantined_sessions(&self) -> u64 {
+        self.sum_health(|h| h.quarantined_sessions.load(Ordering::Relaxed))
+    }
+
+    /// Live count of accepted events charged to quarantined sessions.
+    pub fn quarantined_events(&self) -> u64 {
+        self.sum_health(|h| h.quarantined_events.load(Ordering::Relaxed))
+    }
+
+    /// Live count of accepted events shed as stray (unknown session).
+    pub fn shed_events(&self) -> u64 {
+        self.sum_health(|h| h.shed_events.load(Ordering::Relaxed))
+    }
+
+    /// Live count of low-priority opens shed by degraded-mode admission.
+    pub fn shed_opens(&self) -> u64 {
+        self.sum_health(|h| h.shed_opens.load(Ordering::Relaxed))
+    }
+
+    /// Live count of `submit_with_deadline` calls that hit their deadline.
+    pub fn deadline_exceeded_events(&self) -> u64 {
+        self.shared.deadline_exceeded.load(Ordering::Relaxed)
+    }
+
+    /// Whether `shard` is currently in degraded-mode admission control
+    /// (restarting after a fault, or queue full past the watermark).
+    pub fn is_degraded(&self, shard: usize) -> bool {
+        self.shared.health[shard].degraded()
+    }
+
+    /// Whether any shard is currently degraded.
+    pub fn any_degraded(&self) -> bool {
+        self.shared.health.iter().any(|h| h.degraded())
+    }
+
+    fn sum_health(&self, read: impl Fn(&ShardHealth) -> u64) -> u64 {
+        self.shared.health.iter().map(|h| read(h)).sum()
+    }
 }
 
 impl<E: SessionEngine + 'static> IngestHandle<E> {
@@ -584,6 +1019,17 @@ struct WorkerReport<E> {
     latency: LatencyHistogram,
 }
 
+/// One session's shard-side routing state.
+struct Route {
+    /// Shard-local engine handle.
+    inner: SessionId,
+    /// Label outbox toward the [`Subscription`].
+    outbox: SyncSender<u8>,
+    /// Terminal-fault cell shared with the [`Subscription`]; set exactly
+    /// once if the session is quarantined.
+    fault: Arc<OnceLock<SessionFault>>,
+}
+
 /// One persistent shard worker: owns its engine and its reused batch
 /// scratch; drains its ingress queue; flushes micro-batches per the
 /// [`FlushPolicy`].
@@ -591,8 +1037,13 @@ struct Worker<E> {
     engine: E,
     rx: Receiver<Cmd>,
     policy: FlushPolicy,
-    /// outer raw id → (shard-local handle, label outbox)
-    routes: HashMap<u64, (SessionId, SyncSender<u8>)>,
+    shard: usize,
+    /// outer raw id → routing state
+    routes: HashMap<u64, Route>,
+    /// Sessions terminated with a fault; later events are counted as
+    /// quarantined and closes reply with the fault. Bounded by the number
+    /// of faults, so entries are kept for the worker's lifetime.
+    quarantined: HashMap<u64, SessionFault>,
     /// Pending micro-batch, in shard-local handles (fed to the engine).
     batch: Vec<(SessionId, SegmentId)>,
     /// Outer id + submit time per pending event (for outbox + latency).
@@ -600,6 +1051,8 @@ struct Worker<E> {
     /// Label output of the last flush (reused allocation).
     out: Vec<u8>,
     report: WorkerReportCounters,
+    /// Fault/degradation state shared with the producer handles.
+    health: Arc<ShardHealth>,
     /// Pre-resolved telemetry handles for this shard; all inert no-ops
     /// when the door was built without telemetry, so the flush path does
     /// no extra clock reads or atomics in that case.
@@ -617,11 +1070,22 @@ struct WorkerTelemetry {
     batch_compute: StageHandle,
     /// Outbox fan-out of fresh labels.
     label_delivery: StageHandle,
+    /// One supervised-worker recovery (salvage + rebuild + re-import).
+    restart_sweep: StageHandle,
     /// submit→label end-to-end latency (mirror of the per-worker
     /// [`LatencyHistogram`] so snapshots and Prometheus scrapes see it).
     latency: Histo,
     flushed_events: Counter,
     flushes: Counter,
+    worker_restarts: Counter,
+    quarantined_sessions: Counter,
+    quarantined_events: Counter,
+    shed_events: Counter,
+    /// 1 while this shard is degraded (restarting or queue-degraded).
+    degraded: Gauge,
+    /// For structured ops events (worker_restart, session_quarantined,
+    /// degraded_enter/exit).
+    obs: Obs,
 }
 
 impl WorkerTelemetry {
@@ -634,9 +1098,16 @@ impl WorkerTelemetry {
             flush: obs.stage(Stage::Flush, shard),
             batch_compute: obs.stage(Stage::BatchCompute, shard),
             label_delivery: obs.stage(Stage::LabelDelivery, shard),
+            restart_sweep: obs.stage(Stage::RestartSweep, shard),
             latency: obs.histogram(names::INGEST_LATENCY, labels),
             flushed_events: obs.counter(names::INGEST_FLUSHED, labels),
             flushes: obs.counter(names::INGEST_FLUSHES, labels),
+            worker_restarts: obs.counter(names::INGEST_WORKER_RESTARTS, labels),
+            quarantined_sessions: obs.counter(names::INGEST_QUARANTINED_SESSIONS, labels),
+            quarantined_events: obs.counter(names::INGEST_QUARANTINED_EVENTS, labels),
+            shed_events: obs.counter(names::INGEST_SHED_EVENTS, labels),
+            degraded: obs.gauge(names::INGEST_DEGRADED, labels),
+            obs: obs.clone(),
         }
     }
 }
@@ -655,7 +1126,14 @@ enum Control {
 }
 
 impl<E: SessionEngine + 'static> Worker<E> {
-    fn new(engine: E, rx: Receiver<Cmd>, policy: FlushPolicy, obs: &Obs, shard: usize) -> Self {
+    fn new(
+        engine: E,
+        rx: Receiver<Cmd>,
+        policy: FlushPolicy,
+        obs: &Obs,
+        shard: usize,
+        health: Arc<ShardHealth>,
+    ) -> Self {
         let max_batch = policy.max_batch.max(1);
         Worker {
             engine,
@@ -664,11 +1142,14 @@ impl<E: SessionEngine + 'static> Worker<E> {
                 max_batch,
                 max_delay: policy.max_delay,
             },
+            shard,
             routes: HashMap::new(),
+            quarantined: HashMap::new(),
             batch: Vec::with_capacity(max_batch),
             meta: Vec::with_capacity(max_batch),
             out: Vec::new(),
             report: WorkerReportCounters::default(),
+            health,
             tele: WorkerTelemetry::resolve(obs, shard),
         }
     }
@@ -725,11 +1206,11 @@ impl<E: SessionEngine + 'static> Worker<E> {
             let latency = done.saturating_duration_since(submitted);
             self.report.latency.record(latency);
             self.tele.latency.record(latency);
-            if let Some((_, outbox)) = self.routes.get(&outer) {
+            if let Some(route) = self.routes.get(&outer) {
                 if closing == Some(outer) {
-                    let _ = outbox.try_send(self.out[k]);
+                    let _ = route.outbox.try_send(self.out[k]);
                 } else {
-                    let _ = outbox.send(self.out[k]);
+                    let _ = route.outbox.send(self.out[k]);
                 }
             }
         }
@@ -748,6 +1229,32 @@ impl<E: SessionEngine + 'static> Worker<E> {
         }
     }
 
+    /// Terminates a session with `fault`: its [`Subscription`] sees the
+    /// fault and disconnects, later events are counted as quarantined,
+    /// a later close replies with the fault. With `close_in_engine` the
+    /// session's (still-consistent) engine state is also released — the
+    /// poison path uses this; panic recovery does not (the wrecked engine
+    /// is discarded wholesale).
+    fn quarantine(&mut self, outer: u64, fault: SessionFault, close_in_engine: bool) {
+        let Some(route) = self.routes.remove(&outer) else {
+            return;
+        };
+        let _ = route.fault.set(fault);
+        drop(route.outbox); // disconnects the Subscription once drained
+        if close_in_engine {
+            let inner = route.inner;
+            let _ = catch_unwind(AssertUnwindSafe(|| self.engine.close(inner)));
+        }
+        self.quarantined.insert(outer, fault);
+        self.health
+            .quarantined_sessions
+            .fetch_add(1, Ordering::Relaxed);
+        self.tele.quarantined_sessions.inc();
+        self.tele.obs.event(OpsEvent::SessionQuarantined {
+            shard: self.shard as u32,
+        });
+    }
+
     fn handle(&mut self, cmd: Cmd, deadline: &mut Instant) -> Control {
         match cmd {
             Cmd::Open {
@@ -755,42 +1262,81 @@ impl<E: SessionEngine + 'static> Worker<E> {
                 sd,
                 start_time,
                 outbox,
+                fault,
             } => {
                 let inner = self.engine.open(sd, start_time);
-                self.routes.insert(outer, (inner, outbox));
+                self.routes.insert(
+                    outer,
+                    Route {
+                        inner,
+                        outbox,
+                        fault,
+                    },
+                );
             }
             Cmd::Observe {
                 outer,
                 segment,
                 submitted,
             } => {
-                let inner = self
-                    .routes
-                    .get(&outer)
-                    .unwrap_or_else(|| panic!("ingest event for unknown or closed session"))
-                    .0;
-                if self.batch.is_empty() {
-                    // SLO clock starts at submit: queue wait counts.
-                    *deadline = submitted + self.policy.max_delay;
-                }
-                self.batch.push((inner, segment));
-                self.meta.push((outer, submitted));
-                if self.batch.len() >= self.policy.max_batch {
-                    self.flush(None);
+                if self.quarantined.contains_key(&outer) {
+                    // Late arrival for a terminated session: count, drop.
+                    self.health
+                        .quarantined_events
+                        .fetch_add(1, Ordering::Relaxed);
+                    self.tele.quarantined_events.inc();
+                } else if let Some(route) = self.routes.get(&outer) {
+                    let inner = route.inner;
+                    if self.engine.admit(segment) {
+                        if self.batch.is_empty() {
+                            // SLO clock starts at submit: queue wait counts.
+                            *deadline = submitted + self.policy.max_delay;
+                        }
+                        self.batch.push((inner, segment));
+                        self.meta.push((outer, submitted));
+                        if self.batch.len() >= self.policy.max_batch {
+                            self.flush(None);
+                        }
+                    } else {
+                        // Poison: the engine pre-screened this event as
+                        // unprocessable, so it never enters a batch and can
+                        // never panic a flush. Label what the session
+                        // already has pending, then terminate it.
+                        self.flush(None);
+                        self.health
+                            .quarantined_events
+                            .fetch_add(1, Ordering::Relaxed);
+                        self.tele.quarantined_events.inc();
+                        self.quarantine(outer, SessionFault::PoisonEvent, true);
+                    }
+                } else {
+                    // Stray: session unknown to this shard (submitted after
+                    // close, or never opened). Shed instead of panicking.
+                    self.health.shed_events.fetch_add(1, Ordering::Relaxed);
+                    self.tele.shed_events.inc();
                 }
             }
             Cmd::Close { outer, reply } => {
-                // The session's pending events must land before the close
-                // (its own stream delivery downgraded to non-blocking: the
-                // closer is waiting on the ticket, not draining).
-                self.flush(Some(outer));
-                let (inner, outbox) = self
-                    .routes
-                    .remove(&outer)
-                    .unwrap_or_else(|| panic!("ingest close for unknown or closed session"));
-                drop(outbox); // disconnects the Subscription once drained
-                let labels = self.engine.close(inner);
-                let _ = reply.send(labels);
+                if let Some(&fault) = self.quarantined.get(&outer) {
+                    let _ = reply.send(Err(fault));
+                } else if self.routes.contains_key(&outer) {
+                    // The session's pending events must land before the
+                    // close (its own stream delivery downgraded to
+                    // non-blocking: the closer is waiting on the ticket,
+                    // not draining).
+                    self.flush(Some(outer));
+                    let route = self
+                        .routes
+                        .remove(&outer)
+                        .expect("route checked present; flush removes none");
+                    drop(route.outbox); // disconnects the Subscription once drained
+                    let labels = self.engine.close(route.inner);
+                    let _ = reply.send(Ok(labels));
+                } else {
+                    // Double close or never-opened session: an error on
+                    // the ticket, not a worker panic.
+                    let _ = reply.send(Err(SessionFault::UnknownSession));
+                }
             }
             Cmd::Control(apply) => {
                 // Flush boundary: the pending micro-batch is labelled
@@ -804,14 +1350,17 @@ impl<E: SessionEngine + 'static> Worker<E> {
         Control::Continue
     }
 
-    fn run(mut self) -> WorkerReport<E> {
+    /// The serve loop: drains the ingress queue until shutdown (or every
+    /// sender is gone). Split from [`run`](Self::run) so the supervised
+    /// variant can re-enter it after recovering from a panic.
+    fn serve(&mut self) {
         let mut deadline = Instant::now();
-        'serve: loop {
+        loop {
             let cmd = if self.batch.is_empty() {
                 // Idle: park until work arrives (or every sender is gone).
                 match self.rx.recv() {
                     Ok(cmd) => cmd,
-                    Err(_) => break 'serve,
+                    Err(_) => return,
                 }
             } else {
                 let now = Instant::now();
@@ -825,7 +1374,7 @@ impl<E: SessionEngine + 'static> Worker<E> {
                         self.flush(None);
                         continue;
                     }
-                    Err(RecvTimeoutError::Disconnected) => break 'serve,
+                    Err(RecvTimeoutError::Disconnected) => return,
                 }
             };
             if let Control::Drain = self.handle(cmd, &mut deadline) {
@@ -835,9 +1384,12 @@ impl<E: SessionEngine + 'static> Worker<E> {
                 while let Ok(cmd) = self.rx.try_recv() {
                     let _ = self.handle(cmd, &mut deadline);
                 }
-                break 'serve;
+                return;
             }
         }
+    }
+
+    fn finish(mut self) -> WorkerReport<E> {
         self.flush(None);
         WorkerReport {
             engine: self.engine,
@@ -846,6 +1398,123 @@ impl<E: SessionEngine + 'static> Worker<E> {
             max_flush_batch: self.report.max_flush_batch,
             latency: self.report.latency,
         }
+    }
+
+    fn run(mut self) -> WorkerReport<E> {
+        self.serve();
+        self.finish()
+    }
+}
+
+impl<E: SupervisedEngine + 'static> Worker<E> {
+    /// The supervised serve loop: any panic that escapes batch processing
+    /// is caught, the shard recovers in place (quarantine + salvage +
+    /// engine rebuild), and serving resumes — the worker thread never
+    /// dies from an engine panic.
+    fn run_supervised(mut self, factory: Arc<dyn Fn(usize) -> E + Send + Sync>) -> WorkerReport<E> {
+        loop {
+            match catch_unwind(AssertUnwindSafe(|| self.serve())) {
+                Ok(()) => break,
+                Err(_panic) => self.recover(&factory),
+            }
+        }
+        self.finish()
+    }
+
+    /// One recovery sweep after a caught panic.
+    ///
+    /// The aborted micro-batch's events are unlabelled and the engine
+    /// state behind them cannot be trusted, so every session implicated
+    /// in that batch is quarantined ([`SessionFault::WorkerCrash`]).
+    /// Every *other* session is salvaged byte-exactly: the wrecked engine
+    /// exports each survivor through the hibernate freeze path, a fresh
+    /// engine from the construction factory re-imports them, and the
+    /// routes are repointed. Sessions the export or import cannot carry
+    /// across are quarantined as [`SessionFault::Unsalvageable`] — never
+    /// silently dropped. Panics injected at a flush boundary (the batch
+    /// is empty there) therefore lose nothing at all.
+    fn recover(&mut self, factory: &Arc<dyn Fn(usize) -> E + Send + Sync>) {
+        self.health.restarting.store(true, Ordering::SeqCst);
+        self.tele.degraded.set(1);
+        self.tele.obs.event(OpsEvent::DegradedEnter {
+            shard: self.shard as u32,
+        });
+        let span = self.tele.restart_sweep.start();
+        let quarantined_before = self.quarantined.len();
+
+        // 1. Quarantine every session implicated in the aborted batch.
+        let aborted_events = self.meta.len() as u64;
+        if aborted_events > 0 {
+            self.health
+                .quarantined_events
+                .fetch_add(aborted_events, Ordering::Relaxed);
+            self.tele.quarantined_events.add(aborted_events);
+        }
+        let mut implicated: Vec<u64> = self.meta.iter().map(|&(outer, _)| outer).collect();
+        implicated.sort_unstable();
+        implicated.dedup();
+        self.batch.clear();
+        self.meta.clear();
+        for outer in implicated {
+            self.quarantine(outer, SessionFault::WorkerCrash, false);
+        }
+
+        // 2. Rebuild the engine and salvage the survivors.
+        let mut wrecked = std::mem::replace(&mut self.engine, (factory)(self.shard));
+        let exported =
+            catch_unwind(AssertUnwindSafe(|| wrecked.export_sessions())).unwrap_or_default();
+        drop(wrecked);
+        let by_inner: HashMap<SessionId, u64> = self
+            .routes
+            .iter()
+            .map(|(&outer, route)| (route.inner, outer))
+            .collect();
+        let mut recovered: HashSet<u64> = HashSet::new();
+        let mut salvaged = 0u64;
+        for (old_inner, blob) in exported {
+            let Some(&outer) = by_inner.get(&old_inner) else {
+                continue; // exported state nobody routes to any more
+            };
+            let imported = catch_unwind(AssertUnwindSafe(|| self.engine.import_session(&blob)))
+                .ok()
+                .flatten();
+            match imported {
+                Some(new_inner) => {
+                    if let Some(route) = self.routes.get_mut(&outer) {
+                        route.inner = new_inner;
+                    }
+                    recovered.insert(outer);
+                    salvaged += 1;
+                }
+                None => self.quarantine(outer, SessionFault::Unsalvageable, false),
+            }
+        }
+
+        // 3. Routed sessions the export skipped are unsalvageable too —
+        // quarantined explicitly, never left to hang.
+        let lost: Vec<u64> = self
+            .routes
+            .keys()
+            .filter(|outer| !recovered.contains(outer))
+            .copied()
+            .collect();
+        for outer in lost {
+            self.quarantine(outer, SessionFault::Unsalvageable, false);
+        }
+
+        self.health.restarts.fetch_add(1, Ordering::Relaxed);
+        self.tele.worker_restarts.inc();
+        self.tele.obs.event(OpsEvent::WorkerRestart {
+            shard: self.shard as u32,
+            quarantined: (self.quarantined.len() - quarantined_before) as u64,
+            salvaged,
+        });
+        self.tele.restart_sweep.finish(span);
+        self.health.restarting.store(false, Ordering::SeqCst);
+        self.tele.degraded.set(u64::from(self.health.degraded()));
+        self.tele.obs.event(OpsEvent::DegradedExit {
+            shard: self.shard as u32,
+        });
     }
 }
 
@@ -863,32 +1532,47 @@ pub struct IngestFrontDoor<E> {
 }
 
 impl<E: SessionEngine + Send + 'static> IngestFrontDoor<E> {
-    /// Spawns one persistent worker per pre-built shard engine.
-    ///
-    /// # Panics
-    /// Panics if `shards` is empty or `config.queue_capacity` is zero.
-    pub fn new(shards: Vec<E>, config: IngestConfig) -> Self {
+    /// Shared construction: builds the queues, health cells and shared
+    /// state, then hands each [`Worker`] to `spawn` (which decides
+    /// whether it runs plain or supervised).
+    fn construct(
+        shards: Vec<E>,
+        config: IngestConfig,
+        spawn: impl Fn(Worker<E>, usize) -> JoinHandle<WorkerReport<E>>,
+    ) -> Self {
         assert!(!shards.is_empty(), "need at least one shard");
         assert!(config.queue_capacity > 0, "queue capacity must be positive");
         let num_shards = shards.len();
+        let health: Vec<Arc<ShardHealth>> = (0..num_shards)
+            .map(|_| Arc::new(ShardHealth::default()))
+            .collect();
         let mut queues = Vec::with_capacity(num_shards);
         let mut workers = Vec::with_capacity(num_shards);
         for (i, engine) in shards.into_iter().enumerate() {
             let (tx, rx) = sync_channel(config.queue_capacity);
             queues.push(tx);
-            let worker = Worker::new(engine, rx, config.flush, &config.obs, i);
-            workers.push(
-                std::thread::Builder::new()
-                    .name(format!("ingest-shard-{i}"))
-                    .spawn(move || worker.run())
-                    .expect("spawn ingest worker"),
+            let worker = Worker::new(
+                engine,
+                rx,
+                config.flush,
+                &config.obs,
+                i,
+                Arc::clone(&health[i]),
             );
+            workers.push(spawn(worker, i));
         }
         let shard_counter = |name: &str| -> Vec<Counter> {
             (0..num_shards)
                 .map(|i| config.obs.counter(name, &[("shard", &i.to_string())]))
                 .collect()
         };
+        let obs_degraded = (0..num_shards)
+            .map(|i| {
+                config
+                    .obs
+                    .gauge(names::INGEST_DEGRADED, &[("shard", &i.to_string())])
+            })
+            .collect();
         IngestFrontDoor {
             shared: Arc::new(Shared {
                 queues,
@@ -897,12 +1581,31 @@ impl<E: SessionEngine + Send + 'static> IngestFrontDoor<E> {
                 inflight: AtomicU64::new(0),
                 accepted: AtomicU64::new(0),
                 rejected: AtomicU64::new(0),
+                deadline_exceeded: AtomicU64::new(0),
                 outbox_capacity: config.outbox_capacity.max(1),
+                degraded_watermark: DEGRADED_WATERMARK,
+                health,
                 obs_submitted: shard_counter(names::INGEST_SUBMITTED),
                 obs_rejected: shard_counter(names::INGEST_REJECTED),
+                obs_deadline: shard_counter(names::INGEST_DEADLINE_EXCEEDED),
+                obs_degraded,
+                obs: config.obs.clone(),
             }),
             workers,
         }
+    }
+
+    /// Spawns one persistent worker per pre-built shard engine.
+    ///
+    /// # Panics
+    /// Panics if `shards` is empty or `config.queue_capacity` is zero.
+    pub fn new(shards: Vec<E>, config: IngestConfig) -> Self {
+        Self::construct(shards, config, |worker, i| {
+            std::thread::Builder::new()
+                .name(format!("ingest-shard-{i}"))
+                .spawn(move || worker.run())
+                .expect("spawn ingest worker")
+        })
     }
 
     /// Builds `n` shards from a factory called with each shard index.
@@ -961,6 +1664,11 @@ impl<E: SessionEngine + Send + 'static> IngestFrontDoor<E> {
             flushed_events: 0,
             flushes: 0,
             max_flush_batch: 0,
+            shed_events: 0,
+            quarantined_events: 0,
+            quarantined_sessions: 0,
+            worker_restarts: 0,
+            deadline_exceeded: 0,
             latency: LatencyHistogram::new(),
         };
         for worker in std::mem::take(&mut self.workers) {
@@ -980,7 +1688,48 @@ impl<E: SessionEngine + Send + 'static> IngestFrontDoor<E> {
         // graceful-shutdown invariant the tests pin).
         stats.submitted = self.shared.accepted.load(Ordering::SeqCst);
         stats.rejected_full = self.shared.rejected.load(Ordering::SeqCst);
+        stats.deadline_exceeded = self.shared.deadline_exceeded.load(Ordering::SeqCst);
+        for health in &self.shared.health {
+            stats.shed_events += health.shed_events.load(Ordering::SeqCst);
+            stats.quarantined_events += health.quarantined_events.load(Ordering::SeqCst);
+            stats.quarantined_sessions += health.quarantined_sessions.load(Ordering::SeqCst);
+            stats.worker_restarts += health.restarts.load(Ordering::SeqCst);
+        }
         ShutdownReport { engines, stats }
+    }
+}
+
+impl<E: SupervisedEngine + Send + 'static> IngestFrontDoor<E> {
+    /// Like [`IngestFrontDoor::build`], but each shard worker runs under
+    /// a supervisor: a panic in batch processing is caught, the sessions
+    /// implicated in the aborted micro-batch are quarantined with an
+    /// explicit [`SessionFault`], every other session on the shard is
+    /// salvaged byte-exactly through the hibernate freeze/thaw path into
+    /// a fresh engine built by `factory`, and serving resumes. `factory`
+    /// is retained for the door's lifetime — it must produce an engine
+    /// equivalent to shard `i`'s original one (same model weights, same
+    /// network), or salvaged sessions would relabel differently.
+    ///
+    /// Poison events ([`SessionEngine::admit`] returning `false`) never
+    /// reach the engine at all: they quarantine their own session without
+    /// a restart.
+    ///
+    /// # Panics
+    /// Panics if `n` is zero or `config.queue_capacity` is zero.
+    pub fn build_supervised(
+        n: usize,
+        factory: impl Fn(usize) -> E + Send + Sync + 'static,
+        config: IngestConfig,
+    ) -> Self {
+        let factory: Arc<dyn Fn(usize) -> E + Send + Sync> = Arc::new(factory);
+        let engines: Vec<E> = (0..n).map(|i| (factory)(i)).collect();
+        Self::construct(engines, config, move |worker, i| {
+            let factory = Arc::clone(&factory);
+            std::thread::Builder::new()
+                .name(format!("ingest-shard-{i}"))
+                .spawn(move || worker.run_supervised(factory))
+                .expect("spawn supervised ingest worker")
+        })
     }
 }
 
@@ -1061,8 +1810,8 @@ mod tests {
         handle.submit(s2, SegmentId(7)).unwrap();
         let t1 = handle.close(s1).unwrap();
         let t2 = handle.close(s2).unwrap();
-        assert_eq!(t1.wait(), vec![0, 1, 1]);
-        assert_eq!(t2.wait(), vec![1]);
+        assert_eq!(t1.wait().unwrap(), vec![0, 1, 1]);
+        assert_eq!(t2.wait().unwrap(), vec![1]);
         // Subscriptions carry the provisional stream, then disconnect.
         let mut got = Vec::new();
         while let Some(l) = sub1.recv() {
@@ -1093,7 +1842,7 @@ mod tests {
         for seg in 0..10u32 {
             handle.submit(s, SegmentId(seg)).unwrap();
         }
-        handle.close(s).unwrap().wait();
+        handle.close(s).unwrap().wait().unwrap();
         let mut labels = Vec::new();
         while let Some(l) = sub.recv() {
             labels.push(l);
@@ -1145,7 +1894,7 @@ mod tests {
                         std::thread::yield_now();
                     }
                 }
-                h.close(s).unwrap().wait().len()
+                h.close(s).unwrap().wait().unwrap().len()
             }));
         }
         let total: usize = joins.into_iter().map(|j| j.join().unwrap()).sum();
@@ -1184,7 +1933,7 @@ mod tests {
         }
         // Close without draining the subscription first — the pattern
         // that would deadlock against a blocking outbox send.
-        let finals = handle.close(s).unwrap().wait();
+        let finals = handle.close(s).unwrap().wait().unwrap();
         assert_eq!(finals.len(), EVENTS as usize);
         // The stream got what fit; the rest went only to the finals.
         let mut streamed = Vec::new();
@@ -1292,8 +2041,8 @@ mod tests {
         // Pre-control sessions keep their stamp for their whole life, even
         // for events submitted after the control; post-control sessions
         // carry the new stamp from their first event.
-        assert_eq!(handle.close(before).unwrap().wait(), vec![0; 5]);
-        assert_eq!(handle.close(after).unwrap().wait(), vec![1; 2]);
+        assert_eq!(handle.close(before).unwrap().wait().unwrap(), vec![0; 5]);
+        assert_eq!(handle.close(after).unwrap().wait().unwrap(), vec![1; 2]);
         let report = door.shutdown();
         assert_eq!(report.stats.flushed_events, 7);
         // The control's flush-first step ran on the shard that had the
@@ -1325,5 +2074,332 @@ mod tests {
         a.merge(&b);
         assert_eq!(a.count(), 2);
         assert_eq!(a.max(), Duration::from_micros(1000));
+    }
+
+    /// Parity labels with a poison segment (`u32::MAX`) and full
+    /// export/import support — the miniature of a supervised
+    /// `StreamEngine` shard for fault tests.
+    struct Fragile {
+        sessions: crate::SessionSlab<Vec<u8>>,
+    }
+
+    impl Fragile {
+        fn new() -> Self {
+            Fragile {
+                sessions: crate::SessionSlab::new(),
+            }
+        }
+    }
+
+    impl SessionEngine for Fragile {
+        fn engine_name(&self) -> &'static str {
+            "Fragile"
+        }
+        fn open(&mut self, _sd: SdPair, _start_time: f64) -> SessionId {
+            self.sessions.insert(Vec::new())
+        }
+        fn observe(&mut self, session: SessionId, segment: SegmentId) -> u8 {
+            let label = (segment.0 & 1) as u8;
+            self.sessions.get_mut(session).push(label);
+            label
+        }
+        fn close(&mut self, session: SessionId) -> Vec<u8> {
+            self.sessions.remove(session)
+        }
+        fn active_sessions(&self) -> usize {
+            self.sessions.len()
+        }
+        fn admit(&self, segment: SegmentId) -> bool {
+            segment.0 != u32::MAX
+        }
+    }
+
+    impl SupervisedEngine for Fragile {
+        fn export_sessions(&mut self) -> Vec<(SessionId, Vec<u8>)> {
+            self.sessions
+                .iter_hot()
+                .map(|(id, history)| (id, history.clone()))
+                .collect()
+        }
+        fn import_session(&mut self, blob: &[u8]) -> Option<SessionId> {
+            Some(self.sessions.insert(blob.to_vec()))
+        }
+    }
+
+    fn fragile_door(shards: usize, config: IngestConfig) -> IngestFrontDoor<Fragile> {
+        IngestFrontDoor::build_supervised(shards, |_| Fragile::new(), config)
+    }
+
+    fn assert_exact_accounting(stats: &IngestStats) {
+        assert_eq!(
+            stats.submitted,
+            stats.flushed_events + stats.shed_events + stats.quarantined_events,
+            "delivered + shed + quarantined must equal submitted"
+        );
+    }
+
+    #[test]
+    fn double_close_reports_unknown_session_without_killing_worker() {
+        let door = parity_door(1, IngestConfig::default());
+        let handle = door.handle();
+        let (s, _sub) = handle.open(sd(0, 9), 0.0).unwrap();
+        handle.submit(s, SegmentId(3)).unwrap();
+        assert_eq!(handle.close(s).unwrap().wait().unwrap(), vec![1]);
+        // Second close: an error on the ticket, not a worker panic.
+        assert_eq!(
+            handle.close(s).unwrap().wait(),
+            Err(SessionFault::UnknownSession)
+        );
+        // The worker survived and keeps serving.
+        let (s2, _sub2) = handle.open(sd(1, 8), 0.0).unwrap();
+        handle.submit(s2, SegmentId(2)).unwrap();
+        assert_eq!(handle.close(s2).unwrap().wait().unwrap(), vec![0]);
+        let report = door.shutdown();
+        assert_eq!(report.stats.flushed_events, 2);
+        assert_exact_accounting(&report.stats);
+    }
+
+    #[test]
+    fn submit_after_close_is_shed_not_a_panic() {
+        let door = parity_door(1, IngestConfig::default());
+        let handle = door.handle();
+        let (s, _sub) = handle.open(sd(0, 9), 0.0).unwrap();
+        handle.submit(s, SegmentId(1)).unwrap();
+        handle.close(s).unwrap().wait().unwrap();
+        // Stray event for a closed session: accepted, then shed.
+        handle.submit(s, SegmentId(2)).unwrap();
+        let report = door.shutdown();
+        assert_eq!(report.stats.submitted, 2);
+        assert_eq!(report.stats.flushed_events, 1);
+        assert_eq!(report.stats.shed_events, 1);
+        assert_exact_accounting(&report.stats);
+    }
+
+    #[test]
+    fn poison_event_quarantines_only_its_session() {
+        let door = fragile_door(1, IngestConfig::default());
+        let handle = door.handle();
+        let (a, sub_a) = handle.open(sd(0, 9), 0.0).unwrap();
+        let (b, sub_b) = handle.open(sd(1, 8), 0.0).unwrap();
+        handle.submit(a, SegmentId(1)).unwrap();
+        handle.submit(a, SegmentId(2)).unwrap();
+        handle.submit(b, SegmentId(3)).unwrap();
+        handle.submit(a, SegmentId(u32::MAX)).unwrap(); // poison
+        handle.submit(a, SegmentId(4)).unwrap(); // after the fault: quarantined
+        handle.submit(b, SegmentId(5)).unwrap();
+        assert_eq!(
+            handle.close(a).unwrap().wait(),
+            Err(SessionFault::PoisonEvent)
+        );
+        assert_eq!(handle.close(b).unwrap().wait().unwrap(), vec![1, 1]);
+        assert_eq!(sub_a.fault(), Some(SessionFault::PoisonEvent));
+        assert_eq!(sub_b.fault(), None);
+        // Labels before the poison event were delivered to the stream.
+        let mut streamed = Vec::new();
+        while let Some(label) = sub_a.recv() {
+            streamed.push(label);
+        }
+        assert_eq!(streamed, vec![1, 0]);
+        let report = door.shutdown();
+        assert_eq!(report.stats.worker_restarts, 0, "poison needs no restart");
+        assert_eq!(report.stats.quarantined_sessions, 1);
+        assert_eq!(report.stats.quarantined_events, 2);
+        assert_eq!(report.stats.flushed_events, 4);
+        assert_exact_accounting(&report.stats);
+    }
+
+    #[test]
+    fn injected_panic_restarts_worker_and_salvages_sessions() {
+        silence_injected_panic_output();
+        let door = fragile_door(1, IngestConfig::default());
+        let handle = door.handle();
+        let (a, _sub_a) = handle.open(sd(0, 9), 0.0).unwrap();
+        let (b, _sub_b) = handle.open(sd(1, 8), 0.0).unwrap();
+        handle.submit(a, SegmentId(1)).unwrap();
+        handle.submit(b, SegmentId(2)).unwrap();
+        // Panic at the flush boundary: the pending batch is labelled
+        // first, so the salvage is total.
+        handle
+            .control(|_engine: &mut Fragile| panic!("{}: worker panic", FAULT_INJECTION_MARKER))
+            .unwrap();
+        handle.submit(a, SegmentId(3)).unwrap();
+        handle.submit(b, SegmentId(4)).unwrap();
+        assert_eq!(handle.close(a).unwrap().wait().unwrap(), vec![1, 1]);
+        assert_eq!(handle.close(b).unwrap().wait().unwrap(), vec![0, 0]);
+        assert_eq!(handle.worker_restarts(), 1);
+        let report = door.shutdown();
+        assert_eq!(report.stats.worker_restarts, 1);
+        assert_eq!(
+            report.stats.quarantined_sessions, 0,
+            "flush-boundary salvage is total"
+        );
+        assert_eq!(report.stats.flushed_events, 4);
+        assert_exact_accounting(&report.stats);
+    }
+
+    #[test]
+    fn close_ticket_resolves_with_error_when_worker_dies_unsupervised() {
+        silence_injected_panic_output();
+        let door = parity_door(1, IngestConfig::default());
+        let handle = door.handle();
+        let (s, _sub) = handle.open(sd(0, 9), 0.0).unwrap();
+        handle
+            .control(|_engine: &mut SessionMux<Parity, fn() -> Parity>| {
+                panic!("{}: unsupervised death", FAULT_INJECTION_MARKER)
+            })
+            .unwrap();
+        // The close races the worker's death: either the push already
+        // sees the disconnect, or the ticket resolves with WorkerCrash.
+        // Never a hang, never a panic in the caller.
+        match handle.close(s) {
+            Ok(ticket) => assert_eq!(ticket.wait(), Err(SessionFault::WorkerCrash)),
+            Err(err) => assert_eq!(err, SubmitError::ShutDown),
+        }
+        drop(door); // shutdown() would re-raise the injected panic
+    }
+
+    #[test]
+    fn retry_policy_backoff_is_deterministic_and_bounded() {
+        let policy = RetryPolicy::default();
+        for attempt in 0..20 {
+            let d1 = policy.backoff(attempt, 7);
+            let d2 = policy.backoff(attempt, 7);
+            assert_eq!(d1, d2, "same (seed, salt, attempt) → same delay");
+            assert!(d1 <= policy.max_backoff, "delay capped at max_backoff");
+            assert!(d1 >= policy.base / 2, "delay at least half the base");
+        }
+        assert_ne!(
+            policy.backoff(3, 1),
+            policy.backoff(3, 2),
+            "different salts de-correlate"
+        );
+        // run() stops after max_retries + 1 attempts.
+        let mut attempts = 0u32;
+        let tight = RetryPolicy {
+            max_retries: 3,
+            base: Duration::ZERO,
+            ..RetryPolicy::default()
+        };
+        let result: Result<(), SubmitError> = tight.run(0, || {
+            attempts += 1;
+            Err(SubmitError::QueueFull)
+        });
+        assert_eq!(result, Err(SubmitError::QueueFull));
+        assert_eq!(attempts, 4);
+        // Non-QueueFull outcomes return immediately.
+        let mut calls = 0u32;
+        let result: Result<(), SubmitError> = tight.run(0, || {
+            calls += 1;
+            Err(SubmitError::ShutDown)
+        });
+        assert_eq!(result, Err(SubmitError::ShutDown));
+        assert_eq!(calls, 1);
+    }
+
+    #[test]
+    fn deadline_submit_gives_up_with_explicit_error() {
+        // One-slot queue with the worker wedged in a control command:
+        // the first submit is accepted into the queue, later ones stay
+        // QueueFull until past the deadline.
+        let gate = Arc::new(AtomicBool::new(false));
+        let door = parity_door(
+            1,
+            IngestConfig {
+                queue_capacity: 1,
+                ..Default::default()
+            },
+        );
+        let handle = door.handle();
+        let (s, _sub) = handle.open(sd(0, 9), 0.0).unwrap();
+        let hold = Arc::clone(&gate);
+        handle
+            .control(move |_engine: &mut SessionMux<Parity, fn() -> Parity>| {
+                while !hold.load(Ordering::SeqCst) {
+                    std::thread::yield_now();
+                }
+            })
+            .unwrap();
+        // Fill the single queue slot, then exhaust a short deadline.
+        while handle.submit(s, SegmentId(1)) == Err(SubmitError::QueueFull) {
+            std::thread::yield_now();
+        }
+        let deadline = Instant::now() + Duration::from_millis(5);
+        let mut saw_deadline = false;
+        loop {
+            match handle.submit_with_deadline(s, SegmentId(2), deadline) {
+                Err(SubmitError::DeadlineExceeded) => {
+                    saw_deadline = true;
+                    break;
+                }
+                Ok(()) => {
+                    // The wedged worker still made room in time; extend
+                    // the experiment with an already-expired deadline,
+                    // which must fail deterministically on a full queue.
+                    if Instant::now() >= deadline {
+                        break;
+                    }
+                }
+                Err(other) => panic!("unexpected submit error: {other}"),
+            }
+        }
+        gate.store(true, Ordering::SeqCst);
+        if saw_deadline {
+            assert!(handle.deadline_exceeded_events() >= 1);
+        }
+        let report = door.shutdown();
+        assert_exact_accounting(&report.stats);
+    }
+
+    #[test]
+    fn degraded_mode_sheds_low_priority_opens() {
+        let gate = Arc::new(AtomicBool::new(false));
+        let door = parity_door(
+            1,
+            IngestConfig {
+                queue_capacity: 1,
+                ..Default::default()
+            },
+        );
+        let handle = door.handle();
+        let (s, _sub) = handle.open(sd(0, 9), 0.0).unwrap();
+        let hold = Arc::clone(&gate);
+        handle
+            .control(move |_engine: &mut SessionMux<Parity, fn() -> Parity>| {
+                while !hold.load(Ordering::SeqCst) {
+                    std::thread::yield_now();
+                }
+            })
+            .unwrap();
+        // Wedge the queue full, then reject past the watermark.
+        while handle.submit(s, SegmentId(1)) == Err(SubmitError::QueueFull) {
+            std::thread::yield_now();
+        }
+        let mut rejects = 0u64;
+        while rejects < DEGRADED_WATERMARK + 8 {
+            if handle.submit(s, SegmentId(1)) == Err(SubmitError::QueueFull) {
+                rejects += 1;
+            }
+        }
+        assert!(handle.is_degraded(0), "watermark crossed → degraded");
+        assert_eq!(
+            handle
+                .open_with_priority(sd(1, 8), 0.0, Priority::Low)
+                .map(|_| ())
+                .unwrap_err(),
+            SubmitError::Degraded,
+            "low-priority opens shed while degraded"
+        );
+        assert_eq!(handle.shed_opens(), 1);
+        // Recovery: un-wedge the worker; the next accepted submit lifts
+        // the degradation and low-priority opens are admitted again.
+        gate.store(true, Ordering::SeqCst);
+        while handle.submit(s, SegmentId(1)) == Err(SubmitError::QueueFull) {
+            std::thread::yield_now();
+        }
+        assert!(!handle.is_degraded(0), "accepted submit lifts degradation");
+        let reopened = handle.open_with_priority(sd(2, 7), 0.0, Priority::Low);
+        assert!(reopened.is_ok());
+        let report = door.shutdown();
+        assert_exact_accounting(&report.stats);
     }
 }

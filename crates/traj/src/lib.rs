@@ -52,11 +52,14 @@ pub use detector::OnlineDetector;
 pub use generator::{DriftConfig, RouteKind, SdPairData, TrafficConfig, TrafficSimulator};
 pub use hibernate::{FrozenArena, FrozenRef, Hibernate};
 pub use ingest::{
-    CloseTicket, FlushPolicy, IngestConfig, IngestFrontDoor, IngestHandle, IngestStats,
-    LatencyHistogram, ShutdownReport, SubmitError, Subscription,
+    silence_injected_panic_output, CloseTicket, FlushPolicy, IngestConfig, IngestFrontDoor,
+    IngestHandle, IngestStats, LatencyHistogram, Priority, RetryPolicy, SessionFault,
+    ShutdownReport, SubmitError, Subscription, FAULT_INJECTION_MARKER,
 };
 pub use labels::{extract_subtrajectories, LabelSpan};
-pub use session::{SessionEngine, SessionId, SessionMux, SessionSlab, Sharded, SingleSession};
+pub use session::{
+    SessionEngine, SessionId, SessionMux, SessionSlab, Sharded, SingleSession, SupervisedEngine,
+};
 pub use types::{
     slot_of_time, GpsPoint, MappedTrajectory, RawTrajectory, SdPair, TrajectoryId, Transition,
     HOURS_PER_DAY, SECONDS_PER_DAY,

@@ -116,8 +116,43 @@ pub trait SessionEngine {
     /// would otherwise emit. Default: no-op.
     fn maintain(&mut self) {}
 
+    /// Whether `segment` is a value this engine can process without
+    /// panicking — the poison-event pre-screen of the supervised ingest
+    /// workers. Must be cheap, side-effect free and deterministic.
+    /// Engines whose `observe` indexes by segment (embedding lookups)
+    /// override this with their bounds check; the default admits
+    /// everything.
+    fn admit(&self, segment: SegmentId) -> bool {
+        let _ = segment;
+        true
+    }
+
     /// Number of currently open sessions.
     fn active_sessions(&self) -> usize;
+}
+
+/// A [`SessionEngine`] whose open sessions can be evacuated into opaque
+/// blobs and re-imported into a *fresh* engine built by the same factory —
+/// the salvage path of the supervised ingest workers
+/// ([`crate::IngestFrontDoor::build_supervised`]): when a worker panics,
+/// every session not implicated in the fault is exported from the wrecked
+/// engine, the engine is replaced, and the blobs are imported back, with
+/// labels byte-identical to a fault-free run.
+///
+/// Implementations typically reuse their [`Hibernate`] freeze format.
+pub trait SupervisedEngine: SessionEngine {
+    /// Exports every open session as `(handle, blob)` pairs, emptying the
+    /// engine. **Must not panic**, even when called on an engine whose
+    /// last batch panicked mid-flight: wrap per-session encoding in
+    /// `catch_unwind` and silently skip sessions whose state is
+    /// unserialisable — skipped sessions are quarantined by the caller.
+    fn export_sessions(&mut self) -> Vec<(SessionId, Vec<u8>)>;
+
+    /// Imports one exported blob into this (fresh) engine, returning its
+    /// new handle — or `None` when the blob cannot be represented here
+    /// (e.g. it is pinned to a model epoch this engine does not have);
+    /// the caller quarantines such sessions.
+    fn import_session(&mut self, blob: &[u8]) -> Option<SessionId>;
 }
 
 impl<E: SessionEngine + ?Sized> SessionEngine for Box<E> {
@@ -139,8 +174,20 @@ impl<E: SessionEngine + ?Sized> SessionEngine for Box<E> {
     fn maintain(&mut self) {
         (**self).maintain()
     }
+    fn admit(&self, segment: SegmentId) -> bool {
+        (**self).admit(segment)
+    }
     fn active_sessions(&self) -> usize {
         (**self).active_sessions()
+    }
+}
+
+impl<E: SupervisedEngine + ?Sized> SupervisedEngine for Box<E> {
+    fn export_sessions(&mut self) -> Vec<(SessionId, Vec<u8>)> {
+        (**self).export_sessions()
+    }
+    fn import_session(&mut self, blob: &[u8]) -> Option<SessionId> {
+        (**self).import_session(blob)
     }
 }
 
@@ -464,6 +511,43 @@ impl<T> SessionSlab<T> {
         self.slots.len()
     }
 
+    /// Iterates over the **frozen** (hibernated) sessions' handles — the
+    /// salvage surface for supervised-worker recovery, which freezes every
+    /// exportable session and then lifts the blobs out with
+    /// [`SessionSlab::take_frozen`].
+    pub fn frozen_ids(&self) -> impl Iterator<Item = SessionId> + '_ {
+        self.slots.iter().enumerate().filter_map(|(index, slot)| {
+            if matches!(slot.value, Tier::Cold(_)) {
+                Some(SessionId::new(index as u32, slot.generation))
+            } else {
+                None
+            }
+        })
+    }
+
+    /// Removes a frozen session, returning an owned copy of its
+    /// serialised blob (the arena bytes are freed) and invalidating its
+    /// handle — `remove` for the cold tier.
+    ///
+    /// # Panics
+    /// Panics on handles that are not currently hibernated.
+    pub fn take_frozen(&mut self, id: SessionId) -> Vec<u8> {
+        let index = id.index();
+        let r = match &self.slot(id).value {
+            Tier::Cold(r) => *r,
+            _ => panic!("session {id} is not hibernated"),
+        };
+        let blob = self.arena.get(r).to_vec();
+        self.arena.free(r);
+        self.frozen -= 1;
+        self.slot_mut(id).value = Tier::Vacant;
+        self.slots[index].generation = self.slots[index].generation.wrapping_add(1);
+        self.free.push(index as u32);
+        self.active -= 1;
+        self.maybe_shrink();
+        blob
+    }
+
     /// Iterates over the **hot** sessions (not frozen, not taken) with
     /// their handles — the sweep surface for idle-session hibernation.
     pub fn iter_hot(&self) -> impl Iterator<Item = (SessionId, &T)> {
@@ -712,6 +796,12 @@ impl<E: SessionEngine + Send> SessionEngine for Sharded<E> {
         for shard in &mut self.shards {
             shard.maintain();
         }
+    }
+
+    /// Shards are homogeneous, so any shard's validity check speaks for
+    /// the whole engine.
+    fn admit(&self, segment: SegmentId) -> bool {
+        self.shards[0].admit(segment)
     }
 
     fn active_sessions(&self) -> usize {

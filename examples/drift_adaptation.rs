@@ -52,7 +52,13 @@ fn serve_wave(
         }
     }
     for ((session, _sub), t) in opened.into_iter().zip(trips) {
-        outputs.push(handle.close(session).expect("engine is live").wait());
+        outputs.push(
+            handle
+                .close(session)
+                .expect("engine is live")
+                .wait()
+                .expect("session healthy"),
+        );
         truths.push(data.truth(t.id).unwrap().to_vec());
     }
     (outputs, truths)

@@ -103,7 +103,11 @@ fn produce(
                     None => break,
                 }
             }
-            let labels = handle.close(lane.session).expect("close accepted").wait();
+            let labels = handle
+                .close(lane.session)
+                .expect("close accepted")
+                .wait()
+                .expect("session healthy");
             (lane.trip, labels)
         })
         .collect()

@@ -61,14 +61,15 @@ pub mod prelude {
         CityBuilder, CityConfig, RadialCityBuilder, RadialCityConfig, RoadNetwork, SegmentId,
     };
     pub use scenario::{
-        standard_suite, Backpressure, Driver, EventTrace, NetworkKind, Regime, RunOutcome,
-        ScenarioRunner, ScenarioSpec, World,
+        standard_suite, Backpressure, Driver, EventTrace, Fault, FaultOutcome, FaultPlan,
+        NetworkKind, Regime, RunOutcome, ScenarioRunner, ScenarioSpec, World, POISON_SEGMENT,
     };
     pub use traj::{
-        Dataset, DriftConfig, FlushPolicy, IngestConfig, IngestFrontDoor, IngestHandle,
-        IngestStats, LatencyHistogram, MappedTrajectory, OnlineDetector, SdPair, SessionEngine,
-        SessionId, SessionMux, Sharded, SingleSession, SubmitError, TrafficConfig,
-        TrafficSimulator,
+        silence_injected_panic_output, Dataset, DriftConfig, FlushPolicy, IngestConfig,
+        IngestFrontDoor, IngestHandle, IngestStats, LatencyHistogram, MappedTrajectory,
+        OnlineDetector, Priority, RetryPolicy, SdPair, SessionEngine, SessionFault, SessionId,
+        SessionMux, Sharded, SingleSession, SubmitError, TrafficConfig, TrafficSimulator,
+        FAULT_INJECTION_MARKER,
     };
 }
 

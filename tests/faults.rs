@@ -1,0 +1,311 @@
+//! Fault-tolerance invariants of the supervised serving stack
+//! (ARCHITECTURE.md invariant 15).
+//!
+//! The contract under test: for **any** seeded [`FaultPlan`] replayed at
+//! 1, 2 and 8 shards,
+//!
+//! * sessions untouched by a fault produce final labels **byte-identical**
+//!   to the fault-free replay of the same trace;
+//! * faulted sessions terminate with an **explicit** [`SessionFault`] —
+//!   a close ticket never hangs and never panics the caller;
+//! * accounting is exact: every accepted event is flushed, shed or
+//!   charged to a quarantined session — nothing vanishes silently.
+//!
+//! Run in CI's release job too, so the catch_unwind/restart path is
+//! exercised with optimisations on.
+
+mod common;
+
+use proptest::prelude::*;
+use rl4oasd_repro::prelude::*;
+use std::sync::{Arc, OnceLock};
+use std::time::Duration;
+
+/// Trained scenario fixture shared across every test in this file.
+struct FaultFixture {
+    world: World,
+    model: Arc<TrainedModel>,
+}
+
+fn fixture() -> &'static FaultFixture {
+    static FIXTURE: OnceLock<FaultFixture> = OnceLock::new();
+    FIXTURE.get_or_init(|| {
+        silence_injected_panic_output();
+        let kind = NetworkKind::ChengduGrid;
+        let world = World::tiny(kind, 0xFA_0001);
+        let model = Arc::new(world.train(&Rl4oasdConfig::tiny(0xFA_0001)));
+        FaultFixture { world, model }
+    })
+}
+
+fn runner(fx: &FaultFixture) -> ScenarioRunner {
+    ScenarioRunner::new(Arc::clone(&fx.model), Arc::clone(&fx.world.net))
+}
+
+/// A short fault-drill workload: no regimes, enough arrivals that every
+/// shard count sees multi-session ticks.
+fn drill_trace(fx: &FaultFixture, seed: u64, ticks: u32) -> EventTrace {
+    let spec = ScenarioSpec {
+        name: "fault_drill".into(),
+        network: NetworkKind::ChengduGrid,
+        ticks,
+        arrivals_per_tick: 0.8,
+        regimes: Vec::new(),
+    };
+    EventTrace::generate(&fx.world, &spec, seed)
+}
+
+/// Fault-free reference labels for the same trace through the same
+/// ingest shape (shards/flush/queue) under lossless retry.
+fn baseline(
+    fx: &FaultFixture,
+    trace: &EventTrace,
+    shards: usize,
+    flush: FlushPolicy,
+) -> RunOutcome {
+    runner(fx).run(
+        trace,
+        &Driver::Ingest {
+            shards,
+            flush,
+            queue_capacity: 256,
+            backpressure: Backpressure::Retry,
+        },
+    )
+}
+
+/// Asserts invariant 15 on one drill: byte-identity for unaffected
+/// sessions, explicit faults for the rest, exact accounting.
+fn assert_fault_isolation(out: &FaultOutcome, reference: &RunOutcome) {
+    assert_eq!(out.labels.len(), reference.labels.len());
+    for (id, fault) in out.faults.iter().enumerate() {
+        match fault {
+            None => assert_eq!(
+                out.labels[id], reference.labels[id],
+                "unaffected session {id} diverged from the fault-free run"
+            ),
+            Some(_) => assert!(
+                out.labels[id].is_empty(),
+                "faulted session {id} must not also deliver final labels"
+            ),
+        }
+    }
+    assert!(
+        out.accounting_exact(),
+        "accounting leak: submitted={} flushed={} shed={} quarantined={}",
+        out.ingest.submitted,
+        out.ingest.flushed_events,
+        out.ingest.shed_events,
+        out.ingest.quarantined_events
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    /// Invariant 15, property form: any seeded `FaultPlan` (mixed poison /
+    /// panic / stall / slowdown faults) at 1, 2 and 8 shards isolates its
+    /// faults exactly. No fault class may leak into another session's
+    /// labels, hang a close ticket, or break the event ledger.
+    #[test]
+    fn seeded_fault_plans_isolate_faults(seed in 0u64..10_000) {
+        let fx = fixture();
+        let trace = drill_trace(fx, seed ^ 0xD811, 32);
+        let plan = FaultPlan::seeded(seed, trace.ticks.len() as u32);
+        let flush = FlushPolicy::new(4, Duration::from_micros(200));
+        for shards in [1usize, 2, 8] {
+            let reference = baseline(fx, &trace, shards, flush);
+            let out = runner(fx).run_supervised(&trace, shards, flush, 256, &plan);
+            assert_fault_isolation(&out, &reference);
+            // Only the plan's poison victims may lose labels: injected
+            // panics land at flush boundaries, so the supervisor must
+            // salvage every non-poisoned session.
+            prop_assert_eq!(out.labels_lost(), out.poisons_injected);
+            for fault in out.faults.iter().flatten() {
+                prop_assert_eq!(*fault, SessionFault::PoisonEvent);
+            }
+            // Panic faults broadcast to every shard; each restarts once.
+            let panics = plan
+                .faults
+                .iter()
+                .filter(|f| matches!(f, Fault::WorkerPanic { .. }))
+                .count() as u64;
+            prop_assert_eq!(out.worker_restarts, panics * shards as u64);
+            prop_assert_eq!(out.mttr_ticks.is_some(), panics > 0);
+        }
+    }
+}
+
+/// A worker panic with no poison in flight is a **zero-loss** event: the
+/// supervisor rebuilds the shard engine and salvages every session with
+/// byte-identical labels, and the drill reports a finite MTTR.
+#[test]
+fn worker_panic_salvages_every_session_byte_identically() {
+    let fx = fixture();
+    let trace = drill_trace(fx, 0xC4A5, 40);
+    let plan = FaultPlan {
+        faults: vec![Fault::WorkerPanic { at_tick: 5 }],
+    };
+    let flush = FlushPolicy::new(4, Duration::from_micros(200));
+    for shards in [1usize, 2, 8] {
+        let reference = baseline(fx, &trace, shards, flush);
+        let out = runner(fx).run_supervised(&trace, shards, flush, 256, &plan);
+        assert_fault_isolation(&out, &reference);
+        assert_eq!(out.labels_lost(), 0, "a flush-boundary panic loses nothing");
+        assert_eq!(out.labels, reference.labels);
+        assert_eq!(out.worker_restarts, shards as u64);
+        assert!(out.mttr_ticks.is_some(), "recovery time must be measured");
+    }
+}
+
+/// Poison events quarantine exactly their victims with
+/// [`SessionFault::PoisonEvent`]; every other session is untouched.
+#[test]
+fn poison_quarantines_only_its_victims() {
+    let fx = fixture();
+    let trace = drill_trace(fx, 0x9015, 40);
+    let plan = FaultPlan {
+        faults: vec![Fault::Poison {
+            at_tick: 4,
+            victims: 2,
+        }],
+    };
+    let flush = FlushPolicy::immediate();
+    let reference = baseline(fx, &trace, 2, flush);
+    let out = runner(fx).run_supervised(&trace, 2, flush, 256, &plan);
+    assert_fault_isolation(&out, &reference);
+    assert_eq!(out.poisons_injected, 2);
+    assert_eq!(out.labels_lost(), 2);
+    assert_eq!(out.faulted_sessions().len(), 2);
+    for id in out.faulted_sessions() {
+        assert_eq!(out.faults[id as usize], Some(SessionFault::PoisonEvent));
+    }
+    assert_eq!(out.worker_restarts, 0, "poison must not restart a worker");
+    assert!(
+        out.ingest.quarantined_events >= 2,
+        "poison events are charged"
+    );
+}
+
+/// Queue stalls and slow shards are pure scheduling faults: with lossless
+/// producer backoff the labels still match the fault-free run exactly.
+#[test]
+fn stalls_and_slowdowns_lose_nothing() {
+    let fx = fixture();
+    let trace = drill_trace(fx, 0x57A7, 32);
+    let plan = FaultPlan {
+        faults: vec![
+            Fault::QueueStall {
+                at_tick: 3,
+                millis: 10,
+            },
+            Fault::SlowShard {
+                from_tick: 8,
+                every: 4,
+                micros: 300,
+            },
+        ],
+    };
+    let flush = FlushPolicy::new(4, Duration::from_micros(200));
+    let reference = baseline(fx, &trace, 2, flush);
+    // A tiny queue so the stall genuinely backs up the producer.
+    let out = runner(fx).run_supervised(&trace, 2, flush, 4, &plan);
+    assert_fault_isolation(&out, &reference);
+    assert_eq!(out.labels_lost(), 0);
+    assert_eq!(out.labels, reference.labels);
+    assert_eq!(out.worker_restarts, 0);
+}
+
+/// The deadline policy bounds producer latency end-to-end: while a shard
+/// worker is stalled and its capacity-1 queue is full, `submit_with_deadline`
+/// returns [`SubmitError::DeadlineExceeded`] instead of blocking, and the
+/// give-up is counted.
+#[test]
+fn deadline_bounds_submit_latency_under_stall() {
+    use std::time::Instant;
+    let fx = fixture();
+    let engine = rl4oasd::IngestEngine::supervised(
+        Arc::clone(&fx.model),
+        Arc::clone(&fx.world.net),
+        1,
+        IngestConfig {
+            flush: FlushPolicy::immediate(),
+            queue_capacity: 1,
+            ..Default::default()
+        },
+        None,
+    );
+    let handle = engine.handle();
+    let trace = drill_trace(fx, 0xDEAD, 8);
+    let &(_, sd, t0) = trace
+        .ticks
+        .iter()
+        .find_map(|t| t.opens.first())
+        .expect("trace opens at least one session");
+    let (session, _sub) = handle.open(sd, t0).expect("open accepted");
+    let segment = fx.world.net.segments()[0].id;
+    // Stall the worker long enough to wedge the capacity-1 queue, then
+    // demand a deadline that must expire while it sleeps.
+    handle
+        .control(|_: &mut StreamEngine| std::thread::sleep(Duration::from_millis(150)))
+        .expect("stall accepted");
+    let mut expired = 0u64;
+    for _ in 0..64 {
+        match handle.submit_with_deadline(session, segment, Instant::now()) {
+            Err(SubmitError::DeadlineExceeded) => expired += 1,
+            Ok(()) | Err(SubmitError::QueueFull) => {}
+            Err(e) => panic!("unexpected submit error: {e:?}"),
+        }
+    }
+    assert!(
+        expired > 0,
+        "a wedged queue must expire at least one deadline"
+    );
+    assert_eq!(handle.deadline_exceeded_events(), expired);
+    let report = engine.shutdown();
+    assert_eq!(report.ingest.deadline_exceeded, expired);
+}
+
+/// Handle-edge faults return errors instead of wedging a worker: closing
+/// twice, submitting after close, and racing shutdown against an
+/// in-flight close all resolve explicitly (integration-level mirror of
+/// the unit tests in `traj::ingest`).
+#[test]
+fn handle_edge_faults_resolve_explicitly() {
+    let fx = fixture();
+    let engine = rl4oasd::IngestEngine::supervised(
+        Arc::clone(&fx.model),
+        Arc::clone(&fx.world.net),
+        2,
+        IngestConfig::default(),
+        None,
+    );
+    let handle = engine.handle();
+    let trace = drill_trace(fx, 0xE55E, 8);
+    let &(_, sd, t0) = trace
+        .ticks
+        .iter()
+        .find_map(|t| t.opens.first())
+        .expect("trace opens at least one session");
+    let segment = fx.world.net.segments()[0].id;
+
+    let (session, _sub) = handle.open(sd, t0).expect("open accepted");
+    handle
+        .submit_blocking(session, segment)
+        .expect("submit accepted");
+    let first = handle.close(session).expect("first close accepted");
+    assert_eq!(first.wait().expect("healthy session").len(), 1);
+    // Double close: an explicit fault on the ticket, not a worker panic.
+    assert_eq!(
+        handle.close(session).expect("command accepted").wait(),
+        Err(SessionFault::UnknownSession)
+    );
+    // A stray submit for the closed session is accepted, then shed.
+    handle
+        .submit_blocking(session, segment)
+        .expect("stray submit accepted");
+    let report = engine.shutdown();
+    assert_eq!(report.ingest.submitted, 2);
+    assert_eq!(report.ingest.flushed_events, 1);
+    assert_eq!(report.ingest.shed_events, 1);
+}

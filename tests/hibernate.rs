@@ -158,7 +158,7 @@ proptest! {
                 }
 
                 for (k, (session, sub)) in opened.into_iter().enumerate() {
-                    let finals = handle.close(session).unwrap().wait();
+                    let finals = handle.close(session).unwrap().wait().unwrap();
                     prop_assert!(
                         finals == expected[k],
                         "finals diverged: session {} shards {} policy {:?}",

@@ -292,7 +292,7 @@ proptest! {
                     opened
                         .into_iter()
                         .map(|(session, sub)| {
-                            let finals = handle.close(session).unwrap().wait();
+                            let finals = handle.close(session).unwrap().wait().unwrap();
                             let mut stream = Vec::new();
                             while let Some(label) = sub.recv() {
                                 stream.push(label);

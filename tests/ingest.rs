@@ -85,7 +85,11 @@ fn drive_ingest<E>(
     opened
         .into_iter()
         .map(|(session, sub)| {
-            let finals = handle.close(session).expect("close accepted").wait();
+            let finals = handle
+                .close(session)
+                .expect("close accepted")
+                .wait()
+                .expect("session healthy");
             let mut provisional = Vec::new();
             while let Some(label) = sub.recv() {
                 provisional.push(label);
@@ -345,7 +349,7 @@ fn full_queue_reports_queue_full_and_loses_nothing() {
             Err(e) => panic!("close rejected: {e}"),
         }
     };
-    let finals = ticket.wait();
+    let finals = ticket.wait().unwrap();
     assert_eq!(finals.len(), CAPACITY + 1, "every accepted event labelled");
     let mut streamed = Vec::new();
     while let Some(l) = sub.recv() {
@@ -381,7 +385,7 @@ fn close_flushes_pending_events_first() {
             std::thread::yield_now();
         }
     }
-    let finals = handle.close(session).unwrap().wait();
+    let finals = handle.close(session).unwrap().wait().unwrap();
     assert_eq!(finals.len(), t.len());
     engine.shutdown();
 }

@@ -159,7 +159,7 @@ proptest! {
                 finals.push(
                     opened
                         .into_iter()
-                        .map(|(session, _sub)| handle.close(session).unwrap().wait())
+                        .map(|(session, _sub)| handle.close(session).unwrap().wait().unwrap())
                         .collect(),
                 );
 
@@ -463,6 +463,11 @@ fn stats_surfaces_destructure_exhaustively() {
             flushed_events,
             flushes,
             max_flush_batch,
+            shed_events,
+            quarantined_events,
+            quarantined_sessions,
+            worker_restarts,
+            deadline_exceeded,
             latency,
         } = stats;
         let _ = (
@@ -471,6 +476,11 @@ fn stats_surfaces_destructure_exhaustively() {
             flushed_events,
             flushes,
             max_flush_batch,
+            shed_events,
+            quarantined_events,
+            quarantined_sessions,
+            worker_restarts,
+            deadline_exceeded,
             latency,
         );
         let IngestReport {
