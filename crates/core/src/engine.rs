@@ -36,7 +36,7 @@ use crate::rsrnet::RsrBatch;
 use crate::train::TrainedModel;
 use obs::{names, Counter, Gauge, Obs, OpsEvent, Span, Stage, StageHandle};
 use rnet::{RoadNetwork, SegmentId};
-use std::collections::HashSet;
+use std::collections::{HashMap, HashSet};
 use std::sync::Arc;
 use traj::{Hibernate, SdPair, SessionEngine, SessionId, SessionSlab, SupervisedEngine};
 
@@ -305,6 +305,13 @@ pub struct StreamEngine {
     epochs: Vec<Option<ModelEpoch>>,
     /// Epoch id new sessions are opened under.
     current: u32,
+    /// Scoped model registry: scope (tenant) id → epoch id. Sessions
+    /// opened via [`SessionEngine::open_scoped`] with a mapped scope pin
+    /// that scope's epoch instead of `current`; unmapped scopes (and
+    /// scope 0 by convention) fall back to `current`. A mapped epoch is
+    /// pinned — never retired — even with zero live sessions, since the
+    /// scope needs it for future opens.
+    scopes: HashMap<u32, u32>,
     net: Arc<RoadNetwork>,
     sessions: SessionSlab<SessionEntry>,
     counters: DecisionCounters,
@@ -333,6 +340,7 @@ impl StreamEngine {
                 seq: 0,
             })],
             current: 0,
+            scopes: HashMap::new(),
             net,
             sessions: SessionSlab::new(),
             counters: DecisionCounters::default(),
@@ -401,14 +409,64 @@ impl StreamEngine {
             Some(o) => o.swap.start(),
             None => Span::none(),
         };
-        let outgoing = self.current as usize;
-        let retired_seq = self.epochs[outgoing]
-            .as_ref()
-            .filter(|e| e.live_sessions == 0)
-            .map(|e| e.seq);
-        if retired_seq.is_some() {
-            self.epochs[outgoing] = None;
+        let outgoing = self.current;
+        let (id, seq) = self.install_epoch(model);
+        self.current = id;
+        let retired_seq = self.retire_if_idle(outgoing);
+        self.stats.model_swaps += 1;
+        if let Some(o) = &self.obs {
+            o.swaps.set(self.stats.model_swaps);
+            o.obs.event(OpsEvent::ModelSwapApplied {
+                shard: o.shard,
+                seq: u64::from(seq),
+                retired: u64::from(retired_seq.is_some()),
+            });
+            o.swap.finish(span);
         }
+    }
+
+    /// Installs `model` as the serving model for **scope** (tenant)
+    /// `scope`: sessions opened via [`SessionEngine::open_scoped`] with
+    /// this scope id pin the new epoch; every other scope — and plain
+    /// [`SessionEngine::open`], which serves scope 0 — is untouched. Like
+    /// [`StreamEngine::swap_model`] this is zero-downtime: the scope's
+    /// already-open sessions keep the model they started with, and the
+    /// scope's previous epoch retires once its last session closes.
+    pub fn set_scope_model(&mut self, scope: u32, model: Arc<TrainedModel>) {
+        let (id, seq) = self.install_epoch(model);
+        let prev = self.scopes.insert(scope, id);
+        // The previous scope epoch is unpinned now; with no open
+        // sessions it retires immediately, otherwise `release_epoch`
+        // retires it when the last one closes.
+        let retired = match prev {
+            Some(prev) => self.retire_if_idle(prev).is_some(),
+            None => false,
+        };
+        self.stats.model_swaps += 1;
+        if let Some(o) = &self.obs {
+            o.swaps.set(self.stats.model_swaps);
+            o.obs.event(OpsEvent::ModelSwapApplied {
+                shard: o.shard,
+                seq: u64::from(seq),
+                retired: u64::from(retired),
+            });
+        }
+    }
+
+    /// The swap sequence number of the epoch that a
+    /// [`SessionEngine::open_scoped`] for `scope` would pin right now
+    /// (the scope's mapped epoch, falling back to the engine-wide
+    /// current one). Serving tiers report this to clients so a tenant
+    /// can tell which model generation labelled its stream.
+    pub fn scope_epoch_seq(&self, scope: u32) -> u32 {
+        let id = self.scopes.get(&scope).copied().unwrap_or(self.current);
+        self.epoch(id).seq
+    }
+
+    /// Allocates a fresh epoch (slot + swap sequence number) for `model`
+    /// without re-pointing anything at it — the shared tail of
+    /// [`StreamEngine::swap_model`] and [`StreamEngine::set_scope_model`].
+    fn install_epoch(&mut self, model: Arc<TrainedModel>) -> (u32, u32) {
         let seq = u32::try_from(self.epoch_log.len()).expect("more than 2^32 model swaps");
         self.epoch_log.push(EpochStats::default());
         let epoch = ModelEpoch {
@@ -426,24 +484,54 @@ impl StreamEngine {
                 self.epochs.len() - 1
             }
         };
-        self.current = u32::try_from(id).expect("more than 2^32 live model epochs");
-        self.stats.model_swaps += 1;
+        let id = u32::try_from(id).expect("more than 2^32 live model epochs");
+        (id, seq)
+    }
+
+    /// Opens a session pinned to epoch `id` — the shared tail of the
+    /// trait `open` (current epoch) and `open_scoped` (scope-mapped
+    /// epoch).
+    fn open_on_epoch(&mut self, epoch: u32, sd: SdPair, start_time: f64) -> SessionId {
+        let e = self.epochs[epoch as usize]
+            .as_mut()
+            .expect("opening epoch is always live");
+        e.live_sessions += 1;
+        let view = ModelView::of(&e.model, &self.net);
+        let state = SessionState::open(&view, sd, start_time);
+        self.stats.sessions_opened += 1;
+        let last_tick = self.tick;
+        self.sessions.insert(SessionEntry {
+            epoch,
+            last_tick,
+            state,
+        })
+    }
+
+    /// Retires epoch `id` — freeing its `Arc<TrainedModel>` — iff it has
+    /// no live sessions and nothing pins it: neither the engine-wide
+    /// `current` pointer nor any scope mapping. Returns the retired
+    /// epoch's swap sequence number, or `None` if it stays live.
+    fn retire_if_idle(&mut self, id: u32) -> Option<u32> {
+        let pinned = id == self.current || self.scopes.values().any(|&e| e == id);
+        let e = self.epochs[id as usize]
+            .as_ref()
+            .expect("model epoch retired while referenced");
+        if pinned || e.live_sessions != 0 {
+            return None;
+        }
+        let seq = e.seq;
+        self.epochs[id as usize] = None;
         if let Some(o) = &self.obs {
-            o.swaps.set(self.stats.model_swaps);
-            o.obs.event(OpsEvent::ModelSwapApplied {
+            // Retirement is rare, so resolving the gauge (registry
+            // lock) here is fine; zeroing it keeps the export from
+            // showing sessions pinned to a model that is gone.
+            o.epoch_gauge(seq).set(0);
+            o.obs.event(OpsEvent::EpochRetired {
                 shard: o.shard,
                 seq: u64::from(seq),
-                retired: u64::from(retired_seq.is_some()),
             });
-            if let Some(seq) = retired_seq {
-                o.epoch_gauge(seq).set(0);
-                o.obs.event(OpsEvent::EpochRetired {
-                    shard: o.shard,
-                    seq: u64::from(seq),
-                });
-            }
-            o.swap.finish(span);
         }
+        Some(seq)
     }
 
     /// Number of model generations currently alive in this engine: the
@@ -467,19 +555,8 @@ impl StreamEngine {
             .as_mut()
             .expect("model epoch retired while referenced");
         e.live_sessions -= 1;
-        if e.live_sessions == 0 && id != self.current {
-            let seq = e.seq;
-            self.epochs[id as usize] = None;
-            if let Some(o) = &self.obs {
-                // Retirement is rare, so resolving the gauge (registry
-                // lock) here is fine; zeroing it keeps the export from
-                // showing sessions pinned to a model that is gone.
-                o.epoch_gauge(seq).set(0);
-                o.obs.event(OpsEvent::EpochRetired {
-                    shard: o.shard,
-                    seq: u64::from(seq),
-                });
-            }
+        if e.live_sessions == 0 {
+            self.retire_if_idle(id);
         }
     }
 
@@ -838,19 +915,16 @@ impl SessionEngine for StreamEngine {
     /// later [`StreamEngine::swap_model`] does not affect it.
     fn open(&mut self, sd: SdPair, start_time: f64) -> SessionId {
         let epoch = self.current;
-        let e = self.epochs[epoch as usize]
-            .as_mut()
-            .expect("current model epoch is always live");
-        e.live_sessions += 1;
-        let view = ModelView::of(&e.model, &self.net);
-        let state = SessionState::open(&view, sd, start_time);
-        self.stats.sessions_opened += 1;
-        let last_tick = self.tick;
-        self.sessions.insert(SessionEntry {
-            epoch,
-            last_tick,
-            state,
-        })
+        self.open_on_epoch(epoch, sd, start_time)
+    }
+
+    /// Opens a session pinned to `scope`'s mapped model epoch (see
+    /// [`StreamEngine::set_scope_model`]); an unmapped scope — including
+    /// scope 0, the default tenant — pins the engine-wide current epoch,
+    /// making this identical to [`SessionEngine::open`].
+    fn open_scoped(&mut self, scope: u32, sd: SdPair, start_time: f64) -> SessionId {
+        let epoch = self.scopes.get(&scope).copied().unwrap_or(self.current);
+        self.open_on_epoch(epoch, sd, start_time)
     }
 
     /// A standalone scalar event is one engine tick: frozen sessions thaw

@@ -261,6 +261,17 @@ pub trait SwapModel {
     /// assert_eq!(report.engine.model_swaps, 2); // one per shard
     /// ```
     fn swap_model(&self, model: Arc<TrainedModel>) -> Result<(), SubmitError>;
+
+    /// Broadcasts `model` as the serving model for **scope** (tenant)
+    /// `scope` only — the multi-tenant form of
+    /// [`SwapModel::swap_model`], backed by
+    /// [`StreamEngine::set_scope_model`] on every shard. Sessions opened
+    /// afterwards via `IngestHandle::open_scoped` with this scope run the
+    /// new model; the scope's already-open sessions drain on their
+    /// original weights, and **other scopes (and plain opens) are never
+    /// relabelled** — tenant isolation is property-tested in
+    /// `tests/serve.rs`. Same delivery guarantees as `swap_model`.
+    fn swap_scope_model(&self, scope: u32, model: Arc<TrainedModel>) -> Result<(), SubmitError>;
 }
 
 impl SwapModel for IngestHandle<StreamEngine> {
@@ -269,6 +280,13 @@ impl SwapModel for IngestHandle<StreamEngine> {
         // not lazily on a shard worker between flushes.
         model.packed();
         self.control(move |engine: &mut StreamEngine| engine.swap_model(Arc::clone(&model)))
+    }
+
+    fn swap_scope_model(&self, scope: u32, model: Arc<TrainedModel>) -> Result<(), SubmitError> {
+        model.packed();
+        self.control(move |engine: &mut StreamEngine| {
+            engine.set_scope_model(scope, Arc::clone(&model))
+        })
     }
 }
 

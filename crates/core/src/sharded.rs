@@ -145,6 +145,17 @@ impl ShardedEngine {
         }
     }
 
+    /// Installs `model` for scope (tenant) `scope` on every shard — the
+    /// sharded form of [`StreamEngine::set_scope_model`]: future
+    /// [`SessionEngine::open_scoped`] opens with this scope pin the new
+    /// epoch on whichever shard they hash to; other scopes and plain
+    /// opens are untouched.
+    pub fn set_scope_model(&mut self, scope: u32, model: Arc<TrainedModel>) {
+        for shard in self.inner.shards_mut() {
+            shard.set_scope_model(scope, Arc::clone(&model));
+        }
+    }
+
     /// Model generations alive per shard (index = shard): `1` everywhere
     /// when no swap is mid-drain; an old epoch stays alive on a shard only
     /// while that shard still serves one of its pre-swap sessions.
@@ -216,6 +227,10 @@ impl SessionEngine for ShardedEngine {
 
     fn open(&mut self, sd: SdPair, start_time: f64) -> SessionId {
         self.inner.open(sd, start_time)
+    }
+
+    fn open_scoped(&mut self, scope: u32, sd: SdPair, start_time: f64) -> SessionId {
+        self.inner.open_scoped(scope, sd, start_time)
     }
 
     fn observe(&mut self, session: SessionId, segment: SegmentId) -> u8 {

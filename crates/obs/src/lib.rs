@@ -122,6 +122,18 @@ pub mod names {
     /// Measured ns/op of one micro-kernel shape, labelled
     /// `{op, dims, batch}` (recorded by the kernel bench).
     pub const KERNEL_NANOS: &str = "oasd_kernel_nanos";
+    /// Wire connections accepted by the serving front door.
+    pub const SERVE_CONNECTIONS: &str = "oasd_serve_connections_total";
+    /// Request frames decoded off the wire, labelled `{op}`.
+    pub const SERVE_FRAMES: &str = "oasd_serve_frames_total";
+    /// Typed wire errors sent to clients, labelled `{error}`.
+    pub const SERVE_WIRE_ERRORS: &str = "oasd_serve_wire_errors_total";
+    /// Sessions opened over the wire, labelled `{tenant}`.
+    pub const SERVE_OPENS: &str = "oasd_serve_opens_total";
+    /// Opens shed by per-tenant session quotas, labelled `{tenant}`.
+    pub const SERVE_QUOTA_SHED: &str = "oasd_serve_quota_shed_total";
+    /// Ops (HTTP) requests served, labelled `{path}`.
+    pub const SERVE_HTTP_REQUESTS: &str = "oasd_serve_http_requests_total";
 }
 
 /// Construction options for [`Obs::new`]. `Default` is

@@ -15,9 +15,10 @@
 //!   is a pure function of the world, the spec and the seed, so any run
 //!   replays byte-identically (same event stream, same ground truth) —
 //!   property-tested in `tests/scenarios.rs`;
-//! * a [`ScenarioRunner`] drives the **same trace** through either serving
-//!   path — the synchronous `ShardedEngine` or the async
-//!   `IngestFrontDoor` — and scores the emitted labels against the trace's
+//! * a [`ScenarioRunner`] drives the **same trace** through any serving
+//!   path — the synchronous `ShardedEngine`, the async
+//!   `IngestFrontDoor`, or a loopback `oasd-serve` network server
+//!   ([`Driver::Net`]) — and scores the emitted labels against the trace's
 //!   ground truth (segment-level precision/recall/F1 and the paper's
 //!   span-level metrics), plus latency percentiles;
 //! * [`standard_suite`] is the fixed scenario battery the soak bin

@@ -59,6 +59,22 @@ pub enum Driver {
         /// Reaction to a full ingress queue.
         backpressure: Backpressure,
     },
+    /// The full network path: an `oasd-serve` loopback server wrapping
+    /// the same ingest front door, driven by one wire-protocol client
+    /// connection. Lossless by construction (the server retries
+    /// `QueueFull` under an unbounded policy), so the final labels must
+    /// be byte-identical to both in-process drivers — invariant 16,
+    /// property-tested in `tests/serve.rs`. Latency samples are the
+    /// door's submit→label histogram (transport excluded; the wire
+    /// round-trip is measured by the serve load generator instead).
+    Net {
+        /// Shard count behind the server.
+        shards: usize,
+        /// Micro-batching policy of the server's front door.
+        flush: FlushPolicy,
+        /// Per-shard ingress queue capacity.
+        queue_capacity: usize,
+    },
 }
 
 /// Labels, aligned ground truth and operational counters of one replay.
@@ -196,6 +212,11 @@ impl ScenarioRunner {
                 queue_capacity,
                 backpressure,
             } => self.run_ingest(trace, shards, flush, queue_capacity, backpressure),
+            Driver::Net {
+                shards,
+                flush,
+                queue_capacity,
+            } => self.run_net(trace, shards, flush, queue_capacity),
         }
     }
 
@@ -341,6 +362,114 @@ impl ScenarioRunner {
             sessions: n,
             events: delivered,
             rejected,
+            latency: report.ingest.latency,
+            obs: report.obs,
+        }
+    }
+
+    fn run_net(
+        &self,
+        trace: &EventTrace,
+        shards: usize,
+        flush: FlushPolicy,
+        queue_capacity: usize,
+    ) -> RunOutcome {
+        use serve::{Client, Frame, Server, ServerConfig};
+        let server = Server::start(
+            Arc::clone(&self.model),
+            Arc::clone(&self.net),
+            ServerConfig {
+                shards,
+                ingest: IngestConfig {
+                    flush,
+                    queue_capacity,
+                    obs: self.obs.clone(),
+                    ..Default::default()
+                },
+                // Open admission (tenant 0) + unbounded server-side
+                // retry: the wire path sheds nothing, like
+                // `Backpressure::Retry`.
+                ..ServerConfig::default()
+            },
+        )
+        .expect("bind loopback serve listeners");
+        let mut client = Client::connect(server.wire_addr()).expect("connect loopback server");
+        let n = trace.sessions as usize;
+        let mut labels: Vec<Vec<u8>> = vec![Vec::new(); n];
+        let mut delivered = 0u64;
+        // The wire session id IS the scenario session id, so `Closed`
+        // frames route straight back to their rows.
+        let absorb = |labels: &mut Vec<Vec<u8>>, frame: Frame| match frame {
+            Frame::Opened { .. } | Frame::Label { .. } => {}
+            Frame::Closed {
+                session,
+                labels: finals,
+            } => {
+                labels[session as usize] = finals;
+            }
+            Frame::Rejected { session, error } => {
+                panic!("session {session} rejected over the wire: {error}")
+            }
+            Frame::Fault { session, fault } => {
+                panic!("session {session} faulted over the wire (code {fault})")
+            }
+            other => panic!("unexpected frame from server: {other:?}"),
+        };
+        // FIFO per connection means opens/points/closes need no
+        // acknowledgement round-trips — pipeline everything, draining
+        // responses often enough that neither the per-session outboxes
+        // nor the client-side socket buffer backs up.
+        let mut since_drain = 0u32;
+        for tick in &trace.ticks {
+            for &(id, sd, t0) in &tick.opens {
+                client
+                    .send(&Frame::Open {
+                        session: u64::from(id),
+                        tenant: 0,
+                        source: sd.source.0,
+                        dest: sd.dest.0,
+                        start_time: t0,
+                        priority: 0,
+                    })
+                    .expect("send open");
+            }
+            for &(id, seg) in &tick.points {
+                client
+                    .send(&Frame::Submit {
+                        session: u64::from(id),
+                        segment: seg.0,
+                    })
+                    .expect("send submit");
+                delivered += 1;
+                since_drain += 1;
+                if since_drain >= 64 {
+                    since_drain = 0;
+                    while let Some(frame) = client.try_recv().expect("drain during replay") {
+                        absorb(&mut labels, frame);
+                    }
+                }
+            }
+            for &id in &tick.closes {
+                client
+                    .send(&Frame::Close {
+                        session: u64::from(id),
+                    })
+                    .expect("send close");
+            }
+        }
+        for frame in client.goodbye().expect("goodbye") {
+            absorb(&mut labels, frame);
+        }
+        self.obs
+            .counter(names::SCENARIO_EVENTS, &[("regime", "net")])
+            .add(delivered);
+        let report = server.shutdown();
+        RunOutcome {
+            labels,
+            truth: trace.truth.clone(),
+            sessions: n,
+            events: delivered,
+            rejected: 0,
             latency: report.ingest.latency,
             obs: report.obs,
         }

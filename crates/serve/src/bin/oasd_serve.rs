@@ -1,0 +1,236 @@
+//! `oasd-serve` — the network front door as a binary.
+//!
+//! Two modes:
+//!
+//! * default: train a synthetic-city demo model, start the wire + ops
+//!   listeners and serve until killed (addresses printed on stdout);
+//! * `--smoke`: start a loopback server, drive a load-generator fleet
+//!   through it, probe every ops endpoint, verify accounting and shut
+//!   down cleanly — the CI end-to-end check. Exit code 0 iff everything
+//!   held.
+//!
+//! ```text
+//! oasd-serve [--smoke] [--shards N] [--connections N] [--sessions N] [--points N] [--seed N]
+//! ```
+
+use obs::ObsConfig;
+use rl4oasd::Rl4oasdConfig;
+use rnet::{CityBuilder, CityConfig};
+use serve::{run_load, LoadSpec, Server, ServerConfig};
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::Arc;
+use std::time::Duration;
+use traj::{Dataset, IngestConfig, TrafficConfig, TrafficSimulator};
+
+struct Args {
+    smoke: bool,
+    shards: usize,
+    connections: usize,
+    sessions: usize,
+    points: usize,
+    seed: u64,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        smoke: false,
+        shards: 2,
+        connections: 4,
+        sessions: 100,
+        points: 40,
+        seed: 0x0A5D,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut num = |name: &str| -> Result<u64, String> {
+            it.next()
+                .ok_or_else(|| format!("{name} needs a value"))?
+                .parse()
+                .map_err(|_| format!("{name} needs an integer"))
+        };
+        match flag.as_str() {
+            "--smoke" => args.smoke = true,
+            "--shards" => args.shards = num("--shards")?.max(1) as usize,
+            "--connections" => args.connections = num("--connections")?.max(1) as usize,
+            "--sessions" => args.sessions = num("--sessions")?.max(1) as usize,
+            "--points" => args.points = num("--points")?.max(1) as usize,
+            "--seed" => args.seed = num("--seed")?,
+            "--help" | "-h" => {
+                return Err(
+                    "usage: oasd-serve [--smoke] [--shards N] [--connections N] \
+                     [--sessions N] [--points N] [--seed N]"
+                        .to_string(),
+                )
+            }
+            other => return Err(format!("unknown flag {other}")),
+        }
+    }
+    Ok(args)
+}
+
+/// Trains the demo serving fixture on the tiny synthetic city.
+fn build_fixture(seed: u64) -> (Arc<rnet::RoadNetwork>, Arc<rl4oasd::TrainedModel>) {
+    let net = CityBuilder::new(CityConfig::tiny(seed)).build();
+    let traffic = TrafficConfig {
+        num_sd_pairs: 4,
+        trajs_per_pair: (50, 70),
+        anomaly_ratio: 0.15,
+        ..TrafficConfig::tiny(seed)
+    };
+    let ds = Dataset::from_generated(&TrafficSimulator::new(&net, traffic).generate());
+    let model = Arc::new(rl4oasd::train(&net, &ds, &Rl4oasdConfig::tiny(seed)));
+    (Arc::new(net), model)
+}
+
+fn start_server(args: &Args) -> (Server, u32) {
+    let (net, model) = build_fixture(args.seed);
+    let num_segments = net.num_segments() as u32;
+    let config = ServerConfig {
+        shards: args.shards,
+        ingest: IngestConfig {
+            obs: obs::Obs::new(ObsConfig::enabled()),
+            ..IngestConfig::default()
+        },
+        ..ServerConfig::default()
+    };
+    let server = Server::start(model, net, config).expect("bind loopback listeners");
+    (server, num_segments)
+}
+
+/// One-shot HTTP GET against the ops listener; returns (status, body).
+fn http_get(addr: SocketAddr, path: &str) -> (u16, String) {
+    let mut stream = TcpStream::connect(addr).expect("connect ops listener");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(5)))
+        .expect("set ops read timeout");
+    stream
+        .write_all(format!("GET {path} HTTP/1.1\r\nHost: oasd\r\n\r\n").as_bytes())
+        .expect("send ops request");
+    let mut response = String::new();
+    stream
+        .read_to_string(&mut response)
+        .expect("read ops response");
+    let status: u16 = response
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0);
+    let body = response
+        .split_once("\r\n\r\n")
+        .map(|(_, b)| b.to_string())
+        .unwrap_or_default();
+    (status, body)
+}
+
+fn smoke(args: &Args) -> Result<(), String> {
+    let (server, num_segments) = start_server(args);
+    let per_conn = args.sessions.div_ceil(args.connections);
+    let spec = LoadSpec {
+        connections: args.connections,
+        sessions_per_conn: per_conn,
+        points_per_session: args.points,
+        tenant: 0,
+        num_segments,
+    };
+    let report = run_load(server.wire_addr(), spec);
+
+    let expected_sessions = (args.connections * per_conn) as u64;
+    let expected_labels = expected_sessions * args.points as u64;
+    if report.sessions_opened != expected_sessions {
+        return Err(format!(
+            "opened {} of {expected_sessions} sessions",
+            report.sessions_opened
+        ));
+    }
+    if report.sessions_closed != expected_sessions {
+        return Err(format!(
+            "closed {} of {expected_sessions} sessions",
+            report.sessions_closed
+        ));
+    }
+    if report.labels_streamed != expected_labels {
+        return Err(format!(
+            "streamed {} of {expected_labels} labels",
+            report.labels_streamed
+        ));
+    }
+    if report.faults != 0 || report.opens_rejected != 0 {
+        return Err(format!(
+            "unexpected faults={} rejects={}",
+            report.faults, report.opens_rejected
+        ));
+    }
+
+    let (status, body) = http_get(server.ops_addr(), "/healthz");
+    if status != 200 || !body.contains("\"ok\"") {
+        return Err(format!("/healthz: {status} {body}"));
+    }
+    let (status, body) = http_get(server.ops_addr(), "/stats");
+    if status != 200 || !body.contains("\"tenants\"") {
+        return Err(format!("/stats: {status}"));
+    }
+    let (status, metrics) = http_get(server.ops_addr(), "/metrics");
+    if status != 200 || metrics.is_empty() {
+        return Err(format!("/metrics: {status}, {} bytes", metrics.len()));
+    }
+    if !metrics.contains("oasd_serve_connections_total") {
+        return Err("/metrics is missing serve counters".to_string());
+    }
+
+    let ingest_report = server.shutdown();
+    let stats = &ingest_report.ingest;
+    if stats.submitted != stats.flushed_events + stats.shed_events + stats.quarantined_events {
+        return Err(format!(
+            "accounting broke: submitted {} != flushed {} + shed {} + quarantined {}",
+            stats.submitted, stats.flushed_events, stats.shed_events, stats.quarantined_events
+        ));
+    }
+
+    println!(
+        "smoke ok: {} sessions x {} pts over {} connections, {} labels, \
+         p50 {:?} p99 {:?}, {:.1?} total",
+        expected_sessions,
+        args.points,
+        args.connections,
+        report.labels_streamed,
+        report.latency.percentile(0.50),
+        report.latency.percentile(0.99),
+        report.elapsed,
+    );
+    Ok(())
+}
+
+fn serve_forever(args: &Args) {
+    let (server, num_segments) = start_server(args);
+    println!("oasd-serve up");
+    println!(
+        "  wire: {}  (protocol OSD1, {num_segments} segments)",
+        server.wire_addr()
+    );
+    println!(
+        "  ops:  http://{}/healthz /stats /metrics",
+        server.ops_addr()
+    );
+    loop {
+        std::thread::sleep(Duration::from_secs(3600));
+    }
+}
+
+fn main() {
+    let args = match parse_args() {
+        Ok(args) => args,
+        Err(msg) => {
+            eprintln!("{msg}");
+            std::process::exit(2);
+        }
+    };
+    if args.smoke {
+        if let Err(msg) = smoke(&args) {
+            eprintln!("smoke FAILED: {msg}");
+            std::process::exit(1);
+        }
+    } else {
+        serve_forever(&args);
+    }
+}

@@ -1,0 +1,148 @@
+//! Hand-rolled minimal HTTP/1.1 ops surface for `oasd-serve`.
+//!
+//! Four endpoints, no external deps, no keep-alive (every response sends
+//! `Connection: close`):
+//!
+//! | method | path       | body                                         |
+//! |--------|------------|----------------------------------------------|
+//! | GET    | `/healthz` | `{"status":"ok"}` JSON liveness probe        |
+//! | GET    | `/stats`   | JSON: connections, event accounting, tenants |
+//! | GET    | `/metrics` | Prometheus text ([`obs::Snapshot`])          |
+//! | POST   | `/swap`    | `?model=K[&tenant=T]` shelf-model hot swap   |
+//!
+//! Garbage request lines, oversized headers and unknown paths produce
+//! `400`/`404`/`405` — never a panic, never a wedged listener (the
+//! malformed-input suite in `tests/serve.rs` drives this).
+
+use crate::server::Shared;
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Largest request head we will buffer before answering 400.
+const MAX_HEAD: usize = 8 * 1024;
+
+/// Serves one ops connection: read one request, answer, close.
+pub(crate) fn serve_ops_conn(shared: Arc<Shared>, mut stream: TcpStream) {
+    // A stalled client must not pin this thread past shutdown.
+    let _ = stream.set_read_timeout(Some(Duration::from_secs(2)));
+    let _ = stream.set_nodelay(true);
+    let head = match read_head(&mut stream) {
+        Some(head) => head,
+        None => {
+            respond(&mut stream, 400, "text/plain", "bad request\n");
+            return;
+        }
+    };
+    let request_line = head.lines().next().unwrap_or("");
+    let mut parts = request_line.split_whitespace();
+    let (method, target) = match (parts.next(), parts.next(), parts.next()) {
+        (Some(m), Some(t), Some(v)) if v.starts_with("HTTP/1.") => (m, t),
+        _ => {
+            respond(&mut stream, 400, "text/plain", "bad request line\n");
+            return;
+        }
+    };
+    let (path, query) = match target.split_once('?') {
+        Some((p, q)) => (p, q),
+        None => (target, ""),
+    };
+    shared.http_request(path);
+    match (method, path) {
+        ("GET", "/healthz") => {
+            let body = if shared.is_stopping() {
+                "{\"status\":\"stopping\"}"
+            } else {
+                "{\"status\":\"ok\"}"
+            };
+            respond(&mut stream, 200, "application/json", body);
+        }
+        ("GET", "/stats") => {
+            respond(&mut stream, 200, "application/json", &shared.stats_json());
+        }
+        ("GET", "/metrics") => {
+            let text = shared.obs_handle().snapshot().to_prometheus();
+            respond(&mut stream, 200, "text/plain; version=0.0.4", &text);
+        }
+        ("POST", "/swap") => match parse_swap_query(query) {
+            Ok((model_idx, tenant)) => match shared.swap_from_shelf(model_idx, tenant) {
+                Ok(seq) => {
+                    let body = format!("{{\"swapped\":true,\"epoch_seq\":{seq}}}");
+                    respond(&mut stream, 200, "application/json", &body);
+                }
+                Err(msg) => {
+                    let msg = msg.replace('"', "'");
+                    let body = format!("{{\"swapped\":false,\"error\":\"{msg}\"}}");
+                    respond(&mut stream, 404, "application/json", &body);
+                }
+            },
+            Err(msg) => respond(&mut stream, 400, "text/plain", msg),
+        },
+        ("GET", _) => respond(&mut stream, 404, "text/plain", "not found\n"),
+        _ => respond(&mut stream, 405, "text/plain", "method not allowed\n"),
+    }
+}
+
+/// Reads until the blank line ending the request head. `None` on
+/// timeout, disconnect, oversize or non-UTF-8 head.
+fn read_head(stream: &mut TcpStream) -> Option<String> {
+    let mut head = Vec::new();
+    let mut buf = [0u8; 1024];
+    loop {
+        let n = match stream.read(&mut buf) {
+            Ok(0) => return None,
+            Ok(n) => n,
+            Err(_) => return None,
+        };
+        head.extend_from_slice(&buf[..n]);
+        if head.len() > MAX_HEAD {
+            return None;
+        }
+        if head.windows(4).any(|w| w == b"\r\n\r\n") || head.windows(2).any(|w| w == b"\n\n") {
+            // Any POST body after the head is irrelevant to every
+            // endpoint we serve (swap parameters ride the query string).
+            return String::from_utf8(head).ok();
+        }
+    }
+}
+
+/// Parses `model=K[&tenant=T]` from the `/swap` query string.
+fn parse_swap_query(query: &str) -> Result<(usize, Option<u32>), &'static str> {
+    let mut model = None;
+    let mut tenant = None;
+    for pair in query.split('&').filter(|p| !p.is_empty()) {
+        match pair.split_once('=') {
+            Some(("model", v)) => {
+                model = Some(v.parse().map_err(|_| "swap: bad model index\n")?);
+            }
+            Some(("tenant", v)) => {
+                tenant = Some(v.parse().map_err(|_| "swap: bad tenant id\n")?);
+            }
+            _ => return Err("swap: unknown parameter\n"),
+        }
+    }
+    match model {
+        Some(m) => Ok((m, tenant)),
+        None => Err("swap: missing model=<shelf index>\n"),
+    }
+}
+
+fn respond(stream: &mut TcpStream, status: u16, content_type: &str, body: &str) {
+    let reason = match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        _ => "Internal Server Error",
+    };
+    let head = format!(
+        "HTTP/1.1 {status} {reason}\r\nContent-Type: {content_type}\r\n\
+         Content-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    );
+    // Best-effort: the probe may already have hung up.
+    let _ = stream.write_all(head.as_bytes());
+    let _ = stream.write_all(body.as_bytes());
+    let _ = stream.flush();
+}

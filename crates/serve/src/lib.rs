@@ -1,0 +1,32 @@
+//! # serve — the `oasd-serve` network front door
+//!
+//! Layer 12 of the reproduction: puts the [`traj::IngestFrontDoor`]
+//! behind a socket without changing what it computes. Two listeners,
+//! both on `std::net` with zero external deps:
+//!
+//! * a **wire listener** speaking a compact length-prefixed binary
+//!   protocol ([`proto`]) — open/submit/close/goodbye request frames,
+//!   opened/label/closed/rejected/fault/bye responses, varint-coded via
+//!   the same LEB128 primitives as `traj::codec`;
+//! * an **ops listener** speaking minimal HTTP/1.1 — `/healthz`,
+//!   `/stats`, `/metrics` (Prometheus text from [`obs::Snapshot`]) and a
+//!   `POST /swap` model hot-swap trigger.
+//!
+//! Sessions from many connections multiplex onto one shared ingest
+//! engine; each `Open` names a **tenant**, charged against a per-tenant
+//! quota and pinned to the tenant's model scope, so fleets share shards
+//! while [`Server::swap_tenant_model`] retargets exactly one tenant.
+//!
+//! **Invariant 16** (tested in `tests/serve.rs`): for any trace, the
+//! label sequence a client receives over loopback is *byte-identical*
+//! to driving the same engine in-process — the wire tier adds transport,
+//! never semantics.
+
+pub mod client;
+pub mod http;
+pub mod proto;
+pub mod server;
+
+pub use client::{run_load, Client, LoadReport, LoadSpec};
+pub use proto::{Frame, FrameError, FrameReader, WireError};
+pub use server::{Server, ServerConfig, TenantSpec};

@@ -1,0 +1,493 @@
+//! The `oasd-serve` wire protocol: compact length-prefixed binary frames
+//! for `open / submit / close / label-stream`, built on the same varint
+//! primitives as [`traj::codec`].
+//!
+//! Connection layout (both directions are framed identically):
+//!
+//! ```text
+//! client → server, once:  u32 magic "OSD1"
+//! then, repeated:         u32  payload length n (little-endian)
+//!                         u8   opcode
+//!                         n-1  bytes of opcode-specific body
+//! ```
+//!
+//! Every integer field is an LEB128 varint ([`traj::codec::put_varint`]);
+//! `start_time` is a little-endian `f64`. Request opcodes are `0x01..`,
+//! response opcodes `0x81..` — one [`Frame`] enum covers both directions
+//! so the encoder/decoder pair round-trips every frame the protocol can
+//! express (property-tested in `tests/serve_codec.rs`).
+//!
+//! Sessions are multiplexed over one connection by a **client-chosen**
+//! session id carried in every frame: the client may pipeline `open` and
+//! `submit`s without waiting for [`Frame::Opened`], because frames of one
+//! connection are processed in order and the ingest front door's shard
+//! queues are FIFO. Provisional labels stream back as [`Frame::Label`];
+//! the authoritative final labels (byte-identical to the in-process
+//! ingest path — invariant 16, `tests/serve.rs`) arrive in
+//! [`Frame::Closed`].
+//!
+//! Malformed input never panics the peer: a frame that cannot be decoded
+//! is a typed [`FrameError`], surfaced to clients as
+//! [`WireError::Malformed`] before the connection closes.
+
+use bytes::{Buf, BufMut, BytesMut};
+use traj::codec::{get_varint, put_varint, CodecError};
+use traj::{SessionFault, SubmitError};
+
+/// Connection preamble: a client opens with these 4 bytes before its
+/// first frame, letting the server reject cross-protocol garbage (e.g.
+/// an HTTP request aimed at the wire port) with one typed error instead
+/// of misparsing it as frames.
+pub const PREAMBLE: [u8; 4] = *b"OSD1";
+
+/// Upper bound on one frame's payload. Large enough for a `Closed` frame
+/// carrying the final labels of any realistic trajectory (one byte per
+/// point), small enough that a hostile length prefix cannot balloon the
+/// reassembly buffer.
+pub const MAX_FRAME: usize = 1 << 20;
+
+mod op {
+    pub const OPEN: u8 = 0x01;
+    pub const SUBMIT: u8 = 0x02;
+    pub const CLOSE: u8 = 0x03;
+    pub const GOODBYE: u8 = 0x04;
+    pub const OPENED: u8 = 0x81;
+    pub const LABEL: u8 = 0x82;
+    pub const CLOSED: u8 = 0x83;
+    pub const REJECTED: u8 = 0x84;
+    pub const FAULT: u8 = 0x85;
+    pub const BYE: u8 = 0x86;
+}
+
+/// Typed, wire-encodable rejection reasons — the network image of
+/// [`traj::SubmitError`] plus the serving tier's own admission errors.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WireError {
+    /// The session's shard ingress queue stayed full past the server's
+    /// retry budget ([`traj::SubmitError::QueueFull`]).
+    QueueFull,
+    /// The serving engine is shutting down.
+    ShutDown,
+    /// The submit's deadline elapsed while the shard queue was full.
+    DeadlineExceeded,
+    /// Degraded-mode admission control shed this low-priority open.
+    Degraded,
+    /// The tenant is at its session quota; the open was shed.
+    QuotaExhausted,
+    /// The open named a tenant this server does not host.
+    UnknownTenant,
+    /// The open reused a session id already live on this connection.
+    DuplicateSession,
+    /// The frame targeted a session id this connection never opened (or
+    /// already closed).
+    UnknownSession,
+    /// The peer sent bytes that do not decode as a valid frame; the
+    /// connection closes after this error.
+    Malformed,
+}
+
+impl WireError {
+    /// Stable one-byte wire encoding.
+    pub fn code(self) -> u8 {
+        match self {
+            WireError::QueueFull => 1,
+            WireError::ShutDown => 2,
+            WireError::DeadlineExceeded => 3,
+            WireError::Degraded => 4,
+            WireError::QuotaExhausted => 5,
+            WireError::UnknownTenant => 6,
+            WireError::DuplicateSession => 7,
+            WireError::UnknownSession => 8,
+            WireError::Malformed => 9,
+        }
+    }
+
+    /// Inverse of [`WireError::code`]; `None` for unassigned codes.
+    pub fn from_code(code: u8) -> Option<WireError> {
+        Some(match code {
+            1 => WireError::QueueFull,
+            2 => WireError::ShutDown,
+            3 => WireError::DeadlineExceeded,
+            4 => WireError::Degraded,
+            5 => WireError::QuotaExhausted,
+            6 => WireError::UnknownTenant,
+            7 => WireError::DuplicateSession,
+            8 => WireError::UnknownSession,
+            9 => WireError::Malformed,
+            _ => return None,
+        })
+    }
+}
+
+impl From<SubmitError> for WireError {
+    fn from(e: SubmitError) -> WireError {
+        match e {
+            SubmitError::QueueFull => WireError::QueueFull,
+            SubmitError::ShutDown => WireError::ShutDown,
+            SubmitError::DeadlineExceeded => WireError::DeadlineExceeded,
+            SubmitError::Degraded => WireError::Degraded,
+        }
+    }
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            WireError::QueueFull => "shard queue full",
+            WireError::ShutDown => "server shutting down",
+            WireError::DeadlineExceeded => "submit deadline exceeded",
+            WireError::Degraded => "shed by degraded-mode admission",
+            WireError::QuotaExhausted => "tenant session quota exhausted",
+            WireError::UnknownTenant => "unknown tenant",
+            WireError::DuplicateSession => "session id already open",
+            WireError::UnknownSession => "unknown session id",
+            WireError::Malformed => "malformed frame",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Stable one-byte encoding of a terminal [`traj::SessionFault`], carried
+/// by [`Frame::Fault`].
+pub fn fault_code(fault: SessionFault) -> u8 {
+    match fault {
+        SessionFault::PoisonEvent => 1,
+        SessionFault::WorkerCrash => 2,
+        SessionFault::Unsalvageable => 3,
+        SessionFault::UnknownSession => 4,
+    }
+}
+
+/// Inverse of [`fault_code`]; `None` for unassigned codes.
+pub fn fault_from_code(code: u8) -> Option<SessionFault> {
+    Some(match code {
+        1 => SessionFault::PoisonEvent,
+        2 => SessionFault::WorkerCrash,
+        3 => SessionFault::Unsalvageable,
+        4 => SessionFault::UnknownSession,
+        _ => return None,
+    })
+}
+
+/// One wire frame, request or response. The `session` fields carry the
+/// **client-chosen** multiplexing id, not the server's internal handle.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Frame {
+    /// Request: open a session for tenant `tenant` with the given SD pair
+    /// and start time. `priority` is 0 (high) or 1 (low — subject to
+    /// degraded-mode shedding).
+    Open {
+        session: u64,
+        tenant: u32,
+        source: u32,
+        dest: u32,
+        start_time: f64,
+        priority: u8,
+    },
+    /// Request: the session's next road segment.
+    Submit { session: u64, segment: u32 },
+    /// Request: close the session; final labels return in [`Frame::Closed`].
+    Close { session: u64 },
+    /// Request: no more frames follow; the server finishes every open
+    /// session of this connection and answers [`Frame::Bye`].
+    Goodbye,
+    /// Response: the open succeeded; `epoch_seq` is the model-epoch swap
+    /// sequence number the session was pinned to.
+    Opened { session: u64, epoch_seq: u32 },
+    /// Response: one provisional label, in submit order per session.
+    Label { session: u64, label: u8 },
+    /// Response: the session closed; `labels` are its authoritative final
+    /// labels, one per accepted point.
+    Closed { session: u64, labels: Vec<u8> },
+    /// Response: a request was rejected with a typed error. `session` is
+    /// 0 for connection-level errors (e.g. [`WireError::Malformed`]).
+    Rejected { session: u64, error: WireError },
+    /// Response: the session terminated with a [`traj::SessionFault`]
+    /// (encoded by [`fault_code`]).
+    Fault { session: u64, fault: u8 },
+    /// Response: acknowledges [`Frame::Goodbye`]; the connection closes.
+    Bye,
+}
+
+/// Why a byte sequence failed to decode as a frame.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FrameError {
+    /// The length prefix exceeds [`MAX_FRAME`] (or is zero).
+    Oversized(u32),
+    /// The payload's first byte is not an assigned opcode.
+    UnknownOpcode(u8),
+    /// The payload ended before the opcode's declared body.
+    Truncated,
+    /// A varint field overflowed `u64`.
+    VarintOverflow,
+    /// The payload has bytes left over after the opcode's body.
+    TrailingBytes,
+    /// A field carried a code outside its assigned range (e.g. an
+    /// unassigned [`WireError`] code).
+    BadField,
+}
+
+impl From<CodecError> for FrameError {
+    fn from(e: CodecError) -> FrameError {
+        match e {
+            CodecError::Truncated => FrameError::Truncated,
+            CodecError::VarintOverflow => FrameError::VarintOverflow,
+            // BadMagic is unreachable here (frames carry no magic), but
+            // map it conservatively rather than panic.
+            CodecError::BadMagic => FrameError::BadField,
+        }
+    }
+}
+
+impl std::fmt::Display for FrameError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FrameError::Oversized(n) => write!(f, "frame length {n} exceeds limit"),
+            FrameError::UnknownOpcode(op) => write!(f, "unknown opcode {op:#04x}"),
+            FrameError::Truncated => write!(f, "frame body truncated"),
+            FrameError::VarintOverflow => write!(f, "varint overflow in frame body"),
+            FrameError::TrailingBytes => write!(f, "trailing bytes after frame body"),
+            FrameError::BadField => write!(f, "field value outside assigned range"),
+        }
+    }
+}
+
+impl std::error::Error for FrameError {}
+
+/// Appends `frame` to `out` in wire form (length prefix included).
+pub fn encode_frame(frame: &Frame, out: &mut BytesMut) {
+    let mut body = BytesMut::new();
+    match frame {
+        Frame::Open {
+            session,
+            tenant,
+            source,
+            dest,
+            start_time,
+            priority,
+        } => {
+            body.put_u8(op::OPEN);
+            put_varint(&mut body, *session);
+            put_varint(&mut body, u64::from(*tenant));
+            put_varint(&mut body, u64::from(*source));
+            put_varint(&mut body, u64::from(*dest));
+            body.put_f64_le(*start_time);
+            body.put_u8(*priority);
+        }
+        Frame::Submit { session, segment } => {
+            body.put_u8(op::SUBMIT);
+            put_varint(&mut body, *session);
+            put_varint(&mut body, u64::from(*segment));
+        }
+        Frame::Close { session } => {
+            body.put_u8(op::CLOSE);
+            put_varint(&mut body, *session);
+        }
+        Frame::Goodbye => body.put_u8(op::GOODBYE),
+        Frame::Opened { session, epoch_seq } => {
+            body.put_u8(op::OPENED);
+            put_varint(&mut body, *session);
+            put_varint(&mut body, u64::from(*epoch_seq));
+        }
+        Frame::Label { session, label } => {
+            body.put_u8(op::LABEL);
+            put_varint(&mut body, *session);
+            body.put_u8(*label);
+        }
+        Frame::Closed { session, labels } => {
+            body.put_u8(op::CLOSED);
+            put_varint(&mut body, *session);
+            put_varint(&mut body, labels.len() as u64);
+            body.put_slice(labels);
+        }
+        Frame::Rejected { session, error } => {
+            body.put_u8(op::REJECTED);
+            put_varint(&mut body, *session);
+            body.put_u8(error.code());
+        }
+        Frame::Fault { session, fault } => {
+            body.put_u8(op::FAULT);
+            put_varint(&mut body, *session);
+            body.put_u8(*fault);
+        }
+        Frame::Bye => body.put_u8(op::BYE),
+    }
+    debug_assert!(body.len() <= MAX_FRAME);
+    out.put_u32_le(body.len() as u32);
+    out.put_slice(&body);
+}
+
+/// Serialises one frame to owned wire bytes (length prefix included).
+pub fn frame_bytes(frame: &Frame) -> Vec<u8> {
+    let mut out = BytesMut::new();
+    encode_frame(frame, &mut out);
+    out.to_vec()
+}
+
+fn get_u32_field(buf: &mut &[u8]) -> Result<u32, FrameError> {
+    let v = get_varint(buf)?;
+    u32::try_from(v).map_err(|_| FrameError::BadField)
+}
+
+fn get_u8_field(buf: &mut &[u8]) -> Result<u8, FrameError> {
+    if !buf.has_remaining() {
+        return Err(FrameError::Truncated);
+    }
+    Ok(buf.get_u8())
+}
+
+fn get_f64_field(buf: &mut &[u8]) -> Result<f64, FrameError> {
+    if buf.remaining() < 8 {
+        return Err(FrameError::Truncated);
+    }
+    Ok(buf.get_f64_le())
+}
+
+/// Decodes one frame **payload** (the bytes after the length prefix).
+/// Every byte must be consumed; leftovers are [`FrameError::TrailingBytes`].
+pub fn decode_frame(mut payload: &[u8]) -> Result<Frame, FrameError> {
+    let opcode = get_u8_field(&mut payload)?;
+    let frame = match opcode {
+        op::OPEN => {
+            let session = get_varint(&mut payload)?;
+            let tenant = get_u32_field(&mut payload)?;
+            let source = get_u32_field(&mut payload)?;
+            let dest = get_u32_field(&mut payload)?;
+            let start_time = get_f64_field(&mut payload)?;
+            let priority = get_u8_field(&mut payload)?;
+            if priority > 1 {
+                return Err(FrameError::BadField);
+            }
+            Frame::Open {
+                session,
+                tenant,
+                source,
+                dest,
+                start_time,
+                priority,
+            }
+        }
+        op::SUBMIT => Frame::Submit {
+            session: get_varint(&mut payload)?,
+            segment: get_u32_field(&mut payload)?,
+        },
+        op::CLOSE => Frame::Close {
+            session: get_varint(&mut payload)?,
+        },
+        op::GOODBYE => Frame::Goodbye,
+        op::OPENED => Frame::Opened {
+            session: get_varint(&mut payload)?,
+            epoch_seq: get_u32_field(&mut payload)?,
+        },
+        op::LABEL => Frame::Label {
+            session: get_varint(&mut payload)?,
+            label: get_u8_field(&mut payload)?,
+        },
+        op::CLOSED => {
+            let session = get_varint(&mut payload)?;
+            let n = get_varint(&mut payload)?;
+            let n = usize::try_from(n).map_err(|_| FrameError::BadField)?;
+            if payload.remaining() < n {
+                return Err(FrameError::Truncated);
+            }
+            let mut labels = vec![0u8; n];
+            payload.copy_to_slice(&mut labels);
+            Frame::Closed { session, labels }
+        }
+        op::REJECTED => {
+            let session = get_varint(&mut payload)?;
+            let code = get_u8_field(&mut payload)?;
+            let error = WireError::from_code(code).ok_or(FrameError::BadField)?;
+            Frame::Rejected { session, error }
+        }
+        op::FAULT => {
+            let session = get_varint(&mut payload)?;
+            let fault = get_u8_field(&mut payload)?;
+            if fault_from_code(fault).is_none() {
+                return Err(FrameError::BadField);
+            }
+            Frame::Fault { session, fault }
+        }
+        op::BYE => Frame::Bye,
+        other => return Err(FrameError::UnknownOpcode(other)),
+    };
+    if payload.has_remaining() {
+        return Err(FrameError::TrailingBytes);
+    }
+    Ok(frame)
+}
+
+/// Incremental frame reassembler: push raw socket bytes in arbitrary
+/// fragments, pull complete frames out. Any byte-boundary fragmentation
+/// of a valid stream decodes to the identical frame sequence
+/// (property-tested in `tests/serve_codec.rs`).
+///
+/// A decode error is **sticky** — framing is lost once the stream is
+/// corrupt, so every call after an error keeps returning it and the
+/// connection must close.
+#[derive(Default)]
+pub struct FrameReader {
+    buf: Vec<u8>,
+    /// Consumed prefix of `buf`; compacted once it outgrows the tail.
+    pos: usize,
+    dead: Option<FrameError>,
+}
+
+impl FrameReader {
+    /// An empty reassembler.
+    pub fn new() -> FrameReader {
+        FrameReader::default()
+    }
+
+    /// Appends raw bytes received from the peer.
+    pub fn push(&mut self, bytes: &[u8]) {
+        if self.dead.is_none() {
+            self.buf.extend_from_slice(bytes);
+        }
+    }
+
+    /// Buffered bytes not yet decoded into frames.
+    pub fn pending(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// Pops the next complete frame: `Ok(None)` means more bytes are
+    /// needed; an error is terminal for the stream. (Not an `Iterator`:
+    /// the fallible `Result<Option<_>>` shape has no lending-free
+    /// `Iterator` equivalent worth faking.)
+    #[allow(clippy::should_implement_trait)]
+    pub fn next(&mut self) -> Result<Option<Frame>, FrameError> {
+        if let Some(err) = &self.dead {
+            return Err(err.clone());
+        }
+        let avail = &self.buf[self.pos..];
+        if avail.len() < 4 {
+            return Ok(None);
+        }
+        let len = u32::from_le_bytes(avail[..4].try_into().expect("4-byte prefix"));
+        if len == 0 || len as usize > MAX_FRAME {
+            return Err(self.kill(FrameError::Oversized(len)));
+        }
+        let len = len as usize;
+        if avail.len() < 4 + len {
+            return Ok(None);
+        }
+        let frame = match decode_frame(&avail[4..4 + len]) {
+            Ok(frame) => frame,
+            Err(e) => return Err(self.kill(e)),
+        };
+        self.pos += 4 + len;
+        if self.pos > self.buf.len() / 2 && self.pos >= 4096 {
+            self.buf.drain(..self.pos);
+            self.pos = 0;
+        }
+        Ok(Some(frame))
+    }
+
+    fn kill(&mut self, err: FrameError) -> FrameError {
+        self.dead = Some(err.clone());
+        self.buf.clear();
+        self.pos = 0;
+        err
+    }
+}

@@ -106,7 +106,11 @@ pub fn decode_trajectories(mut buf: &[u8]) -> Result<Vec<MappedTrajectory>, Code
     Ok(out)
 }
 
-fn put_varint(buf: &mut BytesMut, mut v: u64) {
+/// Appends `v` as an LEB128 varint (7 bits per byte, high bit =
+/// continuation; at most 10 bytes). Public for reuse by framing layers
+/// built on this codec — the `serve` wire protocol encodes every integer
+/// field with it.
+pub fn put_varint(buf: &mut BytesMut, mut v: u64) {
     loop {
         let byte = (v & 0x7F) as u8;
         v >>= 7;
@@ -118,7 +122,11 @@ fn put_varint(buf: &mut BytesMut, mut v: u64) {
     }
 }
 
-fn get_varint(buf: &mut &[u8]) -> Result<u64, CodecError> {
+/// Reads one LEB128 varint from the front of `buf`, advancing it past
+/// the consumed bytes. Errors: [`CodecError::Truncated`] when the slice
+/// ends mid-varint, [`CodecError::VarintOverflow`] when the encoding
+/// exceeds `u64::MAX` or 10 bytes. The exact inverse of [`put_varint`].
+pub fn get_varint(buf: &mut &[u8]) -> Result<u64, CodecError> {
     let mut v = 0u64;
     for shift in (0..70).step_by(7) {
         if !buf.has_remaining() {

@@ -532,6 +532,9 @@ type ControlFn = Box<dyn FnOnce(&mut dyn Any) + Send>;
 enum Cmd {
     Open {
         outer: u64,
+        /// Engine scope (tenant) the session opens under; 0 is the
+        /// default namespace (see [`SessionEngine::open_scoped`]).
+        scope: u32,
         sd: SdPair,
         start_time: f64,
         outbox: SyncSender<u8>,
@@ -778,6 +781,21 @@ impl<E> IngestHandle<E> {
         start_time: f64,
         priority: Priority,
     ) -> Result<(SessionId, Subscription), SubmitError> {
+        self.open_scoped(0, sd, start_time, priority)
+    }
+
+    /// Like [`open_with_priority`](Self::open_with_priority), but opens
+    /// the session under engine scope (tenant) `scope` — forwarded to
+    /// [`SessionEngine::open_scoped`] on the shard worker, so a
+    /// scope-aware engine pins the session to that scope's model epoch.
+    /// Scope 0 is exactly [`open_with_priority`](Self::open_with_priority).
+    pub fn open_scoped(
+        &self,
+        scope: u32,
+        sd: SdPair,
+        start_time: f64,
+        priority: Priority,
+    ) -> Result<(SessionId, Subscription), SubmitError> {
         let raw = self.shared.next_session.fetch_add(1, Ordering::Relaxed);
         let shard = self.shared.shard_of(raw);
         if priority == Priority::Low && self.shared.health[shard].degraded() {
@@ -792,6 +810,7 @@ impl<E> IngestHandle<E> {
             shard,
             Cmd::Open {
                 outer: raw,
+                scope,
                 sd,
                 start_time,
                 outbox: tx,
@@ -1259,12 +1278,13 @@ impl<E: SessionEngine + 'static> Worker<E> {
         match cmd {
             Cmd::Open {
                 outer,
+                scope,
                 sd,
                 start_time,
                 outbox,
                 fault,
             } => {
-                let inner = self.engine.open(sd, start_time);
+                let inner = self.engine.open_scoped(scope, sd, start_time);
                 self.routes.insert(
                     outer,
                     Route {

@@ -83,6 +83,18 @@ pub trait SessionEngine {
     /// (seconds since midnight), returning its handle.
     fn open(&mut self, sd: SdPair, start_time: f64) -> SessionId;
 
+    /// Opens a session under a **scope** — an engine-interpreted
+    /// namespace id (the serving tier keys it by tenant, so each tenant
+    /// can pin its own model epoch; see `rl4oasd::StreamEngine::
+    /// set_scope_model`). Scope 0 is the default namespace: for every
+    /// engine, `open_scoped(0, ..)` must behave exactly like `open`.
+    /// Engines without scoped state ignore the scope entirely — the
+    /// default forwards to [`SessionEngine::open`].
+    fn open_scoped(&mut self, scope: u32, sd: SdPair, start_time: f64) -> SessionId {
+        let _ = scope;
+        self.open(sd, start_time)
+    }
+
     /// Feeds the next road segment of one open session, returning the
     /// provisional label (0 normal / 1 anomalous).
     fn observe(&mut self, session: SessionId, segment: SegmentId) -> u8;
@@ -161,6 +173,9 @@ impl<E: SessionEngine + ?Sized> SessionEngine for Box<E> {
     }
     fn open(&mut self, sd: SdPair, start_time: f64) -> SessionId {
         (**self).open(sd, start_time)
+    }
+    fn open_scoped(&mut self, scope: u32, sd: SdPair, start_time: f64) -> SessionId {
+        (**self).open_scoped(scope, sd, start_time)
     }
     fn observe(&mut self, session: SessionId, segment: SegmentId) -> u8 {
         (**self).observe(session, segment)
@@ -716,6 +731,17 @@ impl<E: SessionEngine + Send> SessionEngine for Sharded<E> {
         });
         let shard = self.hash_to_shard(outer.index());
         let inner = self.shards[shard as usize].open(sd, start_time);
+        *self.routes.get_mut(outer) = Route { shard, inner };
+        outer
+    }
+
+    fn open_scoped(&mut self, scope: u32, sd: SdPair, start_time: f64) -> SessionId {
+        let outer = self.routes.insert(Route {
+            shard: 0,
+            inner: SessionId::new(0, 0),
+        });
+        let shard = self.hash_to_shard(outer.index());
+        let inner = self.shards[shard as usize].open_scoped(scope, sd, start_time);
         *self.routes.get_mut(outer) = Route { shard, inner };
         outer
     }

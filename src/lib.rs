@@ -13,7 +13,10 @@
 //! * [`baselines`] — IBOAT, DBTOD, CTSS and the GM-VSAE family;
 //! * [`eval`] — NER-style F1/TF1 metrics and threshold tuning;
 //! * [`scenario`] — the city-scale scenario engine with deterministic
-//!   `(seed, spec)` replay, driving both serving paths cross-network;
+//!   `(seed, spec)` replay, driving every serving path cross-network;
+//! * [`serve`] — the `oasd-serve` network front door: a length-prefixed
+//!   binary wire protocol plus an HTTP ops surface over the ingest
+//!   engine, with multi-tenant model scopes and quotas;
 //! * [`obs`] — the zero-dependency telemetry spine: metrics registry,
 //!   stage-level tracing, ops event log, JSON/Prometheus export.
 //!
@@ -45,6 +48,7 @@ pub use obs;
 pub use rl4oasd;
 pub use rnet;
 pub use scenario;
+pub use serve;
 pub use traj;
 
 /// Convenient glob-import surface for examples and tests.
@@ -63,6 +67,10 @@ pub mod prelude {
     pub use scenario::{
         standard_suite, Backpressure, Driver, EventTrace, Fault, FaultOutcome, FaultPlan,
         NetworkKind, Regime, RunOutcome, ScenarioRunner, ScenarioSpec, World, POISON_SEGMENT,
+    };
+    pub use serve::{
+        run_load, Client, Frame, FrameError, FrameReader, LoadReport, LoadSpec, Server,
+        ServerConfig, TenantSpec, WireError,
     };
     pub use traj::{
         silence_injected_panic_output, Dataset, DriftConfig, FlushPolicy, IngestConfig,

@@ -1,0 +1,274 @@
+//! Wire-protocol codec properties for the `oasd-serve` front door.
+//!
+//! The contract under test (half of ARCHITECTURE.md invariant 16): the
+//! frame codec in `serve::proto` round-trips every frame the protocol
+//! can express, reassembles identically under any byte-boundary
+//! fragmentation of the stream, and turns every malformed input —
+//! truncated frames, oversized or zero length prefixes, unknown opcodes,
+//! out-of-range field codes, trailing bytes, overlong varints — into a
+//! typed [`FrameError`], never a panic. Once a stream errors, the error
+//! is sticky: framing is unrecoverable, so the reader refuses to resync
+//! on garbage.
+
+use proptest::prelude::*;
+use rl4oasd_repro::serve::proto::{
+    decode_frame, fault_from_code, frame_bytes, Frame, FrameError, FrameReader, WireError,
+    MAX_FRAME,
+};
+
+/// Deterministically maps sampled scalars onto one frame of each kind —
+/// the strategy surface for every property below.
+fn build_frame(kind: u8, session: u64, x: u32, y: u32, t: f64, labels: Vec<u8>) -> Frame {
+    match kind % 10 {
+        0 => Frame::Open {
+            session,
+            tenant: x,
+            source: y,
+            dest: x ^ y,
+            start_time: t,
+            priority: (x & 1) as u8,
+        },
+        1 => Frame::Submit {
+            session,
+            segment: x,
+        },
+        2 => Frame::Close { session },
+        3 => Frame::Goodbye,
+        4 => Frame::Opened {
+            session,
+            epoch_seq: x,
+        },
+        5 => Frame::Label {
+            session,
+            label: (y % 2) as u8,
+        },
+        6 => Frame::Closed { session, labels },
+        7 => Frame::Rejected {
+            session,
+            error: WireError::from_code((x % 9 + 1) as u8).expect("codes 1..=9 are assigned"),
+        },
+        8 => Frame::Fault {
+            session,
+            fault: (x % 4 + 1) as u8,
+        },
+        _ => Frame::Bye,
+    }
+}
+
+fn prefix_len(bytes: &[u8]) -> usize {
+    u32::from_le_bytes(bytes[..4].try_into().unwrap()) as usize
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(200))]
+
+    /// Every frame type round-trips: encode → strip prefix → decode is
+    /// the identity, and the length prefix matches the payload exactly.
+    #[test]
+    fn frame_roundtrip(
+        (kind, session) in (0u8..10, 0u64..u64::MAX),
+        (x, y) in (0u32..u32::MAX, 0u32..u32::MAX),
+        t in -1.0e12f64..1.0e12,
+        raw_labels in collection::vec(0u16..256, 0..64),
+    ) {
+        let labels: Vec<u8> = raw_labels.into_iter().map(|v| v as u8).collect();
+        let frame = build_frame(kind, session, x, y, t, labels);
+        let bytes = frame_bytes(&frame);
+        prop_assert_eq!(prefix_len(&bytes), bytes.len() - 4);
+        let back = decode_frame(&bytes[4..]).expect("own encoding decodes");
+        prop_assert_eq!(back, frame);
+    }
+
+    /// Any byte-boundary fragmentation of a valid multi-frame stream
+    /// reassembles to the identical frame sequence — TCP segmentation
+    /// can never change what the peer decodes.
+    #[test]
+    fn fragmentation_invariance(
+        kinds in collection::vec(0u8..10, 1..12),
+        (x, y) in (0u32..u32::MAX, 0u32..u32::MAX),
+        chunk_sizes in collection::vec(1usize..9, 1..24),
+    ) {
+        let frames: Vec<Frame> = kinds
+            .iter()
+            .enumerate()
+            .map(|(i, &k)| build_frame(k, i as u64, x ^ i as u32, y, 0.25 * i as f64, vec![1, 0, 1]))
+            .collect();
+        let stream: Vec<u8> = frames.iter().flat_map(frame_bytes).collect();
+
+        let mut reader = FrameReader::new();
+        let mut decoded = Vec::new();
+        let mut pos = 0;
+        let mut chunk = 0;
+        while pos < stream.len() {
+            let take = chunk_sizes[chunk % chunk_sizes.len()].min(stream.len() - pos);
+            chunk += 1;
+            reader.push(&stream[pos..pos + take]);
+            pos += take;
+            while let Some(frame) = reader.next().expect("valid stream never errors") {
+                decoded.push(frame);
+            }
+        }
+        prop_assert_eq!(decoded, frames);
+        prop_assert_eq!(reader.pending(), 0);
+    }
+
+    /// Arbitrary garbage never panics the reader: every outcome is a
+    /// clean frame, "need more bytes", or a typed error.
+    #[test]
+    fn garbage_never_panics(
+        raw_garbage in collection::vec(0u16..256, 0..200),
+        chunk_sizes in collection::vec(1usize..17, 1..8),
+    ) {
+        let garbage: Vec<u8> = raw_garbage.into_iter().map(|v| v as u8).collect();
+        let mut reader = FrameReader::new();
+        let mut pos = 0;
+        let mut chunk = 0;
+        let mut dead = false;
+        while pos < garbage.len() {
+            let take = chunk_sizes[chunk % chunk_sizes.len()].min(garbage.len() - pos);
+            chunk += 1;
+            reader.push(&garbage[pos..pos + take]);
+            pos += take;
+            loop {
+                match reader.next() {
+                    Ok(Some(_)) => {}
+                    Ok(None) => break,
+                    Err(first) => {
+                        // Sticky: the same typed error forever after.
+                        prop_assert_eq!(reader.next().unwrap_err(), first);
+                        dead = true;
+                        break;
+                    }
+                }
+            }
+            if dead {
+                break;
+            }
+        }
+    }
+}
+
+/// A truncated frame is "need more bytes" at every split point, and the
+/// full frame still decodes once the tail arrives — for every frame kind.
+#[test]
+fn truncation_is_incomplete_not_error() {
+    for kind in 0u8..10 {
+        let frame = build_frame(kind, 42, 7, 3, 1.5, vec![0, 1, 1, 0]);
+        let bytes = frame_bytes(&frame);
+        for split in 0..bytes.len() {
+            let mut reader = FrameReader::new();
+            reader.push(&bytes[..split]);
+            assert_eq!(
+                reader
+                    .next()
+                    .expect("prefix of a valid frame is not an error"),
+                None,
+                "kind {kind} split {split}"
+            );
+            reader.push(&bytes[split..]);
+            assert_eq!(reader.next().unwrap(), Some(frame.clone()));
+            assert_eq!(reader.next().unwrap(), None);
+        }
+    }
+}
+
+#[test]
+fn oversized_length_prefix_is_typed_and_sticky() {
+    let mut reader = FrameReader::new();
+    let huge = (MAX_FRAME as u32) + 1;
+    reader.push(&huge.to_le_bytes());
+    assert_eq!(reader.next(), Err(FrameError::Oversized(huge)));
+    // Sticky even if valid bytes arrive afterwards — framing is lost.
+    reader.push(&frame_bytes(&Frame::Bye));
+    assert_eq!(reader.next(), Err(FrameError::Oversized(huge)));
+}
+
+#[test]
+fn zero_length_prefix_is_rejected() {
+    let mut reader = FrameReader::new();
+    reader.push(&0u32.to_le_bytes());
+    assert_eq!(reader.next(), Err(FrameError::Oversized(0)));
+}
+
+#[test]
+fn unknown_opcode_is_typed() {
+    let mut reader = FrameReader::new();
+    reader.push(&1u32.to_le_bytes());
+    reader.push(&[0x7F]);
+    assert_eq!(reader.next(), Err(FrameError::UnknownOpcode(0x7F)));
+}
+
+#[test]
+fn trailing_bytes_are_rejected() {
+    // A valid Close frame with one extra payload byte (prefix widened to
+    // match): the decoder must consume payloads exactly.
+    let mut bytes = frame_bytes(&Frame::Close { session: 9 });
+    bytes.push(0xAB);
+    let n = prefix_len(&bytes) as u32 + 1;
+    bytes[..4].copy_from_slice(&n.to_le_bytes());
+    let mut reader = FrameReader::new();
+    reader.push(&bytes);
+    assert_eq!(reader.next(), Err(FrameError::TrailingBytes));
+}
+
+#[test]
+fn out_of_range_field_codes_are_rejected() {
+    // Rejected-frame error code 0 is unassigned.
+    let mut bytes = frame_bytes(&Frame::Rejected {
+        session: 1,
+        error: WireError::QueueFull,
+    });
+    *bytes.last_mut().unwrap() = 0;
+    assert_eq!(decode_frame(&bytes[4..]), Err(FrameError::BadField));
+
+    // Open priority 2 is outside {0 = high, 1 = low}.
+    let mut bytes = frame_bytes(&Frame::Open {
+        session: 1,
+        tenant: 0,
+        source: 5,
+        dest: 6,
+        start_time: 0.0,
+        priority: 1,
+    });
+    *bytes.last_mut().unwrap() = 2;
+    assert_eq!(decode_frame(&bytes[4..]), Err(FrameError::BadField));
+
+    // Fault code 5 is unassigned.
+    let mut bytes = frame_bytes(&Frame::Fault {
+        session: 1,
+        fault: 1,
+    });
+    *bytes.last_mut().unwrap() = 5;
+    assert_eq!(decode_frame(&bytes[4..]), Err(FrameError::BadField));
+}
+
+#[test]
+fn overlong_varint_is_typed() {
+    // Reuse a real opcode byte, then 11 continuation bytes — more than
+    // any u64 varint can span.
+    let close = frame_bytes(&Frame::Close { session: 1 });
+    let opcode = close[4];
+    let mut payload = vec![opcode];
+    payload.extend_from_slice(&[0xFF; 11]);
+    let mut bytes = (payload.len() as u32).to_le_bytes().to_vec();
+    bytes.extend_from_slice(&payload);
+    let mut reader = FrameReader::new();
+    reader.push(&bytes);
+    assert_eq!(reader.next(), Err(FrameError::VarintOverflow));
+}
+
+#[test]
+fn error_and_fault_codes_roundtrip() {
+    for code in 1u8..=9 {
+        let e = WireError::from_code(code).expect("codes 1..=9 assigned");
+        assert_eq!(e.code(), code);
+    }
+    assert_eq!(WireError::from_code(0), None);
+    assert_eq!(WireError::from_code(10), None);
+    for code in 1u8..=4 {
+        let fault = fault_from_code(code).expect("codes 1..=4 assigned");
+        assert_eq!(rl4oasd_repro::serve::proto::fault_code(fault), code);
+    }
+    assert_eq!(fault_from_code(0), None);
+    assert_eq!(fault_from_code(5), None);
+}
